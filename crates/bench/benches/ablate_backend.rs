@@ -1,0 +1,51 @@
+//! Ablation: exchange mechanics. The same h-relation routed by the three
+//! library implementations (direct shared-memory writes, per-pair buffer
+//! exchange, staged pairwise total exchange) — the portability cost of the
+//! paper's single API across platform styles.
+
+use bsp_bench::quick_criterion;
+use criterion::Criterion;
+use green_bsp::{run, BackendKind, Config, Packet};
+
+fn total_exchange(backend: BackendKind, p: usize, per_pair: usize) {
+    let out = run(&Config::new(p).backend(backend), move |ctx| {
+        let me = ctx.pid();
+        for dest in 0..ctx.nprocs() {
+            if dest != me {
+                for i in 0..per_pair {
+                    ctx.send_pkt(dest, Packet::two_u64(i as u64, me as u64));
+                }
+            }
+        }
+        ctx.sync();
+        let mut sum = 0u64;
+        while let Some(pkt) = ctx.get_pkt() {
+            sum = sum.wrapping_add(pkt.as_two_u64().0);
+        }
+        sum
+    });
+    std::hint::black_box(out.results);
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_backend");
+    for (name, backend) in [
+        ("shared", BackendKind::Shared),
+        ("msgpass", BackendKind::MsgPass),
+        ("tcpsim", BackendKind::TcpSim),
+        ("seqsim", BackendKind::SeqSim),
+    ] {
+        for p in [2usize, 4, 8] {
+            group.bench_function(format!("{name}/p{p}"), |b| {
+                b.iter(|| total_exchange(backend, p, 4_000));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

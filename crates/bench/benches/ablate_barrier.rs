@@ -1,0 +1,40 @@
+//! Ablation: barrier implementation. The paper's shared-memory library
+//! synchronizes with a flag scheme (Appendix B.1); we compare it with a
+//! condvar central barrier, a combining tree, and a dissemination barrier,
+//! under the empty-superstep workload where barrier cost *is* `L`.
+
+use bsp_bench::quick_criterion;
+use criterion::Criterion;
+use green_bsp::{run, BarrierKind, Config};
+
+fn spin_supersteps(kind: BarrierKind, p: usize, reps: usize) {
+    let out = run(&Config::new(p).barrier(kind), |ctx| {
+        for _ in 0..reps {
+            ctx.sync();
+        }
+    });
+    std::hint::black_box(out.stats.s());
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_barrier");
+    for (name, kind) in [
+        ("central", BarrierKind::Central),
+        ("flag_paper", BarrierKind::Flag),
+        ("tree", BarrierKind::Tree),
+        ("dissemination", BarrierKind::Dissemination),
+    ] {
+        for p in [2usize, 4] {
+            group.bench_function(format!("{name}/p{p}"), |b| {
+                b.iter(|| spin_supersteps(kind, p, 50));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,91 @@
+//! Ablation: programming style — Oxford-style DRMA (remote puts) vs Green
+//! BSP message passing, on the same halo-exchange stencil. §1.3 contrasts
+//! the two library designs; here both run on the same substrate, so the
+//! difference is pure emulation overhead.
+
+use bsp_bench::quick_criterion;
+use criterion::Criterion;
+use green_bsp::drma::Drma;
+use green_bsp::{run, Config, Packet};
+
+const N_LOCAL: usize = 512;
+const STEPS: usize = 20;
+
+fn stencil_drma(p: usize) {
+    let out = run(&Config::new(p), |ctx| {
+        let me = ctx.pid();
+        let p = ctx.nprocs();
+        let init: Vec<f64> = (0..N_LOCAL + 2)
+            .map(|i| (me * N_LOCAL + i) as f64)
+            .collect();
+        let mut drma = Drma::new(vec![init]);
+        for _ in 0..STEPS {
+            let lo = drma.region(0)[1];
+            let hi = drma.region(0)[N_LOCAL];
+            if me > 0 {
+                drma.put(me - 1, 0, N_LOCAL + 1, &[lo]);
+            }
+            if me + 1 < p {
+                drma.put(me + 1, 0, 0, &[hi]);
+            }
+            drma.sync_put(ctx);
+            let old = drma.region(0).to_vec();
+            let cells = drma.region_mut(0);
+            for i in 1..=N_LOCAL {
+                cells[i] = 0.5 * (old[i - 1] + old[i + 1]);
+            }
+        }
+        drma.region(0)[N_LOCAL / 2]
+    });
+    std::hint::black_box(out.results);
+}
+
+fn stencil_msg(p: usize) {
+    let out = run(&Config::new(p), |ctx| {
+        let me = ctx.pid();
+        let p = ctx.nprocs();
+        let mut cells: Vec<f64> = (0..N_LOCAL + 2)
+            .map(|i| (me * N_LOCAL + i) as f64)
+            .collect();
+        for _ in 0..STEPS {
+            if me > 0 {
+                ctx.send_pkt(me - 1, Packet::u64_f64(1, cells[1]));
+            }
+            if me + 1 < p {
+                ctx.send_pkt(me + 1, Packet::u64_f64(0, cells[N_LOCAL]));
+            }
+            ctx.sync();
+            while let Some(pkt) = ctx.get_pkt() {
+                let (side, v) = pkt.as_u64_f64();
+                if side == 0 {
+                    cells[0] = v;
+                } else {
+                    cells[N_LOCAL + 1] = v;
+                }
+            }
+            let old = cells.clone();
+            for i in 1..=N_LOCAL {
+                cells[i] = 0.5 * (old[i - 1] + old[i + 1]);
+            }
+        }
+        cells[N_LOCAL / 2]
+    });
+    std::hint::black_box(out.results);
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_drma");
+    for p in [2usize, 4] {
+        group.bench_function(format!("drma_puts/p{p}"), |b| b.iter(|| stencil_drma(p)));
+        group.bench_function(format!("message_passing/p{p}"), |b| {
+            b.iter(|| stencil_msg(p))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

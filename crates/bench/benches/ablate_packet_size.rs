@@ -1,0 +1,66 @@
+//! Ablation: fixed 16-byte packets vs the variable-length message
+//! extension (paper footnote 2: the authors were adding arbitrary-length
+//! packets and expected "no significant changes in performance"). This
+//! quantifies the framing overhead of moving a bulk payload either way.
+
+use bsp_bench::quick_criterion;
+use criterion::Criterion;
+use green_bsp::message::{recv_msgs, send_msg};
+use green_bsp::{run, Config, Packet};
+
+const PAYLOAD: usize = 64 * 1024; // bytes per pair
+
+fn bulk_fixed_packets(p: usize) {
+    let out = run(&Config::new(p), |ctx| {
+        let me = ctx.pid();
+        let words = PAYLOAD / 8;
+        for dest in 0..ctx.nprocs() {
+            if dest != me {
+                for i in 0..words {
+                    ctx.send_pkt(dest, Packet::two_u64(i as u64, 0));
+                }
+            }
+        }
+        ctx.sync();
+        let mut n = 0u64;
+        while ctx.get_pkt().is_some() {
+            n += 1;
+        }
+        n
+    });
+    std::hint::black_box(out.results);
+}
+
+fn bulk_messages(p: usize) {
+    let out = run(&Config::new(p), |ctx| {
+        let me = ctx.pid();
+        let payload = vec![0xABu8; PAYLOAD];
+        for dest in 0..ctx.nprocs() {
+            if dest != me {
+                send_msg(ctx, dest, &payload);
+            }
+        }
+        ctx.sync();
+        recv_msgs(ctx).len()
+    });
+    std::hint::black_box(out.results);
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_packet_size");
+    for p in [2usize, 4] {
+        group.bench_function(format!("fixed_16B_packets/p{p}"), |b| {
+            b.iter(|| bulk_fixed_packets(p));
+        });
+        group.bench_function(format!("variable_messages/p{p}"), |b| {
+            b.iter(|| bulk_messages(p));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

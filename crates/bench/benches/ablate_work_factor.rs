@@ -1,0 +1,63 @@
+//! Ablation: the shortest-paths *work factor* (§3.4). A processor ends its
+//! superstep after this many queue pops; small factors synchronize often
+//! (S explodes — fatal on high-latency machines), huge factors degrade
+//! load balance and convergence. "The appropriate way to use this
+//! algorithm is to adjust the work factor according to the architecture."
+
+use bsp_bench::quick_criterion;
+use bsp_graph::{build_locals, geometric_graph, partition_kd, sp_run};
+use criterion::Criterion;
+use green_bsp::{run, BackendKind, Config, NetSimParams};
+
+fn benches(c: &mut Criterion) {
+    let n = 5_000;
+    let g = geometric_graph(n, 9_601_996);
+    let p = 4;
+    let owner = partition_kd(&g.pos, p);
+    let locals = build_locals(&g, &owner, p);
+
+    // Report the S each factor produces (once, for the log).
+    for wf in [25usize, 200, 2000, 20_000] {
+        let out = run(&Config::new(p), |ctx| {
+            sp_run(ctx, &locals[ctx.pid()], 0, wf).pops
+        });
+        eprintln!("work factor {wf:>6}: S = {}", out.stats.s());
+    }
+
+    let mut group = c.benchmark_group("ablate_work_factor");
+    for wf in [25usize, 200, 2000, 20_000] {
+        // On the host (low latency): bigger factors help mildly.
+        group.bench_function(format!("host/wf{wf}"), |b| {
+            let locals = &locals;
+            b.iter(|| {
+                let out = run(&Config::new(p), |ctx| {
+                    sp_run(ctx, &locals[ctx.pid()], 0, wf).pops
+                });
+                std::hint::black_box(out.results)
+            });
+        });
+        // On an emulated high-latency machine: small factors are fatal.
+        group.bench_function(format!("emulated_high_L/wf{wf}"), |b| {
+            let locals = &locals;
+            let params = NetSimParams {
+                g_us: 0.5,
+                l_us: 500.0,
+                time_scale: 1.0,
+            };
+            b.iter(|| {
+                let out = run(
+                    &Config::new(p).backend(BackendKind::NetSim(params)),
+                    |ctx| sp_run(ctx, &locals[ctx.pid()], 0, wf).pops,
+                );
+                std::hint::black_box(out.results)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! Figure C.1 regenerator: the Ocean sweep (sizes × processor counts) on
+//! the host, reporting the same series the paper tabulates. Interior sizes
+//! here are the small end of the paper's range (paper size = interior + 2).
+
+use bsp_bench::{quick_criterion, BENCH_PROCS};
+use bsp_ocean::{ocean_run, OceanConfig};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1_ocean");
+    for &n in &[32usize, 64] {
+        for &p in BENCH_PROCS {
+            group.bench_function(format!("size{}/p{p}", n + 2), |b| {
+                let cfg = OceanConfig {
+                    steps: 1,
+                    ..OceanConfig::new(n)
+                };
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| ocean_run(ctx, &cfg).kinetic_energy);
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

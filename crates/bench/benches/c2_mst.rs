@@ -1,0 +1,36 @@
+//! Figure C.2 regenerator: the MST sweep on G(δ) graphs, including the
+//! sequential Kruskal baseline the paper compares against.
+
+use bsp_bench::{quick_criterion, BENCH_PROCS};
+use bsp_graph::{build_locals, geometric_graph, kruskal_mst, mst_run, partition_kd};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_mst");
+    for &n in &[2_500usize, 10_000] {
+        let g = geometric_graph(n, 9_601_996);
+        group.bench_function(format!("size{n}/kruskal_baseline"), |b| {
+            b.iter(|| std::hint::black_box(kruskal_mst(&g).0));
+        });
+        for &p in BENCH_PROCS {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(&g, &owner, p);
+            group.bench_function(format!("size{n}/p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        mst_run(ctx, &locals[ctx.pid()], &owner).total_weight
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

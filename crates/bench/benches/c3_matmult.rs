@@ -1,0 +1,51 @@
+//! Figure C.3 regenerator: Cannon's algorithm across perfect-square
+//! processor counts, with the sequential blocked multiply as baseline and
+//! the skew-phase variant as a bonus series.
+
+use bsp_bench::{quick_criterion, BENCH_PROCS_SQ};
+use bsp_matmul::{
+    blocked_matmul, cannon_run, cannon_run_with_skew, skewed_blocks, unskewed_blocks, Mat,
+};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_matmult");
+    for &n in &[144usize, 288] {
+        let a = Mat::random(n, n, 1);
+        let b = Mat::random(n, n, 2);
+        group.bench_function(format!("size{n}/sequential_blocked"), |bch| {
+            bch.iter(|| std::hint::black_box(blocked_matmul(&a, &b).data[0]));
+        });
+        for &p in BENCH_PROCS_SQ {
+            let blocks = skewed_blocks(&a, &b, p);
+            group.bench_function(format!("size{n}/p{p}"), |bch| {
+                bch.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        let (ab, bb) = blocks[ctx.pid()].clone();
+                        cannon_run(ctx, ab, bb).data[0]
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+        // Skew-phase variant (inputs in the plain layout).
+        let blocks = unskewed_blocks(&a, &b, 4);
+        group.bench_function(format!("size{n}/p4_with_skew_phase"), |bch| {
+            bch.iter(|| {
+                let out = run(&Config::new(4), |ctx| {
+                    let (ab, bb) = blocks[ctx.pid()].clone();
+                    cannon_run_with_skew(ctx, ab, bb).data[0]
+                });
+                std::hint::black_box(out.results)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

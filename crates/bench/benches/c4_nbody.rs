@@ -1,0 +1,46 @@
+//! Figure C.4 regenerator: one Barnes-Hut iteration over Plummer spheres
+//! of increasing size, plus the sequential Barnes-Hut step as baseline.
+
+use bsp_bench::{quick_criterion, BENCH_PROCS};
+use bsp_nbody::{initial_partition, nbody_sim, plummer, sequential_step, SimConfig};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_nbody");
+    for &n in &[1_000usize, 4_000] {
+        let bodies = plummer(n, 9_601_996);
+        group.bench_function(format!("size{n}/sequential_bh"), |b| {
+            b.iter(|| {
+                let mut bs = bodies.clone();
+                sequential_step(&mut bs, &SimConfig::default());
+                std::hint::black_box(bs[0].pos)
+            });
+        });
+        for &p in BENCH_PROCS {
+            let (parts, cuts) = initial_partition(&bodies, p);
+            group.bench_function(format!("size{n}/p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        nbody_sim(
+                            ctx,
+                            parts[ctx.pid()].clone(),
+                            cuts.clone(),
+                            n,
+                            &SimConfig::default(),
+                        )
+                        .essential_recv
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Figure C.5 regenerator: work-factor Dijkstra across processor counts,
+//! with the sequential Dijkstra baseline.
+
+use bsp_bench::{quick_criterion, BENCH_PROCS};
+use bsp_graph::{
+    build_locals, dijkstra, geometric_graph, partition_kd, sp_run, DEFAULT_WORK_FACTOR,
+};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_sp");
+    for &n in &[2_500usize, 10_000] {
+        let g = geometric_graph(n, 9_601_996);
+        group.bench_function(format!("size{n}/dijkstra_baseline"), |b| {
+            b.iter(|| std::hint::black_box(dijkstra(&g, 0)[n - 1]));
+        });
+        for &p in BENCH_PROCS {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(&g, &owner, p);
+            group.bench_function(format!("size{n}/p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        sp_run(ctx, &locals[ctx.pid()], 0, DEFAULT_WORK_FACTOR).pops
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,40 @@
+//! Figure C.6 regenerator: 25 simultaneous shortest-path computations over
+//! one shared graph, with the sequential multi-Dijkstra baseline.
+
+use bsp_bench::{quick_criterion, BENCH_PROCS};
+use bsp_graph::{
+    build_locals, geometric_graph, msp_run, multi_dijkstra, partition_kd, DEFAULT_WORK_FACTOR,
+};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c6_msp");
+    let k = 25;
+    for &n in &[2_500usize] {
+        let g = geometric_graph(n, 9_601_996);
+        let sources: Vec<u32> = (0..k).map(|i| ((i * n) / k) as u32).collect();
+        group.bench_function(format!("size{n}/multi_dijkstra_baseline"), |b| {
+            b.iter(|| std::hint::black_box(multi_dijkstra(&g, &sources).len()));
+        });
+        for &p in BENCH_PROCS {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(&g, &owner, p);
+            group.bench_function(format!("size{n}/p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        msp_run(ctx, &locals[ctx.pid()], &sources, DEFAULT_WORK_FACTOR).pops
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Extension bench (paper §5 future work): the Fast Multipole Method.
+//! Series: direct O(n²) vs sequential FMM vs BSP-parallel FMM — the
+//! crossover and the flat superstep profile.
+
+use bsp_bench::quick_criterion;
+use bsp_fmm::{auto_levels, deal_charges, direct, fmm_bsp, fmm_seq, random_charges, Partition};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_fmm");
+    for &n in &[1_000usize, 4_000] {
+        let charges = random_charges(n, 7);
+        let levels = auto_levels(n, 40);
+        if n <= 1_000 {
+            group.bench_function(format!("n{n}/direct"), |b| {
+                b.iter(|| std::hint::black_box(direct(&charges).potential.len()));
+            });
+        }
+        group.bench_function(format!("n{n}/fmm_seq"), |b| {
+            b.iter(|| std::hint::black_box(fmm_seq(&charges, levels).potential.len()));
+        });
+        for p in [2usize, 4] {
+            let part = Partition::build(&charges, levels, p);
+            let parts = deal_charges(&charges, &part);
+            group.bench_function(format!("n{n}/fmm_bsp_p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        fmm_bsp(ctx, &parts[ctx.pid()], &part).potential.len()
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

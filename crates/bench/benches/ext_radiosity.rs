@@ -1,0 +1,38 @@
+//! Extension bench (paper §5 future work): hierarchical radiosity.
+//! Series: flat-matrix vs hierarchical refinement, sequential vs BSP.
+
+use bsp_bench::quick_criterion;
+use bsp_radiosity::{open_box, solve_bsp, solve_flat, solve_seq};
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_radiosity");
+    let scene = open_box(1.0, 0.6);
+    let iters = 10;
+    for depth in [2u32, 3] {
+        group.bench_function(format!("depth{depth}/flat_matrix"), |b| {
+            b.iter(|| std::hint::black_box(solve_flat(&scene, depth, iters).len()));
+        });
+        group.bench_function(format!("depth{depth}/hierarchical_seq"), |b| {
+            b.iter(|| std::hint::black_box(solve_seq(&scene, depth, 0.03, iters).len()));
+        });
+        for p in [2usize, 4] {
+            group.bench_function(format!("depth{depth}/hierarchical_bsp_p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p), |ctx| {
+                        solve_bsp(ctx, &scene, depth, 0.03, iters).len()
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

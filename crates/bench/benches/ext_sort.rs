@@ -1,0 +1,58 @@
+//! Extension bench: the §4 "simple subroutines" — sample sort vs radix
+//! exchange across library implementations (the workloads whose BSP cost
+//! prediction is sharpest).
+
+use bsp_bench::quick_criterion;
+use bsp_sort::{radix_sort, sample_sort};
+use criterion::Criterion;
+use green_bsp::{run, BackendKind, Config};
+
+fn keys_for(pid: usize, n: usize) -> Vec<u64> {
+    let mut s = 0x1234_5678_u64 ^ ((pid as u64) << 32);
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        })
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_sort");
+    let n_per = 20_000;
+    for (name, backend) in [
+        ("shared", BackendKind::Shared),
+        ("msgpass", BackendKind::MsgPass),
+        ("tcpsim", BackendKind::TcpSim),
+    ] {
+        for p in [2usize, 4] {
+            group.bench_function(format!("sample/{name}/p{p}"), |b| {
+                b.iter(|| {
+                    let out = run(&Config::new(p).backend(backend), |ctx| {
+                        sample_sort(ctx, keys_for(ctx.pid(), n_per)).len()
+                    });
+                    std::hint::black_box(out.results)
+                });
+            });
+        }
+    }
+    for p in [2usize, 4] {
+        group.bench_function(format!("radix/shared/p{p}"), |b| {
+            b.iter(|| {
+                let out = run(&Config::new(p), |ctx| {
+                    radix_sort(ctx, keys_for(ctx.pid(), n_per)).len()
+                });
+                std::hint::black_box(out.results)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,40 @@
+//! Figure 1.1 regenerator: Ocean at a fixed size across processor counts
+//! on the emulated high-latency PC LAN — the wall clock must show the
+//! paper's breakpoint (adding processors beyond the knee makes the real
+//! time *worse*, because `L·S` grows while `W/p` shrinks).
+//!
+//! Delays are injected at 1/20 scale to keep the bench affordable; the
+//! breakpoint's position does not depend on the scale.
+
+use bsp_bench::quick_criterion;
+use bsp_ocean::{ocean_run, OceanConfig};
+use criterion::Criterion;
+use green_bsp::{run, BackendKind, Config, NetSimParams, PC_LAN};
+
+fn ocean_on_emulated_pc(p: usize) {
+    let cfg = OceanConfig {
+        steps: 1,
+        ..OceanConfig::new(32)
+    };
+    let params = NetSimParams::for_machine(&PC_LAN, p).scaled(0.05);
+    let out = run(
+        &Config::new(p).backend(BackendKind::NetSim(params)),
+        |ctx| ocean_run(ctx, &cfg).kinetic_energy,
+    );
+    std::hint::black_box(out.results);
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_1/ocean_on_emulated_pc_lan");
+    group.sample_size(10);
+    for p in [1usize, 2, 4, 8] {
+        group.bench_function(format!("p{p}"), |b| b.iter(|| ocean_on_emulated_pc(p)));
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

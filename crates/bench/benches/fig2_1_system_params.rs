@@ -1,0 +1,73 @@
+//! Figure 2.1 regenerator: the two microbenchmarks defining the BSP system
+//! parameters — `L` (a superstep in which each processor sends one packet)
+//! and `g` (time per 16-byte packet in a large total exchange) — for each
+//! library implementation.
+
+use bsp_bench::{quick_criterion, BENCH_PROCS};
+use criterion::Criterion;
+use green_bsp::{run, BackendKind, Config, Packet};
+
+fn latency_superstep(backend: BackendKind, p: usize, reps: usize) {
+    let out = run(&Config::new(p).backend(backend), |ctx| {
+        let dest = (ctx.pid() + 1) % ctx.nprocs();
+        for _ in 0..reps {
+            ctx.send_pkt(dest, Packet::ZERO);
+            ctx.sync();
+            while ctx.get_pkt().is_some() {}
+        }
+    });
+    std::hint::black_box(out.stats.s());
+}
+
+fn bandwidth_superstep(backend: BackendKind, p: usize, per_pair: usize) {
+    let out = run(&Config::new(p).backend(backend), move |ctx| {
+        let me = ctx.pid();
+        for dest in 0..ctx.nprocs() {
+            if dest != me || ctx.nprocs() == 1 {
+                for i in 0..per_pair {
+                    ctx.send_pkt(dest, Packet::two_u64(i as u64, 0));
+                }
+            }
+        }
+        ctx.sync();
+        let mut sum = 0u64;
+        while let Some(pkt) = ctx.get_pkt() {
+            sum = sum.wrapping_add(pkt.as_two_u64().0);
+        }
+        sum
+    });
+    std::hint::black_box(out.results);
+}
+
+fn benches(c: &mut Criterion) {
+    let impls = [
+        ("shared", BackendKind::Shared),
+        ("msgpass", BackendKind::MsgPass),
+        ("tcpsim", BackendKind::TcpSim),
+    ];
+    let mut group = c.benchmark_group("fig2_1/L");
+    for (name, backend) in impls {
+        for &p in BENCH_PROCS {
+            group.bench_function(format!("{name}/p{p}"), |b| {
+                b.iter(|| latency_superstep(backend, p, 20));
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2_1/g");
+    for (name, backend) in impls {
+        for &p in BENCH_PROCS {
+            group.bench_function(format!("{name}/p{p}"), |b| {
+                b.iter(|| bandwidth_superstep(backend, p, 8_000));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

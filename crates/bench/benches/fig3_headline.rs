@@ -1,0 +1,38 @@
+//! Figures 3.1 / 3.2 regenerator: all six applications at one comparable
+//! scale and processor count — the headline summary series. (The full
+//! model-speed-up tables with paper side-by-side come from the harness
+//! `report` binary; this bench tracks the host-time series.)
+
+use bsp_bench::quick_criterion;
+use bsp_harness::apps::{execute, prepare, App};
+use criterion::Criterion;
+use green_bsp::BackendKind;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_headline");
+    group.sample_size(10);
+    let sizes = [
+        (App::Ocean, 66usize),
+        (App::Nbody, 4_000),
+        (App::Mst, 10_000),
+        (App::Sp, 10_000),
+        (App::Msp, 2_500),
+        (App::Matmult, 144),
+    ];
+    for (app, size) in sizes {
+        let wl = prepare(app, size);
+        group.bench_function(format!("{}/size{}/p4", app.name(), size), |b| {
+            b.iter(|| {
+                let (stats, _) = execute(app, &wl, 4, BackendKind::Shared);
+                std::hint::black_box(stats.h_total())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,25 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Every bench target regenerates one table or figure of the paper (in the
+//! shape sense: the workload, parameter sweep, and reported series match;
+//! absolute times are this host's), or ablates one design choice called
+//! out in DESIGN.md.
+
+use criterion::Criterion;
+
+/// Criterion tuned for a CI-sized budget: the paper's sweeps are repeated
+/// measurements already, so few samples per point suffice.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .configure_from_args()
+}
+
+/// Processor counts exercised by the scaling benches (oversubscribed on
+/// small hosts; the algorithmic statistics remain exact).
+pub const BENCH_PROCS: &[usize] = &[1, 2, 4];
+
+/// Perfect-square processor counts for Cannon.
+pub const BENCH_PROCS_SQ: &[usize] = &[1, 4];

@@ -1,0 +1,72 @@
+//! The library implementations: one module per platform flavour from the
+//! paper, plus the sequential simulator and the machine emulator.
+//!
+//! * [`shared`] — the SGI Challenge shared-memory version (Appendix B.1):
+//!   double-buffered input buffers, chunked lock amortization, explicit
+//!   barrier at superstep boundaries.
+//! * [`msgpass`] — the NEC Cenju MPI version (Appendix B.2): a distinct
+//!   input and output buffer per pair of processes, all exchanged at the
+//!   superstep boundary; synchronization is implicit in the all-to-all.
+//! * [`tcpsim`] — the PC-LAN TCP version (Appendix B.3): processes pair off
+//!   and exchange according to a precomputed `p − 1`-stage total-exchange
+//!   schedule, which is what prevented deadlock over blocking TCP.
+//! * [`seqsim`] — the single-processor simulation the paper used to measure
+//!   work depth `W` and total work: the same program, with logical processes
+//!   executed one at a time.
+//! * [`netsim`] — a machine emulator that injects the modelled `g·h + L`
+//!   superstep delay of a target platform (the substitution for the paper's
+//!   physical testbeds; see DESIGN.md §2).
+
+pub(crate) mod msgpass;
+pub(crate) mod netsim;
+pub(crate) mod seqsim;
+pub(crate) mod shared;
+pub(crate) mod tcpsim;
+
+/// Which library implementation to run a program on.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum BackendKind {
+    /// Shared-memory version (default): direct writes into the destination's
+    /// double-buffered input buffer, plus an explicit barrier.
+    #[default]
+    Shared,
+    /// Message-passing version: per-pair buffers exchanged at the boundary.
+    MsgPass,
+    /// Staged pairwise total-exchange version (the TCP discipline).
+    TcpSim,
+    /// Deterministic single-processor simulation (for `W` / total work).
+    SeqSim,
+    /// Shared-memory execution plus injected per-superstep delays emulating
+    /// a machine with the given BSP parameters.
+    NetSim(NetSimParams),
+}
+
+/// Delay model for [`BackendKind::NetSim`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetSimParams {
+    /// Gap: microseconds per 16-byte packet.
+    pub g_us: f64,
+    /// Latency: microseconds per superstep.
+    pub l_us: f64,
+    /// Multiplier applied to the injected delay (use `< 1.0` to fast-forward
+    /// an emulation, `1.0` for real-time).
+    pub time_scale: f64,
+}
+
+impl NetSimParams {
+    /// Emulate `machine` at `nprocs` processors in real time.
+    pub fn for_machine(machine: &crate::machine::Machine, nprocs: usize) -> Self {
+        let (g_us, l_us) = machine.g_l(nprocs);
+        NetSimParams {
+            g_us,
+            l_us,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Scale the injected delays by `scale`.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+}

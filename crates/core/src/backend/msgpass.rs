@@ -1,0 +1,102 @@
+//! Message-passing library version (paper Appendix B.2, the MPI version).
+//!
+//! Each process keeps a distinct output buffer per destination. During a
+//! superstep, packets are simply appended to the appropriate buffer. At the
+//! superstep boundary the process posts a send of every output buffer and a
+//! receive from every peer — the BSP synchronization is *implicit* in this
+//! all-to-all exchange: a process cannot leave the boundary before every
+//! peer has reached it (each peer's buffer for this superstep, possibly
+//! empty, must arrive). Channels stand in for MPI `Isend`/`Irecv` pairs.
+
+use super::super::context::ProcTransport;
+use super::super::packet::Packet;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Per-process endpoint of the message-passing transport.
+pub(crate) struct MsgPassProc {
+    pid: usize,
+    nprocs: usize,
+    /// Per-destination output buffers.
+    out: Vec<Vec<Packet>>,
+    /// `senders[dest]` carries this process's superstep batches to `dest`.
+    senders: Vec<Option<Sender<Vec<Packet>>>>,
+    /// `receivers[src]` yields `src`'s superstep batches for this process.
+    receivers: Vec<Option<Receiver<Vec<Packet>>>>,
+}
+
+impl MsgPassProc {
+    /// Create the full set of `nprocs` endpoints with a channel per ordered
+    /// pair of distinct processes.
+    pub(crate) fn create_all(nprocs: usize) -> Vec<MsgPassProc> {
+        // channel[src][dest]
+        let mut tx: Vec<Vec<Option<Sender<Vec<Packet>>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        let mut rx: Vec<Vec<Option<Receiver<Vec<Packet>>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        for src in 0..nprocs {
+            for dest in 0..nprocs {
+                if src != dest {
+                    let (s, r) = unbounded();
+                    tx[src][dest] = Some(s);
+                    rx[src][dest] = Some(r);
+                }
+            }
+        }
+        // Endpoint for `pid` owns senders[dest] = tx[pid][dest] and
+        // receivers[src] = rx[src][pid].
+        let mut procs = Vec::with_capacity(nprocs);
+        for pid in 0..nprocs {
+            let senders = std::mem::take(&mut tx[pid]);
+            let receivers = (0..nprocs).map(|src| rx[src][pid].take()).collect();
+            procs.push(MsgPassProc {
+                pid,
+                nprocs,
+                out: vec![Vec::new(); nprocs],
+                senders,
+                receivers,
+            });
+        }
+        procs
+    }
+}
+
+impl ProcTransport for MsgPassProc {
+    fn send(&mut self, dest: usize, pkt: Packet) {
+        self.out[dest].push(pkt);
+    }
+
+    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>) {
+        // Post all sends (a batch is sent even when empty: that emptiness is
+        // what synchronizes the boundary, mirroring the 2p Isend/Irecv waits).
+        for dest in 0..self.nprocs {
+            if dest == self.pid {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.out[dest]);
+            self.senders[dest]
+                .as_ref()
+                .expect("peer channel")
+                .send(batch)
+                .expect("peer process hung up mid-superstep");
+        }
+        // Self-delivery.
+        inbox.append(&mut self.out[self.pid]);
+        // Wait for one batch from every peer, in pid order (deterministic
+        // inbox layout; the BSP contract lets packets arrive in any order).
+        for src in 0..self.nprocs {
+            if src == self.pid {
+                continue;
+            }
+            let batch = self.receivers[src]
+                .as_ref()
+                .expect("peer channel")
+                .recv()
+                .expect("peer process hung up mid-superstep");
+            inbox.extend(batch);
+        }
+    }
+
+    fn finish(&mut self) {}
+}

@@ -1,0 +1,111 @@
+//! Machine emulation: shared-memory execution plus injected superstep
+//! delays `g·h_i + L` modelling a target platform's communication and
+//! synchronization cost.
+//!
+//! This is the stand-in for the paper's physical testbeds (DESIGN.md §2):
+//! the program's local computation, message counts, and superstep structure
+//! are real; only the per-superstep communication time is replaced by the
+//! BSP cost model's own term, using the `g` and `L` the paper measured for
+//! the machine being emulated. The current h-relation size `h_i` is computed
+//! on line with a shared fetch-max cell, so irregular programs are charged
+//! their true per-superstep `h_i`, not an average.
+
+use super::super::barrier::Barrier;
+use super::super::context::ProcTransport;
+use super::super::packet::Packet;
+use super::shared::{SharedProc, SharedState};
+use super::NetSimParams;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub(crate) struct NetSimState {
+    /// Per-parity fetch-max cells holding the superstep's largest
+    /// max(sent, recv) over all processes.
+    slots: [AtomicU64; 2],
+    /// Second barrier separating the h read from the cell reset.
+    barrier2: Box<dyn Barrier>,
+}
+
+impl NetSimState {
+    pub(crate) fn new(barrier2: Box<dyn Barrier>) -> Arc<Self> {
+        Arc::new(NetSimState {
+            slots: [AtomicU64::new(0), AtomicU64::new(0)],
+            barrier2,
+        })
+    }
+}
+
+/// Per-process endpoint: a [`SharedProc`] plus delay injection.
+pub(crate) struct NetSimProc {
+    inner: SharedProc,
+    st: Arc<NetSimState>,
+    params: NetSimParams,
+    sent_this_step: u64,
+}
+
+impl NetSimProc {
+    pub(crate) fn new(
+        shared: Arc<SharedState>,
+        st: Arc<NetSimState>,
+        pid: usize,
+        chunk: usize,
+        params: NetSimParams,
+    ) -> Self {
+        NetSimProc {
+            inner: SharedProc::new(shared, pid, chunk),
+            st,
+            params,
+            sent_this_step: 0,
+        }
+    }
+}
+
+/// Sleep for `us` microseconds with sub-millisecond fidelity: OS sleep for
+/// the bulk, then a short spin for the remainder.
+fn precise_delay(us: f64) {
+    if us <= 0.0 {
+        return;
+    }
+    let target = Duration::from_secs_f64(us * 1e-6);
+    let start = Instant::now();
+    if target > Duration::from_millis(2) {
+        std::thread::sleep(target - Duration::from_millis(1));
+    }
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+impl ProcTransport for NetSimProc {
+    fn send(&mut self, dest: usize, pkt: Packet) {
+        self.sent_this_step += 1;
+        self.inner.send(dest, pkt);
+    }
+
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
+        let par = step & 1;
+        let pid = self.inner.pid;
+        // Record how many packets this process received by measuring the
+        // inbox growth across the inner exchange.
+        let before = inbox.len();
+        // Contribute our send count before the inner barrier...
+        self.st.slots[par].fetch_max(self.sent_this_step, Ordering::AcqRel);
+        self.sent_this_step = 0;
+        self.inner.exchange(step, inbox);
+        // ...and our receive count before the second barrier. (recv counts
+        // are only known after delivery, so h is finalized here.)
+        let recvd = (inbox.len() - before) as u64;
+        self.st.slots[par].fetch_max(recvd, Ordering::AcqRel);
+        self.st.barrier2.wait(pid);
+        let h = self.st.slots[par].load(Ordering::Acquire);
+        self.st.barrier2.wait(pid);
+        if pid == 0 {
+            self.st.slots[par].store(0, Ordering::Release);
+        }
+        let delay_us = self.params.time_scale * (self.params.g_us * h as f64 + self.params.l_us);
+        precise_delay(delay_us);
+    }
+
+    fn finish(&mut self) {}
+}

@@ -1,0 +1,125 @@
+//! Single-processor simulation of a BSP program (paper §3, "the work depth
+//! and the total work of the parallel programs were computed by simulating
+//! the parallel computation on a single processor").
+//!
+//! The logical processes run one at a time, in pid order within each
+//! superstep, under a baton passed through a mutex/condvar. Because exactly
+//! one process computes at any moment, the per-superstep compute times are
+//! clean measurements of local computation — no cache interference, no
+//! scheduler preemption from sibling BSP processes — which is what the
+//! paper's `W` (work depth) and total-work columns report.
+//!
+//! Message delivery reuses the double-buffered phase discipline of the
+//! shared-memory backend: a process finishing superstep `s` deposits its
+//! packets in phase `(s+1) mod 2` and, when the baton comes back around, it
+//! drains that phase. The baton order guarantees every process finished
+//! superstep `s` before any process starts `s + 1`.
+
+use super::super::context::ProcTransport;
+use super::super::packet::Packet;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+pub(crate) struct SeqState {
+    /// `bufs[dest][phase]` — no locking needed beyond the baton, but Mutex
+    /// keeps the code uniform and the cost is one uncontended lock.
+    bufs: Vec<[Mutex<Vec<Packet>>; 2]>,
+    baton: Mutex<BatonState>,
+    cv: Condvar,
+}
+
+struct BatonState {
+    current: usize,
+    done: Vec<bool>,
+}
+
+impl SeqState {
+    pub(crate) fn new(nprocs: usize) -> Arc<Self> {
+        Arc::new(SeqState {
+            bufs: (0..nprocs)
+                .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+                .collect(),
+            baton: Mutex::new(BatonState {
+                current: 0,
+                done: vec![false; nprocs],
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wait_for_baton(&self, pid: usize) {
+        let mut b = self.baton.lock();
+        while b.current != pid {
+            self.cv.wait(&mut b);
+        }
+    }
+
+    /// Hand the baton to the next not-yet-finished process after `pid`
+    /// (cyclically). If every process is done, the baton stops moving.
+    fn pass_baton(&self, pid: usize) {
+        let mut b = self.baton.lock();
+        debug_assert_eq!(b.current, pid);
+        let p = b.done.len();
+        for off in 1..=p {
+            let next = (pid + off) % p;
+            if !b.done[next] {
+                b.current = next;
+                drop(b);
+                self.cv.notify_all();
+                return;
+            }
+        }
+        // Everyone done; leave the baton parked.
+    }
+}
+
+/// Per-process endpoint of the sequential simulator.
+pub(crate) struct SeqProc {
+    st: Arc<SeqState>,
+    pid: usize,
+    out: Vec<Vec<Packet>>,
+}
+
+impl SeqProc {
+    pub(crate) fn create_all(nprocs: usize) -> Vec<SeqProc> {
+        let st = SeqState::new(nprocs);
+        (0..nprocs)
+            .map(|pid| SeqProc {
+                st: Arc::clone(&st),
+                pid,
+                out: vec![Vec::new(); nprocs],
+            })
+            .collect()
+    }
+}
+
+impl ProcTransport for SeqProc {
+    fn on_start(&mut self) {
+        // Block until it is this process's turn; the compute clock opens
+        // after this returns, so waiting costs no measured work.
+        self.st.wait_for_baton(self.pid);
+    }
+
+    fn send(&mut self, dest: usize, pkt: Packet) {
+        self.out[dest].push(pkt);
+    }
+
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
+        let phase = (step + 1) & 1;
+        for (dest, batch) in self.out.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                self.st.bufs[dest][phase].lock().append(batch);
+            }
+        }
+        self.st.pass_baton(self.pid);
+        self.st.wait_for_baton(self.pid);
+        inbox.append(&mut self.st.bufs[self.pid][phase].lock());
+    }
+
+    fn finish(&mut self) {
+        let mut b = self.st.baton.lock();
+        b.done[self.pid] = true;
+        drop(b);
+        self.st.pass_baton(self.pid);
+    }
+}

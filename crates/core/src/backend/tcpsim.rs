@@ -1,0 +1,220 @@
+//! Staged total-exchange library version (paper Appendix B.3, the TCP
+//! version used on the PC LAN).
+//!
+//! Blocking TCP can deadlock if two processes both push large transfers at
+//! an unscheduled moment, so the paper's library makes the processes "pair
+//! off and talk according to a precomputed p−1 stage total-exchange
+//! pattern". We reproduce that discipline: a round-robin tournament schedule
+//! (the classic circle method) in which every round is a perfect matching,
+//! and within a pair the lower-numbered process transmits first. With an odd
+//! number of processes, one process sits out ("bye") each round.
+
+// Index-based loops below mirror the papers' formulas (loop variables
+// participate in index arithmetic); clippy's iterator suggestions obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use super::super::context::ProcTransport;
+use super::super::packet::Packet;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// Precomputed pairing schedule: `schedule[round][pid]` is `pid`'s partner in
+/// that round (equal to `pid` itself for a bye).
+pub(crate) struct Schedule {
+    pub(crate) rounds: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Round-robin tournament over `p` players: `p − 1` rounds when `p` is
+    /// even, `p` rounds when odd (a dummy player creates the byes).
+    pub(crate) fn round_robin(p: usize) -> Schedule {
+        if p <= 1 {
+            return Schedule { rounds: Vec::new() };
+        }
+        let n = if p.is_multiple_of(2) { p } else { p + 1 }; // even player count, last may be dummy
+        let m = n - 1; // modulus for the polygon method
+        let mut rounds = Vec::with_capacity(m);
+        for r in 0..m {
+            let mut partner: Vec<usize> = (0..p).collect(); // default: bye
+                                                            // Player `n−1` (possibly the dummy) meets i* with 2·i* ≡ r (mod m).
+            let istar = (r * (n / 2)) % m;
+            if n - 1 < p {
+                partner[n - 1] = istar;
+                partner[istar] = n - 1;
+            }
+            // All other pairs: i + j ≡ r (mod m), i ≠ j.
+            for i in 0..m {
+                if i == istar {
+                    continue; // paired with n−1 (or on bye if n−1 is the dummy)
+                }
+                let j = (r + m - i % m) % m;
+                if j != i && j < p && i < p {
+                    partner[i] = j;
+                }
+            }
+            rounds.push(partner);
+        }
+        Schedule { rounds }
+    }
+}
+
+/// Per-process endpoint of the staged total-exchange transport.
+pub(crate) struct TcpSimProc {
+    pid: usize,
+    out: Vec<Vec<Packet>>,
+    schedule: Arc<Schedule>,
+    /// `senders[dest]` / `receivers[src]`: one bounded pipe per ordered pair,
+    /// standing in for the TCP connection.
+    senders: Vec<Option<Sender<Vec<Packet>>>>,
+    receivers: Vec<Option<Receiver<Vec<Packet>>>>,
+}
+
+impl TcpSimProc {
+    /// Create the `nprocs` endpoints with a bounded (capacity-1) pipe per
+    /// ordered pair — a sender that races ahead blocks, like a TCP socket
+    /// with a full window.
+    pub(crate) fn create_all(nprocs: usize) -> Vec<TcpSimProc> {
+        let schedule = Arc::new(Schedule::round_robin(nprocs));
+        let mut tx: Vec<Vec<Option<Sender<Vec<Packet>>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        let mut rx: Vec<Vec<Option<Receiver<Vec<Packet>>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        for src in 0..nprocs {
+            for dest in 0..nprocs {
+                if src != dest {
+                    let (s, r) = bounded(1);
+                    tx[src][dest] = Some(s);
+                    rx[src][dest] = Some(r);
+                }
+            }
+        }
+        (0..nprocs)
+            .map(|pid| TcpSimProc {
+                pid,
+                out: vec![Vec::new(); nprocs],
+                schedule: Arc::clone(&schedule),
+                senders: std::mem::take(&mut tx[pid]),
+                receivers: (0..nprocs).map(|src| rx[src][pid].take()).collect(),
+            })
+            .collect()
+    }
+}
+
+impl ProcTransport for TcpSimProc {
+    fn send(&mut self, dest: usize, pkt: Packet) {
+        self.out[dest].push(pkt);
+    }
+
+    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>) {
+        // Self-delivery first.
+        inbox.append(&mut self.out[self.pid]);
+        // Staged conversation: in each round talk to exactly one partner.
+        // Lower pid transmits first; the partner reads the pipe before
+        // replying — the scheduling that avoids blocking-TCP deadlock.
+        for round in &self.schedule.rounds {
+            let partner = round[self.pid];
+            if partner == self.pid {
+                continue; // bye
+            }
+            let batch = std::mem::take(&mut self.out[partner]);
+            if self.pid < partner {
+                self.senders[partner]
+                    .as_ref()
+                    .unwrap()
+                    .send(batch)
+                    .expect("partner hung up");
+                let got = self.receivers[partner]
+                    .as_ref()
+                    .unwrap()
+                    .recv()
+                    .expect("partner hung up");
+                inbox.extend(got);
+            } else {
+                let got = self.receivers[partner]
+                    .as_ref()
+                    .unwrap()
+                    .recv()
+                    .expect("partner hung up");
+                inbox.extend(got);
+                self.senders[partner]
+                    .as_ref()
+                    .unwrap()
+                    .send(batch)
+                    .expect("partner hung up");
+            }
+        }
+    }
+
+    fn finish(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_perfect_matching_even() {
+        for p in [2usize, 4, 8, 16] {
+            let s = Schedule::round_robin(p);
+            assert_eq!(s.rounds.len(), p - 1);
+            for round in &s.rounds {
+                for i in 0..p {
+                    let j = round[i];
+                    assert_ne!(j, i, "even p must have no byes");
+                    assert_eq!(round[j], i, "matching must be symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_odd_has_one_bye_per_round() {
+        for p in [3usize, 5, 7, 9] {
+            let s = Schedule::round_robin(p);
+            assert_eq!(s.rounds.len(), p);
+            for round in &s.rounds {
+                let byes = (0..p).filter(|&i| round[i] == i).count();
+                assert_eq!(byes, 1, "odd p: exactly one bye per round");
+                for i in 0..p {
+                    let j = round[i];
+                    assert_eq!(round[j], i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_pair_meets_exactly_once() {
+        for p in [2usize, 5, 8, 9, 16] {
+            let s = Schedule::round_robin(p);
+            let mut met = vec![vec![0u32; p]; p];
+            for round in &s.rounds {
+                for i in 0..p {
+                    let j = round[i];
+                    if j != i {
+                        met[i][j] += 1;
+                    }
+                }
+            }
+            for i in 0..p {
+                for j in 0..p {
+                    if i != j {
+                        assert_eq!(
+                            met[i][j], 1,
+                            "p={}: pair ({},{}) met {} times",
+                            p, i, j, met[i][j]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p1_schedule_is_empty() {
+        assert!(Schedule::round_robin(1).rounds.is_empty());
+        assert!(Schedule::round_robin(0).rounds.is_empty());
+    }
+}

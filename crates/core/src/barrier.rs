@@ -1,0 +1,369 @@
+//! Barrier synchronization primitives for superstep boundaries.
+//!
+//! The paper's shared-memory library synchronizes with `p` shared counters:
+//! each processor increments its own, processor 0 spins on counters `1..p`,
+//! and processors `1..p` spin on counter 0 (Appendix B.1). That scheme is
+//! [`FlagBarrier`]. A blocking condvar-based [`CentralBarrier`] is the
+//! default (robust when logical processes outnumber cores), and a
+//! [`TreeBarrier`] and [`DisseminationBarrier`] are provided for the barrier
+//! ablation bench.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of busy spins before a spinning barrier starts yielding the CPU.
+/// Logical BSP processes routinely outnumber cores (the paper oversubscribes
+/// nothing, but our harness runs 16 procs on small hosts), so unbounded
+/// spinning would livelock the scheduler.
+const SPIN_LIMIT: u32 = 128;
+
+#[inline]
+fn spin_wait(spins: &mut u32) {
+    if *spins < SPIN_LIMIT {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A reusable barrier for a fixed set of `p` participants.
+pub trait Barrier: Send + Sync {
+    /// Block until all `p` participants have called `wait` for the current
+    /// generation. `pid` identifies the caller in `0..p`.
+    fn wait(&self, pid: usize);
+    /// Number of participants.
+    fn parties(&self) -> usize;
+}
+
+/// Which barrier implementation a backend should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// Mutex + condvar, sense-reversing. Default; friendly to oversubscription.
+    #[default]
+    Central,
+    /// The paper's flag scheme: `p` shared counters, proc 0 as coordinator.
+    Flag,
+    /// Binary combining tree of atomic counters.
+    Tree,
+    /// Dissemination barrier: ⌈log₂ p⌉ rounds of pairwise flags.
+    Dissemination,
+}
+
+impl BarrierKind {
+    /// Construct a barrier of this kind for `p` participants.
+    pub fn build(self, p: usize) -> Box<dyn Barrier> {
+        match self {
+            BarrierKind::Central => Box::new(CentralBarrier::new(p)),
+            BarrierKind::Flag => Box::new(FlagBarrier::new(p)),
+            BarrierKind::Tree => Box::new(TreeBarrier::new(p)),
+            BarrierKind::Dissemination => Box::new(DisseminationBarrier::new(p)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Sense-reversing central barrier built on a mutex and condvar.
+pub struct CentralBarrier {
+    parties: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl CentralBarrier {
+    /// Barrier for `p` participants.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        CentralBarrier {
+            parties: p,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl Barrier for CentralBarrier {
+    fn wait(&self, _pid: usize) {
+        let mut st = self.state.lock();
+        st.0 += 1;
+        if st.0 == self.parties {
+            st.0 = 0;
+            st.1 = st.1.wrapping_add(1);
+            self.cv.notify_all();
+        } else {
+            let gen = st.1;
+            while st.1 == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.parties
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Cache-line padded atomic counter.
+#[repr(align(64))]
+struct PaddedAtomic(AtomicU64);
+
+/// The paper's shared-memory barrier (Appendix B.1): each processor
+/// increments its own flag; processor 0 spins on flags `1..p-1`, processors
+/// `1..p-1` spin on flag 0. Generations are encoded as monotone counters so
+/// the barrier is reusable without re-initialization.
+pub struct FlagBarrier {
+    flags: Vec<PaddedAtomic>,
+}
+
+impl FlagBarrier {
+    /// Barrier for `p` participants.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        FlagBarrier {
+            flags: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+        }
+    }
+}
+
+impl Barrier for FlagBarrier {
+    fn wait(&self, pid: usize) {
+        let p = self.flags.len();
+        if p == 1 {
+            return;
+        }
+        if pid == 0 {
+            // Announce arrival and the generation we are completing.
+            let gen = self.flags[0].0.load(Ordering::Relaxed) + 1;
+            // Wait for everyone else to arrive at this generation.
+            for f in &self.flags[1..] {
+                let mut spins = 0;
+                while f.0.load(Ordering::Acquire) < gen {
+                    spin_wait(&mut spins);
+                }
+            }
+            // Release: everyone spins on flag 0.
+            self.flags[0].0.store(gen, Ordering::Release);
+        } else {
+            let gen = self.flags[pid].0.load(Ordering::Relaxed) + 1;
+            self.flags[pid].0.store(gen, Ordering::Release);
+            let mut spins = 0;
+            while self.flags[0].0.load(Ordering::Acquire) < gen {
+                spin_wait(&mut spins);
+            }
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.flags.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Binary combining-tree barrier. Each internal node waits for its two
+/// children, then signals its parent; the root broadcasts the release by
+/// bumping a generation counter everyone spins on.
+pub struct TreeBarrier {
+    parties: usize,
+    arrive: Vec<PaddedAtomic>, // per-node arrival counts (children + self)
+    release: PaddedAtomic,     // generation counter
+    gen: Vec<PaddedAtomic>,    // per-proc local generation (avoids &mut self)
+}
+
+impl TreeBarrier {
+    /// Barrier for `p` participants.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        TreeBarrier {
+            parties: p,
+            arrive: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+            release: PaddedAtomic(AtomicU64::new(0)),
+            gen: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    fn children(&self, pid: usize) -> (Option<usize>, Option<usize>) {
+        let l = 2 * pid + 1;
+        let r = 2 * pid + 2;
+        (
+            (l < self.parties).then_some(l),
+            (r < self.parties).then_some(r),
+        )
+    }
+}
+
+impl Barrier for TreeBarrier {
+    fn wait(&self, pid: usize) {
+        let my_gen = self.gen[pid].0.load(Ordering::Relaxed) + 1;
+        self.gen[pid].0.store(my_gen, Ordering::Relaxed);
+        // Wait for children's subtree arrivals.
+        let (l, r) = self.children(pid);
+        for c in [l, r].into_iter().flatten() {
+            let mut spins = 0;
+            while self.arrive[c].0.load(Ordering::Acquire) < my_gen {
+                spin_wait(&mut spins);
+            }
+        }
+        if pid == 0 {
+            // Root: release everyone.
+            self.release.0.store(my_gen, Ordering::Release);
+        } else {
+            // Signal parent, then wait for root's release.
+            self.arrive[pid].0.store(my_gen, Ordering::Release);
+            let mut spins = 0;
+            while self.release.0.load(Ordering::Acquire) < my_gen {
+                spin_wait(&mut spins);
+            }
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.parties
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Dissemination barrier: in round `k`, proc `i` signals proc
+/// `(i + 2^k) mod p` and waits for a signal from `(i - 2^k) mod p`.
+/// ⌈log₂ p⌉ rounds; no central hot spot.
+pub struct DisseminationBarrier {
+    parties: usize,
+    rounds: usize,
+    /// flags[round][pid]: monotone generation counters.
+    flags: Vec<Vec<PaddedAtomic>>,
+    gen: Vec<PaddedAtomic>,
+}
+
+impl DisseminationBarrier {
+    /// Barrier for `p` participants.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize; // ceil(log2 p), 0 for p=1
+        DisseminationBarrier {
+            parties: p,
+            rounds,
+            flags: (0..rounds)
+                .map(|_| (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect())
+                .collect(),
+            gen: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+        }
+    }
+}
+
+impl Barrier for DisseminationBarrier {
+    fn wait(&self, pid: usize) {
+        let p = self.parties;
+        if p == 1 {
+            return;
+        }
+        let my_gen = self.gen[pid].0.load(Ordering::Relaxed) + 1;
+        self.gen[pid].0.store(my_gen, Ordering::Relaxed);
+        for k in 0..self.rounds {
+            let dist = 1usize << k;
+            let to = (pid + dist) % p;
+            self.flags[k][to].0.store(my_gen, Ordering::Release);
+            let mut spins = 0;
+            while self.flags[k][pid].0.load(Ordering::Acquire) < my_gen {
+                spin_wait(&mut spins);
+            }
+        }
+    }
+
+    fn parties(&self) -> usize {
+        self.parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Hammer a barrier with p threads for many generations, checking that no
+    /// thread ever observes another thread more than one generation ahead or
+    /// behind at a barrier crossing.
+    fn stress(barrier: Arc<dyn Barrier>, p: usize, gens: usize) {
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..p).map(|_| AtomicUsize::new(0)).collect());
+        std::thread::scope(|s| {
+            for pid in 0..p {
+                let b = Arc::clone(&barrier);
+                let c = Arc::clone(&counters);
+                s.spawn(move || {
+                    for g in 0..gens {
+                        c[pid].store(g, Ordering::SeqCst);
+                        b.wait(pid);
+                        // After the barrier, every thread must have reached
+                        // generation >= g (it may already be at g+1).
+                        for other in c.iter() {
+                            let o = other.load(Ordering::SeqCst);
+                            assert!(o == g || o == g + 1, "gen skew: {} vs {}", o, g);
+                        }
+                        b.wait(pid);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn central_barrier_stress() {
+        for p in [1, 2, 3, 7, 16] {
+            stress(Arc::new(CentralBarrier::new(p)), p, 50);
+        }
+    }
+
+    #[test]
+    fn flag_barrier_stress() {
+        for p in [1, 2, 5, 8] {
+            stress(Arc::new(FlagBarrier::new(p)), p, 50);
+        }
+    }
+
+    #[test]
+    fn tree_barrier_stress() {
+        for p in [1, 2, 6, 9] {
+            stress(Arc::new(TreeBarrier::new(p)), p, 50);
+        }
+    }
+
+    #[test]
+    fn dissemination_barrier_stress() {
+        for p in [1, 2, 4, 7] {
+            stress(Arc::new(DisseminationBarrier::new(p)), p, 50);
+        }
+    }
+
+    #[test]
+    fn kinds_build() {
+        for kind in [
+            BarrierKind::Central,
+            BarrierKind::Flag,
+            BarrierKind::Tree,
+            BarrierKind::Dissemination,
+        ] {
+            let b = kind.build(4);
+            assert_eq!(b.parties(), 4);
+        }
+    }
+
+    #[test]
+    fn single_party_never_blocks() {
+        for kind in [
+            BarrierKind::Central,
+            BarrierKind::Flag,
+            BarrierKind::Tree,
+            BarrierKind::Dissemination,
+        ] {
+            let b = kind.build(1);
+            for _ in 0..10 {
+                b.wait(0);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The per-process BSP context: the Rust face of the Green BSP API.
+//!
+//! The paper's library is three functions — `bspSendPkt`, `bspGetPkt`,
+//! `bspSynch` — plus auxiliaries for the process id and the number of
+//! unreceived packets. [`Ctx`] carries exactly that interface, and records
+//! the per-superstep statistics (`sent`, `received`, local compute time,
+//! charged work units) from which the cost-model quantities `W`, `H`, `S`
+//! are derived.
+
+use crate::packet::Packet;
+use crate::stats::LocalStep;
+use std::time::Instant;
+
+/// Backend-specific per-process transport. Implementations deliver packets
+/// sent in superstep `s` at the beginning of superstep `s + 1`.
+pub(crate) trait ProcTransport: Send {
+    /// Called once before the user function runs (e.g. the sequential
+    /// simulator blocks here until it is this process's turn).
+    fn on_start(&mut self) {}
+
+    /// Queue `pkt` for delivery to `dest` at the start of the next superstep.
+    fn send(&mut self, dest: usize, pkt: Packet);
+
+    /// Complete superstep `step` (0-based): flush queued packets, perform the
+    /// global synchronization, and append the packets addressed to this
+    /// process during `step` to `inbox`.
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>);
+
+    /// The user function returned. Transports that serialize execution use
+    /// this to hand control onward; barrier-based transports rely on the
+    /// superstep-alignment contract instead.
+    fn finish(&mut self);
+}
+
+/// The BSP process context handed to the user function by [`crate::run`].
+///
+/// # Superstep contract
+///
+/// Every process must call [`Ctx::sync`] the same number of times. A packet
+/// sent in superstep `s` can be read with [`Ctx::get_pkt`] during superstep
+/// `s + 1` only; packets left unread when the next `sync` happens are
+/// discarded, exactly as in the paper's library.
+pub struct Ctx {
+    pid: usize,
+    nprocs: usize,
+    pub(crate) transport: Box<dyn ProcTransport>,
+    inbox: Vec<Packet>,
+    inbox_pos: usize,
+    step: usize,
+    sent_this_step: u64,
+    work_units: u64,
+    step_start: Instant,
+    pub(crate) log: Vec<LocalStep>,
+    next_msg_id: u16,
+}
+
+impl Ctx {
+    pub(crate) fn new(pid: usize, nprocs: usize, transport: Box<dyn ProcTransport>) -> Self {
+        Ctx {
+            pid,
+            nprocs,
+            transport,
+            inbox: Vec::new(),
+            inbox_pos: 0,
+            step: 0,
+            sent_this_step: 0,
+            work_units: 0,
+            step_start: Instant::now(),
+            log: Vec::new(),
+            next_msg_id: 0,
+        }
+    }
+
+    /// Run the transport's start hook and open superstep 0's clock.
+    pub(crate) fn begin(&mut self) {
+        self.transport.on_start();
+        self.step_start = Instant::now();
+    }
+
+    /// Close the final (partial) superstep. The paper counts this superstep
+    /// in `S` (e.g. the 1-processor matrix multiplication has `S = 1` with no
+    /// synchronizations at all).
+    pub(crate) fn finalize(&mut self) {
+        let compute = self.step_start.elapsed();
+        debug_assert_eq!(
+            self.sent_this_step, 0,
+            "proc {} sent {} packets after its last sync; they will never be delivered",
+            self.pid, self.sent_this_step
+        );
+        self.log.push(LocalStep {
+            sent: self.sent_this_step,
+            recv: 0,
+            compute,
+            work_units: self.work_units,
+        });
+        self.transport.finish();
+    }
+
+    /// This process's id in `0..nprocs` (the paper's `bspMyProc`).
+    #[inline]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Number of BSP processes (the paper's `bspNumProcs`).
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Index of the current superstep, starting at 0.
+    #[inline]
+    pub fn superstep(&self) -> usize {
+        self.step
+    }
+
+    /// Send a packet to process `dest`; it becomes readable there in the next
+    /// superstep (the paper's `bspSendPkt`). Sending to `self` is allowed.
+    #[inline]
+    pub fn send_pkt(&mut self, dest: usize, pkt: Packet) {
+        debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        self.sent_this_step += 1;
+        self.transport.send(dest, pkt);
+    }
+
+    /// Get the next packet sent to this process in the previous superstep, in
+    /// arbitrary order; `None` when there are no further packets (the paper's
+    /// `bspGetPkt`).
+    #[inline]
+    pub fn get_pkt(&mut self) -> Option<Packet> {
+        if self.inbox_pos < self.inbox.len() {
+            let p = self.inbox[self.inbox_pos];
+            self.inbox_pos += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// Number of packets delivered this superstep and not yet read (the
+    /// paper's auxiliary "number of unreceived packets").
+    #[inline]
+    pub fn pkts_remaining(&self) -> usize {
+        self.inbox.len() - self.inbox_pos
+    }
+
+    /// Barrier-synchronize all processes and deliver the packets sent during
+    /// the superstep that just ended (the paper's `bspSynch`). Unread packets
+    /// from the previous superstep are discarded.
+    pub fn sync(&mut self) {
+        let compute = self.step_start.elapsed();
+        let sent = self.sent_this_step;
+        self.inbox.clear();
+        self.inbox_pos = 0;
+        self.transport.exchange(self.step, &mut self.inbox);
+        self.log.push(LocalStep {
+            sent,
+            recv: self.inbox.len() as u64,
+            compute,
+            work_units: self.work_units,
+        });
+        self.step += 1;
+        self.sent_this_step = 0;
+        self.work_units = 0;
+        // The clock reopens after the exchange, so barrier wait and routing
+        // time are excluded from the work depth, as in the paper (BSP models
+        // only communication and synchronization; W is local computation).
+        self.step_start = Instant::now();
+    }
+
+    /// Charge `units` of abstract local work to the current superstep.
+    /// Deterministic alternative to the wall-clock work measurement; used by
+    /// tests and available to the cost model.
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        self.work_units += units;
+    }
+
+    /// Fresh message id for the variable-length message layer.
+    pub(crate) fn alloc_msg_id(&mut self) -> u16 {
+        let id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        id
+    }
+}

@@ -1,0 +1,176 @@
+//! The BSP cost function `T = W + gH + LS` (Equation (1) of the paper).
+//!
+//! The paper uses the cost function to *predict* program running times on
+//! each platform from the algorithmic quantities `W` (work depth), `H`
+//! (summed h-relation sizes) and `S` (supersteps), together with the
+//! machine's `g` and `L`. This module evaluates that prediction and breaks it
+//! into the paper's components (computation, bandwidth cost, latency cost).
+
+use crate::machine::Machine;
+use crate::stats::RunStats;
+
+/// A cost prediction, broken into the components the paper reports.
+/// All values are in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// `W`: the work-depth component.
+    pub work: f64,
+    /// `gH`: the bandwidth component.
+    pub bandwidth: f64,
+    /// `LS`: the latency / synchronization component.
+    pub latency: f64,
+}
+
+impl Prediction {
+    /// `W + gH + LS`: the predicted execution time.
+    pub fn total(&self) -> f64 {
+        self.work + self.bandwidth + self.latency
+    }
+
+    /// `gH + LS`: predicted communication time including synchronization —
+    /// the "predicted communication times" series of Figure 1.1.
+    pub fn comm(&self) -> f64 {
+        self.bandwidth + self.latency
+    }
+
+    /// Fraction of the predicted time spent in communication/synchronization.
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.comm() / t
+        }
+    }
+}
+
+/// Predict the execution time of a program with work depth `w_secs` seconds,
+/// `h_total` packets of summed h-relations, and `s` supersteps, on `machine`
+/// with `nprocs` processors.
+pub fn predict(machine: &Machine, nprocs: usize, w_secs: f64, h_total: u64, s: u64) -> Prediction {
+    let (g_us, l_us) = machine.g_l(nprocs);
+    Prediction {
+        work: w_secs,
+        bandwidth: g_us * 1e-6 * h_total as f64,
+        latency: l_us * 1e-6 * s as f64,
+    }
+}
+
+/// Predict directly from measured [`RunStats`], scaling the measured work
+/// depth by `compute_scale` (the target machine's per-operation slowdown or
+/// speedup relative to the machine the work was measured on).
+pub fn predict_from_stats(machine: &Machine, stats: &RunStats, compute_scale: f64) -> Prediction {
+    predict(
+        machine,
+        stats.nprocs,
+        stats.w_total().as_secs_f64() * compute_scale,
+        stats.h_total(),
+        stats.s(),
+    )
+}
+
+/// The three objectives of efficient BSP programming (§1 of the paper): to
+/// minimize predicted time one minimizes work depth, h-relations, and
+/// supersteps. Given two candidate `(W, H, S)` triples this returns which one
+/// the cost model prefers on `machine` at `nprocs` — the decision procedure a
+/// BSP programmer uses to select trade-offs from `g` and `L`.
+pub fn prefer(
+    machine: &Machine,
+    nprocs: usize,
+    a: (f64, u64, u64),
+    b: (f64, u64, u64),
+) -> std::cmp::Ordering {
+    let ta = predict(machine, nprocs, a.0, a.1, a.2).total();
+    let tb = predict(machine, nprocs, b.0, b.1, b.2).total();
+    ta.partial_cmp(&tb).unwrap()
+}
+
+/// Find the processor count in `1..=max` minimizing the predicted time, given
+/// a scaling model for how `(W, H, S)` vary with `p` (closure returns the
+/// triple for each `p`). This reproduces the paper's "breakpoint" analyses:
+/// e.g. that Ocean size 130 gains little from 4 PCs over 2 and degrades at 8.
+pub fn best_procs<F>(machine: &Machine, max: usize, model: F) -> (usize, f64)
+where
+    F: Fn(usize) -> (f64, u64, u64),
+{
+    let mut best = (1, f64::INFINITY);
+    for p in 1..=max.min(machine.max_procs) {
+        let (w, h, s) = model(p);
+        let t = predict(machine, p, w, h, s).total();
+        if t < best.1 {
+            best = (p, t);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{CENJU, PC_LAN, SGI};
+
+    #[test]
+    fn components_add_up() {
+        let p = predict(&SGI, 16, 2.0, 70_000, 312);
+        assert!((p.total() - (p.work + p.bandwidth + p.latency)).abs() < 1e-12);
+        // gH = 0.95µs * 70000 = 66.5ms; LS = 105µs * 312 = 32.76ms
+        assert!((p.bandwidth - 0.0665).abs() < 1e-6);
+        assert!((p.latency - 0.03276).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_fig32_ocean_prediction_matches() {
+        // Figure 3.2: ocean 514 on 16-proc SGI: W=2.38, H=69946, S=312,
+        // predicted 2.48.
+        let p = predict(&SGI, 16, 2.38, 69_946, 312);
+        assert!(
+            (p.total() - 2.48).abs() < 0.02,
+            "predicted {} vs paper 2.48",
+            p.total()
+        );
+    }
+
+    #[test]
+    fn paper_fig32_mst_prediction_matches() {
+        // mst 40k: W=0.32, H=9562, S=62, predicted 0.34.
+        let p = predict(&SGI, 16, 0.32, 9_562, 62);
+        assert!((p.total() - 0.34).abs() < 0.01, "got {}", p.total());
+    }
+
+    #[test]
+    fn paper_fig32_matmult_prediction_matches() {
+        // matmult 576: W=1.97, H=124416, S=7, predicted 2.09.
+        let p = predict(&SGI, 16, 1.97, 124_416, 7);
+        assert!((p.total() - 2.09).abs() < 0.01, "got {}", p.total());
+    }
+
+    #[test]
+    fn latency_dominates_on_pc_lan_for_many_supersteps() {
+        // A fast computation with many supersteps: LS dwarfs W on the PC LAN
+        // but not on the SGI — the paper's MST/SP observation.
+        let sgi = predict(&SGI, 8, 0.1, 2_000, 100);
+        let pc = predict(&PC_LAN, 8, 0.1, 2_000, 100);
+        assert!(pc.latency > pc.work, "PC latency should dominate");
+        assert!(sgi.latency < sgi.work, "SGI latency should not dominate");
+    }
+
+    #[test]
+    fn best_procs_finds_breakpoint() {
+        // A toy model where W halves with p but S is fixed and large: on the
+        // high-latency PC LAN the optimum is below the maximum p.
+        let model = |p: usize| (2.0 / p as f64, (p as u64) * 1_000, 400u64);
+        let (p_pc, _) = best_procs(&PC_LAN, 8, model);
+        let (p_sgi, _) = best_procs(&SGI, 8, model);
+        assert!(p_pc < 8, "PC LAN should hit a breakpoint before 8 procs");
+        assert_eq!(p_sgi, 8, "SGI should keep improving to 8 procs");
+    }
+
+    #[test]
+    fn prefer_orders_by_cost() {
+        use std::cmp::Ordering;
+        // Fewer supersteps wins on Cenju even at slightly more work.
+        let a = (1.00, 10_000u64, 500u64);
+        let b = (1.05, 10_000u64, 50u64);
+        assert_eq!(prefer(&CENJU, 16, b, a), Ordering::Less);
+    }
+}

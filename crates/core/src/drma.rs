@@ -1,0 +1,362 @@
+//! Direct remote memory access in the style of the Oxford BSP library,
+//! built on the Green BSP primitives.
+//!
+//! §1.3 contrasts the two library designs: Miller's Oxford library lets a
+//! processor "directly access the memory of another processor" (ideal for
+//! static scientific computations and shared-memory hosts), while Green
+//! BSP is message passing (better for the paper's dynamic applications).
+//! This module shows the two styles are interconvertible *within* the
+//! model: registered regions with [`Drma::put`] / [`Drma::get`], emulated
+//! by packets.
+//!
+//! Semantics (BSPlib-like): operations issued in superstep `s` take effect
+//! at the superstep boundary, with all `get`s reading values as of the end
+//! of `s` *before* any `put`s are applied. A full [`Drma::sync`] costs two
+//! underlying supersteps (requests travel, then replies) — the honest
+//! price of fetching through a message-passing substrate; put-only phases
+//! can use the cheaper [`Drma::sync_put`].
+
+use crate::context::Ctx;
+use crate::packet::Packet;
+
+const TAG_SHIFT: u32 = 28;
+const ID_MASK: u32 = (1 << TAG_SHIFT) - 1;
+const T_PUT: u32 = 0;
+const T_GREQ: u32 = 1;
+const T_GREP: u32 = 2;
+
+/// A handle to a pending [`Drma::get`]; redeem after [`Drma::sync`] with
+/// [`Drma::take`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GetHandle(usize);
+
+/// Registered remote-accessible memory: every processor constructs the
+/// same number of regions (the registration contract of the Oxford
+/// library).
+pub struct Drma {
+    regions: Vec<Vec<f64>>,
+    /// Buffered outgoing puts: (dest, region, offset, values).
+    puts: Vec<(usize, u32, u32, Vec<f64>)>,
+    /// Buffered outgoing get requests: (dest, region, offset, len).
+    gets: Vec<(usize, u32, u32, u32)>,
+    /// Fetched values per handle, filled by `sync`.
+    fetched: Vec<Vec<f64>>,
+}
+
+impl Drma {
+    /// Register regions (identical registration order on all processors).
+    pub fn new(regions: Vec<Vec<f64>>) -> Drma {
+        Drma {
+            regions,
+            puts: Vec::new(),
+            gets: Vec::new(),
+            fetched: Vec::new(),
+        }
+    }
+
+    /// Read access to a local region.
+    pub fn region(&self, r: usize) -> &[f64] {
+        &self.regions[r]
+    }
+
+    /// Write access to a local region.
+    pub fn region_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.regions[r]
+    }
+
+    /// Queue a write of `values` into `dest`'s region `r` at `offset`;
+    /// lands at the next [`Drma::sync`] (after all gets of this superstep).
+    pub fn put(&mut self, dest: usize, r: usize, offset: usize, values: &[f64]) {
+        self.puts
+            .push((dest, r as u32, offset as u32, values.to_vec()));
+    }
+
+    /// Queue a read of `len` values from `dest`'s region `r` at `offset`;
+    /// the data is available via [`Drma::take`] after the next
+    /// [`Drma::sync`], reflecting the remote values before that sync's
+    /// puts.
+    pub fn get(&mut self, dest: usize, r: usize, offset: usize, len: usize) -> GetHandle {
+        let h = GetHandle(self.fetched.len() + self.gets.len());
+        self.gets.push((dest, r as u32, offset as u32, len as u32));
+        h
+    }
+
+    /// Redeem a completed get.
+    pub fn take(&mut self, h: GetHandle) -> Vec<f64> {
+        std::mem::take(&mut self.fetched[h.0])
+    }
+
+    fn send_puts(&mut self, ctx: &mut Ctx) {
+        for (dest, r, offset, values) in self.puts.drain(..) {
+            debug_assert!(r <= ID_MASK);
+            for (i, v) in values.into_iter().enumerate() {
+                ctx.send_pkt(
+                    dest,
+                    Packet::tag_u32_f64((T_PUT << TAG_SHIFT) | r, offset + i as u32, v),
+                );
+            }
+        }
+    }
+
+    fn apply_incoming(&mut self, ctx: &mut Ctx, serve: bool) -> Vec<(usize, u32, u32, u32, u32)> {
+        // Collect first: gets must observe pre-put values.
+        let mut put_pkts: Vec<(u32, u32, f64)> = Vec::new();
+        let mut requests: Vec<(usize, u32, u32, u32, u32)> = Vec::new();
+        let mut replies: Vec<(u32, u32, f64)> = Vec::new();
+        while let Some(pkt) = ctx.get_pkt() {
+            let (tk, aux, v) = pkt.as_tag_u32_f64();
+            let tag = tk >> TAG_SHIFT;
+            let id = tk & ID_MASK;
+            match tag {
+                T_PUT => put_pkts.push((id, aux, v)),
+                T_GREQ if serve => {
+                    // v encodes (asker, handle, len): see `sync`.
+                    let enc = v as u64;
+                    let asker = (enc >> 40) as usize;
+                    let handle = ((enc >> 20) & 0xF_FFFF) as u32;
+                    let len = (enc & 0xF_FFFF) as u32;
+                    requests.push((asker, handle, id, aux, len));
+                }
+                T_GREP => replies.push((id, aux, v)),
+                _ => unreachable!("unexpected DRMA tag {tag}"),
+            }
+        }
+        // Serve gets against pre-put state.
+        for &(asker, handle, r, offset, len) in &requests {
+            for i in 0..len {
+                let v = self.regions[r as usize][(offset + i) as usize];
+                ctx.send_pkt(
+                    asker,
+                    Packet::tag_u32_f64((T_GREP << TAG_SHIFT) | handle, i, v),
+                );
+            }
+        }
+        // Apply puts.
+        for (r, off, v) in put_pkts {
+            self.regions[r as usize][off as usize] = v;
+        }
+        // Deliver replies into handles.
+        for (handle, idx, v) in replies {
+            let buf = &mut self.fetched[handle as usize];
+            if buf.len() <= idx as usize {
+                buf.resize(idx as usize + 1, 0.0);
+            }
+            buf[idx as usize] = v;
+        }
+        requests
+    }
+
+    /// Superstep boundary with full put/get semantics. Costs two underlying
+    /// synchronizations.
+    pub fn sync(&mut self, ctx: &mut Ctx) {
+        // Phase A: ship puts and get requests.
+        self.send_puts(ctx);
+        let me = ctx.pid() as u64;
+        let gets = std::mem::take(&mut self.gets);
+        for (dest, r, offset, len) in gets {
+            let handle = self.fetched.len() as u64;
+            self.fetched.push(Vec::new());
+            debug_assert!(handle < (1 << 20) && (len as u64) < (1 << 20));
+            let enc = (me << 40) | (handle << 20) | len as u64;
+            ctx.send_pkt(
+                dest,
+                Packet::tag_u32_f64((T_GREQ << TAG_SHIFT) | r, offset, enc as f64),
+            );
+        }
+        ctx.sync();
+        // Phase B: serve requests (pre-put), apply puts, ship replies.
+        self.apply_incoming(ctx, true);
+        ctx.sync();
+        // Collect replies.
+        self.apply_incoming(ctx, false);
+    }
+
+    /// Cheaper superstep boundary for put-only phases (one underlying
+    /// synchronization). Panics if gets are pending.
+    pub fn sync_put(&mut self, ctx: &mut Ctx) {
+        assert!(
+            self.gets.is_empty(),
+            "sync_put with pending gets; use sync()"
+        );
+        self.send_puts(ctx);
+        ctx.sync();
+        self.apply_incoming(ctx, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, Config};
+
+    #[test]
+    fn put_roundtrip() {
+        let out = run(&Config::new(4), |ctx| {
+            let p = ctx.nprocs();
+            let me = ctx.pid();
+            let mut drma = Drma::new(vec![vec![0.0; p]]);
+            // Everyone writes its pid into slot `me` of everyone's region 0.
+            for dest in 0..p {
+                drma.put(dest, 0, me, &[me as f64]);
+            }
+            drma.sync_put(ctx);
+            drma.region(0).to_vec()
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let out = run(&Config::new(3), |ctx| {
+            let me = ctx.pid();
+            let region: Vec<f64> = (0..5).map(|i| (me * 10 + i) as f64).collect();
+            let mut drma = Drma::new(vec![region]);
+            let right = (me + 1) % ctx.nprocs();
+            let h = drma.get(right, 0, 1, 3);
+            drma.sync(ctx);
+            drma.take(h)
+        });
+        for (pid, r) in out.results.iter().enumerate() {
+            let right = (pid + 1) % 3;
+            let expect: Vec<f64> = (1..4).map(|i| (right * 10 + i) as f64).collect();
+            assert_eq!(*r, expect);
+        }
+    }
+
+    #[test]
+    fn gets_read_pre_put_values() {
+        // In one superstep, proc 0 puts into proc 1's region while proc 1's
+        // value is being fetched by proc 2: the get must see the old value.
+        let out = run(&Config::new(3), |ctx| {
+            let me = ctx.pid();
+            let mut drma = Drma::new(vec![vec![100.0 + me as f64]]);
+            let mut got = Vec::new();
+            if me == 0 {
+                drma.put(1, 0, 0, &[999.0]);
+            }
+            let h = if me == 2 {
+                Some(drma.get(1, 0, 0, 1))
+            } else {
+                None
+            };
+            drma.sync(ctx);
+            if let Some(h) = h {
+                got = drma.take(h);
+            }
+            (drma.region(0).to_vec(), got)
+        });
+        assert_eq!(out.results[1].0, vec![999.0], "put applied");
+        assert_eq!(out.results[2].1, vec![101.0], "get saw the pre-put value");
+    }
+
+    #[test]
+    fn multiple_regions_and_bulk_puts() {
+        let out = run(&Config::new(2), |ctx| {
+            let me = ctx.pid();
+            let mut drma = Drma::new(vec![vec![0.0; 8], vec![0.0; 4]]);
+            let other = 1 - me;
+            drma.put(other, 0, 2, &[1.0, 2.0, 3.0]);
+            drma.put(other, 1, 0, &[9.0]);
+            drma.sync_put(ctx);
+            (drma.region(0).to_vec(), drma.region(1).to_vec())
+        });
+        for (r0, r1) in out.results {
+            assert_eq!(r0, vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+            assert_eq!(r1, vec![9.0, 0.0, 0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn drma_stencil_matches_message_passing() {
+        // A 1-D Jacobi sweep written in DRMA style (halo puts) must equal
+        // the packet version.
+        let p = 4;
+        let n_local = 16;
+        let steps = 5;
+        let drma_result = run(&Config::new(p), |ctx| {
+            let me = ctx.pid();
+            let p = ctx.nprocs();
+            // region 0: n_local cells + 2 halo slots at the ends.
+            let init: Vec<f64> = (0..n_local + 2)
+                .map(|i| {
+                    if i == 0 || i == n_local + 1 {
+                        0.0
+                    } else {
+                        (me * n_local + i) as f64
+                    }
+                })
+                .collect();
+            let mut drma = Drma::new(vec![init]);
+            for _ in 0..steps {
+                // Halo exchange by remote puts.
+                let left_val = drma.region(0)[1];
+                let right_val = drma.region(0)[n_local];
+                if me > 0 {
+                    drma.put(me - 1, 0, n_local + 1, &[left_val]);
+                }
+                if me + 1 < p {
+                    drma.put(me + 1, 0, 0, &[right_val]);
+                }
+                drma.sync_put(ctx);
+                let old = drma.region(0).to_vec();
+                let cells = drma.region_mut(0);
+                for i in 1..=n_local {
+                    cells[i] = 0.5 * (old[i - 1] + old[i + 1]);
+                }
+            }
+            drma.region(0)[1..=n_local].to_vec()
+        });
+        let msg_result = run(&Config::new(p), |ctx| {
+            let me = ctx.pid();
+            let p = ctx.nprocs();
+            let mut cells: Vec<f64> = (0..n_local + 2)
+                .map(|i| {
+                    if i == 0 || i == n_local + 1 {
+                        0.0
+                    } else {
+                        (me * n_local + i) as f64
+                    }
+                })
+                .collect();
+            for _ in 0..steps {
+                if me > 0 {
+                    ctx.send_pkt(me - 1, Packet::u64_f64(1, cells[1]));
+                }
+                if me + 1 < p {
+                    ctx.send_pkt(me + 1, Packet::u64_f64(0, cells[n_local]));
+                }
+                ctx.sync();
+                while let Some(pkt) = ctx.get_pkt() {
+                    let (side, v) = pkt.as_u64_f64();
+                    if side == 0 {
+                        cells[0] = v;
+                    } else {
+                        cells[n_local + 1] = v;
+                    }
+                }
+                let old = cells.clone();
+                for i in 1..=n_local {
+                    cells[i] = 0.5 * (old[i - 1] + old[i + 1]);
+                }
+            }
+            cells[1..=n_local].to_vec()
+        });
+        assert_eq!(drma_result.results, msg_result.results);
+    }
+
+    #[test]
+    fn sync_cost_accounting() {
+        // Full sync = 2 supersteps, put-only sync = 1.
+        let out = run(&Config::new(2), |ctx| {
+            let mut drma = Drma::new(vec![vec![0.0; 2]]);
+            let h = drma.get(1 - ctx.pid(), 0, 0, 1);
+            drma.sync(ctx);
+            let _ = drma.take(h);
+            drma.put(1 - ctx.pid(), 0, 0, &[1.0]);
+            drma.sync_put(ctx);
+        });
+        assert_eq!(out.stats.s(), 4); // 2 (sync) + 1 (sync_put) + final
+    }
+}

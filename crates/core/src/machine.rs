@@ -1,0 +1,153 @@
+//! BSP parameters of the paper's three experimental platforms (Figure 2.1).
+//!
+//! `g` is the time per 16-byte packet for a sufficiently large superstep with
+//! a total-exchange pattern; `L` is the time for a superstep in which each
+//! processor sends a single packet. Both are in microseconds and depend on
+//! the number of processors in use.
+//!
+//! These tables let the cost model reproduce the paper's *predicted* columns
+//! from our measured `W`, `H`, `S`; they are the calibrated stand-ins for the
+//! physical SGI Challenge, NEC Cenju, and Pentium PC-LAN testbeds (see
+//! DESIGN.md §2, hardware substitutions).
+
+/// A machine characterized by its BSP parameters at several processor counts.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// `(nprocs, g in µs per 16-byte packet, L in µs per superstep)`,
+    /// ascending in `nprocs`.
+    pub points: &'static [(usize, f64, f64)],
+    /// Largest processor count the paper ran on this machine.
+    pub max_procs: usize,
+}
+
+/// SGI Challenge, 16 × MIPS R4400, shared memory.
+pub const SGI: Machine = Machine {
+    name: "SGI",
+    points: &[
+        (1, 0.77, 3.0),
+        (2, 0.82, 16.0),
+        (4, 0.88, 29.0),
+        (8, 0.97, 52.0),
+        (9, 1.0, 57.0),
+        (16, 0.95, 105.0),
+    ],
+    max_procs: 16,
+};
+
+/// NEC Cenju, 16 × MIPS R4400 over a multistage network, MPI library version.
+pub const CENJU: Machine = Machine {
+    name: "Cenju",
+    points: &[
+        (1, 2.2, 130.0),
+        (2, 2.2, 260.0),
+        (4, 2.2, 470.0),
+        (8, 2.5, 1470.0),
+        (9, 2.7, 1680.0),
+        (16, 3.6, 2880.0),
+    ],
+    max_procs: 16,
+};
+
+/// Eight 166-MHz Pentium PCs on a 100-Mbit Ethernet switch, TCP version.
+pub const PC_LAN: Machine = Machine {
+    name: "PC",
+    points: &[
+        (1, 0.92, 2.0),
+        (2, 3.3, 540.0),
+        (4, 4.8, 1556.0),
+        (8, 8.6, 3715.0),
+    ],
+    max_procs: 8,
+};
+
+/// The three machines of the paper, in presentation order.
+pub const PAPER_MACHINES: [Machine; 3] = [SGI, CENJU, PC_LAN];
+
+impl Machine {
+    /// BSP parameters `(g, L)` in microseconds at `nprocs` processors.
+    ///
+    /// Exact table entries are returned as-is; other processor counts are
+    /// piecewise-linearly interpolated, and counts outside the table range
+    /// are clamped to the nearest endpoint.
+    pub fn g_l(&self, nprocs: usize) -> (f64, f64) {
+        let pts = self.points;
+        if nprocs <= pts[0].0 {
+            return (pts[0].1, pts[0].2);
+        }
+        let last = pts[pts.len() - 1];
+        if nprocs >= last.0 {
+            return (last.1, last.2);
+        }
+        for w in pts.windows(2) {
+            let (p0, g0, l0) = w[0];
+            let (p1, g1, l1) = w[1];
+            if nprocs >= p0 && nprocs <= p1 {
+                let t = (nprocs - p0) as f64 / (p1 - p0) as f64;
+                return (g0 + t * (g1 - g0), l0 + t * (l1 - l0));
+            }
+        }
+        unreachable!("points table is ascending and spans nprocs")
+    }
+
+    /// `g` at `nprocs`, in microseconds per 16-byte packet.
+    pub fn g(&self, nprocs: usize) -> f64 {
+        self.g_l(nprocs).0
+    }
+
+    /// `L` at `nprocs`, in microseconds per superstep.
+    pub fn l(&self, nprocs: usize) -> f64 {
+        self.g_l(nprocs).1
+    }
+
+    /// Whether the paper ran `nprocs` processors on this machine.
+    pub fn supports(&self, nprocs: usize) -> bool {
+        nprocs <= self.max_procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_table_entries() {
+        assert_eq!(SGI.g_l(1), (0.77, 3.0));
+        assert_eq!(SGI.g_l(16), (0.95, 105.0));
+        assert_eq!(CENJU.g_l(8), (2.5, 1470.0));
+        assert_eq!(PC_LAN.g_l(4), (4.8, 1556.0));
+    }
+
+    #[test]
+    fn interpolation_between_entries() {
+        // midway between p=4 (29µs) and p=8 (52µs) for SGI latency.
+        let (_, l6) = SGI.g_l(6);
+        assert!((l6 - 40.5).abs() < 1e-9);
+        let (g3, _) = CENJU.g_l(3);
+        assert!((g3 - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        assert_eq!(PC_LAN.g_l(16), PC_LAN.g_l(8));
+        assert_eq!(SGI.g_l(0), SGI.g_l(1));
+    }
+
+    #[test]
+    fn latency_grows_with_procs() {
+        for m in PAPER_MACHINES {
+            for p in 2..=m.max_procs {
+                assert!(m.l(p) >= m.l(p - 1), "{}: L({}) < L({})", m.name, p, p - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn high_latency_ordering_at_full_size() {
+        // The paper's qualitative ordering: SGI is the low-latency system;
+        // the PC LAN is the highest-latency per superstep at its full size.
+        assert!(SGI.l(16) < CENJU.l(16));
+        assert!(CENJU.l(8) < PC_LAN.l(8));
+    }
+}

@@ -1,0 +1,276 @@
+//! The fixed-size packet type of the Green BSP library.
+//!
+//! The SPAA'96 paper's library routes packets of a fixed size of 16 bytes;
+//! "the data in the packet can be in any format, and it is up to the
+//! programmer to provide sufficient labeling information" (Appendix A).
+//! [`Packet`] is exactly that: 16 opaque bytes, plus a family of little-endian
+//! accessors so applications can lay out their own labels and payloads.
+
+/// Size in bytes of every BSP packet. All results in the paper were obtained
+/// with this fixed packet size.
+pub const PACKET_SIZE: usize = 16;
+
+/// A 16-byte BSP packet. The routing layer never interprets the contents.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Packet(pub [u8; PACKET_SIZE]);
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Packet({:02x?})", self.0)
+    }
+}
+
+impl Packet {
+    /// An all-zero packet.
+    pub const ZERO: Packet = Packet([0; PACKET_SIZE]);
+
+    /// Build a packet from raw bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: [u8; PACKET_SIZE]) -> Self {
+        Packet(bytes)
+    }
+
+    /// View the packet as raw bytes.
+    #[inline]
+    pub const fn as_bytes(&self) -> &[u8; PACKET_SIZE] {
+        &self.0
+    }
+
+    // ---- typed field accessors (little-endian, offset in bytes) ----
+
+    /// Write a `u16` at byte offset `off` (`off + 2 <= 16`).
+    #[inline]
+    pub fn put_u16(&mut self, off: usize, v: u16) -> &mut Self {
+        self.0[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Read a `u16` at byte offset `off`.
+    #[inline]
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.0[off..off + 2].try_into().unwrap())
+    }
+
+    /// Write a `u32` at byte offset `off` (`off + 4 <= 16`).
+    #[inline]
+    pub fn put_u32(&mut self, off: usize, v: u32) -> &mut Self {
+        self.0[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Read a `u32` at byte offset `off`.
+    #[inline]
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.0[off..off + 4].try_into().unwrap())
+    }
+
+    /// Write a `u64` at byte offset `off` (`off + 8 <= 16`).
+    #[inline]
+    pub fn put_u64(&mut self, off: usize, v: u64) -> &mut Self {
+        self.0[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Read a `u64` at byte offset `off`.
+    #[inline]
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.0[off..off + 8].try_into().unwrap())
+    }
+
+    /// Write an `f32` at byte offset `off` (`off + 4 <= 16`).
+    #[inline]
+    pub fn put_f32(&mut self, off: usize, v: f32) -> &mut Self {
+        self.0[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Read an `f32` at byte offset `off`.
+    #[inline]
+    pub fn get_f32(&self, off: usize) -> f32 {
+        f32::from_le_bytes(self.0[off..off + 4].try_into().unwrap())
+    }
+
+    /// Write an `f64` at byte offset `off` (`off + 8 <= 16`).
+    #[inline]
+    pub fn put_f64(&mut self, off: usize, v: f64) -> &mut Self {
+        self.0[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Read an `f64` at byte offset `off`.
+    #[inline]
+    pub fn get_f64(&self, off: usize) -> f64 {
+        f64::from_le_bytes(self.0[off..off + 8].try_into().unwrap())
+    }
+
+    // ---- common layouts used by the applications ----
+
+    /// `[u32 tag | u32 a | f64 x]` — e.g. a shortest-path distance update
+    /// labeled with a node id.
+    #[inline]
+    pub fn tag_u32_f64(tag: u32, a: u32, x: f64) -> Self {
+        let mut p = Packet::ZERO;
+        p.put_u32(0, tag).put_u32(4, a).put_f64(8, x);
+        p
+    }
+
+    /// Decode the `[u32 | u32 | f64]` layout.
+    #[inline]
+    pub fn as_tag_u32_f64(&self) -> (u32, u32, f64) {
+        (self.get_u32(0), self.get_u32(4), self.get_f64(8))
+    }
+
+    /// `[u32 a | u32 b | f64 w]` — e.g. a weighted graph edge.
+    #[inline]
+    pub fn edge(a: u32, b: u32, w: f64) -> Self {
+        Self::tag_u32_f64(a, b, w)
+    }
+
+    /// `[f32 x | f32 y | f32 z | f32 m]` — e.g. an essential-tree mass point
+    /// in the Barnes-Hut exchange. One body or multipole summary fits in
+    /// exactly one packet, which is how the paper kept N-body bandwidth low.
+    #[inline]
+    pub fn point_mass(x: f32, y: f32, z: f32, m: f32) -> Self {
+        let mut p = Packet::ZERO;
+        p.put_f32(0, x).put_f32(4, y).put_f32(8, z).put_f32(12, m);
+        p
+    }
+
+    /// Decode the `[f32; 4]` layout.
+    #[inline]
+    pub fn as_point_mass(&self) -> (f32, f32, f32, f32) {
+        (
+            self.get_f32(0),
+            self.get_f32(4),
+            self.get_f32(8),
+            self.get_f32(12),
+        )
+    }
+
+    /// `[u64 a | u64 b]`.
+    #[inline]
+    pub fn two_u64(a: u64, b: u64) -> Self {
+        let mut p = Packet::ZERO;
+        p.put_u64(0, a).put_u64(8, b);
+        p
+    }
+
+    /// Decode the `[u64 | u64]` layout.
+    #[inline]
+    pub fn as_two_u64(&self) -> (u64, u64) {
+        (self.get_u64(0), self.get_u64(8))
+    }
+
+    /// `[u64 a | f64 x]`.
+    #[inline]
+    pub fn u64_f64(a: u64, x: f64) -> Self {
+        let mut p = Packet::ZERO;
+        p.put_u64(0, a).put_f64(8, x);
+        p
+    }
+
+    /// Decode the `[u64 | f64]` layout.
+    #[inline]
+    pub fn as_u64_f64(&self) -> (u64, f64) {
+        (self.get_u64(0), self.get_f64(8))
+    }
+
+    /// `[u32 tag | u32 idx | f64 v]` with two u16 sub-labels packed in `tag`:
+    /// `[u16 hi | u16 lo | u32 idx | f64 v]` — e.g. a multi-source shortest
+    /// path update `(instance, kind, node, distance)`.
+    #[inline]
+    pub fn u16x2_u32_f64(hi: u16, lo: u16, idx: u32, v: f64) -> Self {
+        let mut p = Packet::ZERO;
+        p.put_u16(0, hi)
+            .put_u16(2, lo)
+            .put_u32(4, idx)
+            .put_f64(8, v);
+        p
+    }
+
+    /// Decode the `[u16 | u16 | u32 | f64]` layout.
+    #[inline]
+    pub fn as_u16x2_u32_f64(&self) -> (u16, u16, u32, f64) {
+        (
+            self.get_u16(0),
+            self.get_u16(2),
+            self.get_u32(4),
+            self.get_f64(8),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Packet>(), PACKET_SIZE);
+    }
+
+    #[test]
+    fn u32_roundtrip_all_offsets() {
+        for off in 0..=12 {
+            let mut p = Packet::ZERO;
+            p.put_u32(off, 0xdead_beef);
+            assert_eq!(p.get_u32(off), 0xdead_beef);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut p = Packet::ZERO;
+        p.put_f64(8, -1234.5678e-9);
+        assert_eq!(p.get_f64(8), -1234.5678e-9);
+    }
+
+    #[test]
+    fn f64_nan_payload_survives() {
+        let mut p = Packet::ZERO;
+        p.put_f64(0, f64::NAN);
+        assert!(p.get_f64(0).is_nan());
+    }
+
+    #[test]
+    fn edge_layout() {
+        let p = Packet::edge(7, 99, 0.125);
+        assert_eq!(p.as_tag_u32_f64(), (7, 99, 0.125));
+    }
+
+    #[test]
+    fn point_mass_layout() {
+        let p = Packet::point_mass(1.0, -2.0, 3.5, 0.25);
+        assert_eq!(p.as_point_mass(), (1.0, -2.0, 3.5, 0.25));
+    }
+
+    #[test]
+    fn two_u64_layout() {
+        let p = Packet::two_u64(u64::MAX, 1);
+        assert_eq!(p.as_two_u64(), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn u16x2_layout() {
+        let p = Packet::u16x2_u32_f64(25, 1, 40_000, 2.5);
+        assert_eq!(p.as_u16x2_u32_f64(), (25, 1, 40_000, 2.5));
+    }
+
+    #[test]
+    fn fields_do_not_overlap() {
+        let mut p = Packet::ZERO;
+        p.put_u32(0, 0xAAAA_AAAA);
+        p.put_u32(4, 0xBBBB_BBBB);
+        p.put_f64(8, 1.0);
+        assert_eq!(p.get_u32(0), 0xAAAA_AAAA);
+        assert_eq!(p.get_u32(4), 0xBBBB_BBBB);
+        assert_eq!(p.get_f64(8), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_offset_panics() {
+        let mut p = Packet::ZERO;
+        p.put_u64(9, 0); // 9 + 8 > 16
+    }
+}

@@ -1,0 +1,393 @@
+//! Launching BSP programs: configuration, process spawning, and result
+//! collection.
+
+use crate::backend::msgpass::MsgPassProc;
+use crate::backend::netsim::{NetSimProc, NetSimState};
+use crate::backend::seqsim::SeqProc;
+use crate::backend::shared::{SharedProc, SharedState, DEFAULT_CHUNK};
+use crate::backend::tcpsim::TcpSimProc;
+use crate::backend::BackendKind;
+use crate::barrier::BarrierKind;
+use crate::context::{Ctx, ProcTransport};
+use crate::stats::RunStats;
+use std::time::{Duration, Instant};
+
+/// Configuration for a BSP run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of BSP processes.
+    pub nprocs: usize,
+    /// Library implementation to use.
+    pub backend: BackendKind,
+    /// Barrier used by barrier-based backends.
+    pub barrier: BarrierKind,
+    /// Packets staged per destination before taking the input-buffer lock
+    /// (shared-memory backend; the paper uses 1000).
+    pub chunk: usize,
+}
+
+impl Config {
+    /// Default configuration: shared-memory backend, central barrier,
+    /// 1000-packet chunks.
+    pub fn new(nprocs: usize) -> Self {
+        Config {
+            nprocs,
+            backend: BackendKind::default(),
+            barrier: BarrierKind::default(),
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Select a library implementation.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Select the barrier implementation.
+    pub fn barrier(mut self, barrier: BarrierKind) -> Self {
+        self.barrier = barrier;
+        self
+    }
+
+    /// Set the shared-memory staging chunk size.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+}
+
+/// Results of a BSP run: one value per process plus merged statistics.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// The user function's return values, indexed by pid.
+    pub results: Vec<R>,
+    /// Merged per-superstep statistics (`W`, `H`, `S`, total work).
+    pub stats: RunStats,
+    /// Wall-clock duration of the whole run on the host.
+    pub wall: Duration,
+}
+
+fn build_transports(cfg: &Config) -> Vec<Box<dyn ProcTransport>> {
+    let p = cfg.nprocs;
+    match cfg.backend {
+        BackendKind::Shared => {
+            let st = SharedState::new(p, cfg.barrier.build(p));
+            (0..p)
+                .map(|pid| {
+                    Box::new(SharedProc::new(st.clone(), pid, cfg.chunk)) as Box<dyn ProcTransport>
+                })
+                .collect()
+        }
+        BackendKind::MsgPass => MsgPassProc::create_all(p)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn ProcTransport>)
+            .collect(),
+        BackendKind::TcpSim => TcpSimProc::create_all(p)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn ProcTransport>)
+            .collect(),
+        BackendKind::SeqSim => SeqProc::create_all(p)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn ProcTransport>)
+            .collect(),
+        BackendKind::NetSim(params) => {
+            let shared = SharedState::new(p, cfg.barrier.build(p));
+            let ns = NetSimState::new(cfg.barrier.build(p));
+            (0..p)
+                .map(|pid| {
+                    Box::new(NetSimProc::new(
+                        shared.clone(),
+                        ns.clone(),
+                        pid,
+                        cfg.chunk,
+                        params,
+                    )) as Box<dyn ProcTransport>
+                })
+                .collect()
+        }
+    }
+}
+
+/// Run `f` as a BSP program on `cfg.nprocs` processes.
+///
+/// `f` receives a [`Ctx`] and may return a per-process value. Every process
+/// must call [`Ctx::sync`] the same number of times (the superstep
+/// contract); [`RunStats::merge`] verifies this after the run.
+///
+/// # Example
+///
+/// ```
+/// use green_bsp::{run, Config, Packet};
+///
+/// // Total exchange: everyone sends its pid to everyone else.
+/// let out = run(&Config::new(4), |ctx| {
+///     for dest in 0..ctx.nprocs() {
+///         if dest != ctx.pid() {
+///             ctx.send_pkt(dest, Packet::two_u64(ctx.pid() as u64, 0));
+///         }
+///     }
+///     ctx.sync();
+///     let mut seen = 0u64;
+///     while let Some(pkt) = ctx.get_pkt() {
+///         seen += pkt.as_two_u64().0;
+///     }
+///     seen
+/// });
+/// // Each process saw the sum of the other three pids: 0+1+2+3 minus its own.
+/// for (pid, &sum) in out.results.iter().enumerate() {
+///     assert_eq!(sum, 6 - pid as u64);
+/// }
+/// assert_eq!(out.stats.s(), 2); // one sync plus the final partial superstep
+/// assert_eq!(out.stats.h_total(), 3); // each proc sent and received 3 packets
+/// ```
+pub fn run<F, R>(cfg: &Config, f: F) -> RunOutput<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
+    let transports = build_transports(cfg);
+    let start = Instant::now();
+    let nprocs = cfg.nprocs;
+    let f = &f;
+
+    let mut per_proc: Vec<Option<(R, Vec<crate::stats::LocalStep>)>> =
+        (0..nprocs).map(|_| None).collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = transports
+            .into_iter()
+            .enumerate()
+            .map(|(pid, transport)| {
+                s.spawn(move || {
+                    let mut ctx = Ctx::new(pid, nprocs, transport);
+                    ctx.begin();
+                    let r = f(&mut ctx);
+                    ctx.finalize();
+                    (r, ctx.log)
+                })
+            })
+            .collect();
+        for (pid, h) in handles.into_iter().enumerate() {
+            per_proc[pid] = Some(h.join().expect("BSP process panicked"));
+        }
+    });
+
+    let wall = start.elapsed();
+    let mut results = Vec::with_capacity(nprocs);
+    let mut logs = Vec::with_capacity(nprocs);
+    for slot in per_proc {
+        let (r, log) = slot.unwrap();
+        results.push(r);
+        logs.push(log);
+    }
+    RunOutput {
+        results,
+        stats: RunStats::merge(nprocs, logs),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn all_backends(p: usize) -> Vec<Config> {
+        let mut v = vec![
+            Config::new(p),
+            Config::new(p).backend(BackendKind::MsgPass),
+            Config::new(p).backend(BackendKind::TcpSim),
+            Config::new(p).backend(BackendKind::SeqSim),
+            Config::new(p).backend(BackendKind::NetSim(crate::backend::NetSimParams {
+                g_us: 0.1,
+                l_us: 1.0,
+                time_scale: 1.0,
+            })),
+        ];
+        // Exercise every barrier with the shared backend too.
+        for b in [
+            BarrierKind::Flag,
+            BarrierKind::Tree,
+            BarrierKind::Dissemination,
+        ] {
+            v.push(Config::new(p).barrier(b));
+        }
+        v
+    }
+
+    /// A ring program: each proc passes a counter around the ring p times;
+    /// final value must be pid + p (each hop adds 1).
+    fn ring(cfg: &Config) {
+        let p = cfg.nprocs;
+        let out = run(cfg, |ctx| {
+            let p = ctx.nprocs();
+            let mut val = ctx.pid() as u64;
+            for _ in 0..p {
+                ctx.send_pkt((ctx.pid() + 1) % p, Packet::two_u64(val + 1, 0));
+                ctx.sync();
+                val = ctx.get_pkt().expect("ring packet").as_two_u64().0;
+                assert!(ctx.get_pkt().is_none());
+            }
+            val
+        });
+        for (pid, &v) in out.results.iter().enumerate() {
+            assert_eq!(v, pid as u64 + p as u64, "backend {:?}", cfg.backend);
+        }
+        assert_eq!(out.stats.s(), p as u64 + 1);
+        assert_eq!(out.stats.h_total(), p as u64);
+    }
+
+    #[test]
+    fn ring_on_all_backends() {
+        for p in [1, 2, 3, 4, 8] {
+            for cfg in all_backends(p) {
+                ring(&cfg);
+            }
+        }
+    }
+
+    /// Total exchange with per-pair volume (i+j+1) packets; checks counts and
+    /// payload sums on every backend.
+    fn total_exchange(cfg: &Config) {
+        let out = run(cfg, |ctx| {
+            let p = ctx.nprocs();
+            let me = ctx.pid();
+            for dest in 0..p {
+                let k = me + dest + 1;
+                for i in 0..k {
+                    ctx.send_pkt(dest, Packet::two_u64(me as u64, i as u64));
+                }
+            }
+            ctx.sync();
+            let mut count = 0u64;
+            let mut src_sum = 0u64;
+            while let Some(pkt) = ctx.get_pkt() {
+                let (src, _) = pkt.as_two_u64();
+                count += 1;
+                src_sum += src;
+            }
+            (count, src_sum)
+        });
+        let p = cfg.nprocs;
+        for (pid, &(count, src_sum)) in out.results.iter().enumerate() {
+            let expect_count: u64 = (0..p).map(|src| (src + pid + 1) as u64).sum();
+            let expect_sum: u64 = (0..p)
+                .map(|src| (src as u64) * (src + pid + 1) as u64)
+                .sum();
+            assert_eq!(count, expect_count, "backend {:?}", cfg.backend);
+            assert_eq!(src_sum, expect_sum, "backend {:?}", cfg.backend);
+        }
+    }
+
+    #[test]
+    fn total_exchange_on_all_backends() {
+        for p in [1, 2, 5, 8] {
+            for cfg in all_backends(p) {
+                total_exchange(&cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        for cfg in all_backends(3) {
+            let out = run(&cfg, |ctx| {
+                ctx.send_pkt(ctx.pid(), Packet::two_u64(42, 0));
+                ctx.sync();
+                ctx.get_pkt().unwrap().as_two_u64().0
+            });
+            assert!(out.results.iter().all(|&v| v == 42));
+        }
+    }
+
+    #[test]
+    fn unread_packets_are_discarded_at_sync() {
+        let out = run(&Config::new(2), |ctx| {
+            // Superstep 0: peer sends us 2 packets.
+            ctx.send_pkt(1 - ctx.pid(), Packet::ZERO);
+            ctx.send_pkt(1 - ctx.pid(), Packet::ZERO);
+            ctx.sync();
+            // Read only one, then sync again: the other must be gone.
+            assert_eq!(ctx.pkts_remaining(), 2);
+            let _ = ctx.get_pkt();
+            ctx.sync();
+            ctx.pkts_remaining()
+        });
+        assert_eq!(out.results, vec![0, 0]);
+    }
+
+    #[test]
+    fn stats_count_supersteps_including_final() {
+        // No syncs at all: S = 1 (the paper's 1-proc matmult has S = 1).
+        let out = run(&Config::new(2), |_ctx| ());
+        assert_eq!(out.stats.s(), 1);
+        // Three syncs: S = 4.
+        let out = run(&Config::new(2), |ctx| {
+            ctx.sync();
+            ctx.sync();
+            ctx.sync();
+        });
+        assert_eq!(out.stats.s(), 4);
+    }
+
+    #[test]
+    fn charged_work_units_are_recorded() {
+        let out = run(&Config::new(2), |ctx| {
+            ctx.charge(10 * (ctx.pid() as u64 + 1));
+            ctx.sync();
+            ctx.charge(5);
+        });
+        // step 0: w_units = max(10, 20) = 20; step 1: 5.
+        assert_eq!(out.stats.w_units_total(), 25);
+        assert_eq!(out.stats.total_work_units(), 10 + 20 + 5 + 5);
+    }
+
+    #[test]
+    fn seqsim_and_shared_agree_on_h_and_s() {
+        let prog = |ctx: &mut Ctx| {
+            let p = ctx.nprocs();
+            for step in 0..3 {
+                for dest in 0..p {
+                    for _ in 0..(ctx.pid() + step + 1) {
+                        ctx.send_pkt(dest, Packet::ZERO);
+                    }
+                }
+                ctx.sync();
+                while ctx.get_pkt().is_some() {}
+            }
+        };
+        let a = run(&Config::new(4), prog);
+        let b = run(&Config::new(4).backend(BackendKind::SeqSim), prog);
+        assert_eq!(a.stats.s(), b.stats.s());
+        assert_eq!(a.stats.h_total(), b.stats.h_total());
+        assert_eq!(a.stats.total_pkts(), b.stats.total_pkts());
+    }
+
+    #[test]
+    fn large_volume_exceeding_chunk_size() {
+        // Force multiple chunk flushes in the shared backend.
+        let cfg = Config::new(2).chunk(16);
+        let out = run(&cfg, |ctx| {
+            let n = 10_000u64;
+            for i in 0..n {
+                ctx.send_pkt(1 - ctx.pid(), Packet::two_u64(i, 0));
+            }
+            ctx.sync();
+            let mut sum = 0u64;
+            while let Some(p) = ctx.get_pkt() {
+                sum += p.as_two_u64().0;
+            }
+            sum
+        });
+        let expect = (0..10_000u64).sum::<u64>();
+        assert_eq!(out.results, vec![expect, expect]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_procs_rejected() {
+        let _ = run(&Config::new(0), |_ctx| ());
+    }
+}

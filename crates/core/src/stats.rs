@@ -1,0 +1,210 @@
+//! Per-superstep statistics in the vocabulary of the BSP cost model.
+//!
+//! The paper's Equation (1) charges a program `W + gH + LS` where
+//! `W = Σ w_i` (the *work depth*: `w_i` is the largest local computation in
+//! superstep `i`), `H = Σ h_i` (`h_i` is the largest number of packets sent
+//! *or* received by any processor in superstep `i`), and `S` is the number of
+//! supersteps. The runtime records exactly these quantities, plus the *total
+//! work* (the sum of local computation over all processors, excluding idle
+//! and communication time) that the paper uses to qualify superlinear
+//! speed-ups.
+
+use std::time::Duration;
+
+/// What one process recorded during one superstep. Collected locally with no
+/// cross-thread synchronization; merged after the program finishes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalStep {
+    /// Packets this process sent during the superstep.
+    pub sent: u64,
+    /// Packets delivered to this process at the end of the superstep.
+    pub recv: u64,
+    /// Wall-clock local computation (superstep entry to `sync` entry).
+    pub compute: Duration,
+    /// Abstract work units charged via [`crate::Ctx::charge`]. Deterministic
+    /// alternative to wall time, used by tests.
+    pub work_units: u64,
+}
+
+/// Merged view of one superstep across all processes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// Largest number of packets sent by any process.
+    pub max_sent: u64,
+    /// Largest number of packets received by any process.
+    pub max_recv: u64,
+    /// Total packets routed in this superstep.
+    pub total_pkts: u64,
+    /// `w_i`: largest local computation by any process.
+    pub w: Duration,
+    /// Sum of local computation over all processes.
+    pub work_sum: Duration,
+    /// Largest charged work units by any process.
+    pub w_units: u64,
+    /// Sum of charged work units over all processes.
+    pub work_units_sum: u64,
+}
+
+impl StepStats {
+    /// `h_i`: the size of the h-relation routed in this superstep — the
+    /// largest number of packets sent or received by any processor.
+    #[inline]
+    pub fn h(&self) -> u64 {
+        self.max_sent.max(self.max_recv)
+    }
+}
+
+/// Statistics for a complete BSP program run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// One entry per superstep, in order.
+    pub steps: Vec<StepStats>,
+    /// Per-process totals of local computation (for total-work accounting).
+    pub per_proc_compute: Vec<Duration>,
+    /// Per-process totals of charged work units.
+    pub per_proc_work_units: Vec<u64>,
+}
+
+impl RunStats {
+    /// `S`: the number of supersteps (sync calls; the final partial superstep
+    /// after the last sync is also counted, matching the paper's convention
+    /// that a 1-processor run of a communication-free program has `S ≥ 1`).
+    pub fn s(&self) -> u64 {
+        self.steps.len() as u64
+    }
+
+    /// `H = Σ h_i`.
+    pub fn h_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.h()).sum()
+    }
+
+    /// `W = Σ w_i` — the work depth, as wall-clock time.
+    pub fn w_total(&self) -> Duration {
+        self.steps.iter().map(|s| s.w).sum()
+    }
+
+    /// Work depth in charged work units (deterministic).
+    pub fn w_units_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.w_units).sum()
+    }
+
+    /// Total work: local computation summed over all processors. Excludes
+    /// idle time from load imbalance and all communication time.
+    pub fn total_work(&self) -> Duration {
+        self.per_proc_compute.iter().sum()
+    }
+
+    /// Total charged work units over all processors.
+    pub fn total_work_units(&self) -> u64 {
+        self.per_proc_work_units.iter().sum()
+    }
+
+    /// Total packets routed over the whole run.
+    pub fn total_pkts(&self) -> u64 {
+        self.steps.iter().map(|s| s.total_pkts).sum()
+    }
+
+    /// Merge per-process superstep logs into a `RunStats`.
+    ///
+    /// Panics if the processes did not all execute the same number of
+    /// supersteps — a BSP program that violates superstep alignment is
+    /// incorrect, and with a barrier-based backend would have deadlocked.
+    pub fn merge(nprocs: usize, logs: Vec<Vec<LocalStep>>) -> RunStats {
+        assert_eq!(logs.len(), nprocs);
+        let nsteps = logs[0].len();
+        for (pid, log) in logs.iter().enumerate() {
+            assert_eq!(
+                log.len(),
+                nsteps,
+                "BSP superstep misalignment: proc 0 ran {} supersteps but proc {} ran {}",
+                nsteps,
+                pid,
+                log.len()
+            );
+        }
+        let mut steps = vec![StepStats::default(); nsteps];
+        let mut per_proc_compute = vec![Duration::ZERO; nprocs];
+        let mut per_proc_work_units = vec![0u64; nprocs];
+        for (pid, log) in logs.iter().enumerate() {
+            for (i, ls) in log.iter().enumerate() {
+                let st = &mut steps[i];
+                st.max_sent = st.max_sent.max(ls.sent);
+                st.max_recv = st.max_recv.max(ls.recv);
+                st.total_pkts += ls.sent;
+                st.w = st.w.max(ls.compute);
+                st.work_sum += ls.compute;
+                st.w_units = st.w_units.max(ls.work_units);
+                st.work_units_sum += ls.work_units;
+                per_proc_compute[pid] += ls.compute;
+                per_proc_work_units[pid] += ls.work_units;
+            }
+        }
+        RunStats {
+            nprocs,
+            steps,
+            per_proc_compute,
+            per_proc_work_units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(sent: u64, recv: u64, ms: u64, wu: u64) -> LocalStep {
+        LocalStep {
+            sent,
+            recv,
+            compute: Duration::from_millis(ms),
+            work_units: wu,
+        }
+    }
+
+    #[test]
+    fn h_is_max_of_sent_or_received() {
+        let st = StepStats {
+            max_sent: 3,
+            max_recv: 7,
+            ..Default::default()
+        };
+        assert_eq!(st.h(), 7);
+    }
+
+    #[test]
+    fn merge_computes_paper_quantities() {
+        // 2 procs, 2 supersteps.
+        let logs = vec![
+            vec![ls(5, 0, 10, 100), ls(0, 3, 30, 300)],
+            vec![ls(2, 4, 20, 200), ls(1, 0, 5, 50)],
+        ];
+        let rs = RunStats::merge(2, logs);
+        assert_eq!(rs.s(), 2);
+        // step 0: max_sent 5, max_recv 4 -> h=5; step 1: max_sent 1, max_recv 3 -> h=3
+        assert_eq!(rs.h_total(), 8);
+        // w: step0 max(10,20)=20ms, step1 max(30,5)=30ms
+        assert_eq!(rs.w_total(), Duration::from_millis(50));
+        // total work = 10+30+20+5 = 65ms
+        assert_eq!(rs.total_work(), Duration::from_millis(65));
+        assert_eq!(rs.w_units_total(), 200 + 300);
+        assert_eq!(rs.total_work_units(), 650);
+        assert_eq!(rs.total_pkts(), 5 + 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misalignment")]
+    fn merge_detects_misalignment() {
+        let logs = vec![vec![ls(0, 0, 1, 0)], vec![]];
+        RunStats::merge(2, logs);
+    }
+
+    #[test]
+    fn empty_run() {
+        let rs = RunStats::merge(1, vec![vec![]]);
+        assert_eq!(rs.s(), 0);
+        assert_eq!(rs.h_total(), 0);
+        assert_eq!(rs.total_work(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal complex arithmetic for the 2-D FMM (kept in-crate to avoid a
+//! dependency; the FMM uses only +, −, ×, ÷, ln, powers).
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn cx(re: f64, im: f64) -> Cx {
+    Cx { re, im }
+}
+
+impl Cx {
+    /// Zero.
+    pub const ZERO: Cx = cx(0.0, 0.0);
+    /// One.
+    pub const ONE: Cx = cx(1.0, 0.0);
+
+    /// Squared modulus.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Cx {
+        cx(self.re, -self.im)
+    }
+
+    /// Principal branch natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Cx {
+        cx(self.abs().ln(), self.im.atan2(self.re))
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(self) -> Cx {
+        let n = self.norm2();
+        cx(self.re / n, -self.im / n)
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut e: u32) -> Cx {
+        let mut base = self;
+        let mut acc = Cx::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Scale by a real.
+    #[inline]
+    pub fn scale(self, s: f64) -> Cx {
+        cx(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Cx {
+    type Output = Cx;
+    #[inline]
+    fn add(self, o: Cx) -> Cx {
+        cx(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Cx {
+    #[inline]
+    fn add_assign(&mut self, o: Cx) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Cx {
+    type Output = Cx;
+    #[inline]
+    fn sub(self, o: Cx) -> Cx {
+        cx(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Cx {
+    type Output = Cx;
+    #[inline]
+    fn mul(self, o: Cx) -> Cx {
+        cx(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for Cx {
+    type Output = Cx;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z · w⁻¹ by definition
+    fn div(self, o: Cx) -> Cx {
+        self * o.inv()
+    }
+}
+
+impl Neg for Cx {
+    type Output = Cx;
+    #[inline]
+    fn neg(self) -> Cx {
+        cx(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = cx(1.5, -2.0);
+        let b = cx(-0.25, 3.0);
+        assert_eq!(a + b, cx(1.25, 1.0));
+        assert_eq!(a - b, cx(1.75, -5.0));
+        let ab = a * b;
+        assert!((ab.re - (1.5 * -0.25 - -2.0 * 3.0)).abs() < 1e-15);
+        assert!((ab.im - (1.5 * 3.0 + -2.0 * -0.25)).abs() < 1e-15);
+        let q = ab / b;
+        assert!((q - a).abs() < 1e-12);
+        assert!((a * a.inv() - Cx::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ln_and_exp_relation() {
+        // ln of a point on the unit circle has zero real part.
+        let z = cx((0.3f64).cos(), (0.3f64).sin());
+        let l = z.ln();
+        assert!(l.re.abs() < 1e-15);
+        assert!((l.im - 0.3).abs() < 1e-15);
+        // |ln z|.re = ln|z|.
+        assert!((cx(2.0, 0.0).ln().re - 2f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = cx(0.7, -0.4);
+        let mut acc = Cx::ONE;
+        for e in 0..12u32 {
+            assert!((z.powi(e) - acc).abs() < 1e-12, "e={e}");
+            acc = acc * z;
+        }
+    }
+}

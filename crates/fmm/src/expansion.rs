@@ -1,0 +1,396 @@
+//! Multipole and local expansions for the 2-D Laplace kernel
+//! `φ(z) = Σ qᵢ ln(z − zᵢ)`, after Carrier, Greengard, Rokhlin (the
+//! paper's reference [7]).
+//!
+//! Conventions (Greengard's thesis / CGR):
+//!
+//! * multipole about `c`: `φ(z) = a₀ ln(z−c) + Σ_{k≥1} a_k/(z−c)^k` with
+//!   `a₀ = Σ qᵢ`, `a_k = −Σ qᵢ (zᵢ−c)^k / k`;
+//! * local about `c`: `φ(z) = Σ_{l≥0} b_l (z−c)^l`.
+//!
+//! The operators P2M, M2M, M2L, L2L, plus evaluation of potentials and
+//! fields, all truncated at `P` terms. Every operator is unit-tested
+//! against direct evaluation.
+
+// Index-based loops below mirror the papers' formulas (loop variables
+// participate in index arithmetic); clippy's iterator suggestions obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cxl::{cx, Cx};
+
+/// Truncation order: coefficients `0..=P`. With the standard FMM
+/// interaction lists (separation ratio ≥ 2 in the ∞-norm), the error decays
+/// like `(≈0.55)^P`; `P = 22` gives ~1e-6 relative accuracy.
+pub const P: usize = 22;
+
+/// Number of stored coefficients.
+pub const NCOEF: usize = P + 1;
+
+/// An expansion: multipole or local, depending on use site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Expansion {
+    /// Coefficients `a_0..=a_P` (or `b` for local expansions).
+    pub c: [Cx; NCOEF],
+}
+
+impl Default for Expansion {
+    fn default() -> Self {
+        Expansion {
+            c: [Cx::ZERO; NCOEF],
+        }
+    }
+}
+
+/// Binomial coefficients C(n, k) for n up to 2P (f64; exact for this range
+/// is not required, only well-conditioned).
+pub struct Binomials {
+    table: Vec<Vec<f64>>,
+}
+
+impl Binomials {
+    /// Precompute up to `n = 2P`.
+    pub fn new() -> Binomials {
+        let n = 2 * P + 2;
+        let mut table = vec![vec![0.0f64; n + 1]; n + 1];
+        for i in 0..=n {
+            table[i][0] = 1.0;
+            for j in 1..=i {
+                table[i][j] = table[i - 1][j - 1] + if j < i { table[i - 1][j] } else { 0.0 };
+            }
+        }
+        Binomials { table }
+    }
+
+    /// C(n, k).
+    #[inline]
+    pub fn c(&self, n: usize, k: usize) -> f64 {
+        self.table[n][k]
+    }
+}
+
+impl Default for Binomials {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Expansion {
+    /// Add to a multipole expansion about `center` the contribution of a
+    /// charge `q` at `z` (P2M).
+    pub fn add_charge(&mut self, center: Cx, z: Cx, q: f64) {
+        self.c[0] += cx(q, 0.0);
+        let d = z - center;
+        let mut dk = d;
+        for k in 1..=P {
+            self.c[k] += dk.scale(-q / k as f64);
+            dk = dk * d;
+        }
+    }
+
+    /// Accumulate another expansion (coefficients are additive).
+    pub fn add(&mut self, other: &Expansion) {
+        for k in 0..NCOEF {
+            self.c[k] += other.c[k];
+        }
+    }
+
+    /// Evaluate the multipole potential at `z` (valid outside the disc of
+    /// the sources).
+    pub fn eval_multipole(&self, center: Cx, z: Cx) -> Cx {
+        let d = z - center;
+        let mut phi = self.c[0] * d.ln();
+        let inv = d.inv();
+        let mut invk = inv;
+        for k in 1..=P {
+            phi += self.c[k] * invk;
+            invk = invk * inv;
+        }
+        phi
+    }
+
+    /// Evaluate the multipole field `φ'(z)`.
+    pub fn eval_multipole_field(&self, center: Cx, z: Cx) -> Cx {
+        let d = z - center;
+        let inv = d.inv();
+        let mut phi = self.c[0] * inv;
+        let mut invk1 = inv * inv;
+        for k in 1..=P {
+            phi += self.c[k].scale(-(k as f64)) * invk1;
+            invk1 = invk1 * inv;
+        }
+        phi
+    }
+
+    /// M2M: translate this multipole from `from` to `to` and accumulate
+    /// into `out` (Lemma 2.3 of Greengard).
+    pub fn m2m(&self, from: Cx, to: Cx, bin: &Binomials, out: &mut Expansion) {
+        let z0 = from - to;
+        out.c[0] += self.c[0];
+        // Precompute z0^j.
+        let mut z0p = [Cx::ONE; NCOEF];
+        for j in 1..NCOEF {
+            z0p[j] = z0p[j - 1] * z0;
+        }
+        for l in 1..=P {
+            let mut b = -(self.c[0] * z0p[l]).scale(1.0 / l as f64);
+            for k in 1..=l {
+                b += self.c[k] * z0p[l - k].scale(bin.c(l - 1, k - 1));
+            }
+            out.c[l] += b;
+        }
+    }
+
+    /// M2L: convert this multipole about `from` into a local expansion
+    /// about `to` and accumulate into `out` (Lemma 2.4). Requires the
+    /// evaluation region about `to` to be well separated from the sources.
+    pub fn m2l(&self, from: Cx, to: Cx, bin: &Binomials, out: &mut Expansion) {
+        let z0 = from - to;
+        let minus_z0 = -z0;
+        let inv = z0.inv();
+        // (-1)^k / z0^k.
+        let mut sgn_inv = [Cx::ONE; NCOEF];
+        for k in 1..NCOEF {
+            sgn_inv[k] = sgn_inv[k - 1] * inv.scale(-1.0);
+        }
+        // b0 = a0 ln(-z0) + Σ_k a_k (-1)^k / z0^k.
+        let mut b0 = self.c[0] * minus_z0.ln();
+        for k in 1..=P {
+            b0 += self.c[k] * sgn_inv[k];
+        }
+        out.c[0] += b0;
+        // b_l = -a0/(l z0^l) + (1/z0^l) Σ_k a_k (-1)^k / z0^k C(l+k-1, k-1).
+        let mut invl = Cx::ONE;
+        for l in 1..=P {
+            invl = invl * inv;
+            let mut s = -(self.c[0].scale(1.0 / l as f64));
+            for k in 1..=P {
+                s += self.c[k] * sgn_inv[k].scale(bin.c(l + k - 1, k - 1));
+            }
+            out.c[l] += s * invl;
+        }
+    }
+
+    /// L2L: translate this local expansion from `from` to `to` and
+    /// accumulate into `out` (Lemma 2.5; exact, no truncation error).
+    pub fn l2l(&self, from: Cx, to: Cx, bin: &Binomials, out: &mut Expansion) {
+        let z0 = to - from;
+        let mut z0p = [Cx::ONE; NCOEF];
+        for j in 1..NCOEF {
+            z0p[j] = z0p[j - 1] * z0;
+        }
+        for l in 0..=P {
+            let mut b = Cx::ZERO;
+            for k in l..=P {
+                b += self.c[k] * z0p[k - l].scale(bin.c(k, l));
+            }
+            out.c[l] += b;
+        }
+    }
+
+    /// Evaluate the local expansion's potential at `z`.
+    pub fn eval_local(&self, center: Cx, z: Cx) -> Cx {
+        let d = z - center;
+        // Horner.
+        let mut acc = self.c[P];
+        for k in (0..P).rev() {
+            acc = acc * d + self.c[k];
+        }
+        acc
+    }
+
+    /// Evaluate the local expansion's field `φ'(z)`.
+    pub fn eval_local_field(&self, center: Cx, z: Cx) -> Cx {
+        let d = z - center;
+        let mut acc = self.c[P].scale(P as f64);
+        for k in (1..P).rev() {
+            acc = acc * d + self.c[k].scale(k as f64);
+        }
+        acc
+    }
+}
+
+/// Direct potential of a set of charges at `z` (excluding any charge
+/// exactly at `z`).
+pub fn direct_potential(charges: &[(Cx, f64)], z: Cx) -> Cx {
+    let mut phi = Cx::ZERO;
+    for &(zi, q) in charges {
+        let d = z - zi;
+        if d.norm2() > 0.0 {
+            phi += d.ln().scale(q);
+        }
+    }
+    phi
+}
+
+/// Direct field `Σ q/(z − zᵢ)` at `z`.
+pub fn direct_field(charges: &[(Cx, f64)], z: Cx) -> Cx {
+    let mut e = Cx::ZERO;
+    for &(zi, q) in charges {
+        let d = z - zi;
+        if d.norm2() > 0.0 {
+            e += d.inv().scale(q);
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn charges_in_box(center: Cx, half: f64, n: usize, seed: u64) -> Vec<(Cx, f64)> {
+        // Deterministic quasi-random points in a box.
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                (
+                    center + cx((next() - 0.5) * 2.0 * half, (next() - 0.5) * 2.0 * half),
+                    next() - 0.3,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multipole_matches_direct_far_away() {
+        let c = cx(0.5, 0.5);
+        let charges = charges_in_box(c, 0.1, 50, 1);
+        let mut m = Expansion::default();
+        for &(z, q) in &charges {
+            m.add_charge(c, z, q);
+        }
+        for probe in [cx(2.0, 1.0), cx(-1.0, -1.5), cx(0.5, 4.0)] {
+            let approx = m.eval_multipole(c, probe);
+            let exact = direct_potential(&charges, probe);
+            assert!(
+                (approx - exact).abs() < 1e-10,
+                "probe {probe:?}: {approx:?} vs {exact:?}"
+            );
+            let fa = m.eval_multipole_field(c, probe);
+            let fe = direct_field(&charges, probe);
+            assert!((fa - fe).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn m2m_preserves_far_field() {
+        let child = cx(0.25, 0.25);
+        let parent = cx(0.5, 0.5);
+        let charges = charges_in_box(child, 0.2, 40, 2);
+        let bin = Binomials::new();
+        let mut mc = Expansion::default();
+        for &(z, q) in &charges {
+            mc.add_charge(child, z, q);
+        }
+        let mut mp = Expansion::default();
+        mc.m2m(child, parent, &bin, &mut mp);
+        for probe in [cx(3.0, 0.0), cx(-2.0, 2.0)] {
+            let via_child = mc.eval_multipole(child, probe);
+            let via_parent = mp.eval_multipole(parent, probe);
+            assert!(
+                (via_child - via_parent).abs() < 1e-9,
+                "{via_child:?} vs {via_parent:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn m2l_converges_for_separated_boxes() {
+        // Source box at distance 2 box-widths (the FMM interaction-list
+        // geometry): local expansion must match direct well.
+        let src = cx(0.0, 0.0);
+        let dst = cx(3.0, 0.0);
+        let charges = charges_in_box(src, 0.5, 60, 3);
+        let bin = Binomials::new();
+        let mut m = Expansion::default();
+        for &(z, q) in &charges {
+            m.add_charge(src, z, q);
+        }
+        let mut l = Expansion::default();
+        m.m2l(src, dst, &bin, &mut l);
+        for probe in [dst, dst + cx(0.4, 0.3), dst + cx(-0.5, -0.5)] {
+            let approx = l.eval_local(dst, probe);
+            let exact = direct_potential(&charges, probe);
+            assert!(
+                (approx - exact).abs() < 1e-6,
+                "probe {probe:?}: err {}",
+                (approx - exact).abs()
+            );
+            let fa = l.eval_local_field(dst, probe);
+            let fe = direct_field(&charges, probe);
+            assert!((fa - fe).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2l_is_exact() {
+        let src = cx(0.0, 0.0);
+        let dst = cx(4.0, 1.0);
+        let charges = charges_in_box(src, 0.5, 30, 4);
+        let bin = Binomials::new();
+        let mut m = Expansion::default();
+        for &(z, q) in &charges {
+            m.add_charge(src, z, q);
+        }
+        let mut l_parent = Expansion::default();
+        m.m2l(src, dst, &bin, &mut l_parent);
+        let child = dst + cx(0.25, -0.25);
+        let mut l_child = Expansion::default();
+        l_parent.l2l(dst, child, &bin, &mut l_child);
+        for probe in [child, child + cx(0.2, 0.2)] {
+            let via_parent = l_parent.eval_local(dst, probe);
+            let via_child = l_child.eval_local(child, probe);
+            assert!(
+                (via_parent - via_child).abs() < 1e-10,
+                "L2L must be exact: {via_parent:?} vs {via_child:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansions_are_additive() {
+        let c = cx(0.0, 0.0);
+        let a = charges_in_box(c, 0.3, 20, 5);
+        let b = charges_in_box(c, 0.3, 20, 6);
+        let mut ma = Expansion::default();
+        let mut mb = Expansion::default();
+        let mut mall = Expansion::default();
+        for &(z, q) in &a {
+            ma.add_charge(c, z, q);
+            mall.add_charge(c, z, q);
+        }
+        for &(z, q) in &b {
+            mb.add_charge(c, z, q);
+            mall.add_charge(c, z, q);
+        }
+        ma.add(&mb);
+        for k in 0..NCOEF {
+            assert!((ma.c[k] - mall.c[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomials_match_pascal() {
+        let b = Binomials::new();
+        assert_eq!(b.c(0, 0), 1.0);
+        assert_eq!(b.c(5, 2), 10.0);
+        assert_eq!(b.c(10, 5), 252.0);
+        // C(2P, P) via the multiplicative formula (floating-point identical
+        // computation is not guaranteed; allow a relative slack).
+        let mut v = 1.0f64;
+        for i in 0..P {
+            v = v * (2 * P - i) as f64 / (i + 1) as f64;
+        }
+        assert!(
+            (v - b.c(2 * P, P)).abs() / v < 1e-12,
+            "{v} vs {}",
+            b.c(2 * P, P)
+        );
+    }
+}

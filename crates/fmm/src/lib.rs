@@ -1,0 +1,40 @@
+//! BSP-parallel 2-D adaptive Fast Multipole Method.
+//!
+//! The paper's §5 names the adaptive FMM (Carrier-Greengard-Rokhlin, its
+//! reference [7]) as the application the authors were implementing next on
+//! the Green BSP library. This crate builds it: multipole/local expansions
+//! for the 2-D Laplace kernel, a Morton-indexed quadtree, the sequential
+//! O(n) algorithm, and a BSP-parallel version whose passes map onto a
+//! constant number of supersteps per tree level — the same
+//! latency-friendly profile as the paper's Barnes-Hut code, but with
+//! guaranteed (truncation-controlled) accuracy instead of an opening
+//! heuristic.
+//!
+//! ```
+//! use bsp_fmm::{auto_levels, direct, fmm_seq, random_charges};
+//!
+//! let charges = random_charges(500, 1);
+//! let fast = fmm_seq(&charges, auto_levels(charges.len(), 30));
+//! let exact = direct(&charges);
+//! // Compare the physical (real) part; the imaginary part of a sum of
+//! // complex logs is branch-dependent.
+//! let err = fast
+//!     .potential
+//!     .iter()
+//!     .zip(&exact.potential)
+//!     .map(|(a, b)| (a.re - b.re).abs())
+//!     .fold(0.0, f64::max);
+//! assert!(err < 1e-6);
+//! ```
+
+pub mod bsp;
+pub mod cxl;
+pub mod expansion;
+pub mod quadtree;
+pub mod seq;
+
+pub use bsp::{deal_charges, fmm_bsp, Partition};
+pub use cxl::{cx, Cx};
+pub use expansion::{Binomials, Expansion, NCOEF, P};
+pub use quadtree::{leaf_of, morton, Cell};
+pub use seq::{auto_levels, direct, fmm_seq, random_charges, Charge, FmmResult};

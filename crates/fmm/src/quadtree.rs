@@ -1,0 +1,256 @@
+//! Uniform quadtree geometry over the unit square: Morton indexing, cell
+//! centers, neighbour and interaction lists.
+//!
+//! Level `l` tiles the square with `2^l × 2^l` cells. The *interaction
+//! list* of a cell is the standard FMM one: same-level cells that are
+//! children of the parent's neighbours but not adjacent to the cell itself
+//! (at most 27 in 2-D) — exactly the cells whose multipoles convert into
+//! this cell's local expansion.
+
+use crate::cxl::{cx, Cx};
+
+/// Interleave the low 16 bits of `x` and `y` into a Morton code.
+pub fn morton(ix: u32, iy: u32) -> u32 {
+    fn spread(mut v: u32) -> u32 {
+        v &= 0xFFFF;
+        v = (v | (v << 8)) & 0x00FF_00FF;
+        v = (v | (v << 4)) & 0x0F0F_0F0F;
+        v = (v | (v << 2)) & 0x3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555;
+        v
+    }
+    spread(ix) | (spread(iy) << 1)
+}
+
+/// Inverse of [`morton`].
+pub fn demorton(m: u32) -> (u32, u32) {
+    fn squash(mut v: u32) -> u32 {
+        v &= 0x5555_5555;
+        v = (v | (v >> 1)) & 0x3333_3333;
+        v = (v | (v >> 2)) & 0x0F0F_0F0F;
+        v = (v | (v >> 4)) & 0x00FF_00FF;
+        v = (v | (v >> 8)) & 0x0000_FFFF;
+        v
+    }
+    (squash(m), squash(m >> 1))
+}
+
+/// A cell identified by level and Morton code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Tree level (0 = root).
+    pub level: u8,
+    /// Morton code within the level.
+    pub m: u32,
+}
+
+impl Cell {
+    /// Cells per side at this level.
+    #[inline]
+    pub fn side(self) -> u32 {
+        1 << self.level
+    }
+
+    /// Grid coordinates.
+    #[inline]
+    pub fn xy(self) -> (u32, u32) {
+        demorton(self.m)
+    }
+
+    /// Cell center on the unit square.
+    pub fn center(self) -> Cx {
+        let (ix, iy) = self.xy();
+        let w = 1.0 / self.side() as f64;
+        cx((ix as f64 + 0.5) * w, (iy as f64 + 0.5) * w)
+    }
+
+    /// Cell width.
+    #[inline]
+    pub fn width(self) -> f64 {
+        1.0 / self.side() as f64
+    }
+
+    /// Parent cell (level must be ≥ 1).
+    #[inline]
+    pub fn parent(self) -> Cell {
+        Cell {
+            level: self.level - 1,
+            m: self.m >> 2,
+        }
+    }
+
+    /// The four children.
+    #[inline]
+    pub fn children(self) -> [Cell; 4] {
+        std::array::from_fn(|i| Cell {
+            level: self.level + 1,
+            m: (self.m << 2) | i as u32,
+        })
+    }
+
+    /// Morton code of the first descendant leaf at `leaf_level`.
+    #[inline]
+    pub fn first_leaf(self, leaf_level: u8) -> u32 {
+        self.m << (2 * (leaf_level - self.level))
+    }
+
+    /// Same-level neighbours (up to 8, fewer at the boundary), self
+    /// excluded.
+    pub fn neighbors(self) -> Vec<Cell> {
+        let (ix, iy) = self.xy();
+        let side = self.side() as i64;
+        let mut out = Vec::with_capacity(8);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let (nx, ny) = (ix as i64 + dx, iy as i64 + dy);
+                if nx >= 0 && ny >= 0 && nx < side && ny < side {
+                    out.push(Cell {
+                        level: self.level,
+                        m: morton(nx as u32, ny as u32),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `other` (same level) within the 3×3 adjacency of `self`?
+    pub fn adjacent(self, other: Cell) -> bool {
+        debug_assert_eq!(self.level, other.level);
+        let (ax, ay) = self.xy();
+        let (bx, by) = other.xy();
+        (ax as i64 - bx as i64).abs() <= 1 && (ay as i64 - by as i64).abs() <= 1
+    }
+
+    /// The FMM interaction list: children of the parent's neighbours that
+    /// are not adjacent to `self`. Empty below level 2.
+    pub fn interaction_list(self) -> Vec<Cell> {
+        if self.level < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(27);
+        for pn in self.parent().neighbors() {
+            for child in pn.children() {
+                if !self.adjacent(child) {
+                    out.push(child);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Map a point of the unit square to its leaf cell at `leaf_level`.
+pub fn leaf_of(z: Cx, leaf_level: u8) -> Cell {
+    let side = 1u32 << leaf_level;
+    let ix = ((z.re * side as f64) as i64).clamp(0, side as i64 - 1) as u32;
+    let iy = ((z.im * side as f64) as i64).clamp(0, side as i64 - 1) as u32;
+    Cell {
+        level: leaf_level,
+        m: morton(ix, iy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_roundtrip() {
+        for ix in [0u32, 1, 5, 100, 1023] {
+            for iy in [0u32, 2, 77, 512] {
+                assert_eq!(demorton(morton(ix, iy)), (ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn parent_child_relations() {
+        let c = Cell {
+            level: 4,
+            m: morton(5, 9),
+        };
+        for ch in c.children() {
+            assert_eq!(ch.parent(), c);
+        }
+        assert_eq!(c.first_leaf(6), c.m << 4);
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let corner = Cell {
+            level: 3,
+            m: morton(0, 0),
+        };
+        assert_eq!(corner.neighbors().len(), 3);
+        let edge = Cell {
+            level: 3,
+            m: morton(3, 0),
+        };
+        assert_eq!(edge.neighbors().len(), 5);
+        let interior = Cell {
+            level: 3,
+            m: morton(3, 4),
+        };
+        assert_eq!(interior.neighbors().len(), 8);
+    }
+
+    #[test]
+    fn interaction_list_geometry() {
+        // Every IL member is 2 or 3 cells away in the ∞-norm (the
+        // well-separatedness that makes M2L converge), and the list plus
+        // the 3×3 neighbourhood covers the parent's neighbourhood children.
+        let c = Cell {
+            level: 4,
+            m: morton(6, 7),
+        };
+        let il = c.interaction_list();
+        assert!(!il.is_empty() && il.len() <= 27);
+        let (cx_, cy) = c.xy();
+        for d in &il {
+            let (dx, dy) = d.xy();
+            let dist = (dx as i64 - cx_ as i64)
+                .abs()
+                .max((dy as i64 - cy as i64).abs());
+            assert!((2..=3).contains(&dist), "IL member at ∞-distance {dist}");
+        }
+        // Interior cell: 9 parent-area cells × 4 children − 9 near cells = 27.
+        assert_eq!(il.len(), 27);
+    }
+
+    #[test]
+    fn interaction_list_is_symmetric() {
+        for level in [2u8, 3, 4] {
+            let side = 1u32 << level;
+            for ix in 0..side {
+                for iy in 0..side {
+                    let c = Cell {
+                        level,
+                        m: morton(ix, iy),
+                    };
+                    for d in c.interaction_list() {
+                        assert!(
+                            d.interaction_list().contains(&c),
+                            "asymmetric IL at level {level}: {c:?} -> {d:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_lookup_contains_point() {
+        for (x, y) in [(0.0, 0.0), (0.999, 0.999), (0.5, 0.25), (1.0, 1.0)] {
+            let z = cx(x, y);
+            let leaf = leaf_of(z, 5);
+            let c = leaf.center();
+            let half = leaf.width() / 2.0;
+            assert!((z.re - c.re).abs() <= half + 1e-12);
+            assert!((z.im - c.im).abs() <= half + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The sequential uniform FMM: upward pass (P2M, M2M), interaction pass
+//! (M2L over the interaction lists), downward pass (L2L), and near-field
+//! evaluation (L2P plus direct sums over the 3×3 leaf neighbourhood).
+//! O(n) for quasi-uniform charge distributions.
+
+// Index-based loops below mirror the papers' formulas (loop variables
+// participate in index arithmetic); clippy's iterator suggestions obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cxl::Cx;
+use crate::expansion::{Binomials, Expansion};
+use crate::quadtree::{leaf_of, Cell};
+
+/// A point charge (or unit-mass particle) in the unit square.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Charge {
+    /// Position (must lie in `[0,1]²`).
+    pub z: Cx,
+    /// Charge / mass.
+    pub q: f64,
+}
+
+/// Result of an FMM evaluation at every charge location.
+#[derive(Clone, Debug)]
+pub struct FmmResult {
+    /// Complex potential `Φ(zᵢ)` excluding the self term. The physical
+    /// potential is the real part; the imaginary part (a sum of arguments)
+    /// is branch-dependent and differs between evaluation routes.
+    pub potential: Vec<Cx>,
+    /// Complex field `Φ'(zᵢ)` (branch-free); the gradient of `Re Φ` is
+    /// `(Re Φ', −Im Φ')`.
+    pub field: Vec<Cx>,
+}
+
+/// Pick a leaf level targeting ~`per_leaf` charges per leaf.
+pub fn auto_levels(n: usize, per_leaf: usize) -> u8 {
+    let mut level = 2u8;
+    while (1usize << (2 * level)) * per_leaf < n && level < 10 {
+        level += 1;
+    }
+    level
+}
+
+/// Dense per-level storage for the uniform tree.
+pub(crate) struct LevelData {
+    pub(crate) multipole: Vec<Expansion>,
+    pub(crate) local: Vec<Expansion>,
+}
+
+pub(crate) fn level_sizes(leaf_level: u8) -> Vec<usize> {
+    (0..=leaf_level).map(|l| 1usize << (2 * l)).collect()
+}
+
+/// Run the sequential FMM at the given leaf level.
+pub fn fmm_seq(charges: &[Charge], leaf_level: u8) -> FmmResult {
+    assert!(leaf_level >= 2, "FMM needs at least 3 levels");
+    let bin = Binomials::new();
+    let nl = leaf_level as usize + 1;
+    let mut levels: Vec<LevelData> = level_sizes(leaf_level)
+        .into_iter()
+        .map(|n| LevelData {
+            multipole: vec![Expansion::default(); n],
+            local: vec![Expansion::default(); n],
+        })
+        .collect();
+
+    // Bucket charges into leaves.
+    let nleaf = 1usize << (2 * leaf_level);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nleaf];
+    for (i, c) in charges.iter().enumerate() {
+        buckets[leaf_of(c.z, leaf_level).m as usize].push(i as u32);
+    }
+
+    // Upward: P2M at leaves, M2M to the root.
+    for m in 0..nleaf {
+        if buckets[m].is_empty() {
+            continue;
+        }
+        let cell = Cell {
+            level: leaf_level,
+            m: m as u32,
+        };
+        let center = cell.center();
+        let exp = &mut levels[leaf_level as usize].multipole[m];
+        for &ci in &buckets[m] {
+            let c = charges[ci as usize];
+            exp.add_charge(center, c.z, c.q);
+        }
+    }
+    for l in (1..nl).rev() {
+        let (parents, children) = {
+            let (a, b) = levels.split_at_mut(l);
+            (&mut a[l - 1], &b[0])
+        };
+        for m in 0..children.multipole.len() {
+            let cell = Cell {
+                level: l as u8,
+                m: m as u32,
+            };
+            let parent = cell.parent();
+            children.multipole[m].m2m(
+                cell.center(),
+                parent.center(),
+                &bin,
+                &mut parents.multipole[parent.m as usize],
+            );
+        }
+    }
+
+    // Interaction pass: M2L over the interaction lists.
+    for l in 2..nl {
+        let (mult, loc) = {
+            let ld = &mut levels[l];
+            // Split borrows: multipole is read, local is written.
+            let mult = std::mem::take(&mut ld.multipole);
+            (mult, &mut ld.local)
+        };
+        for m in 0..mult.len() {
+            let cell = Cell {
+                level: l as u8,
+                m: m as u32,
+            };
+            let center = cell.center();
+            for d in cell.interaction_list() {
+                let src = &mult[d.m as usize];
+                src.m2l(d.center(), center, &bin, &mut loc[m]);
+            }
+        }
+        levels[l].multipole = mult;
+    }
+
+    // Downward: L2L to the leaves.
+    for l in 2..nl - 1 {
+        let (upper, lower) = {
+            let (a, b) = levels.split_at_mut(l + 1);
+            (&a[l], &mut b[0])
+        };
+        for m in 0..upper.local.len() {
+            let cell = Cell {
+                level: l as u8,
+                m: m as u32,
+            };
+            let center = cell.center();
+            for child in cell.children() {
+                upper.local[m].l2l(
+                    center,
+                    child.center(),
+                    &bin,
+                    &mut lower.local[child.m as usize],
+                );
+            }
+        }
+    }
+
+    // Evaluation: far field from the leaf local expansion, near field
+    // directly over the 3×3 neighbourhood.
+    let mut potential = vec![Cx::ZERO; charges.len()];
+    let mut field = vec![Cx::ZERO; charges.len()];
+    let leaf_locals = &levels[leaf_level as usize].local;
+    for m in 0..nleaf {
+        if buckets[m].is_empty() {
+            continue;
+        }
+        let cell = Cell {
+            level: leaf_level,
+            m: m as u32,
+        };
+        let center = cell.center();
+        // Near cells: self + neighbours.
+        let mut near: Vec<u32> = vec![m as u32];
+        near.extend(cell.neighbors().iter().map(|n| n.m));
+        for &ci in &buckets[m] {
+            let me = charges[ci as usize];
+            let mut phi = leaf_locals[m].eval_local(center, me.z);
+            let mut fld = leaf_locals[m].eval_local_field(center, me.z);
+            for &nm in &near {
+                for &cj in &buckets[nm as usize] {
+                    if cj == ci {
+                        continue;
+                    }
+                    let other = charges[cj as usize];
+                    let d = me.z - other.z;
+                    phi += d.ln().scale(other.q);
+                    fld += d.inv().scale(other.q);
+                }
+            }
+            potential[ci as usize] = phi;
+            field[ci as usize] = fld;
+        }
+    }
+    FmmResult { potential, field }
+}
+
+/// Direct O(n²) evaluation (the accuracy baseline).
+pub fn direct(charges: &[Charge]) -> FmmResult {
+    let mut potential = vec![Cx::ZERO; charges.len()];
+    let mut field = vec![Cx::ZERO; charges.len()];
+    for (i, a) in charges.iter().enumerate() {
+        let mut phi = Cx::ZERO;
+        let mut fld = Cx::ZERO;
+        for (j, b) in charges.iter().enumerate() {
+            if i != j {
+                let d = a.z - b.z;
+                phi += d.ln().scale(b.q);
+                fld += d.inv().scale(b.q);
+            }
+        }
+        potential[i] = phi;
+        field[i] = fld;
+    }
+    FmmResult { potential, field }
+}
+
+/// Deterministic quasi-random charges in the unit square.
+pub fn random_charges(n: usize, seed: u64) -> Vec<Charge> {
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        s = s.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Charge {
+            z: crate::cxl::cx(next(), next()),
+            q: next() - 0.4,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (max |Re Φ| error, max relative field error): the physical,
+    /// branch-independent quantities.
+    fn max_rel_err(a: &FmmResult, b: &FmmResult) -> (f64, f64) {
+        let mut pot: f64 = 0.0;
+        let mut fld: f64 = 0.0;
+        for i in 0..a.potential.len() {
+            pot = pot.max((a.potential[i].re - b.potential[i].re).abs());
+            let scale = b.field[i].abs().max(1.0);
+            fld = fld.max((a.field[i] - b.field[i]).abs() / scale);
+        }
+        (pot, fld)
+    }
+
+    #[test]
+    fn fmm_matches_direct() {
+        let charges = random_charges(800, 17);
+        let exact = direct(&charges);
+        for levels in [2u8, 3, 4] {
+            let approx = fmm_seq(&charges, levels);
+            let (pot, fld) = max_rel_err(&approx, &exact);
+            assert!(pot < 1e-6, "levels {levels}: potential err {pot}");
+            assert!(fld < 1e-6, "levels {levels}: field err {fld}");
+        }
+    }
+
+    #[test]
+    fn accuracy_independent_of_depth() {
+        // FMM error is controlled by P, not by the tree depth.
+        let charges = random_charges(3000, 23);
+        let exact = direct(&charges);
+        let (e3, _) = max_rel_err(&fmm_seq(&charges, 3), &exact);
+        let (e5, _) = max_rel_err(&fmm_seq(&charges, 5), &exact);
+        assert!(e3 < 1e-6 && e5 < 1e-6, "e3 {e3}, e5 {e5}");
+    }
+
+    #[test]
+    fn neutral_pair_far_field_cancels() {
+        // A dipole's far potential decays; FMM must reproduce the
+        // cancellation rather than summing large opposing logs badly.
+        let mut charges = vec![
+            Charge {
+                z: crate::cxl::cx(0.40, 0.40),
+                q: 1.0,
+            },
+            Charge {
+                z: crate::cxl::cx(0.40625, 0.40),
+                q: -1.0,
+            },
+        ];
+        charges.extend(random_charges(100, 5));
+        let exact = direct(&charges);
+        let approx = fmm_seq(&charges, 4);
+        let (pot, fld) = max_rel_err(&approx, &exact);
+        assert!(pot < 1e-6 && fld < 1e-6, "pot {pot} fld {fld}");
+    }
+
+    #[test]
+    fn auto_levels_scales_with_n() {
+        assert_eq!(auto_levels(100, 30), 2);
+        assert!(auto_levels(100_000, 30) > auto_levels(1_000, 30));
+        assert!(auto_levels(usize::MAX / 2, 1) <= 10);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let r = fmm_seq(&[], 2);
+        assert!(r.potential.is_empty());
+        let one = vec![Charge {
+            z: crate::cxl::cx(0.5, 0.5),
+            q: 2.0,
+        }];
+        let r = fmm_seq(&one, 2);
+        assert_eq!(r.potential[0], Cx::ZERO, "no self-interaction");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: the FMM's accuracy and parallel-consistency guarantees
+//! must hold for arbitrary charge configurations, tree depths, and
+//! processor counts.
+
+use bsp_fmm::bsp::{deal_charges, fmm_bsp, Partition};
+use bsp_fmm::{cx, direct, fmm_seq, leaf_of, Charge};
+use green_bsp::{run, Config};
+use proptest::prelude::*;
+
+fn arb_charges(max_n: usize) -> impl Strategy<Value = Vec<Charge>> {
+    prop::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0, -1.0f64..1.0).prop_map(|(x, y, q)| Charge { z: cx(x, y), q }),
+        2..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sequential FMM matches the direct sum on the physical quantities for
+    /// any configuration and depth.
+    #[test]
+    fn fmm_accuracy_is_universal(
+        charges in arb_charges(250),
+        depth in 2u8..5,
+    ) {
+        let exact = direct(&charges);
+        let fast = fmm_seq(&charges, depth);
+        for i in 0..charges.len() {
+            prop_assert!(
+                (fast.potential[i].re - exact.potential[i].re).abs() < 1e-5,
+                "potential at {i}: {} vs {}",
+                fast.potential[i].re,
+                exact.potential[i].re
+            );
+            let scale = exact.field[i].abs().max(1.0);
+            prop_assert!(
+                (fast.field[i] - exact.field[i]).abs() / scale < 1e-5,
+                "field at {i}"
+            );
+        }
+    }
+
+    /// The BSP FMM agrees with the sequential FMM for any processor count.
+    #[test]
+    fn parallel_fmm_matches_sequential(
+        charges in arb_charges(200),
+        depth in 2u8..4,
+        p in 1usize..5,
+    ) {
+        let seq = fmm_seq(&charges, depth);
+        let part = Partition::build(&charges, depth, p);
+        let parts = deal_charges(&charges, &part);
+        let out = run(&Config::new(p), |ctx| {
+            fmm_bsp(ctx, &parts[ctx.pid()], &part)
+        });
+        let mut cursor = vec![0usize; p];
+        for (i, c) in charges.iter().enumerate() {
+            let o = part.owner_of_leaf(leaf_of(c.z, depth).m);
+            let r = &out.results[o];
+            prop_assert!(
+                (r.potential[cursor[o]].re - seq.potential[i].re).abs() < 1e-8,
+                "charge {i}"
+            );
+            prop_assert!((r.field[cursor[o]] - seq.field[i]).abs() < 1e-7);
+            cursor[o] += 1;
+        }
+    }
+
+    /// Partitions cover every leaf exactly once for any processor count.
+    #[test]
+    fn partition_is_total(
+        charges in arb_charges(300),
+        depth in 2u8..6,
+        p in 1usize..9,
+    ) {
+        let part = Partition::build(&charges, depth, p);
+        let nleaf = 1u32 << (2 * depth);
+        for m in 0..nleaf {
+            let o = part.owner_of_leaf(m);
+            prop_assert!(o < p);
+            prop_assert!(part.range(o).contains(&m));
+        }
+        let dealt = deal_charges(&charges, &part);
+        prop_assert_eq!(dealt.iter().map(|v| v.len()).sum::<usize>(), charges.len());
+    }
+}

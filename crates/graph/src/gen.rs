@@ -1,0 +1,237 @@
+//! The paper's input model (§3.3): geometric random graphs `G(δ)`.
+//!
+//! Nodes are assigned uniformly at random to points on the unit square.
+//! `G(r)` has an edge between all pairs of nodes within Euclidean distance
+//! `r`; the input graph is `G(δ)` where `δ` is the minimum radius at which
+//! `G(δ)` is a single connected component. Edge weights are the distances.
+
+use crate::unionfind::UnionFind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A weighted undirected graph in CSR form, with node coordinates.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of nodes.
+    pub n: usize,
+    /// CSR row offsets: neighbours of `u` are `adj[xadj[u]..xadj[u+1]]`.
+    pub xadj: Vec<u32>,
+    /// `(neighbour, weight)` pairs; every undirected edge appears twice.
+    pub adj: Vec<(u32, f64)>,
+    /// Node coordinates on the unit square.
+    pub pos: Vec<(f64, f64)>,
+    /// The connectivity radius δ actually used.
+    pub delta: f64,
+}
+
+impl Graph {
+    /// Neighbours of `u` with weights.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[(u32, f64)] {
+        &self.adj[self.xadj[u as usize] as usize..self.xadj[u as usize + 1] as usize]
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        (self.xadj[u as usize + 1] - self.xadj[u as usize]) as usize
+    }
+}
+
+/// Uniform bucket grid over the unit square for radius queries.
+struct Grid {
+    cell: f64,
+    dim: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    fn build(pos: &[(f64, f64)], cell: f64) -> Grid {
+        // Cap the grid resolution: more than ~n buckets buys nothing, and an
+        // uncapped 1/cell can explode for near-coincident points. A coarser
+        // grid is still correct (the 3×3 neighbourhood scan only requires
+        // cell >= r), just slower.
+        let max_dim = ((pos.len() as f64).sqrt().ceil() as usize + 1).min(4096);
+        // floor keeps the effective bucket width 1/dim >= cell >= r.
+        let dim = ((1.0 / cell).floor() as usize).clamp(1, max_dim.max(1));
+        let cell = 1.0 / dim as f64;
+        let mut buckets = vec![Vec::new(); dim * dim];
+        for (i, &(x, y)) in pos.iter().enumerate() {
+            let bx = ((x / cell) as usize).min(dim - 1);
+            let by = ((y / cell) as usize).min(dim - 1);
+            buckets[by * dim + bx].push(i as u32);
+        }
+        Grid { cell, dim, buckets }
+    }
+
+    /// Visit every node within distance `r` of node `u` (excluding `u`),
+    /// where `r <= cell`.
+    fn for_neighbors(&self, pos: &[(f64, f64)], u: u32, r: f64, mut f: impl FnMut(u32, f64)) {
+        // dim == 1 means the whole square is one bucket, which the 3×3 scan
+        // always covers regardless of r (δ can exceed 1 on sparse inputs).
+        debug_assert!(r <= self.cell * (1.0 + 1e-12) || self.dim == 1);
+        let (x, y) = pos[u as usize];
+        let bx = ((x / self.cell) as usize).min(self.dim - 1);
+        let by = ((y / self.cell) as usize).min(self.dim - 1);
+        let r2 = r * r;
+        for nby in by.saturating_sub(1)..=(by + 1).min(self.dim - 1) {
+            for nbx in bx.saturating_sub(1)..=(bx + 1).min(self.dim - 1) {
+                for &v in &self.buckets[nby * self.dim + nbx] {
+                    if v == u {
+                        continue;
+                    }
+                    let (vx, vy) = pos[v as usize];
+                    let d2 = (vx - x) * (vx - x) + (vy - y) * (vy - y);
+                    if d2 <= r2 {
+                        f(v, d2.sqrt());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Is `G(r)` on these points a single connected component?
+fn connected_at(pos: &[(f64, f64)], r: f64) -> bool {
+    let n = pos.len();
+    if n <= 1 {
+        return true;
+    }
+    let grid = Grid::build(pos, r.max(1e-9));
+    let mut uf = UnionFind::new(n);
+    for u in 0..n as u32 {
+        grid.for_neighbors(pos, u, r, |v, _| {
+            uf.union(u, v);
+        });
+        if u % 1024 == 0 && uf.components() == 1 {
+            return true;
+        }
+    }
+    uf.components() == 1
+}
+
+/// Generate the paper's input graph: `n` uniform points on the unit square,
+/// connected at the minimal radius δ (found by bisection to relative
+/// precision 1e-6), with Euclidean edge weights.
+pub fn geometric_graph(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+
+    // Bisect for δ. The connectivity threshold of a random geometric graph
+    // is Θ(sqrt(ln n / n)); start the bracket around it and widen if needed.
+    let mut hi = (2.0 * ((n.max(2) as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt())
+        .clamp(1e-3, 2.0_f64.sqrt());
+    while !connected_at(&pos, hi) {
+        hi *= 2.0;
+    }
+    let mut lo = 0.0f64;
+    while hi - lo > 1e-6 * hi {
+        let mid = 0.5 * (lo + hi);
+        if connected_at(&pos, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let delta = hi;
+
+    // Materialize G(δ) in CSR form.
+    let grid = Grid::build(&pos, delta.max(1e-9));
+    let mut neigh: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for u in 0..n as u32 {
+        grid.for_neighbors(&pos, u, delta, |v, d| {
+            neigh[u as usize].push((v, d));
+        });
+    }
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    xadj.push(0u32);
+    for row in neigh.iter_mut() {
+        row.sort_unstable_by_key(|a| a.0);
+        adj.extend_from_slice(row);
+        xadj.push(adj.len() as u32);
+    }
+    Graph {
+        n,
+        xadj,
+        adj,
+        pos,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unionfind::UnionFind;
+
+    fn check_graph_invariants(g: &Graph) {
+        assert_eq!(g.xadj.len(), g.n + 1);
+        // Symmetry: (u,v,w) implies (v,u,w).
+        for u in 0..g.n as u32 {
+            for &(v, w) in g.neighbors(u) {
+                assert_ne!(v, u, "no self loops");
+                assert!(
+                    g.neighbors(v).iter().any(|&(x, w2)| x == u && w2 == w),
+                    "edge ({u},{v}) not symmetric"
+                );
+                let (ux, uy) = g.pos[u as usize];
+                let (vx, vy) = g.pos[v as usize];
+                let d = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+                assert!((d - w).abs() < 1e-12, "weight is the distance");
+                assert!(w <= g.delta * (1.0 + 1e-9), "no edge longer than δ");
+            }
+        }
+        // Connectivity.
+        let mut uf = UnionFind::new(g.n);
+        for u in 0..g.n as u32 {
+            for &(v, _) in g.neighbors(u) {
+                uf.union(u, v);
+            }
+        }
+        assert_eq!(uf.components(), 1, "G(δ) must be connected");
+    }
+
+    #[test]
+    fn small_graphs_are_valid() {
+        for n in [1usize, 2, 3, 10, 100] {
+            let g = geometric_graph(n, 42);
+            check_graph_invariants(&g);
+        }
+    }
+
+    #[test]
+    fn medium_graph_is_valid_and_sparse() {
+        let g = geometric_graph(2500, 7);
+        check_graph_invariants(&g);
+        // Average degree at the connectivity threshold is Θ(ln n): allow a
+        // generous band.
+        let avg_deg = g.adj.len() as f64 / g.n as f64;
+        assert!(avg_deg > 2.0 && avg_deg < 40.0, "avg degree {}", avg_deg);
+    }
+
+    #[test]
+    fn delta_is_minimal() {
+        let g = geometric_graph(500, 3);
+        // Slightly below δ the graph must be disconnected.
+        assert!(!connected_at(&g.pos, g.delta * 0.999));
+        assert!(connected_at(&g.pos, g.delta));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = geometric_graph(300, 11);
+        let b = geometric_graph(300, 11);
+        assert_eq!(a.xadj, b.xadj);
+        assert_eq!(a.pos, b.pos);
+        let c = geometric_graph(300, 12);
+        assert_ne!(a.pos, c.pos);
+    }
+}

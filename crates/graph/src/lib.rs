@@ -1,0 +1,29 @@
+//! Distributed graph algorithms from the SPAA'96 Green BSP paper:
+//! minimum spanning tree (§3.3), single-source shortest paths with the
+//! *work factor* technique (§3.4), and multiple simultaneous shortest
+//! paths (§3.5), together with the paper's input model (geometric random
+//! graphs `G(δ)` on the unit square) and sequential baselines (Kruskal,
+//! Dijkstra).
+//!
+//! The parallel algorithms assume the input graph is partitioned among the
+//! processors: each processor is responsible for its *home nodes* and keeps
+//! a copy of each *border node* (a remote node adjacent to a home node).
+//! They are *conservative* in the DRAM sense: the number of messages a
+//! processor communicates per superstep is bounded by its number of border
+//! nodes (plus `p − 1` bookkeeping packets for termination detection).
+
+pub mod gen;
+pub mod msp;
+pub mod mst;
+pub mod partition;
+pub mod seq;
+pub mod sp;
+pub mod unionfind;
+pub mod util;
+
+pub use gen::{geometric_graph, Graph};
+pub use msp::{msp_run, MspResult};
+pub use mst::{mst_run, MstResult};
+pub use partition::{build_locals, partition_kd, LocalGraph};
+pub use seq::{dijkstra, kruskal_mst, multi_dijkstra};
+pub use sp::{sp_run, SpResult, DEFAULT_WORK_FACTOR};

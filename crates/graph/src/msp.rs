@@ -1,0 +1,266 @@
+//! Multiple simultaneous shortest paths (paper §3.5).
+//!
+//! Many shortest-path trees are computed at once over the same read-only
+//! graph: the use cases the paper names are all-pairs subsets, the global
+//! routing phase in VLSI layout, and graph partitioning heuristics. The
+//! graph itself takes Ω(|E| + |V|) storage while each computation adds only
+//! O(|V|) read-write state, so amortizing the graph across K instances is
+//! nearly free — and the per-superstep latency cost is shared by all K
+//! trees, which is why the paper's MSP speed-ups on the high-latency PC LAN
+//! are so much better than single-source SP.
+//!
+//! The inner loop is exactly the work-factor Dijkstra of [`crate::sp`], run
+//! round-robin over instances with the same per-instance work factor.
+
+// Index-based loops below mirror the papers' formulas (loop variables
+// participate in index arithmetic); clippy's iterator suggestions obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::partition::LocalGraph;
+use crate::util::{MinEntry, OrdF64};
+use green_bsp::{Ctx, Packet};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Result of a distributed multi-source run on one processor.
+#[derive(Clone, Debug)]
+pub struct MspResult {
+    /// `dist[k]` holds instance `k`'s labels for this processor's home
+    /// nodes, indexed like [`LocalGraph::home`].
+    pub dist: Vec<Vec<f64>>,
+    /// Non-stale pops performed here, over all instances.
+    pub pops: u64,
+    /// Edge relaxations performed here, over all instances.
+    pub relaxations: u64,
+}
+
+const TAG_SHIFT: u32 = 28;
+const ID_MASK: u32 = (1 << TAG_SHIFT) - 1;
+const T_UPD: u32 = 0;
+const T_STAT: u32 = 1;
+
+#[inline]
+fn pk(tag: u32, id: u32, aux: u32, val: f64) -> Packet {
+    debug_assert!(id <= ID_MASK);
+    Packet::tag_u32_f64((tag << TAG_SHIFT) | id, aux, val)
+}
+
+#[inline]
+fn unpk(p: Packet) -> (u32, u32, u32, f64) {
+    let (t, aux, val) = p.as_tag_u32_f64();
+    (t >> TAG_SHIFT, t & ID_MASK, aux, val)
+}
+
+/// Run K simultaneous SSSP computations (one per entry of `sources`) with
+/// the given per-instance work factor. All processors must call this with
+/// their own [`LocalGraph`] of the same partition.
+pub fn msp_run(ctx: &mut Ctx, lg: &LocalGraph, sources: &[u32], work_factor: usize) -> MspResult {
+    assert!(work_factor > 0);
+    let k = sources.len();
+    assert!(k <= u16::MAX as usize, "too many instances");
+    let nh = lg.n_home();
+    let nb = lg.border_gid.len();
+    // Read-write state per instance: three integers and one double per node
+    // in the paper; here a distance, a cached border distance, and a heap.
+    let mut dist: Vec<Vec<f64>> = vec![vec![f64::INFINITY; nh]; k];
+    let mut border_cache: Vec<Vec<f64>> = vec![vec![f64::INFINITY; nb]; k];
+    let mut heaps: Vec<BinaryHeap<MinEntry<u32>>> = (0..k).map(|_| BinaryHeap::new()).collect();
+    let mut pops = 0u64;
+    let mut relaxations = 0u64;
+
+    for (inst, &s) in sources.iter().enumerate() {
+        if let Some(lid) = lg.lid(s) {
+            if lg.is_home(lid) {
+                dist[inst][lid as usize] = 0.0;
+                heaps[inst].push(MinEntry {
+                    dist: OrdF64(0.0),
+                    item: lid,
+                });
+            }
+        }
+    }
+
+    loop {
+        let relax_before = relaxations;
+        let mut pending: HashMap<(u32, u16), f64> = HashMap::new();
+        for inst in 0..k {
+            let mut budget = work_factor;
+            let d_inst = &mut dist[inst];
+            let bc_inst = &mut border_cache[inst];
+            let heap = &mut heaps[inst];
+            while budget > 0 {
+                let Some(MinEntry {
+                    dist: OrdF64(d),
+                    item: u,
+                }) = heap.pop()
+                else {
+                    break;
+                };
+                if d > d_inst[u as usize] {
+                    continue;
+                }
+                budget -= 1;
+                pops += 1;
+                for &(v, w) in lg.neighbors(u) {
+                    relaxations += 1;
+                    let nd = d + w;
+                    if lg.is_home(v) {
+                        if nd < d_inst[v as usize] {
+                            d_inst[v as usize] = nd;
+                            heap.push(MinEntry {
+                                dist: OrdF64(nd),
+                                item: v,
+                            });
+                        }
+                    } else {
+                        let bi = v as usize - nh;
+                        if nd < bc_inst[bi] {
+                            bc_inst[bi] = nd;
+                            pending.insert((v, inst as u16), nd);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.charge(relaxations - relax_before);
+
+        let sent = pending.len() as u64;
+        for ((blid, inst), d) in pending {
+            let owner = lg.owner_of_border(blid) as usize;
+            let gid = lg.gid(blid);
+            ctx.send_pkt(owner, pk(T_UPD, gid, inst as u32, d));
+        }
+        let active = heaps.iter().map(|h| h.len() as u64).sum::<u64>() + sent;
+        for dest in 0..ctx.nprocs() {
+            if dest != ctx.pid() {
+                ctx.send_pkt(dest, pk(T_STAT, active.min(ID_MASK as u64) as u32, 0, 0.0));
+            }
+        }
+        ctx.sync();
+
+        let mut global_active = active;
+        while let Some(pkt) = ctx.get_pkt() {
+            let (tag, id, aux, val) = unpk(pkt);
+            match tag {
+                T_STAT => global_active += id as u64,
+                T_UPD => {
+                    let inst = aux as usize;
+                    let lid = lg.lid(id).expect("update for a node we do not own");
+                    if val < dist[inst][lid as usize] {
+                        dist[inst][lid as usize] = val;
+                        heaps[inst].push(MinEntry {
+                            dist: OrdF64(val),
+                            item: lid,
+                        });
+                    }
+                }
+                _ => unreachable!("unexpected tag {tag}"),
+            }
+        }
+        if global_active == 0 {
+            break;
+        }
+    }
+
+    MspResult {
+        dist,
+        pops,
+        relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::geometric_graph;
+    use crate::partition::{build_locals, partition_kd};
+    use crate::seq::multi_dijkstra;
+    use crate::sp::sp_run;
+    use green_bsp::{run, Config};
+
+    fn sources_for(n: usize, k: usize) -> Vec<u32> {
+        (0..k).map(|i| ((i * n) / k) as u32).collect()
+    }
+
+    fn check(n: usize, seed: u64, p: usize, k: usize, wf: usize) {
+        let g = geometric_graph(n, seed);
+        let owner = partition_kd(&g.pos, p);
+        let locals = build_locals(&g, &owner, p);
+        let sources = sources_for(n, k);
+        let expect = multi_dijkstra(&g, &sources);
+        let out = run(&Config::new(p), |ctx| {
+            msp_run(ctx, &locals[ctx.pid()], &sources, wf)
+        });
+        for (pid, r) in out.results.iter().enumerate() {
+            assert_eq!(r.dist.len(), k);
+            for inst in 0..k {
+                for (h, &d) in r.dist[inst].iter().enumerate() {
+                    let gid = locals[pid].home[h];
+                    assert!(
+                        (d - expect[inst][gid as usize]).abs() < 1e-9,
+                        "p={p} inst={inst} node {gid}: {d} vs {}",
+                        expect[inst][gid as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_multi_dijkstra_small() {
+        for p in [1, 2, 4] {
+            check(150, 7, p, 5, 40);
+        }
+    }
+
+    #[test]
+    fn matches_multi_dijkstra_25_instances() {
+        // The paper's experiment: 25 simultaneous computations.
+        check(400, 13, 4, 25, 100);
+    }
+
+    #[test]
+    fn single_instance_agrees_with_sp() {
+        let g = geometric_graph(300, 5);
+        let p = 3;
+        let owner = partition_kd(&g.pos, p);
+        let locals = build_locals(&g, &owner, p);
+        let msp = run(&Config::new(p), |ctx| {
+            msp_run(ctx, &locals[ctx.pid()], &[11], 50)
+        });
+        let sp = run(&Config::new(p), |ctx| {
+            sp_run(ctx, &locals[ctx.pid()], 11, 50)
+        });
+        for pid in 0..p {
+            assert_eq!(msp.results[pid].dist[0], sp.results[pid].dist);
+        }
+    }
+
+    #[test]
+    fn superstep_sharing_across_instances() {
+        // K instances in one MSP run must take far fewer supersteps than K
+        // sequential SP runs — the whole point of §3.5.
+        let g = geometric_graph(500, 23);
+        let p = 4;
+        let k = 8;
+        let owner = partition_kd(&g.pos, p);
+        let locals = build_locals(&g, &owner, p);
+        let sources = sources_for(500, k);
+        let msp_s = run(&Config::new(p), |ctx| {
+            msp_run(ctx, &locals[ctx.pid()], &sources, 50)
+        })
+        .stats
+        .s();
+        let mut sp_s_total = 0;
+        for &s in &sources {
+            sp_s_total += run(&Config::new(p), |ctx| {
+                sp_run(ctx, &locals[ctx.pid()], s, 50)
+            })
+            .stats
+            .s();
+        }
+        assert!(
+            msp_s * 2 < sp_s_total,
+            "MSP S={msp_s} should be far below {k}×SP total {sp_s_total}"
+        );
+    }
+}

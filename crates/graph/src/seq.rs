@@ -1,0 +1,192 @@
+//! Sequential baselines: Kruskal's MST and Dijkstra's shortest paths.
+//!
+//! The paper validates its parallel MST against "a sequential implementation
+//! of Kruskal's algorithm" (single-processor parallel code within 5% on 10K
+//! nodes) and parallelizes Dijkstra directly; these are the comparison
+//! points for correctness tests and the 1-processor speed-up base.
+
+use crate::gen::Graph;
+use crate::unionfind::UnionFind;
+use crate::util::{MinEntry, OrdF64};
+use std::collections::BinaryHeap;
+
+/// Kruskal's algorithm. Returns `(total weight, edges as (u, v) with u < v)`.
+pub fn kruskal_mst(g: &Graph) -> (f64, Vec<(u32, u32)>) {
+    let mut edges: Vec<(f64, u32, u32)> = Vec::with_capacity(g.m());
+    for u in 0..g.n as u32 {
+        for &(v, w) in g.neighbors(u) {
+            if u < v {
+                edges.push((w, u, v));
+            }
+        }
+    }
+    edges.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut uf = UnionFind::new(g.n);
+    let mut total = 0.0;
+    let mut tree = Vec::with_capacity(g.n.saturating_sub(1));
+    for (w, u, v) in edges {
+        if uf.union(u, v) {
+            total += w;
+            tree.push((u, v));
+            if tree.len() + 1 == g.n {
+                break;
+            }
+        }
+    }
+    (total, tree)
+}
+
+/// Dijkstra's algorithm from `source`. Returns the distance labels
+/// (`f64::INFINITY` for unreachable nodes).
+pub fn dijkstra(g: &Graph, source: u32) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.n];
+    let mut heap: BinaryHeap<MinEntry<u32>> = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(MinEntry {
+        dist: OrdF64(0.0),
+        item: source,
+    });
+    while let Some(MinEntry {
+        dist: OrdF64(d),
+        item: u,
+    }) = heap.pop()
+    {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(MinEntry {
+                    dist: OrdF64(nd),
+                    item: v,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential multiple-source shortest paths: one Dijkstra per source over
+/// the same read-only graph (the baseline for §3.5).
+pub fn multi_dijkstra(g: &Graph, sources: &[u32]) -> Vec<Vec<f64>> {
+    sources.iter().map(|&s| dijkstra(g, s)).collect()
+}
+
+/// Prim's algorithm (heap-based); an independent MST implementation used to
+/// cross-check Kruskal in tests. Returns the total weight.
+pub fn prim_mst_weight(g: &Graph) -> f64 {
+    if g.n == 0 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; g.n];
+    let mut heap: BinaryHeap<MinEntry<u32>> = BinaryHeap::new();
+    let mut best = vec![f64::INFINITY; g.n];
+    best[0] = 0.0;
+    heap.push(MinEntry {
+        dist: OrdF64(0.0),
+        item: 0,
+    });
+    let mut total = 0.0;
+    while let Some(MinEntry {
+        dist: OrdF64(d),
+        item: u,
+    }) = heap.pop()
+    {
+        if in_tree[u as usize] || d > best[u as usize] {
+            continue;
+        }
+        in_tree[u as usize] = true;
+        total += d;
+        for &(v, w) in g.neighbors(u) {
+            if !in_tree[v as usize] && w < best[v as usize] {
+                best[v as usize] = w;
+                heap.push(MinEntry {
+                    dist: OrdF64(w),
+                    item: v,
+                });
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::geometric_graph;
+
+    #[test]
+    fn kruskal_and_prim_agree() {
+        for (n, seed) in [(50usize, 1u64), (500, 2), (2500, 3)] {
+            let g = geometric_graph(n, seed);
+            let (kw, edges) = kruskal_mst(&g);
+            let pw = prim_mst_weight(&g);
+            assert!((kw - pw).abs() < 1e-9, "n={n}: kruskal {kw} prim {pw}");
+            assert_eq!(edges.len(), n - 1, "spanning tree has n-1 edges");
+        }
+    }
+
+    #[test]
+    fn kruskal_tree_is_spanning_and_acyclic() {
+        let g = geometric_graph(800, 9);
+        let (_, edges) = kruskal_mst(&g);
+        let mut uf = crate::unionfind::UnionFind::new(g.n);
+        for (u, v) in edges {
+            assert!(uf.union(u, v), "cycle in claimed tree");
+        }
+        assert_eq!(uf.components(), 1, "tree spans the graph");
+    }
+
+    #[test]
+    fn dijkstra_satisfies_triangle_property() {
+        let g = geometric_graph(600, 4);
+        let dist = dijkstra(&g, 0);
+        // Every edge is relaxed: dist[v] <= dist[u] + w.
+        for u in 0..g.n as u32 {
+            for &(v, w) in g.neighbors(u) {
+                assert!(
+                    dist[v as usize] <= dist[u as usize] + w + 1e-12,
+                    "edge ({u},{v}) not relaxed"
+                );
+            }
+        }
+        // Connected graph: all finite; source is zero.
+        assert_eq!(dist[0], 0.0);
+        assert!(dist.iter().all(|d| d.is_finite()));
+        // Nonnegative weights: every distance at least the straight-line
+        // distance from the source (weights are Euclidean lengths).
+        let (sx, sy) = g.pos[0];
+        for (i, &d) in dist.iter().enumerate() {
+            let (x, y) = g.pos[i];
+            let straight = ((x - sx).powi(2) + (y - sy).powi(2)).sqrt();
+            assert!(d >= straight - 1e-9);
+        }
+    }
+
+    #[test]
+    fn dijkstra_on_trivial_graphs() {
+        let g = geometric_graph(1, 5);
+        assert_eq!(dijkstra(&g, 0), vec![0.0]);
+        let g = geometric_graph(2, 5);
+        let d = dijkstra(&g, 1);
+        assert_eq!(d[1], 0.0);
+        assert!(d[0] > 0.0 && d[0].is_finite());
+    }
+
+    #[test]
+    fn multi_dijkstra_matches_single() {
+        let g = geometric_graph(300, 6);
+        let sources = [0u32, 7, 42];
+        let all = multi_dijkstra(&g, &sources);
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(all[k], dijkstra(&g, s));
+        }
+    }
+}

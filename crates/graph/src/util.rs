@@ -1,0 +1,95 @@
+//! Small utilities shared by the graph algorithms.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order, for use as a priority-queue key. The graph
+/// algorithms never produce NaN weights or distances; constructing an
+/// [`OrdF64`] from NaN panics in debug builds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        debug_assert!(!self.0.is_nan() && !other.0.is_nan());
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// A min-heap entry `(distance, payload)`: the standard library heap is a
+/// max-heap, so the ordering is reversed here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinEntry<T: Eq> {
+    /// Priority (smaller pops first).
+    pub dist: OrdF64,
+    /// Payload.
+    pub item: T,
+}
+
+impl<T: Eq + Ord> PartialOrd for MinEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Eq + Ord> Ord for MinEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour; tie-break on payload for
+        // determinism.
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn ord_f64_total_order() {
+        let mut v = [OrdF64(3.0), OrdF64(-1.0), OrdF64(0.0), OrdF64(2.5)];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|x| x.0).collect::<Vec<_>>(),
+            vec![-1.0, 0.0, 2.5, 3.0]
+        );
+    }
+
+    #[test]
+    fn min_entry_pops_smallest_first() {
+        let mut h = BinaryHeap::new();
+        for (d, i) in [(3.0, 1u32), (1.0, 2), (2.0, 3)] {
+            h.push(MinEntry {
+                dist: OrdF64(d),
+                item: i,
+            });
+        }
+        assert_eq!(h.pop().unwrap().item, 2);
+        assert_eq!(h.pop().unwrap().item, 3);
+        assert_eq!(h.pop().unwrap().item, 1);
+    }
+
+    #[test]
+    fn ties_break_on_payload() {
+        let mut h = BinaryHeap::new();
+        h.push(MinEntry {
+            dist: OrdF64(1.0),
+            item: 9u32,
+        });
+        h.push(MinEntry {
+            dist: OrdF64(1.0),
+            item: 2u32,
+        });
+        assert_eq!(h.pop().unwrap().item, 2, "smaller payload first on ties");
+    }
+}

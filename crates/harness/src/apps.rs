@@ -1,0 +1,286 @@
+//! Uniform driver for the six applications: workload preparation (input
+//! generation and partitioning, which the paper treats as given) and BSP
+//! execution on a chosen backend and processor count.
+
+use crate::paper::PaperRow;
+use bsp_graph::{build_locals, geometric_graph, msp_run, mst_run, partition_kd, sp_run, Graph};
+use bsp_matmul::{cannon_run, skewed_blocks, Mat};
+use bsp_nbody::{initial_partition, nbody_sim, plummer, SimConfig};
+use bsp_ocean::{ocean_run, CycleMode, MgParams, OceanConfig};
+use green_bsp::{run, BackendKind, Config, RunStats};
+use std::time::Duration;
+
+/// The six applications of §3, in the paper's presentation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum App {
+    /// §3.1 ocean eddy simulation.
+    Ocean,
+    /// §3.2 Barnes-Hut N-body.
+    Nbody,
+    /// §3.3 minimum spanning tree.
+    Mst,
+    /// §3.4 single-source shortest paths.
+    Sp,
+    /// §3.5 multiple shortest paths (25 sources).
+    Msp,
+    /// §3.6 dense matrix multiplication.
+    Matmult,
+}
+
+/// Deterministic workload seed shared by all experiments.
+pub const SEED: u64 = 9_601_996; // SPAA 1996
+
+/// The paper's 25 simultaneous sources for MSP.
+pub const MSP_SOURCES: usize = 25;
+
+impl App {
+    /// All six applications.
+    pub const ALL: [App; 6] = [
+        App::Ocean,
+        App::Nbody,
+        App::Mst,
+        App::Sp,
+        App::Msp,
+        App::Matmult,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Ocean => "ocean",
+            App::Nbody => "nbody",
+            App::Mst => "mst",
+            App::Sp => "sp",
+            App::Msp => "msp",
+            App::Matmult => "matmult",
+        }
+    }
+
+    /// Parse a name.
+    pub fn from_name(s: &str) -> Option<App> {
+        App::ALL.iter().copied().find(|a| a.name() == s)
+    }
+
+    /// The paper's Appendix C table for this application.
+    pub fn paper_table(self) -> &'static [PaperRow] {
+        match self {
+            App::Ocean => crate::paper::OCEAN,
+            App::Nbody => crate::paper::NBODY,
+            App::Mst => crate::paper::MST,
+            App::Sp => crate::paper::SP,
+            App::Msp => crate::paper::MSP,
+            App::Matmult => crate::paper::MATMULT,
+        }
+    }
+
+    /// Problem sizes the paper ran.
+    pub fn paper_sizes(self) -> &'static [usize] {
+        match self {
+            App::Ocean => &[66, 130, 258, 514],
+            App::Nbody => &[1_000, 4_000, 16_000, 64_000, 256_000],
+            App::Mst | App::Sp | App::Msp => &[2_500, 10_000, 40_000],
+            App::Matmult => &[144, 288, 432, 576],
+        }
+    }
+
+    /// Reduced sizes for quick runs.
+    pub fn quick_sizes(self) -> &'static [usize] {
+        match self {
+            App::Ocean => &[66, 130],
+            App::Nbody => &[1_000, 4_000, 16_000],
+            App::Mst | App::Sp | App::Msp => &[2_500, 10_000],
+            App::Matmult => &[144, 288],
+        }
+    }
+
+    /// Processor counts the paper swept for this application.
+    pub fn procs(self) -> &'static [usize] {
+        match self {
+            App::Matmult => &[1, 4, 9, 16],
+            _ => &[1, 2, 4, 8, 16],
+        }
+    }
+
+    /// The large size used in Figures 3.1 / 3.2.
+    pub fn headline_size(self) -> usize {
+        match self {
+            App::Ocean => 514,
+            App::Nbody => 64_000,
+            App::Mst | App::Sp | App::Msp => 40_000,
+            App::Matmult => 576,
+        }
+    }
+}
+
+/// A prepared (but not yet partitioned) input.
+pub enum Workload {
+    /// Ocean configuration for the given interior size.
+    Ocean(OceanConfig),
+    /// Plummer bodies.
+    Nbody(Vec<bsp_nbody::Body>),
+    /// Geometric random graph `G(δ)`.
+    Graph(Graph),
+    /// Input matrices.
+    Mat(Mat, Mat),
+}
+
+/// Ocean harness configuration for a paper size label: adaptive multigrid
+/// (the paper-faithful mode whose cycle count shrinks as the CFL time step
+/// shrinks with resolution).
+fn ocean_cfg(paper_size: usize) -> OceanConfig {
+    OceanConfig {
+        steps: 3,
+        mg: MgParams {
+            mode: CycleMode::Adaptive {
+                rel_tol: 1e-5,
+                max: 10,
+            },
+            ..MgParams::default()
+        },
+        ..OceanConfig::new(paper_size - 2)
+    }
+}
+
+/// Generate the input for `(app, size)`. Deterministic in [`SEED`].
+pub fn prepare(app: App, size: usize) -> Workload {
+    match app {
+        App::Ocean => Workload::Ocean(ocean_cfg(size)),
+        App::Nbody => Workload::Nbody(plummer(size, SEED)),
+        App::Mst | App::Sp | App::Msp => Workload::Graph(geometric_graph(size, SEED)),
+        App::Matmult => Workload::Mat(
+            Mat::random(size, size, SEED),
+            Mat::random(size, size, SEED + 1),
+        ),
+    }
+}
+
+/// Run `(app, workload)` on `p` processors with the given library
+/// implementation. Partitioning happens outside the timed region, as the
+/// paper assumes pre-partitioned inputs. Returns the run statistics and
+/// host wall time.
+pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunStats, Duration) {
+    let cfg = Config::new(p).backend(backend);
+    match (app, wl) {
+        (App::Ocean, Workload::Ocean(ocfg)) => {
+            let out = run(&cfg, |ctx| {
+                let r = ocean_run(ctx, ocfg);
+                r.kinetic_energy
+            });
+            (out.stats, out.wall)
+        }
+        (App::Nbody, Workload::Nbody(bodies)) => {
+            let (parts, cuts) = initial_partition(bodies, p);
+            let sim = SimConfig::default();
+            let n = bodies.len();
+            let out = run(&cfg, |ctx| {
+                let r = nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, &sim);
+                r.bodies.len()
+            });
+            (out.stats, out.wall)
+        }
+        (App::Mst, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            let out = run(&cfg, |ctx| {
+                mst_run(ctx, &locals[ctx.pid()], &owner).total_weight
+            });
+            (out.stats, out.wall)
+        }
+        (App::Sp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            let out = run(&cfg, |ctx| {
+                sp_run(ctx, &locals[ctx.pid()], 0, bsp_graph::DEFAULT_WORK_FACTOR)
+                    .dist
+                    .len()
+            });
+            (out.stats, out.wall)
+        }
+        (App::Msp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            let sources: Vec<u32> = (0..MSP_SOURCES)
+                .map(|i| ((i * g.n) / MSP_SOURCES) as u32)
+                .collect();
+            let out = run(&cfg, |ctx| {
+                msp_run(
+                    ctx,
+                    &locals[ctx.pid()],
+                    &sources,
+                    bsp_graph::DEFAULT_WORK_FACTOR,
+                )
+                .pops
+            });
+            (out.stats, out.wall)
+        }
+        (App::Matmult, Workload::Mat(a, b)) => {
+            let blocks = skewed_blocks(a, b, p);
+            let out = run(&cfg, |ctx| {
+                let (ab, bb) = blocks[ctx.pid()].clone();
+                cannon_run(ctx, ab, bb).data[0]
+            });
+            (out.stats, out.wall)
+        }
+        _ => unreachable!("workload does not match app"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_runs_at_tiny_scale() {
+        for app in App::ALL {
+            let size = match app {
+                App::Ocean => 34, // interior 32
+                App::Nbody => 200,
+                App::Matmult => 48,
+                _ => 300,
+            };
+            let wl = prepare(app, size);
+            for p in [1usize, 4] {
+                let (stats, _) = execute(app, &wl, p, BackendKind::Shared);
+                assert!(stats.s() >= 1, "{} produced no supersteps", app.name());
+                if p > 1 && app != App::Matmult {
+                    assert!(
+                        stats.h_total() > 0,
+                        "{} sent no packets at p={p}",
+                        app.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn superstep_structure_matches_paper_shape() {
+        // N-body: S = 6 per iteration; matmult: S = 2√p − 1.
+        let wl = prepare(App::Nbody, 500);
+        let (stats, _) = execute(App::Nbody, &wl, 4, BackendKind::Shared);
+        assert_eq!(stats.s(), 6);
+        let wl = prepare(App::Matmult, 48);
+        let (stats, _) = execute(App::Matmult, &wl, 16, BackendKind::Shared);
+        assert_eq!(stats.s(), 7);
+    }
+
+    #[test]
+    fn seqsim_and_shared_agree_on_algorithmic_quantities() {
+        for app in [App::Mst, App::Sp, App::Matmult] {
+            let size = if app == App::Matmult { 48 } else { 400 };
+            let wl = prepare(app, size);
+            let (a, _) = execute(app, &wl, 4, BackendKind::Shared);
+            let (b, _) = execute(app, &wl, 4, BackendKind::SeqSim);
+            assert_eq!(a.s(), b.s(), "{}", app.name());
+            assert_eq!(a.h_total(), b.h_total(), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn app_names_roundtrip() {
+        for app in App::ALL {
+            assert_eq!(App::from_name(app.name()), Some(app));
+        }
+        assert_eq!(App::from_name("bogus"), None);
+    }
+}

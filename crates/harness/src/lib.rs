@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation from our implementations.
+//!
+//! The pipeline per experiment point is the paper's own (§3 and DESIGN.md
+//! §2): run the application on the shared-memory backend (exact `H` and
+//! `S`, host wall time), run it on the single-processor simulation backend
+//! (clean work depth `W` and total work), then evaluate Equation (1) with
+//! each target machine's `(g, L)` from Figure 2.1 and a per-(app, machine)
+//! compute-scale calibrated against the paper's 1-processor times.
+//!
+//! The `report` binary prints any figure: `report fig2_1`, `report c4`,
+//! `report all`, with `--full` for the paper's complete problem sizes.
+
+pub mod apps;
+pub mod measure;
+pub mod paper;
+pub mod tables;
+
+pub use apps::{execute, prepare, App, Workload};
+pub use measure::{measure, sweep, Measurement, Sweep};

@@ -1,0 +1,83 @@
+//! `report` — regenerate the paper's tables and figures.
+//!
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6] [--full]`
+//!
+//! Default sizes are reduced for quick runs; `--full` sweeps the paper's
+//! complete problem sizes (several minutes).
+
+use bsp_harness::apps::App;
+use bsp_harness::measure::{sweep, Sweep};
+use bsp_harness::tables;
+
+fn sizes_for(app: App, full: bool) -> &'static [usize] {
+    if full {
+        app.paper_sizes()
+    } else {
+        app.quick_sizes()
+    }
+}
+
+fn sweep_app(app: App, full: bool) -> Sweep {
+    eprintln!(
+        "sweeping {} ({} mode)...",
+        app.name(),
+        if full { "full" } else { "quick" }
+    );
+    sweep(app, sizes_for(app, full), true)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let c_for = |app: App| {
+        let sw = sweep_app(app, full);
+        tables::c_table(&sw);
+    };
+
+    match what.as_str() {
+        "fig2_1" => tables::fig2_1(),
+        "fig1_1" => {
+            // Figure 1.1 needs Ocean size 130.
+            let sw = sweep(App::Ocean, &[66, 130], true);
+            tables::fig1_1(&sw);
+        }
+        "fig3_1" | "fig3_2" => {
+            let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
+            if what == "fig3_1" {
+                tables::fig3_1(&sweeps);
+            } else {
+                tables::fig3_2(&sweeps);
+            }
+        }
+        "c1" => c_for(App::Ocean),
+        "c2" => c_for(App::Mst),
+        "c3" => c_for(App::Matmult),
+        "c4" => c_for(App::Nbody),
+        "c5" => c_for(App::Sp),
+        "c6" => c_for(App::Msp),
+        "all" => {
+            tables::fig2_1();
+            let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
+            let ocean = &sweeps[0];
+            if ocean.get(130, 2).is_some() {
+                tables::fig1_1(ocean);
+            }
+            tables::fig3_1(&sweeps);
+            tables::fig3_2(&sweeps);
+            for sw in &sweeps {
+                tables::c_table(sw);
+            }
+        }
+        other => {
+            eprintln!("unknown figure '{other}'");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6] [--full]");
+            std::process::exit(2);
+        }
+    }
+}

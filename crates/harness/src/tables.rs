@@ -1,0 +1,317 @@
+//! Table printers: one per figure of the paper, printing our measured /
+//! predicted values side by side with the paper's published numbers.
+
+use crate::apps::App;
+use crate::measure::Sweep;
+use green_bsp::{run, BackendKind, Config, Machine, Packet, CENJU, PC_LAN, SGI};
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:8.2}"))
+        .unwrap_or_else(|| format!("{:>8}", "-"))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2.1 — BSP system parameters
+// ---------------------------------------------------------------------------
+
+/// Measure `L` (µs): mean superstep time when every processor sends a
+/// single packet.
+pub fn measure_l(backend: BackendKind, p: usize) -> f64 {
+    let reps = 200;
+    let out = run(&Config::new(p).backend(backend), |ctx| {
+        let dest = (ctx.pid() + 1) % ctx.nprocs();
+        for _ in 0..reps {
+            ctx.send_pkt(dest, Packet::ZERO);
+            ctx.sync();
+            while ctx.get_pkt().is_some() {}
+        }
+    });
+    out.wall.as_secs_f64() * 1e6 / reps as f64
+}
+
+/// Measure `g` (µs per 16-byte packet): time per packet of a large
+/// total-exchange superstep, with the latency portion removed.
+pub fn measure_g(backend: BackendKind, p: usize, l_us: f64) -> f64 {
+    let reps = 10;
+    let per_pair = 20_000 / p;
+    let out = run(&Config::new(p).backend(backend), |ctx| {
+        let me = ctx.pid();
+        let p = ctx.nprocs();
+        for _ in 0..reps {
+            for dest in 0..p {
+                if dest != me || p == 1 {
+                    for i in 0..per_pair {
+                        ctx.send_pkt(dest, Packet::two_u64(i as u64, 0));
+                    }
+                }
+            }
+            ctx.sync();
+            let mut sum = 0u64;
+            while let Some(pkt) = ctx.get_pkt() {
+                sum = sum.wrapping_add(pkt.as_two_u64().0);
+            }
+            std::hint::black_box(sum);
+        }
+    });
+    let h = if p == 1 { per_pair } else { (p - 1) * per_pair } as f64;
+    let per_step_us = out.wall.as_secs_f64() * 1e6 / reps as f64;
+    ((per_step_us - l_us) / h).max(0.0)
+}
+
+/// Figure 2.1: BSP parameters of the paper's machines and of our library
+/// implementations on this host.
+pub fn fig2_1() {
+    println!("=== Figure 2.1: BSP system parameters (g in µs/packet, L in µs) ===\n");
+    println!("Paper:");
+    println!(
+        "{:>7} | {:>7} {:>9} | {:>7} {:>9} | {:>7} {:>9}",
+        "nprocs", "SGI g", "SGI L", "Cenju g", "Cenju L", "PC g", "PC L"
+    );
+    for &p in &[1usize, 2, 4, 8, 9, 16] {
+        let (gs, ls) = SGI.g_l(p);
+        let (gc, lc) = CENJU.g_l(p);
+        let pc = if PC_LAN.supports(p) {
+            let (g, l) = PC_LAN.g_l(p);
+            format!("{g:>7.2} {l:>9.0}")
+        } else {
+            format!("{:>7} {:>9}", "-", "-")
+        };
+        println!("{p:>7} | {gs:>7.2} {ls:>9.0} | {gc:>7.2} {lc:>9.0} | {pc}");
+    }
+    println!("\nThis host (per library implementation):");
+    println!(
+        "{:>7} | {:>24} | {:>24} | {:>24}",
+        "nprocs", "shared g/L", "msgpass g/L", "tcpsim g/L"
+    );
+    for &p in &[1usize, 2, 4, 8, 16] {
+        let mut cols = Vec::new();
+        for backend in [
+            BackendKind::Shared,
+            BackendKind::MsgPass,
+            BackendKind::TcpSim,
+        ] {
+            let l = measure_l(backend, p);
+            let g = measure_g(backend, p, l);
+            cols.push(format!("{g:>10.4} {l:>12.1}"));
+        }
+        println!("{:>7} | {} | {} | {}", p, cols[0], cols[1], cols[2]);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1.1 — Ocean size 130 breakpoint analysis
+// ---------------------------------------------------------------------------
+
+/// Figure 1.1: actual (paper) and predicted times plus predicted
+/// communication times for Ocean size 130 on the high-latency machines.
+pub fn fig1_1(ocean: &Sweep) {
+    println!("=== Figure 1.1: Ocean (size 130) actual vs predicted ===\n");
+    for machine in [&PC_LAN, &CENJU] {
+        let scale = ocean.calibration(App::Ocean.paper_table(), machine);
+        println!(
+            "{} (compute scale {:.2}):\n{:>6} {:>12} {:>12} {:>12}",
+            machine.name, scale, "nprocs", "paper time", "our pred", "pred comm"
+        );
+        for &p in App::Ocean.procs() {
+            if !machine.supports(p) {
+                continue;
+            }
+            let Some(m) = ocean.get(130, p) else { continue };
+            let pred = ocean.predict_on(m, machine, scale);
+            let paper = crate::paper::lookup(App::Ocean.paper_table(), 130, p).and_then(|r| {
+                if machine.name == "Cenju" {
+                    r.cenju
+                } else {
+                    r.pc
+                }
+            });
+            println!(
+                "{:>6} {:>12} {:>12.2} {:>12.2}",
+                p,
+                opt(paper),
+                pred.total(),
+                pred.comm()
+            );
+        }
+        // The paper's headline observations for this figure.
+        let t = |p: usize| {
+            ocean
+                .get(130, p)
+                .map(|m| ocean.predict_on(m, machine, scale).total())
+        };
+        if machine.name == "PC" {
+            if let (Some(t2), Some(t4), Some(t8)) = (t(2), t(4), t(8)) {
+                println!(
+                    "  -> gain from 2 to 4 PCs: {:.0}% (paper: little); 8 PCs vs 4: {:+.0}% (paper: severe degradation)",
+                    (t2 / t4 - 1.0) * 100.0,
+                    (t8 / t4 - 1.0) * 100.0
+                );
+            }
+        } else if let (Some(t4), Some(t16)) = (t(4), t(16)) {
+            println!(
+                "  -> Cenju gain from 4 to 16 procs: {:.0}% (paper: not much improvement past 4)",
+                (t4 / t16 - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3.1 — speed-up summary
+// ---------------------------------------------------------------------------
+
+/// Model speed-up of `sweep` on `machine` at its largest processor count.
+fn model_speedup(sw: &Sweep, machine: &Machine, size: usize, p: usize) -> Option<f64> {
+    let scale = sw.calibration(sw.app.paper_table(), machine);
+    let m1 = sw.get(size, 1)?;
+    let mp = sw.get(size, p)?;
+    Some(sw.predict_on(m1, machine, scale).total() / sw.predict_on(mp, machine, scale).total())
+}
+
+/// Figure 3.1: speed-up summary at the largest measured size.
+pub fn fig3_1(sweeps: &[Sweep]) {
+    println!("=== Figure 3.1: speed-up summary (largest measured size) ===\n");
+    println!(
+        "{:<10} {:>7} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "app", "size", "SGI ours", "paper", "Cenju our", "paper", "PC ours", "paper"
+    );
+    for sw in sweeps {
+        let size = sw.max_size();
+        let table = sw.app.paper_table();
+        let p16 = *sw.app.procs().last().unwrap();
+        let paper_spdp = |m: &Machine, p: usize| -> Option<f64> {
+            let r1 = crate::paper::lookup(table, size, 1)?;
+            let rp = crate::paper::lookup(table, size, p)?;
+            let pick = |r: &crate::paper::PaperRow| match m.name {
+                "SGI" => r.sgi,
+                "Cenju" => r.cenju,
+                _ => r.pc,
+            };
+            Some(pick(r1)? / pick(rp)?)
+        };
+        let pc_p = if sw.app == App::Matmult { 4 } else { 8 };
+        println!(
+            "{:<10} {:>7} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+            sw.app.name(),
+            size,
+            opt(model_speedup(sw, &SGI, size, p16)),
+            opt(paper_spdp(&SGI, p16)),
+            opt(model_speedup(sw, &CENJU, size, p16)),
+            opt(paper_spdp(&CENJU, p16)),
+            opt(model_speedup(sw, &PC_LAN, size, pc_p)),
+            opt(paper_spdp(&PC_LAN, pc_p)),
+        );
+    }
+    println!("\n(model speed-ups: Equation (1) applied to our measured W/H/S with the");
+    println!(" paper's g/L; paper speed-ups: ratio of its measured times)\n");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3.2 — algorithmic and model summaries at 16 processors
+// ---------------------------------------------------------------------------
+
+/// Figure 3.2: algorithmic and model summary at the largest measured size
+/// on the emulated 16-processor SGI.
+pub fn fig3_2(sweeps: &[Sweep]) {
+    println!("=== Figure 3.2: algorithmic/model summary, 16-proc SGI scale ===\n");
+    println!(
+        "{:<10} {:>7} | {:>9} {:>9} | {:>10} {:>10} | {:>6} {:>6} | {:>9} {:>9}",
+        "app",
+        "size",
+        "our pred",
+        "paper t",
+        "our H",
+        "paper H",
+        "our S",
+        "pap S",
+        "our TWk",
+        "pap TWk"
+    );
+    for sw in sweeps {
+        let size = sw.max_size();
+        let p16 = *sw.app.procs().last().unwrap();
+        let Some(m) = sw.get(size, p16) else { continue };
+        let scale = sw.calibration(sw.app.paper_table(), &SGI);
+        let pred = sw.predict_on(m, &SGI, scale).total();
+        let row = crate::paper::lookup(sw.app.paper_table(), size, p16);
+        println!(
+            "{:<10} {:>7} | {:>9.2} {:>9} | {:>10} {:>10} | {:>6} {:>6} | {:>9.2} {:>9}",
+            sw.app.name(),
+            size,
+            pred,
+            opt(row.and_then(|r| r.sgi)),
+            m.h,
+            row.map(|r| r.h.to_string()).unwrap_or_default(),
+            m.s,
+            row.map(|r| r.s.to_string()).unwrap_or_default(),
+            m.total_work_secs * scale,
+            row.map(|r| format!("{:8.2}", r.twk)).unwrap_or_default(),
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Appendix C tables
+// ---------------------------------------------------------------------------
+
+/// Full Appendix-C-style data table for one application.
+pub fn c_table(sw: &Sweep) {
+    let table = sw.app.paper_table();
+    println!(
+        "=== Figure C.x data: {} (ours vs paper) ===\n",
+        sw.app.name()
+    );
+    println!(
+        "{:>7} {:>3} | {:>9} {:>9} {:>9} | {:>10} {:>6} {:>9} | {:>8} {:>8} {:>8} | {:>10} {:>6}",
+        "size",
+        "np",
+        "predSGI",
+        "predCenju",
+        "predPC",
+        "H",
+        "S",
+        "W(host)",
+        "pap SGI",
+        "pap Cnj",
+        "pap PC",
+        "pap H",
+        "pap S"
+    );
+    let scales: Vec<(&Machine, f64)> = [&SGI, &CENJU, &PC_LAN]
+        .into_iter()
+        .map(|m| (m, sw.calibration(table, m)))
+        .collect();
+    for m in &sw.points {
+        let preds: Vec<String> = scales
+            .iter()
+            .map(|(machine, scale)| {
+                if machine.supports(m.nprocs) {
+                    format!("{:9.2}", sw.predict_on(m, machine, *scale).total())
+                } else {
+                    format!("{:>9}", "-")
+                }
+            })
+            .collect();
+        let row = crate::paper::lookup(table, m.size, m.nprocs);
+        println!(
+            "{:>7} {:>3} | {} {} {} | {:>10} {:>6} {:>9.4} | {:>8} {:>8} {:>8} | {:>10} {:>6}",
+            m.size,
+            m.nprocs,
+            preds[0],
+            preds[1],
+            preds[2],
+            m.h,
+            m.s,
+            m.w_secs,
+            row.map(|r| opt(r.sgi)).unwrap_or_default(),
+            row.map(|r| opt(r.cenju)).unwrap_or_default(),
+            row.map(|r| opt(r.pc)).unwrap_or_default(),
+            row.map(|r| r.h.to_string()).unwrap_or_default(),
+            row.map(|r| r.s.to_string()).unwrap_or_default(),
+        );
+    }
+    println!();
+}

@@ -1,0 +1,204 @@
+//! Dense matrices and the sequential blocked multiplication kernel.
+//!
+//! The paper's local computation is "a sequential blocked matrix
+//! multiplication algorithm"; this is the same kernel used both as the
+//! 1-processor baseline and as the per-block multiply inside Cannon.
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` entries.
+    pub data: Vec<f64>,
+}
+
+impl Mat {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Mat {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Pseudo-random matrix with entries in `[-1, 1)`, deterministic in `seed`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Mat {
+        // A tiny splitmix64 keeps this crate free of heavyweight deps in the
+        // hot path and bit-reproducible across platforms.
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Mat::from_fn(rows, cols, |_, _| {
+            (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Extract the `(bi, bj)` block of size `b × b` (requires `b` divides
+    /// both dimensions).
+    pub fn block(&self, bi: usize, bj: usize, b: usize) -> Mat {
+        let mut out = Mat::zeros(b, b);
+        for r in 0..b {
+            let src = (bi * b + r) * self.cols + bj * b;
+            out.data[r * b..(r + 1) * b].copy_from_slice(&self.data[src..src + b]);
+        }
+        out
+    }
+
+    /// Largest absolute difference against another matrix of equal shape.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Cache-block edge for the blocked kernel.
+const BLOCK: usize = 32;
+
+/// Blocked sequential multiply-accumulate: `c += a · b`.
+/// Loop order is i-k-j inside blocks, so the inner loop streams rows of `b`
+/// and `c` (unit stride) — the standard cache-friendly arrangement.
+pub fn blocked_matmul_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    assert_eq!(a.cols, b.rows);
+    assert_eq!((c.rows, c.cols), (a.rows, b.cols));
+    let (n, m, k) = (a.rows, b.cols, a.cols);
+    for i0 in (0..n).step_by(BLOCK) {
+        for k0 in (0..k).step_by(BLOCK) {
+            for j0 in (0..m).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(n);
+                let k1 = (k0 + BLOCK).min(k);
+                let j1 = (j0 + BLOCK).min(m);
+                for i in i0..i1 {
+                    for kk in k0..k1 {
+                        let aik = a.data[i * k + kk];
+                        let brow = &b.data[kk * m + j0..kk * m + j1];
+                        let crow = &mut c.data[i * m + j0..i * m + j1];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked sequential multiply: `a · b`.
+pub fn blocked_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows, b.cols);
+    blocked_matmul_acc(&mut c, a, b);
+    c
+}
+
+/// Triple-loop reference multiply (for validating the blocked kernel).
+pub fn matmul_naive(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols, b.rows);
+    let mut c = Mat::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let aik = a.at(i, kk);
+            for j in 0..b.cols {
+                *c.at_mut(i, j) += aik * b.at(kk, j);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_matches_naive() {
+        for n in [1usize, 2, 7, 31, 32, 33, 64, 100] {
+            let a = Mat::random(n, n, 1);
+            let b = Mat::random(n, n, 2);
+            let diff = blocked_matmul(&a, &b).max_abs_diff(&matmul_naive(&a, &b));
+            assert!(diff < 1e-12 * n as f64, "n={n}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Mat::random(13, 40, 3);
+        let b = Mat::random(40, 9, 4);
+        let c = blocked_matmul(&a, &b);
+        assert_eq!((c.rows, c.cols), (13, 9));
+        assert!(c.max_abs_diff(&matmul_naive(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 48;
+        let a = Mat::random(n, n, 5);
+        let id = Mat::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(blocked_matmul(&a, &id).max_abs_diff(&a), 0.0);
+        assert_eq!(blocked_matmul(&id, &a).max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = Mat::from_fn(6, 6, |r, c| (r * 10 + c) as f64);
+        let blk = m.block(1, 2, 2);
+        assert_eq!(blk.data, vec![24.0, 25.0, 34.0, 35.0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Mat::random(20, 20, 9);
+        let b = Mat::random(20, 20, 9);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_ne!(a, Mat::random(20, 20, 10));
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let n = 16;
+        let a = Mat::random(n, n, 11);
+        let b = Mat::random(n, n, 12);
+        let mut c = Mat::from_fn(n, n, |_, _| 1.0);
+        blocked_matmul_acc(&mut c, &a, &b);
+        let mut expect = matmul_naive(&a, &b);
+        for v in expect.data.iter_mut() {
+            *v += 1.0;
+        }
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+}

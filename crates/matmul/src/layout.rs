@@ -1,0 +1,125 @@
+//! Block distribution for Cannon's algorithm.
+//!
+//! The paper assumes the inputs are *initially partitioned* in the skewed
+//! layout: processor `i` (at grid position `x = ⌊i/√p⌋`, `y = i mod √p`)
+//! holds block `(x, (x+y) mod √p)` of `A` and block `((x+y) mod √p, y)` of
+//! `B`. [`unskewed_blocks`] provides the plain block-row/column layout for
+//! the skew-phase variant.
+
+// Index-based loops below mirror the papers' formulas (loop variables
+// participate in index arithmetic); clippy's iterator suggestions obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::kernel::Mat;
+
+/// Integer square root for perfect squares; panics otherwise.
+pub fn grid_side(p: usize) -> usize {
+    let q = (p as f64).sqrt().round() as usize;
+    assert_eq!(
+        q * q,
+        p,
+        "Cannon's algorithm needs a perfect-square p, got {p}"
+    );
+    q
+}
+
+/// Distribute `a` and `b` in the paper's pre-skewed layout. Entry `i` of the
+/// result is processor `i`'s `(A block, B block)`.
+pub fn skewed_blocks(a: &Mat, b: &Mat, p: usize) -> Vec<(Mat, Mat)> {
+    let q = grid_side(p);
+    let n = a.rows;
+    assert_eq!(n % q, 0, "block size must divide n ({n} / {q})");
+    let bsz = n / q;
+    (0..p)
+        .map(|i| {
+            let (x, y) = (i / q, i % q);
+            let ab = a.block(x, (x + y) % q, bsz);
+            let bb = b.block((x + y) % q, y, bsz);
+            (ab, bb)
+        })
+        .collect()
+}
+
+/// Distribute `a` and `b` in the plain (unskewed) block layout: processor
+/// `i` holds block `(x, y)` of both.
+pub fn unskewed_blocks(a: &Mat, b: &Mat, p: usize) -> Vec<(Mat, Mat)> {
+    let q = grid_side(p);
+    let n = a.rows;
+    assert_eq!(n % q, 0);
+    let bsz = n / q;
+    (0..p)
+        .map(|i| {
+            let (x, y) = (i / q, i % q);
+            (a.block(x, y, bsz), b.block(x, y, bsz))
+        })
+        .collect()
+}
+
+/// Reassemble per-processor `C` blocks (plain layout: processor `i` holds
+/// block `(x, y)`) into the full matrix.
+pub fn assemble_blocks(blocks: &[Mat], n: usize) -> Mat {
+    let p = blocks.len();
+    let q = grid_side(p);
+    let bsz = n / q;
+    let mut c = Mat::zeros(n, n);
+    for (i, blk) in blocks.iter().enumerate() {
+        let (x, y) = (i / q, i % q);
+        for r in 0..bsz {
+            let dst = (x * bsz + r) * n + y * bsz;
+            c.data[dst..dst + bsz].copy_from_slice(&blk.data[r * bsz..(r + 1) * bsz]);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_side_accepts_squares() {
+        assert_eq!(grid_side(1), 1);
+        assert_eq!(grid_side(4), 2);
+        assert_eq!(grid_side(9), 3);
+        assert_eq!(grid_side(16), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn grid_side_rejects_non_squares() {
+        grid_side(8);
+    }
+
+    #[test]
+    fn unskewed_roundtrip() {
+        let n = 12;
+        let a = Mat::random(n, n, 1);
+        let blocks: Vec<Mat> = unskewed_blocks(&a, &a, 9)
+            .into_iter()
+            .map(|(x, _)| x)
+            .collect();
+        assert_eq!(assemble_blocks(&blocks, n).max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn skewed_layout_matches_definition() {
+        let n = 6;
+        let a = Mat::from_fn(n, n, |r, c| (r * n + c) as f64);
+        let b = Mat::from_fn(n, n, |r, c| -((r * n + c) as f64));
+        let q = 3;
+        let blocks = skewed_blocks(&a, &b, q * q);
+        for i in 0..q * q {
+            let (x, y) = (i / q, i % q);
+            assert_eq!(
+                blocks[i].0,
+                a.block(x, (x + y) % q, n / q),
+                "A block of {i}"
+            );
+            assert_eq!(
+                blocks[i].1,
+                b.block((x + y) % q, y, n / q),
+                "B block of {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Dense matrix multiplication with Cannon's algorithm (paper §3.6).
+//!
+//! The paper multiplies two dense `n × n` matrices on a `√p × √p` logical
+//! grid: the inputs are assumed pre-skewed (processor `i` holds block
+//! `(x, x+y mod √p)` of `A` and `(x+y mod √p, y)` of `B`, with
+//! `x = ⌊i/√p⌋`, `y = i mod √p`), and the algorithm runs `√p` iterations of
+//! a local blocked multiply followed by sending the `A` block right and the
+//! `B` block down. The number of supersteps is `2√p − 1` and the
+//! communication cost is dominated by the h-relations.
+
+pub mod cannon;
+pub mod kernel;
+pub mod layout;
+
+pub use cannon::{cannon_run, cannon_run_with_skew};
+pub use kernel::{blocked_matmul, matmul_naive, Mat};
+pub use layout::{assemble_blocks, skewed_blocks, unskewed_blocks};

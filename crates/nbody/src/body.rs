@@ -1,0 +1,226 @@
+//! Bodies, bounding boxes, and the packet encodings used to move them.
+
+use crate::vec3::{v3, V3};
+use green_bsp::Packet;
+
+/// A point mass with state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: V3,
+    /// Velocity.
+    pub vel: V3,
+    /// Mass.
+    pub mass: f64,
+    /// Stable global identifier.
+    pub id: u32,
+}
+
+/// An axis-aligned box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub lo: V3,
+    /// Maximum corner.
+    pub hi: V3,
+}
+
+impl Aabb {
+    /// The empty box (inverted bounds), identity for [`Aabb::include`].
+    pub const EMPTY: Aabb = Aabb {
+        lo: v3(f64::MAX, f64::MAX, f64::MAX),
+        hi: v3(f64::MIN, f64::MIN, f64::MIN),
+    };
+
+    /// Grow to include a point.
+    pub fn include(&mut self, p: V3) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Union with another box.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Does the box contain the point (closed)?
+    pub fn contains(&self, p: V3) -> bool {
+        p.x >= self.lo.x
+            && p.x <= self.hi.x
+            && p.y >= self.lo.y
+            && p.y <= self.hi.y
+            && p.z >= self.lo.z
+            && p.z <= self.hi.z
+    }
+
+    /// Minimum distance from the box to a point (0 if inside).
+    pub fn dist_to_point(&self, p: V3) -> f64 {
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        let dz = (self.lo.z - p.z).max(0.0).max(p.z - self.hi.z);
+        v3(dx, dy, dz).norm()
+    }
+
+    /// Minimum distance between two boxes (0 if they intersect).
+    pub fn dist_to_box(&self, o: &Aabb) -> f64 {
+        let d = |alo: f64, ahi: f64, blo: f64, bhi: f64| (blo - ahi).max(0.0).max(alo - bhi);
+        v3(
+            d(self.lo.x, self.hi.x, o.lo.x, o.hi.x),
+            d(self.lo.y, self.hi.y, o.lo.y, o.hi.y),
+            d(self.lo.z, self.hi.z, o.lo.z, o.hi.z),
+        )
+        .norm()
+    }
+
+    /// Is the box empty (no point included yet)?
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x
+    }
+}
+
+/// Field indices for the 7-packet body migration encoding.
+const FIELDS: usize = 7;
+
+/// Encode a body as `7` packets: `[u32 field | u32 id | f64 value]`.
+/// Packets of one body may interleave arbitrarily with others in the BSP
+/// inbox, so every packet is self-describing.
+pub fn body_to_packets(b: &Body) -> [Packet; FIELDS] {
+    let vals = [b.pos.x, b.pos.y, b.pos.z, b.vel.x, b.vel.y, b.vel.z, b.mass];
+    std::array::from_fn(|f| Packet::tag_u32_f64(f as u32, b.id, vals[f]))
+}
+
+/// Accumulate body-field packets; call [`BodyAssembler::finish`] once the
+/// superstep's packets are drained.
+#[derive(Default)]
+pub struct BodyAssembler {
+    partial: std::collections::HashMap<u32, ([f64; FIELDS], u32)>,
+}
+
+impl BodyAssembler {
+    /// Feed one packet.
+    pub fn push(&mut self, pkt: Packet) {
+        let (field, id, val) = pkt.as_tag_u32_f64();
+        let e = self.partial.entry(id).or_insert(([0.0; FIELDS], 0));
+        e.0[field as usize] = val;
+        e.1 |= 1 << field;
+    }
+
+    /// Produce the completed bodies, sorted by id (determinism: the octree
+    /// and force accumulation orders then do not depend on arrival order).
+    pub fn finish(self) -> Vec<Body> {
+        let mut out: Vec<Body> = self
+            .partial
+            .into_iter()
+            .map(|(id, (v, mask))| {
+                assert_eq!(mask, (1 << FIELDS) - 1, "incomplete body {id}");
+                Body {
+                    pos: v3(v[0], v[1], v[2]),
+                    vel: v3(v[3], v[4], v[5]),
+                    mass: v[6],
+                    id,
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|b| b.id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_packet_roundtrip() {
+        let b = Body {
+            pos: v3(0.1, -0.2, 0.3),
+            vel: v3(1.0, 2.0, -3.0),
+            mass: 0.015625,
+            id: 77,
+        };
+        let mut asm = BodyAssembler::default();
+        for pkt in body_to_packets(&b) {
+            asm.push(pkt);
+        }
+        assert_eq!(asm.finish(), vec![b]);
+    }
+
+    #[test]
+    fn interleaved_bodies_reassemble_sorted() {
+        let bodies: Vec<Body> = (0..5)
+            .map(|i| Body {
+                pos: v3(i as f64, 0.0, 0.0),
+                vel: V3::ZERO,
+                mass: 1.0,
+                id: 100 - i,
+            })
+            .collect();
+        let mut pkts: Vec<Packet> = bodies.iter().flat_map(body_to_packets).collect();
+        // Simulate arbitrary arrival order.
+        pkts.reverse();
+        pkts.swap(0, 17);
+        let mut asm = BodyAssembler::default();
+        for p in pkts {
+            asm.push(p);
+        }
+        let got = asm.finish();
+        assert_eq!(got.len(), 5);
+        for w in got.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete body")]
+    fn missing_field_detected() {
+        let b = Body {
+            pos: V3::ZERO,
+            vel: V3::ZERO,
+            mass: 1.0,
+            id: 1,
+        };
+        let mut asm = BodyAssembler::default();
+        for pkt in body_to_packets(&b).into_iter().skip(1) {
+            asm.push(pkt);
+        }
+        let _ = asm.finish();
+    }
+
+    #[test]
+    fn aabb_distances() {
+        let mut b = Aabb::EMPTY;
+        assert!(b.is_empty());
+        b.include(v3(0.0, 0.0, 0.0));
+        b.include(v3(1.0, 1.0, 1.0));
+        assert!(!b.is_empty());
+        assert!(b.contains(v3(0.5, 0.5, 0.5)));
+        assert!(!b.contains(v3(1.5, 0.5, 0.5)));
+        assert_eq!(b.dist_to_point(v3(0.5, 0.5, 0.5)), 0.0);
+        assert_eq!(b.dist_to_point(v3(2.0, 0.5, 0.5)), 1.0);
+        let far = Aabb {
+            lo: v3(3.0, 0.0, 0.0),
+            hi: v3(4.0, 1.0, 1.0),
+        };
+        assert_eq!(b.dist_to_box(&far), 2.0);
+        assert_eq!(far.dist_to_box(&b), 2.0);
+        let overlapping = Aabb {
+            lo: v3(0.5, 0.5, 0.5),
+            hi: v3(2.0, 2.0, 2.0),
+        };
+        assert_eq!(b.dist_to_box(&overlapping), 0.0);
+    }
+
+    #[test]
+    fn aabb_union() {
+        let mut a = Aabb::EMPTY;
+        a.include(v3(0.0, 0.0, 0.0));
+        let mut b = Aabb::EMPTY;
+        b.include(v3(1.0, -1.0, 2.0));
+        let u = a.union(&b);
+        assert!(u.contains(v3(0.0, 0.0, 0.0)));
+        assert!(u.contains(v3(1.0, -1.0, 2.0)));
+    }
+}

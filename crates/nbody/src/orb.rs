@@ -1,0 +1,255 @@
+//! Orthogonal Recursive Bisection (ORB) — the paper's partitioning scheme
+//! for N-body ("we use the ORB partitioning scheme to partition the bodies
+//! among the processors", following Warren-Salmon and Liu-Bhatt).
+//!
+//! The cut tree recursively halves the processor set and splits the bodies
+//! proportionally by a median cut along the widest axis. The tree's *shape*
+//! is fully determined by the processor count, so only the `(axis, coord)`
+//! of each cut needs to be communicated — one packet per cut, `p − 1` cuts.
+
+use crate::body::{Aabb, Body};
+use crate::vec3::V3;
+
+/// An ORB cut tree over `nparts` processors: `nparts − 1` splits in
+/// preorder, with the canonical shape (left subtree gets `⌊n/2⌋` parts).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrbTree {
+    /// Number of parts (processors).
+    pub nparts: usize,
+    /// Preorder `(axis, coordinate)` list; empty when `nparts == 1`.
+    pub splits: Vec<(u8, f64)>,
+}
+
+impl OrbTree {
+    /// Build a cut tree from a point set (exact medians when given all
+    /// positions, approximate when given a sample).
+    pub fn build(points: &[V3], nparts: usize) -> OrbTree {
+        assert!(nparts >= 1);
+        let mut pts: Vec<V3> = points.to_vec();
+        let mut splits = Vec::with_capacity(nparts.saturating_sub(1));
+        build_rec(&mut pts, nparts, &mut splits);
+        OrbTree { nparts, splits }
+    }
+
+    /// The processor owning position `p`.
+    pub fn owner(&self, p: V3) -> usize {
+        let mut idx = 0usize;
+        let mut first = 0usize;
+        let mut parts = self.nparts;
+        while parts > 1 {
+            let (axis, coord) = self.splits[idx];
+            let nl = parts / 2;
+            if p.get(axis as usize) < coord {
+                idx += 1;
+                parts = nl;
+            } else {
+                idx += nl; // skip left subtree's nl−1 nodes plus this one
+                first += nl;
+                parts -= nl;
+            }
+        }
+        first
+    }
+
+    /// The axis-aligned region of every part, starting from `universe`.
+    pub fn boxes(&self, universe: Aabb) -> Vec<Aabb> {
+        let mut out = vec![universe; self.nparts];
+        boxes_rec(self, 0, 0, self.nparts, universe, &mut out);
+        out
+    }
+}
+
+fn build_rec(pts: &mut [V3], nparts: usize, splits: &mut Vec<(u8, f64)>) {
+    if nparts <= 1 {
+        return;
+    }
+    // Widest axis of the current point set.
+    let mut lo = V3::ZERO;
+    let mut hi = V3::ZERO;
+    if let Some((&f, rest)) = pts.split_first() {
+        lo = f;
+        hi = f;
+        for p in rest {
+            lo = lo.min(*p);
+            hi = hi.max(*p);
+        }
+    }
+    let ext = hi - lo;
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0u8
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+    let nl = nparts / 2;
+    let k = if pts.is_empty() {
+        0
+    } else {
+        (pts.len() * nl / nparts).min(pts.len() - 1)
+    };
+    if !pts.is_empty() {
+        pts.sort_unstable_by(|a, b| {
+            a.get(axis as usize)
+                .partial_cmp(&b.get(axis as usize))
+                .unwrap()
+        });
+    }
+    let coord = if pts.is_empty() {
+        0.0
+    } else {
+        pts[k].get(axis as usize)
+    };
+    splits.push((axis, coord));
+    let my_idx = splits.len(); // children follow in preorder
+    let split_at = pts
+        .iter()
+        .position(|p| p.get(axis as usize) >= coord)
+        .unwrap_or(pts.len());
+    let (left, right) = pts.split_at_mut(split_at);
+    build_rec(left, nl, splits);
+    debug_assert_eq!(splits.len(), my_idx + nl - 1);
+    build_rec(right, nparts - nl, splits);
+}
+
+fn boxes_rec(t: &OrbTree, idx: usize, first: usize, parts: usize, bx: Aabb, out: &mut Vec<Aabb>) {
+    if parts == 1 {
+        out[first] = bx;
+        return;
+    }
+    let (axis, coord) = t.splits[idx];
+    let nl = parts / 2;
+    let mut lbox = bx;
+    let mut rbox = bx;
+    lbox.hi.set(axis as usize, coord);
+    rbox.lo.set(axis as usize, coord);
+    boxes_rec(t, idx + 1, first, nl, lbox, out);
+    boxes_rec(t, idx + nl, first + nl, parts - nl, rbox, out);
+}
+
+/// Exact initial partition: build the cut tree from every body position and
+/// deal the bodies out. Returns per-processor body lists (each sorted by
+/// id) and the cut tree, which the simulation keeps for owner lookups.
+pub fn initial_partition(bodies: &[Body], nparts: usize) -> (Vec<Vec<Body>>, OrbTree) {
+    let pts: Vec<V3> = bodies.iter().map(|b| b.pos).collect();
+    let tree = OrbTree::build(&pts, nparts);
+    let mut parts: Vec<Vec<Body>> = vec![Vec::new(); nparts];
+    for b in bodies {
+        parts[tree.owner(b.pos)].push(*b);
+    }
+    for part in parts.iter_mut() {
+        part.sort_unstable_by_key(|b| b.id);
+    }
+    (parts, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plummer::plummer;
+    use crate::vec3::v3;
+
+    #[test]
+    fn owner_is_total_and_balanced() {
+        let bodies = plummer(4000, 3);
+        for p in [1usize, 2, 3, 4, 7, 8, 16] {
+            let (parts, tree) = initial_partition(&bodies, p);
+            assert_eq!(tree.splits.len(), p - 1);
+            let total: usize = parts.iter().map(|v| v.len()).sum();
+            assert_eq!(total, 4000);
+            let ideal = 4000 / p;
+            for (i, part) in parts.iter().enumerate() {
+                assert!(
+                    part.len() >= ideal / 2 && part.len() <= ideal * 2,
+                    "p={p}: part {i} has {} bodies (ideal {ideal})",
+                    part.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn owner_lookup_matches_partition() {
+        let bodies = plummer(1000, 7);
+        let (parts, tree) = initial_partition(&bodies, 8);
+        for (pid, part) in parts.iter().enumerate() {
+            for b in part {
+                assert_eq!(tree.owner(b.pos), pid);
+            }
+        }
+    }
+
+    #[test]
+    fn boxes_cover_their_bodies() {
+        let bodies = plummer(2000, 11);
+        let (parts, tree) = initial_partition(&bodies, 6);
+        let mut universe = Aabb::EMPTY;
+        for b in &bodies {
+            universe.include(b.pos);
+        }
+        let boxes = tree.boxes(universe);
+        for (pid, part) in parts.iter().enumerate() {
+            for b in part {
+                assert!(
+                    boxes[pid].contains(b.pos),
+                    "body {} outside its part box",
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boxes_tile_the_universe() {
+        // Every point of the universe belongs to exactly the box of its
+        // owner (boundaries may be shared; owner uses half-open cuts).
+        let bodies = plummer(500, 5);
+        let (_, tree) = initial_partition(&bodies, 5);
+        let mut universe = Aabb::EMPTY;
+        for b in &bodies {
+            universe.include(b.pos);
+        }
+        let boxes = tree.boxes(universe);
+        for b in &bodies {
+            let o = tree.owner(b.pos);
+            assert!(boxes[o].contains(b.pos));
+        }
+        // Probe random interior points too.
+        for i in 0..200 {
+            let t = i as f64 / 200.0;
+            let p = v3(
+                universe.lo.x + t * (universe.hi.x - universe.lo.x),
+                universe.lo.y + (1.0 - t) * (universe.hi.y - universe.lo.y),
+                universe.lo.z + t * (universe.hi.z - universe.lo.z),
+            );
+            let o = tree.owner(p);
+            assert!(boxes[o].contains(p));
+        }
+    }
+
+    #[test]
+    fn sample_based_tree_is_reasonably_balanced() {
+        let bodies = plummer(8000, 13);
+        // Build cuts from a 512-point sample, then partition all bodies.
+        let sample: Vec<V3> = bodies.iter().step_by(16).map(|b| b.pos).collect();
+        let tree = OrbTree::build(&sample, 8);
+        let mut counts = [0usize; 8];
+        for b in &bodies {
+            counts[tree.owner(b.pos)] += 1;
+        }
+        let ideal = 8000 / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > ideal / 2 && c < ideal * 2,
+                "sampled part {i}: {c} bodies vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_part_tree_is_trivial() {
+        let tree = OrbTree::build(&[v3(0.0, 0.0, 0.0)], 1);
+        assert!(tree.splits.is_empty());
+        assert_eq!(tree.owner(v3(5.0, -3.0, 2.0)), 0);
+    }
+}

@@ -1,0 +1,442 @@
+//! The BSP N-body driver (paper §3.2).
+//!
+//! Each iteration runs a fixed superstep script, so an iteration costs 5
+//! synchronizations (the paper reports `S = 6` for one iteration — 5 syncs
+//! plus the trailing force/integration superstep):
+//!
+//! 1. **bbox/load** — all-gather the local bounding box and body count;
+//!    everyone learns the universe box and the load imbalance.
+//! 2. **sample** — if the imbalance exceeds the threshold, ship position
+//!    samples to processor 0 (otherwise an empty superstep keeps the
+//!    script aligned; the paper likewise repartitions "only if the load
+//!    imbalance reaches a certain threshold").
+//! 3. **cuts** — processor 0 rebuilds the ORB cut tree from the samples and
+//!    broadcasts the `p − 1` cuts (empty when not repartitioning).
+//! 4. **migrate** — bodies whose ORB owner is elsewhere travel there.
+//! 5. **essential** — each pair of processors exchanges essential points;
+//!    then (superstep 6, no further communication) every processor builds
+//!    forces from its local BH tree plus the received points and
+//!    integrates one leapfrog step.
+
+// Index-based loops below mirror the papers' formulas (loop variables
+// participate in index arithmetic); clippy's iterator suggestions obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::body::{Aabb, Body, BodyAssembler};
+use crate::essential::{essential_points, MassPoint};
+use crate::octree::Octree;
+use crate::orb::OrbTree;
+use crate::vec3::{v3, V3};
+use green_bsp::{Ctx, Packet};
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Barnes-Hut opening angle.
+    pub theta: f64,
+    /// Plummer softening length.
+    pub eps: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Number of iterations.
+    pub iters: usize,
+    /// Repartition when `max_load / ideal_load` exceeds this.
+    pub rebalance_threshold: f64,
+    /// Sample positions each processor contributes to a repartition.
+    pub sample_per_proc: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            theta: 0.5,
+            eps: 0.05,
+            dt: 0.025,
+            iters: 1,
+            rebalance_threshold: 1.15,
+            sample_per_proc: 256,
+        }
+    }
+}
+
+/// Per-processor outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOut {
+    /// Final local bodies (sorted by id).
+    pub bodies: Vec<Body>,
+    /// Essential points received over the run.
+    pub essential_recv: u64,
+    /// Bodies that migrated away from this processor.
+    pub migrated_out: u64,
+    /// Number of repartitions performed.
+    pub repartitions: u32,
+}
+
+// Superstep-1 field tags.
+const F_XLO: u32 = 0;
+const F_YLO: u32 = 1;
+const F_ZLO: u32 = 2;
+const F_XHI: u32 = 3;
+const F_YHI: u32 = 4;
+const F_ZHI: u32 = 5;
+const F_CNT: u32 = 6;
+
+/// Run the simulation. `bodies` is this processor's share of an ORB
+/// partition with cut tree `cuts` (see [`crate::orb::initial_partition`]);
+/// `global_n` is the total body count.
+pub fn nbody_sim(
+    ctx: &mut Ctx,
+    mut bodies: Vec<Body>,
+    mut cuts: OrbTree,
+    global_n: usize,
+    cfg: &SimConfig,
+) -> SimOut {
+    let p = ctx.nprocs();
+    assert_eq!(cuts.nparts, p);
+    let me = ctx.pid();
+    let mut essential_recv = 0u64;
+    let mut migrated_out = 0u64;
+    let mut repartitions = 0u32;
+
+    for iter in 0..cfg.iters {
+        // ---- superstep 1: bbox + load all-gather ----
+        let mut local = Aabb::EMPTY;
+        for b in &bodies {
+            local.include(b.pos);
+        }
+        if local.is_empty() {
+            // Degenerate empty part: contribute a neutral point.
+            local.include(V3::ZERO);
+        }
+        let fields = [
+            (F_XLO, local.lo.x),
+            (F_YLO, local.lo.y),
+            (F_ZLO, local.lo.z),
+            (F_XHI, local.hi.x),
+            (F_YHI, local.hi.y),
+            (F_ZHI, local.hi.z),
+            (F_CNT, bodies.len() as f64),
+        ];
+        for dest in 0..p {
+            if dest != me {
+                for &(f, v) in &fields {
+                    ctx.send_pkt(dest, Packet::tag_u32_f64(f, 0, v));
+                }
+            }
+        }
+        ctx.sync();
+        let mut universe = local;
+        let mut max_load = bodies.len() as f64;
+        while let Some(pkt) = ctx.get_pkt() {
+            let (f, _, v) = pkt.as_tag_u32_f64();
+            match f {
+                F_XLO => universe.lo.x = universe.lo.x.min(v),
+                F_YLO => universe.lo.y = universe.lo.y.min(v),
+                F_ZLO => universe.lo.z = universe.lo.z.min(v),
+                F_XHI => universe.hi.x = universe.hi.x.max(v),
+                F_YHI => universe.hi.y = universe.hi.y.max(v),
+                F_ZHI => universe.hi.z = universe.hi.z.max(v),
+                F_CNT => max_load = max_load.max(v),
+                _ => unreachable!(),
+            }
+        }
+        let ideal = global_n as f64 / p as f64;
+        let rebalance = p > 1 && max_load > cfg.rebalance_threshold * ideal;
+
+        // ---- superstep 2: samples to processor 0 ----
+        if rebalance {
+            let stride = (bodies.len() / cfg.sample_per_proc).max(1);
+            for (i, b) in bodies.iter().step_by(stride).enumerate() {
+                let key = (me * cfg.sample_per_proc + i) as u32;
+                ctx.send_pkt(0, Packet::tag_u32_f64(key, 0, b.pos.x));
+                ctx.send_pkt(0, Packet::tag_u32_f64(key, 1, b.pos.y));
+                ctx.send_pkt(0, Packet::tag_u32_f64(key, 2, b.pos.z));
+            }
+        }
+        ctx.sync();
+
+        // ---- superstep 3: processor 0 rebuilds and broadcasts the cuts ----
+        if rebalance && me == 0 {
+            let mut pts: std::collections::HashMap<u32, [f64; 3]> =
+                std::collections::HashMap::new();
+            let mut mask: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+            while let Some(pkt) = ctx.get_pkt() {
+                let (key, axis, v) = pkt.as_tag_u32_f64();
+                pts.entry(key).or_insert([0.0; 3])[axis as usize] = v;
+                *mask.entry(key).or_insert(0) |= 1 << axis;
+            }
+            let sample: Vec<V3> = pts
+                .iter()
+                .filter(|(k, _)| mask[k] == 0b111)
+                .map(|(_, a)| v3(a[0], a[1], a[2]))
+                .collect();
+            let new_cuts = OrbTree::build(&sample, p);
+            for dest in 0..p {
+                for (i, &(axis, coord)) in new_cuts.splits.iter().enumerate() {
+                    ctx.send_pkt(dest, Packet::tag_u32_f64(i as u32, axis as u32, coord));
+                }
+            }
+        } else {
+            while ctx.get_pkt().is_some() {}
+        }
+        ctx.sync();
+        if rebalance {
+            let mut splits = vec![(0u8, 0.0f64); p - 1];
+            let mut got = 0;
+            while let Some(pkt) = ctx.get_pkt() {
+                let (i, axis, coord) = pkt.as_tag_u32_f64();
+                splits[i as usize] = (axis as u8, coord);
+                got += 1;
+            }
+            assert_eq!(got, p - 1, "incomplete cut broadcast");
+            cuts = OrbTree { nparts: p, splits };
+            repartitions += 1;
+        } else {
+            while ctx.get_pkt().is_some() {}
+        }
+
+        // ---- superstep 4: migrate strays to their ORB owners ----
+        let mut kept = Vec::with_capacity(bodies.len());
+        for b in bodies.drain(..) {
+            let owner = cuts.owner(b.pos);
+            if owner == me {
+                kept.push(b);
+            } else {
+                migrated_out += 1;
+                for pkt in crate::body::body_to_packets(&b) {
+                    ctx.send_pkt(owner, pkt);
+                }
+            }
+        }
+        ctx.sync();
+        let mut asm = BodyAssembler::default();
+        let mut any = false;
+        while let Some(pkt) = ctx.get_pkt() {
+            asm.push(pkt);
+            any = true;
+        }
+        bodies = kept;
+        if any {
+            bodies.extend(asm.finish());
+            bodies.sort_unstable_by_key(|b| b.id);
+        }
+
+        // ---- superstep 5: essential-point exchange ----
+        let tree = Octree::build(&bodies);
+        let boxes = cuts.boxes(universe);
+        for dest in 0..p {
+            if dest != me {
+                for mp in essential_points(&tree, &boxes[dest], cfg.theta) {
+                    ctx.send_pkt(dest, mp.to_packet());
+                }
+            }
+        }
+        ctx.sync();
+        let mut remote: Vec<MassPoint> = Vec::with_capacity(ctx.pkts_remaining());
+        while let Some(pkt) = ctx.get_pkt() {
+            remote.push(MassPoint::from_packet(pkt));
+        }
+        essential_recv += remote.len() as u64;
+
+        // ---- superstep 6 (local): forces + leapfrog kick-drift ----
+        // Merge the essential points into a second BH tree, so remote
+        // contributions are evaluated hierarchically too — the received
+        // points form a locally essential tree, as in Warren-Salmon; a flat
+        // direct sum over them would make per-body work grow with p.
+        let remote_bodies: Vec<Body> = remote
+            .iter()
+            .map(|mp| Body {
+                pos: mp.pos,
+                vel: V3::ZERO,
+                mass: mp.mass,
+                id: u32::MAX,
+            })
+            .collect();
+        let remote_tree = Octree::build(&remote_bodies);
+        let mut interactions = 0u64;
+        let accels: Vec<V3> = bodies
+            .iter()
+            .map(|b| {
+                let (local, c1) = tree.accel_with_count(b.pos, b.id, cfg.theta, cfg.eps);
+                let (far, c2) = remote_tree.accel_with_count(b.pos, b.id, cfg.theta, cfg.eps);
+                interactions += c1 + c2;
+                local + far
+            })
+            .collect();
+        ctx.charge(interactions + 20 * (bodies.len() + remote_bodies.len()) as u64);
+        drop(tree);
+        for (b, a) in bodies.iter_mut().zip(&accels) {
+            b.vel += *a * cfg.dt;
+            b.pos += b.vel * cfg.dt;
+        }
+        let _ = iter;
+    }
+
+    SimOut {
+        bodies,
+        essential_recv,
+        migrated_out,
+        repartitions,
+    }
+}
+
+/// One sequential Barnes-Hut step over all bodies (kick-drift), the
+/// 1-processor baseline.
+pub fn sequential_step(bodies: &mut [Body], cfg: &SimConfig) {
+    let accels: Vec<V3> = {
+        let tree = Octree::build(bodies);
+        bodies
+            .iter()
+            .map(|b| tree.accel(b.pos, b.id, cfg.theta, cfg.eps))
+            .collect()
+    };
+    for (b, a) in bodies.iter_mut().zip(&accels) {
+        b.vel += *a * cfg.dt;
+        b.pos += b.vel * cfg.dt;
+    }
+}
+
+/// Total energy (kinetic + BH-approximated potential) — a conservation
+/// diagnostic for tests and examples.
+pub fn total_energy(bodies: &[Body], theta: f64, eps: f64) -> f64 {
+    let tree = Octree::build(bodies);
+    let mut e = 0.0;
+    for b in bodies {
+        e += 0.5 * b.mass * b.vel.norm2();
+        e += 0.5 * b.mass * tree.potential(b.pos, b.id, theta, eps);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orb::initial_partition;
+    use crate::plummer::plummer;
+    use green_bsp::{run, Config};
+
+    fn run_parallel(n: usize, p: usize, cfg: &SimConfig, seed: u64) -> (Vec<Body>, Vec<SimOut>) {
+        let bodies = plummer(n, seed);
+        let (parts, cuts) = initial_partition(&bodies, p);
+        let out = run(&Config::new(p), |ctx| {
+            nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, cfg)
+        });
+        let mut all: Vec<Body> = out
+            .results
+            .iter()
+            .flat_map(|r| r.bodies.iter().copied())
+            .collect();
+        all.sort_unstable_by_key(|b| b.id);
+        (all, out.results)
+    }
+
+    #[test]
+    fn parallel_tracks_sequential_bh() {
+        let n = 600;
+        let cfg = SimConfig {
+            iters: 2,
+            ..SimConfig::default()
+        };
+        let mut seq = plummer(n, 3);
+        for _ in 0..cfg.iters {
+            sequential_step(&mut seq, &cfg);
+        }
+        for p in [1usize, 2, 4] {
+            let (par, _) = run_parallel(n, p, &cfg, 3);
+            assert_eq!(par.len(), n, "p={p}: body count conserved");
+            // Positions agree with the sequential BH evolution to within
+            // the f32 essential-point quantization and MAC differences.
+            let mut worst: f64 = 0.0;
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.id, b.id);
+                worst = worst.max((a.pos - b.pos).norm());
+            }
+            assert!(worst < 5e-4, "p={p}: worst position deviation {worst}");
+        }
+    }
+
+    #[test]
+    fn superstep_count_matches_paper_structure() {
+        // One iteration = 5 syncs + the trailing compute superstep = 6,
+        // exactly Figure C.4's S for the parallel runs.
+        let n = 200;
+        let bodies = plummer(n, 1);
+        for p in [2usize, 4] {
+            let (parts, cuts) = initial_partition(&bodies, p);
+            let out = run(&Config::new(p), |ctx| {
+                nbody_sim(
+                    ctx,
+                    parts[ctx.pid()].clone(),
+                    cuts.clone(),
+                    n,
+                    &SimConfig::default(),
+                )
+            });
+            assert_eq!(out.stats.s(), 6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mass_and_bodies_conserved_over_many_iters() {
+        let n = 400;
+        let cfg = SimConfig {
+            iters: 5,
+            ..SimConfig::default()
+        };
+        let (par, outs) = run_parallel(n, 4, &cfg, 7);
+        assert_eq!(par.len(), n);
+        let ids: Vec<u32> = par.iter().map(|b| b.id).collect();
+        assert_eq!(
+            ids,
+            (0..n as u32).collect::<Vec<_>>(),
+            "no body lost or duplicated"
+        );
+        let mass: f64 = par.iter().map(|b| b.mass).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+        let _ = outs;
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved() {
+        let n = 500;
+        let cfg = SimConfig {
+            iters: 8,
+            dt: 0.01,
+            ..SimConfig::default()
+        };
+        let before = total_energy(&plummer(n, 11), cfg.theta, cfg.eps);
+        let (par, _) = run_parallel(n, 4, &cfg, 11);
+        let after = total_energy(&par, cfg.theta, cfg.eps);
+        let drift = (after - before).abs() / before.abs();
+        assert!(drift < 0.05, "energy drift {drift} ({before} -> {after})");
+    }
+
+    #[test]
+    fn rebalancing_triggers_on_skewed_load() {
+        // Force a skewed initial partition by giving processor 0 everything:
+        // the first iteration must repartition and migrate bodies.
+        let n = 300;
+        let bodies = plummer(n, 5);
+        let (_, cuts) = initial_partition(&bodies, 2);
+        let cfg = SimConfig {
+            iters: 2,
+            ..SimConfig::default()
+        };
+        let out = run(&Config::new(2), |ctx| {
+            let mine = if ctx.pid() == 0 {
+                bodies.clone()
+            } else {
+                Vec::new()
+            };
+            nbody_sim(ctx, mine, cuts.clone(), n, &cfg)
+        });
+        assert!(out.results[0].repartitions >= 1);
+        assert!(out.results[0].migrated_out > 0);
+        let total: usize = out.results.iter().map(|r| r.bodies.len()).sum();
+        assert_eq!(total, n);
+        // After rebalancing, the load is reasonably even.
+        for r in &out.results {
+            assert!(r.bodies.len() > n / 4, "still skewed: {}", r.bodies.len());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Minimal 3-vector arithmetic for the N-body simulation.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-vector of `f64`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct V3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn v3(x: f64, y: f64, z: f64) -> V3 {
+    V3 { x, y, z }
+}
+
+impl V3 {
+    /// The zero vector.
+    pub const ZERO: V3 = v3(0.0, 0.0, 0.0);
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: V3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Component by axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn get(self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        }
+    }
+
+    /// Set component by axis index.
+    #[inline]
+    pub fn set(&mut self, axis: usize, v: f64) {
+        match axis {
+            0 => self.x = v,
+            1 => self.y = v,
+            _ => self.z = v,
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: V3) -> V3 {
+        v3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: V3) -> V3 {
+        v3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+}
+
+impl Add for V3 {
+    type Output = V3;
+    #[inline]
+    fn add(self, o: V3) -> V3 {
+        v3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for V3 {
+    #[inline]
+    fn add_assign(&mut self, o: V3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for V3 {
+    type Output = V3;
+    #[inline]
+    fn sub(self, o: V3) -> V3 {
+        v3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for V3 {
+    #[inline]
+    fn sub_assign(&mut self, o: V3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for V3 {
+    type Output = V3;
+    #[inline]
+    fn mul(self, s: f64) -> V3 {
+        v3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for V3 {
+    type Output = V3;
+    #[inline]
+    fn div(self, s: f64) -> V3 {
+        v3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for V3 {
+    type Output = V3;
+    #[inline]
+    fn neg(self) -> V3 {
+        v3(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = v3(1.0, 2.0, 3.0);
+        let b = v3(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, v3(0.0, 2.5, 5.0));
+        assert_eq!(a - b, v3(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, v3(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, v3(0.5, 1.0, 1.5));
+        assert_eq!(-a, v3(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), -1.0 + 1.0 + 6.0);
+        assert_eq!(v3(3.0, 4.0, 0.0).norm(), 5.0);
+    }
+
+    #[test]
+    fn axis_accessors() {
+        let mut a = V3::ZERO;
+        for axis in 0..3 {
+            a.set(axis, axis as f64 + 1.0);
+        }
+        assert_eq!(a, v3(1.0, 2.0, 3.0));
+        assert_eq!(a.get(2), 3.0);
+    }
+
+    #[test]
+    fn minmax() {
+        let a = v3(1.0, 5.0, -2.0);
+        let b = v3(2.0, 0.0, -1.0);
+        assert_eq!(a.min(b), v3(1.0, 0.0, -2.0));
+        assert_eq!(a.max(b), v3(2.0, 5.0, -1.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! The ocean eddy simulation driver (paper §3.1).
+//!
+//! A barotropic wind-driven gyre on the unit-square basin: the β-plane
+//! vorticity equation advanced explicitly, with the streamfunction
+//! recovered from `∇²ψ = ζ` by the distributed multigrid solver each step.
+//! This is the same computational structure as the SPLASH Ocean port the
+//! paper used — a long sequence of small ghost-exchange supersteps, which
+//! is what makes Ocean the application where high-latency machines only
+//! catch up at large problem sizes (Figure 1.1).
+//!
+//! The time step scales with the cell width (CFL), so on finer grids the
+//! previous streamfunction is a better initial guess and the adaptive
+//! solver needs fewer cycles per step — the mechanism behind the paper's
+//! observation that "the number of supersteps actually decreases with
+//! increasing problem size".
+
+use crate::grid::{apply_boundary, exchange_ghosts, Hierarchy};
+use crate::multigrid::{solve, MgParams, MgWorkspace};
+use crate::stencil::{kinetic_energy_local, vorticity_step};
+use green_bsp::{collectives, Ctx};
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OceanConfig {
+    /// Interior grid cells per side (power of two; the paper's "size" is
+    /// `n + 2` including the boundary ring).
+    pub n: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// CFL number: `dt = cfl · h`.
+    pub cfl: f64,
+    /// β (planetary vorticity gradient).
+    pub beta: f64,
+    /// Wind-stress curl amplitude.
+    pub wind: f64,
+    /// Bottom friction.
+    pub mu: f64,
+    /// Lateral viscosity.
+    pub nu: f64,
+    /// Multigrid parameters.
+    pub mg: MgParams,
+}
+
+impl OceanConfig {
+    /// Defaults for interior size `n`.
+    pub fn new(n: usize) -> OceanConfig {
+        OceanConfig {
+            n,
+            steps: 3,
+            cfl: 0.2,
+            beta: 5.0,
+            wind: 2.0,
+            mu: 0.3,
+            nu: 2e-4,
+            mg: MgParams::default(),
+        }
+    }
+
+    /// The paper's "problem size" label (interior + boundary ring).
+    pub fn paper_size(&self) -> usize {
+        self.n + 2
+    }
+}
+
+/// Per-processor outcome.
+#[derive(Clone, Debug)]
+pub struct OceanOut {
+    /// Global kinetic energy at the end of the run.
+    pub kinetic_energy: f64,
+    /// Global checksum `Σ ψ · h²`.
+    pub psi_integral: f64,
+    /// Total V-cycles used by the streamfunction solves.
+    pub cycles: u64,
+    /// My block of the final streamfunction, row-major `rows × cols`
+    /// (interior only), with the block coordinates `(r0, c0, rows, cols)`.
+    pub psi_block: (usize, usize, usize, usize, Vec<f64>),
+}
+
+/// Run the simulation on the calling BSP process.
+pub fn ocean_run(ctx: &mut Ctx, cfg: &OceanConfig) -> OceanOut {
+    let hier = Hierarchy::new(ctx.pid(), ctx.nprocs(), cfg.n, 8);
+    let l = hier.levels[0];
+    let dt = cfg.cfl * l.h;
+    let mut ws = MgWorkspace::new(&hier);
+    let mut zeta = l.zeros();
+    let mut zeta_new = l.zeros();
+    let mut cycles = 0u64;
+
+    // ψ lives in ws.u[0]; start from rest with consistent ghosts.
+    apply_boundary(&hier, 0, &mut ws.u[0]);
+    apply_boundary(&hier, 0, &mut zeta);
+
+    for _ in 0..cfg.steps {
+        // Fresh ghosts for the advection stencils.
+        exchange_ghosts(ctx, &hier, 0, &mut ws.u[0]);
+        exchange_ghosts(ctx, &hier, 0, &mut zeta);
+        vorticity_step(
+            &l,
+            &ws.u[0],
+            &zeta,
+            &mut zeta_new,
+            dt,
+            cfg.beta,
+            cfg.wind,
+            cfg.mu,
+            cfg.nu,
+        );
+        ctx.charge((l.rows * l.cols) as u64);
+        std::mem::swap(&mut zeta, &mut zeta_new);
+        // Solve ∇²ψ = ζ with the previous ψ as the initial guess.
+        ws.f[0].copy_from_slice(&zeta);
+        cycles += solve(ctx, &hier, &mut ws, &cfg.mg) as u64;
+    }
+
+    // Diagnostics (fresh ψ ghosts are guaranteed by the solver).
+    let ke = collectives::allreduce_f64(ctx, kinetic_energy_local(&l, &ws.u[0]), |a, b| a + b);
+    let mut psum = 0.0;
+    for i in 1..=l.rows {
+        for j in 1..=l.cols {
+            psum += ws.u[0][l.at(i, j)];
+        }
+    }
+    let psi_integral = collectives::allreduce_f64(ctx, psum * l.h * l.h, |a, b| a + b);
+
+    let mut block = Vec::with_capacity(l.rows * l.cols);
+    for i in 1..=l.rows {
+        for j in 1..=l.cols {
+            block.push(ws.u[0][l.at(i, j)]);
+        }
+    }
+    OceanOut {
+        kinetic_energy: ke,
+        psi_integral,
+        cycles,
+        psi_block: (l.r0, l.c0, l.rows, l.cols, block),
+    }
+}
+
+/// Assemble the per-processor ψ blocks of a run into the full `n × n` grid.
+pub fn assemble_psi(outs: &[OceanOut], n: usize) -> Vec<f64> {
+    let mut full = vec![0.0; n * n];
+    for o in outs {
+        let (r0, c0, rows, cols, ref block) = o.psi_block;
+        for i in 0..rows {
+            for j in 0..cols {
+                full[(r0 + i) * n + c0 + j] = block[i * cols + j];
+            }
+        }
+    }
+    full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multigrid::CycleMode;
+    use green_bsp::{run, Config};
+
+    fn run_ocean(n: usize, p: usize, cfg: &OceanConfig) -> (Vec<f64>, Vec<OceanOut>, u64) {
+        let cfg = *cfg;
+        let out = run(&Config::new(p), move |ctx| ocean_run(ctx, &cfg));
+        let psi = assemble_psi(&out.results, n);
+        (psi, out.results, out.stats.s())
+    }
+
+    #[test]
+    fn spins_up_a_gyre() {
+        let cfg = OceanConfig {
+            steps: 10,
+            ..OceanConfig::new(32)
+        };
+        let (psi, outs, _) = run_ocean(32, 2, &cfg);
+        assert!(outs[0].kinetic_energy > 0.0, "wind must drive a flow");
+        assert!(outs[0].kinetic_energy.is_finite());
+        assert!(psi.iter().all(|v| v.is_finite()));
+        let max_psi = psi.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max_psi > 1e-6, "streamfunction should be nontrivial");
+    }
+
+    #[test]
+    fn identical_results_across_processor_counts() {
+        // Fixed cycle mode performs identical arithmetic on any p.
+        let cfg = OceanConfig {
+            steps: 4,
+            ..OceanConfig::new(32)
+        };
+        let (psi1, outs1, _) = run_ocean(32, 1, &cfg);
+        for p in [2usize, 4, 8] {
+            let (psip, outsp, _) = run_ocean(32, p, &cfg);
+            assert_eq!(psi1, psip, "bitwise ψ divergence at p={p}");
+            assert_eq!(outs1[0].cycles, outsp[0].cycles);
+            assert!((outs1[0].kinetic_energy - outsp[0].kinetic_energy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_stays_bounded() {
+        // Friction balances wind input: no blow-up over a longer run.
+        let cfg = OceanConfig {
+            steps: 40,
+            ..OceanConfig::new(16)
+        };
+        let (_, outs, _) = run_ocean(16, 2, &cfg);
+        assert!(outs[0].kinetic_energy.is_finite());
+        assert!(outs[0].kinetic_energy < 1e3);
+    }
+
+    #[test]
+    fn superstep_count_is_p_independent_in_fixed_mode() {
+        let cfg = OceanConfig {
+            steps: 2,
+            ..OceanConfig::new(32)
+        };
+        let (_, _, s1) = run_ocean(32, 1, &cfg);
+        let (_, _, s4) = run_ocean(32, 4, &cfg);
+        assert_eq!(s1, s4, "fixed-mode script must be identical");
+        assert!(s1 > 50, "ocean is a many-superstep application (S={s1})");
+    }
+
+    #[test]
+    fn adaptive_mode_uses_fewer_cycles_with_better_guess() {
+        // With CFL time stepping, a finer grid takes smaller steps and the
+        // solver converges in fewer cycles per step on average.
+        let mk = |n: usize| OceanConfig {
+            steps: 6,
+            mg: MgParams {
+                mode: CycleMode::Adaptive {
+                    rel_tol: 1e-6,
+                    max: 30,
+                },
+                ..MgParams::default()
+            },
+            ..OceanConfig::new(n)
+        };
+        let (_, outs16, _) = run_ocean(16, 1, &mk(16));
+        let (_, outs64, _) = run_ocean(64, 1, &mk(64));
+        let per_step_16 = outs16[0].cycles as f64 / 6.0;
+        let per_step_64 = outs64[0].cycles as f64 / 6.0;
+        assert!(
+            per_step_64 <= per_step_16 + 0.5,
+            "cycles/step should not grow with size: {per_step_16} vs {per_step_64}"
+        );
+    }
+}

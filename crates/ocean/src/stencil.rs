@@ -1,0 +1,318 @@
+//! Local stencil operations on a block: red-black Gauss-Seidel relaxation,
+//! residual, cell-centered restriction and bilinear prolongation, and the
+//! advection operators of the vorticity equation.
+//!
+//! All functions are pure local computation; ghost freshness is the
+//! caller's contract (see [`crate::multigrid`]).
+
+use crate::grid::Level;
+
+/// One half-sweep of red-black Gauss-Seidel for `∇²u = f`:
+/// updates the cells with global parity `color` from their neighbours.
+/// Requires fresh ghosts of the *other* colour.
+pub fn rb_half_sweep(l: &Level, u: &mut [f64], f: &[f64], color: usize) {
+    let h2 = l.h * l.h;
+    let w = l.cols + 2;
+    for i in 1..=l.rows {
+        let gi = l.r0 + i - 1;
+        // First interior column with the right parity.
+        let gj0 = l.c0;
+        let off = (color + gi + gj0) % 2;
+        let mut j = 1 + off;
+        while j <= l.cols {
+            let idx = i * w + j;
+            u[idx] = 0.25 * (u[idx - w] + u[idx + w] + u[idx - 1] + u[idx + 1] - h2 * f[idx]);
+            j += 2;
+        }
+    }
+}
+
+/// Residual `r = f − ∇²u` on the interior. Requires fresh ghosts of `u`.
+pub fn residual(l: &Level, u: &[f64], f: &[f64], r: &mut [f64]) {
+    let inv_h2 = 1.0 / (l.h * l.h);
+    let w = l.cols + 2;
+    for i in 1..=l.rows {
+        for j in 1..=l.cols {
+            let idx = i * w + j;
+            let lap = (u[idx - w] + u[idx + w] + u[idx - 1] + u[idx + 1] - 4.0 * u[idx]) * inv_h2;
+            r[idx] = f[idx] - lap;
+        }
+    }
+}
+
+/// Local sum of squared residual entries (for the global norm).
+pub fn residual_norm2_local(l: &Level, u: &[f64], f: &[f64]) -> f64 {
+    let inv_h2 = 1.0 / (l.h * l.h);
+    let w = l.cols + 2;
+    let mut s = 0.0;
+    for i in 1..=l.rows {
+        for j in 1..=l.cols {
+            let idx = i * w + j;
+            let lap = (u[idx - w] + u[idx + w] + u[idx - 1] + u[idx + 1] - 4.0 * u[idx]) * inv_h2;
+            let r = f[idx] - lap;
+            s += r * r;
+        }
+    }
+    s
+}
+
+/// Cell-centered restriction: each coarse cell is the average of its four
+/// fine children. Purely local thanks to the aligned partition.
+pub fn restrict_to(fine: &Level, coarse: &Level, r_fine: &[f64], f_coarse: &mut [f64]) {
+    debug_assert_eq!(coarse.rows * 2, fine.rows);
+    debug_assert_eq!(coarse.cols * 2, fine.cols);
+    let wf = fine.cols + 2;
+    let wc = coarse.cols + 2;
+    for ii in 1..=coarse.rows {
+        for jj in 1..=coarse.cols {
+            let fi = 2 * ii - 1;
+            let fj = 2 * jj - 1;
+            let base = fi * wf + fj;
+            f_coarse[ii * wc + jj] = 0.25
+                * (r_fine[base] + r_fine[base + 1] + r_fine[base + wf] + r_fine[base + wf + 1]);
+        }
+    }
+}
+
+/// Cell-centered bilinear prolongation, accumulated into the fine grid:
+/// `u_fine += P(u_coarse)` with the standard (9, 3, 3, 1)/16 weights.
+/// Requires fresh coarse ghosts *including corners*.
+pub fn prolong_add(coarse: &Level, fine: &Level, u_coarse: &[f64], u_fine: &mut [f64]) {
+    debug_assert_eq!(coarse.rows * 2, fine.rows);
+    debug_assert_eq!(coarse.cols * 2, fine.cols);
+    let wf = fine.cols + 2;
+    let wc = coarse.cols + 2;
+    for fi in 1..=fine.rows {
+        let gfi = fine.r0 + fi - 1;
+        let ci = gfi / 2 - coarse.r0 + 1;
+        let di: isize = if gfi.is_multiple_of(2) { -1 } else { 1 };
+        for fj in 1..=fine.cols {
+            let gfj = fine.c0 + fj - 1;
+            let cj = gfj / 2 - coarse.c0 + 1;
+            let dj: isize = if gfj.is_multiple_of(2) { -1 } else { 1 };
+            let c = u_coarse[ci * wc + cj];
+            let ch = u_coarse[ci * wc + (cj as isize + dj) as usize];
+            let cv = u_coarse[(ci as isize + di) as usize * wc + cj];
+            let cd = u_coarse[(ci as isize + di) as usize * wc + (cj as isize + dj) as usize];
+            u_fine[fi * wf + fj] += (9.0 * c + 3.0 * ch + 3.0 * cv + cd) / 16.0;
+        }
+    }
+}
+
+/// The explicit vorticity tendency of the barotropic (β-plane) model:
+///
+/// `dζ/dt = −J(ψ, ζ) − β ψ_x + wind(y) − μ ζ + ν ∇²ζ`
+///
+/// with the Jacobian in central differences. Requires fresh ghosts of both
+/// `psi` and `zeta`; writes the *updated* vorticity into `out`
+/// (`out = ζ + dt · tendency`).
+#[allow(clippy::too_many_arguments)]
+pub fn vorticity_step(
+    l: &Level,
+    psi: &[f64],
+    zeta: &[f64],
+    out: &mut [f64],
+    dt: f64,
+    beta: f64,
+    wind_amp: f64,
+    mu: f64,
+    nu: f64,
+) {
+    let w = l.cols + 2;
+    let inv2h = 1.0 / (2.0 * l.h);
+    let inv_h2 = 1.0 / (l.h * l.h);
+    for i in 1..=l.rows {
+        let y = (l.r0 + i - 1) as f64 * l.h + 0.5 * l.h;
+        // Munk gyre wind-stress curl.
+        let wind = -wind_amp * (std::f64::consts::PI * y).cos();
+        for j in 1..=l.cols {
+            let idx = i * w + j;
+            let psi_x = (psi[idx + 1] - psi[idx - 1]) * inv2h;
+            let psi_y = (psi[idx + w] - psi[idx - w]) * inv2h;
+            let zeta_x = (zeta[idx + 1] - zeta[idx - 1]) * inv2h;
+            let zeta_y = (zeta[idx + w] - zeta[idx - w]) * inv2h;
+            let jac = psi_x * zeta_y - psi_y * zeta_x;
+            let lap_zeta = (zeta[idx - w] + zeta[idx + w] + zeta[idx - 1] + zeta[idx + 1]
+                - 4.0 * zeta[idx])
+                * inv_h2;
+            let tend = -jac - beta * psi_x + wind - mu * zeta[idx] + nu * lap_zeta;
+            out[idx] = zeta[idx] + dt * tend;
+        }
+    }
+}
+
+/// Local kinetic-energy contribution `½ Σ |∇ψ|² h²` (central differences;
+/// fresh ψ ghosts required).
+pub fn kinetic_energy_local(l: &Level, psi: &[f64]) -> f64 {
+    let w = l.cols + 2;
+    let inv2h = 1.0 / (2.0 * l.h);
+    let mut ke = 0.0;
+    for i in 1..=l.rows {
+        for j in 1..=l.cols {
+            let idx = i * w + j;
+            let u = -(psi[idx + w] - psi[idx - w]) * inv2h;
+            let v = (psi[idx + 1] - psi[idx - 1]) * inv2h;
+            ke += 0.5 * (u * u + v * v);
+        }
+    }
+    ke * l.h * l.h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Hierarchy;
+
+    fn single_level(n: usize) -> Level {
+        Hierarchy::new(0, 1, n, n).levels[0]
+    }
+
+    /// Fill ghosts by Dirichlet reflection for a single-proc level.
+    fn reflect(l: &Level, u: &mut [f64]) {
+        let w = l.cols + 2;
+        for j in 1..=l.cols {
+            u[j] = -u[w + j];
+            u[(l.rows + 1) * w + j] = -u[l.rows * w + j];
+        }
+        for i in 1..=l.rows {
+            u[i * w] = -u[i * w + 1];
+            u[i * w + l.cols + 1] = -u[i * w + l.cols];
+        }
+        u[0] = u[w + 1];
+        u[l.cols + 1] = u[w + l.cols];
+        u[(l.rows + 1) * w] = u[l.rows * w + 1];
+        u[(l.rows + 1) * w + l.cols + 1] = u[l.rows * w + l.cols];
+    }
+
+    #[test]
+    fn gauss_seidel_reduces_residual() {
+        let l = single_level(16);
+        let mut u = l.zeros();
+        let mut f = l.zeros();
+        for i in 1..=l.rows {
+            for j in 1..=l.cols {
+                f[l.at(i, j)] = ((i * 7 + j * 13) % 5) as f64 - 2.0;
+            }
+        }
+        reflect(&l, &mut u);
+        let before = residual_norm2_local(&l, &u, &f);
+        for _ in 0..50 {
+            rb_half_sweep(&l, &mut u, &f, 0);
+            reflect(&l, &mut u);
+            rb_half_sweep(&l, &mut u, &f, 1);
+            reflect(&l, &mut u);
+        }
+        let after = residual_norm2_local(&l, &u, &f);
+        assert!(after < before * 1e-2, "GS stalled: {before} -> {after}");
+    }
+
+    #[test]
+    fn residual_zero_for_exact_discrete_solution() {
+        // If u solves the 5-point system exactly, the residual vanishes.
+        let l = single_level(8);
+        let mut u = l.zeros();
+        let mut f = l.zeros();
+        for i in 1..=l.rows {
+            for j in 1..=l.cols {
+                u[l.at(i, j)] = (i * j) as f64;
+            }
+        }
+        reflect(&l, &mut u);
+        // Manufacture f = ∇²u discretely.
+        let w = l.cols + 2;
+        let inv_h2 = 1.0 / (l.h * l.h);
+        for i in 1..=l.rows {
+            for j in 1..=l.cols {
+                let idx = i * w + j;
+                f[idx] =
+                    (u[idx - w] + u[idx + w] + u[idx - 1] + u[idx + 1] - 4.0 * u[idx]) * inv_h2;
+            }
+        }
+        assert!(residual_norm2_local(&l, &u, &f) < 1e-18);
+    }
+
+    #[test]
+    fn restriction_averages_children() {
+        let h = Hierarchy::new(0, 1, 8, 4);
+        let (fine, coarse) = (h.levels[0], h.levels[1]);
+        let mut r = fine.zeros();
+        for i in 1..=fine.rows {
+            for j in 1..=fine.cols {
+                r[fine.at(i, j)] = 1.0; // constant field
+            }
+        }
+        let mut fc = coarse.zeros();
+        restrict_to(&fine, &coarse, &r, &mut fc);
+        for i in 1..=coarse.rows {
+            for j in 1..=coarse.cols {
+                assert_eq!(fc[coarse.at(i, j)], 1.0, "constant preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn prolongation_reproduces_linear_fields() {
+        // Bilinear prolongation must reproduce an affine function exactly
+        // (away from the reflected boundary ghosts).
+        let h = Hierarchy::new(0, 1, 16, 8);
+        let (fine, coarse) = (h.levels[0], h.levels[1]);
+        let mut uc = coarse.zeros();
+        let lin = |x: f64, y: f64| 2.0 * x - 0.5 * y + 0.25;
+        // Fill coarse interior AND ghosts with the linear field (bypassing
+        // reflection, to test pure interpolation).
+        for i in 0..=coarse.rows + 1 {
+            for j in 0..=coarse.cols + 1 {
+                let x = (i as f64 - 0.5) * coarse.h;
+                let y = (j as f64 - 0.5) * coarse.h;
+                uc[coarse.at(i, j)] = lin(x, y);
+            }
+        }
+        let mut uf = fine.zeros();
+        prolong_add(&coarse, &fine, &uc, &mut uf);
+        for i in 1..=fine.rows {
+            for j in 1..=fine.cols {
+                let x = (i as f64 - 0.5) * fine.h;
+                let y = (j as f64 - 0.5) * fine.h;
+                let expect = lin(x, y);
+                assert!(
+                    (uf[fine.at(i, j)] - expect).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    uf[fine.at(i, j)],
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vorticity_tendency_of_rest_state_is_wind() {
+        // ψ = ζ = 0: tendency is exactly the wind forcing.
+        let l = single_level(8);
+        let psi = l.zeros();
+        let zeta = l.zeros();
+        let mut out = l.zeros();
+        vorticity_step(&l, &psi, &zeta, &mut out, 0.1, 5.0, 2.0, 0.3, 0.01);
+        for i in 1..=l.rows {
+            let y = (i as f64 - 0.5) * l.h;
+            let wind = -2.0 * (std::f64::consts::PI * y).cos();
+            for j in 1..=l.cols {
+                assert!((out[l.at(i, j)] - 0.1 * wind).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn kinetic_energy_of_uniform_flow() {
+        // ψ = y gives u = -1, v = 0 -> KE = ½ per unit area. Use interior
+        // cells away from boundary reflection.
+        let l = single_level(32);
+        let mut psi = l.zeros();
+        for i in 0..=l.rows + 1 {
+            for j in 0..=l.cols + 1 {
+                psi[l.at(i, j)] = (i as f64 - 0.5) * l.h; // ψ = y (row axis)
+            }
+        }
+        let ke = kinetic_energy_local(&l, &psi);
+        assert!((ke - 0.5).abs() < 1e-9, "KE {ke}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the multigrid solver: arbitrary right-hand sides must
+//! solve to the discrete fixed point, and fixed-cycle runs must be
+//! bit-identical for every processor count.
+
+use bsp_ocean::{solve, CycleMode, Hierarchy, MgParams, MgWorkspace};
+use green_bsp::{run, Config};
+use proptest::prelude::*;
+
+/// Solve ∇²u = f for a random f on an n×n grid at p procs; return the full
+/// grid of u (by global index) and the residual norm.
+fn solve_random(n: usize, p: usize, f_cells: &[f64], mode: CycleMode) -> (Vec<f64>, f64) {
+    let f_cells = f_cells.to_vec();
+    let out = run(&Config::new(p), move |ctx| {
+        let hier = Hierarchy::new(ctx.pid(), ctx.nprocs(), n, 8);
+        let mut ws = MgWorkspace::new(&hier);
+        let l = hier.levels[0];
+        for i in 1..=l.rows {
+            for j in 1..=l.cols {
+                let g = (l.r0 + i - 1) * n + (l.c0 + j - 1);
+                ws.f[0][l.at(i, j)] = f_cells[g];
+            }
+        }
+        bsp_ocean::grid::apply_boundary(&hier, 0, &mut ws.u[0]);
+        let prm = MgParams {
+            mode,
+            ..MgParams::default()
+        };
+        solve(ctx, &hier, &mut ws, &prm);
+        let res = bsp_ocean::stencil::residual_norm2_local(&l, &ws.u[0], &ws.f[0]);
+        let mut cells = Vec::new();
+        for i in 1..=l.rows {
+            for j in 1..=l.cols {
+                cells.push(((l.r0 + i - 1) * n + (l.c0 + j - 1), ws.u[0][l.at(i, j)]));
+            }
+        }
+        (cells, res)
+    });
+    let mut full = vec![0.0; n * n];
+    let mut res = 0.0;
+    for (cells, r) in out.results {
+        res += r;
+        for (g, v) in cells {
+            full[g] = v;
+        }
+    }
+    (full, res.sqrt())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Adaptive solves drive the residual below tolerance for arbitrary
+    /// right-hand sides.
+    #[test]
+    fn converges_for_random_rhs(seed in 0u64..1000) {
+        let n = 32;
+        let f: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(seed.wrapping_add(7)).wrapping_mul(0x9E3779B9);
+                ((x >> 16) % 2001) as f64 / 100.0 - 10.0
+            })
+            .collect();
+        let f_norm = f.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let (_, res) = solve_random(
+            n,
+            2,
+            &f,
+            CycleMode::Adaptive {
+                rel_tol: 1e-8,
+                max: 40,
+            },
+        );
+        prop_assert!(res <= 1e-7 * f_norm.max(1.0), "residual {res}");
+    }
+
+    /// Fixed-cycle solves are bit-identical across processor counts.
+    #[test]
+    fn bitwise_identical_across_p(seed in 0u64..1000, cycles in 1usize..4) {
+        let n = 16;
+        let f: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(seed.wrapping_add(3)).wrapping_mul(0x2545F491);
+                ((x >> 13) % 101) as f64 - 50.0
+            })
+            .collect();
+        let (u1, _) = solve_random(n, 1, &f, CycleMode::Fixed(cycles));
+        for p in [2usize, 4] {
+            let (up, _) = solve_random(n, p, &f, CycleMode::Fixed(cycles));
+            prop_assert_eq!(&u1, &up, "p = {} diverged", p);
+        }
+    }
+}

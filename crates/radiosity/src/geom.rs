@@ -1,0 +1,151 @@
+//! Geometry for the radiosity solver: 3-vectors and rectangular patches.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct V3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn v3(x: f64, y: f64, z: f64) -> V3 {
+    V3 { x, y, z }
+}
+
+impl V3 {
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: V3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: V3) -> V3 {
+        v3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector (panics on zero in debug).
+    #[inline]
+    pub fn hat(self) -> V3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0);
+        self * (1.0 / n)
+    }
+}
+
+impl Add for V3 {
+    type Output = V3;
+    #[inline]
+    fn add(self, o: V3) -> V3 {
+        v3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for V3 {
+    type Output = V3;
+    #[inline]
+    fn sub(self, o: V3) -> V3 {
+        v3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for V3 {
+    type Output = V3;
+    #[inline]
+    fn mul(self, s: f64) -> V3 {
+        v3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for V3 {
+    type Output = V3;
+    #[inline]
+    fn neg(self) -> V3 {
+        v3(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A rectangular patch: `origin + s·eu + t·ev` for `s, t ∈ [0, 1]`, with
+/// radiometric surface properties.
+#[derive(Clone, Copy, Debug)]
+pub struct Patch {
+    /// Corner.
+    pub origin: V3,
+    /// First edge vector.
+    pub eu: V3,
+    /// Second edge vector.
+    pub ev: V3,
+    /// Emitted radiosity (W/m², constant over the patch).
+    pub emission: f64,
+    /// Diffuse reflectance in `[0, 1)`.
+    pub reflectance: f64,
+}
+
+impl Patch {
+    /// Outward unit normal (`eu × ev` normalized).
+    pub fn normal(&self) -> V3 {
+        self.eu.cross(self.ev).hat()
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.eu.cross(self.ev).norm()
+    }
+
+    /// A sub-rectangle in patch coordinates (`s0..s1 × t0..t1`).
+    pub fn sub(&self, s0: f64, s1: f64, t0: f64, t1: f64) -> (V3, f64) {
+        let center = self.origin + self.eu * ((s0 + s1) * 0.5) + self.ev * ((t0 + t1) * 0.5);
+        let area = self.area() * (s1 - s0) * (t1 - t0);
+        (center, area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_identities() {
+        let a = v3(1.0, 0.0, 0.0);
+        let b = v3(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), v3(0.0, 0.0, 1.0));
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!((a + b).norm(), 2f64.sqrt());
+        assert_eq!((a * 3.0).norm(), 3.0);
+        assert_eq!((-a).x, -1.0);
+    }
+
+    #[test]
+    fn patch_area_and_normal() {
+        let p = Patch {
+            origin: v3(0.0, 0.0, 0.0),
+            eu: v3(2.0, 0.0, 0.0),
+            ev: v3(0.0, 3.0, 0.0),
+            emission: 0.0,
+            reflectance: 0.5,
+        };
+        assert_eq!(p.area(), 6.0);
+        assert_eq!(p.normal(), v3(0.0, 0.0, 1.0));
+        let (c, a) = p.sub(0.0, 0.5, 0.0, 0.5);
+        assert_eq!(c, v3(0.5, 0.75, 0.0));
+        assert_eq!(a, 1.5);
+    }
+}

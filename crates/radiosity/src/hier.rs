@@ -1,0 +1,256 @@
+//! Hierarchical link refinement and the sequential gathering solver.
+//!
+//! The HSA oracle: a candidate interaction between node `a` of one patch
+//! and node `b` of another is accepted as a *link* when the estimated form
+//! factor is below `f_eps` (the interaction is weak enough to treat the
+//! nodes as uniform) or both nodes are leaves; otherwise the node with the
+//! larger area is subdivided and the candidates recurse. Each solver
+//! iteration gathers `ρ·F·B_source` across every link and runs push-pull;
+//! power iteration converges geometrically in the scene reflectivity.
+
+use crate::ff::form_factor;
+use crate::patchtree::{level_of, PatchTree};
+use crate::scene::Scene;
+
+/// A refined interaction: receiver node gathers from a source node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Receiving patch index.
+    pub dst_patch: u32,
+    /// Receiving node (heap index).
+    pub dst_node: u32,
+    /// Source patch index.
+    pub src_patch: u32,
+    /// Source node (heap index).
+    pub src_node: u32,
+    /// Form factor from receiver to source.
+    pub f: f64,
+}
+
+/// Refine the interaction between two patches into links, appending to
+/// `out`. `f_eps` is the oracle threshold.
+pub fn refine(
+    trees: &[PatchTree],
+    dst_patch: u32,
+    src_patch: u32,
+    f_eps: f64,
+    out: &mut Vec<Link>,
+) {
+    refine_rec(trees, dst_patch, 0, src_patch, 0, f_eps, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_rec(
+    trees: &[PatchTree],
+    dp: u32,
+    dn: usize,
+    sp: u32,
+    sn: usize,
+    f_eps: f64,
+    out: &mut Vec<Link>,
+) {
+    let dt = &trees[dp as usize];
+    let st = &trees[sp as usize];
+    let (dc, da) = dt.node_geom(dn);
+    let (sc, sa) = st.node_geom(sn);
+    let f = form_factor(dc, dt.patch.normal(), sc, st.patch.normal(), sa);
+    if f == 0.0 {
+        return; // mutually invisible orientations
+    }
+    let d_leaf = dt.is_leaf(dn);
+    let s_leaf = st.is_leaf(sn);
+    if f < f_eps || (d_leaf && s_leaf) {
+        out.push(Link {
+            dst_patch: dp,
+            dst_node: dn as u32,
+            src_patch: sp,
+            src_node: sn as u32,
+            f,
+        });
+        return;
+    }
+    // Subdivide the larger side (ties: the source, so estimates improve).
+    if !d_leaf && (s_leaf || da > sa) {
+        for c in 0..4 {
+            refine_rec(trees, dp, 4 * dn + 1 + c, sp, sn, f_eps, out);
+        }
+    } else {
+        for c in 0..4 {
+            refine_rec(trees, dp, dn, sp, 4 * sn + 1 + c, f_eps, out);
+        }
+    }
+}
+
+/// Build all links of a scene (every ordered patch pair).
+pub fn build_links(trees: &[PatchTree], f_eps: f64) -> Vec<Link> {
+    let mut out = Vec::new();
+    for dp in 0..trees.len() as u32 {
+        for sp in 0..trees.len() as u32 {
+            if dp != sp {
+                refine(trees, dp, sp, f_eps, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Sequential hierarchical radiosity: returns the patch trees after
+/// `iters` gather/push-pull rounds.
+pub fn solve_seq(scene: &Scene, depth: u32, f_eps: f64, iters: usize) -> Vec<PatchTree> {
+    let mut trees: Vec<PatchTree> = scene
+        .patches
+        .iter()
+        .map(|&p| PatchTree::new(p, depth))
+        .collect();
+    let links = build_links(&trees, f_eps);
+    for _ in 0..iters {
+        for l in &links {
+            let src_b = trees[l.src_patch as usize].b[l.src_node as usize];
+            let dt = &mut trees[l.dst_patch as usize];
+            dt.gather[l.dst_node as usize] += dt.patch.reflectance * l.f * src_b;
+        }
+        for t in trees.iter_mut() {
+            t.push_pull();
+        }
+    }
+    trees
+}
+
+/// Flat-matrix reference: gathering only between leaf elements (the
+/// non-hierarchical O((n·4^depth)²) method the hierarchy approximates).
+pub fn solve_flat(scene: &Scene, depth: u32, iters: usize) -> Vec<PatchTree> {
+    let mut trees: Vec<PatchTree> = scene
+        .patches
+        .iter()
+        .map(|&p| PatchTree::new(p, depth))
+        .collect();
+    let first_leaf = crate::patchtree::node_count(depth) - 4usize.pow(depth);
+    let nodes = crate::patchtree::node_count(depth);
+    for _ in 0..iters {
+        for dp in 0..trees.len() {
+            for sp in 0..trees.len() {
+                if dp == sp {
+                    continue;
+                }
+                for dn in first_leaf..nodes {
+                    let (dc, _) = trees[dp].node_geom(dn);
+                    let dnormal = trees[dp].patch.normal();
+                    let mut acc = 0.0;
+                    for sn in first_leaf..nodes {
+                        let (sc, sa) = trees[sp].node_geom(sn);
+                        let f = form_factor(dc, dnormal, sc, trees[sp].patch.normal(), sa);
+                        acc += f * trees[sp].b[sn];
+                    }
+                    trees[dp].gather[dn] += trees[dp].patch.reflectance * acc;
+                }
+            }
+        }
+        for t in trees.iter_mut() {
+            t.push_pull();
+        }
+    }
+    trees
+}
+
+/// Total power of a solution.
+pub fn total_power(trees: &[PatchTree]) -> f64 {
+    trees.iter().map(|t| t.power()).sum()
+}
+
+/// Largest link level used (a refinement-depth diagnostic).
+pub fn max_link_level(links: &[Link]) -> u32 {
+    links
+        .iter()
+        .map(|l| level_of(l.dst_node as usize).max(level_of(l.src_node as usize)))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{parallel_plates, Scene};
+
+    #[test]
+    fn refinement_produces_finer_links_for_near_patches() {
+        let near = parallel_plates(0.3, 1.0, 0.5);
+        let far = parallel_plates(5.0, 1.0, 0.5);
+        let depth = 3;
+        let trees_near: Vec<PatchTree> = near
+            .patches
+            .iter()
+            .map(|&p| PatchTree::new(p, depth))
+            .collect();
+        let trees_far: Vec<PatchTree> = far
+            .patches
+            .iter()
+            .map(|&p| PatchTree::new(p, depth))
+            .collect();
+        let links_near = build_links(&trees_near, 0.05);
+        let links_far = build_links(&trees_far, 0.05);
+        assert!(
+            links_near.len() > links_far.len(),
+            "near plates must refine more: {} vs {}",
+            links_near.len(),
+            links_far.len()
+        );
+        assert!(max_link_level(&links_near) >= max_link_level(&links_far));
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_reference() {
+        let scene = parallel_plates(1.0, 1.0, 0.5);
+        let depth = 2;
+        let flat = solve_flat(&scene, depth, 12);
+        // Tiny f_eps forces leaf-level links = the flat method exactly.
+        let exact_h = solve_seq(&scene, depth, 1e-12, 12);
+        for (a, b) in flat.iter().zip(&exact_h) {
+            for (x, y) in a.b.iter().zip(&b.b) {
+                assert!((x - y).abs() < 1e-10, "leaf-refined hierarchy == flat");
+            }
+        }
+        // Moderate f_eps stays close.
+        let approx = solve_seq(&scene, depth, 0.05, 12);
+        let p_flat = total_power(&flat);
+        let p_apx = total_power(&approx);
+        assert!(
+            (p_flat - p_apx).abs() / p_flat < 0.05,
+            "power {p_apx} vs flat {p_flat}"
+        );
+    }
+
+    #[test]
+    fn energy_is_bounded_and_grows_with_reflectance() {
+        let scene = parallel_plates(0.5, 1.0, 0.8);
+        let trees = solve_seq(&scene, 2, 0.03, 30);
+        let emitted: f64 = scene.patches.iter().map(|p| p.emission * p.area()).sum();
+        let p = total_power(&trees);
+        assert!(p > emitted, "interreflection adds power");
+        assert!(
+            p < emitted / (1.0 - 0.8),
+            "bounded by the geometric series: {p} vs {}",
+            emitted / (1.0 - 0.8)
+        );
+        let dark = parallel_plates(0.5, 1.0, 0.2);
+        let p_dark = total_power(&solve_seq(&dark, 2, 0.03, 30));
+        assert!(p > p_dark);
+    }
+
+    #[test]
+    fn iteration_converges_geometrically() {
+        let scene = parallel_plates(0.8, 1.0, 0.6);
+        let p8 = total_power(&solve_seq(&scene, 2, 0.02, 8));
+        let p16 = total_power(&solve_seq(&scene, 2, 0.02, 16));
+        let p24 = total_power(&solve_seq(&scene, 2, 0.02, 24));
+        assert!((p24 - p16).abs() < (p16 - p8).abs() * 0.6 + 1e-12);
+    }
+
+    #[test]
+    fn empty_scene_is_fine() {
+        let scene = Scene {
+            patches: Vec::new(),
+        };
+        let trees = solve_seq(&scene, 2, 0.05, 3);
+        assert!(trees.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! BSP-parallel hierarchical radiosity.
+//!
+//! The second application the paper's §5 announces as future work: "a
+//! hierarchical algorithm for the radiosity problem in computer graphics"
+//! (its reference [17], Hanrahan-Salzman-Aupperle). This crate implements
+//! the HSA method — per-patch quadtrees, disk-approximation form factors,
+//! oracle-driven hierarchical link refinement, gather + push-pull
+//! iteration — sequentially and as a BSP program whose per-iteration cost
+//! is exactly one superstep.
+//!
+//! Simplifications relative to a production renderer (documented in
+//! DESIGN.md): complete (uniform) quadtrees instead of adaptive
+//! subdivision, so remote nodes are addressable without shipping tree
+//! structure (link *selection* remains hierarchical), and visibility = 1
+//! (unoccluded scenes).
+
+pub mod bsp;
+pub mod ff;
+pub mod geom;
+pub mod hier;
+pub mod patchtree;
+pub mod scene;
+
+pub use bsp::{owner_of, solve_bsp};
+pub use ff::form_factor;
+pub use geom::{v3, Patch, V3};
+pub use hier::{build_links, solve_flat, solve_seq, total_power, Link};
+pub use patchtree::{node_count, PatchTree};
+pub use scene::{open_box, parallel_plates, Scene};

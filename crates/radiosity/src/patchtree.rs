@@ -1,0 +1,214 @@
+//! Complete quadtrees over patches: node indexing, per-node geometry, and
+//! the push-pull radiosity propagation of Hanrahan-Salzman-Aupperle.
+//!
+//! Every patch carries a *complete* quadtree of fixed depth. The tree shape
+//! is therefore known to every processor from the patch id alone, which is
+//! what lets the parallel solver address remote nodes by `(patch, node)`
+//! without shipping tree structure (see DESIGN.md: this replaces the
+//! paper-cited adaptive subdivision with a uniform-complete one; link
+//! *selection* is still hierarchical).
+//!
+//! Node indexing: heap order, root = 0, children of `i` are `4i+1..4i+4`.
+
+use crate::geom::{Patch, V3};
+
+/// Per-patch quadtree of radiosity values.
+#[derive(Clone, Debug)]
+pub struct PatchTree {
+    /// The underlying surface.
+    pub patch: Patch,
+    /// Subdivision depth (0 = just the root).
+    pub depth: u32,
+    /// Gathered irradiance-times-reflectance per node, cleared each
+    /// iteration.
+    pub gather: Vec<f64>,
+    /// Radiosity per node (area-weighted averages at interior nodes).
+    pub b: Vec<f64>,
+}
+
+/// Number of nodes in a complete quadtree of the given depth.
+pub fn node_count(depth: u32) -> usize {
+    ((4usize.pow(depth + 1)) - 1) / 3
+}
+
+/// Level of a node index (root = level 0).
+pub fn level_of(node: usize) -> u32 {
+    let mut level = 0;
+    let mut first = 0usize; // first node index at this level
+    let mut count = 1usize;
+    while node >= first + count {
+        first += count;
+        count *= 4;
+        level += 1;
+    }
+    level
+}
+
+/// `(s0, s1, t0, t1)` extent of a node in patch coordinates.
+pub fn extent(node: usize) -> (f64, f64, f64, f64) {
+    let level = level_of(node);
+    // Decode the heap path into base-4 digits (leaf-to-root order).
+    let mut idx = node;
+    let mut path = Vec::with_capacity(level as usize);
+    for _ in 0..level {
+        let digit = (idx - 1) % 4;
+        idx = (idx - 1) / 4;
+        path.push(digit);
+    }
+    let (mut s0, mut s1, mut t0, mut t1) = (0.0, 1.0, 0.0, 1.0);
+    for &d in path.iter().rev() {
+        let sm = 0.5 * (s0 + s1);
+        let tm = 0.5 * (t0 + t1);
+        if d & 1 == 0 {
+            s1 = sm;
+        } else {
+            s0 = sm;
+        }
+        if d & 2 == 0 {
+            t1 = tm;
+        } else {
+            t0 = tm;
+        }
+    }
+    (s0, s1, t0, t1)
+}
+
+impl PatchTree {
+    /// Build a tree of the given depth with radiosity initialized to the
+    /// patch emission.
+    pub fn new(patch: Patch, depth: u32) -> PatchTree {
+        let n = node_count(depth);
+        PatchTree {
+            patch,
+            depth,
+            gather: vec![0.0; n],
+            b: vec![patch.emission; n],
+        }
+    }
+
+    /// Center and area of a node.
+    pub fn node_geom(&self, node: usize) -> (V3, f64) {
+        let (s0, s1, t0, t1) = extent(node);
+        self.patch.sub(s0, s1, t0, t1)
+    }
+
+    /// Is `node` a leaf of this complete tree?
+    pub fn is_leaf(&self, node: usize) -> bool {
+        level_of(node) == self.depth
+    }
+
+    /// Push-pull: distribute gathered radiosity down the tree, set leaf
+    /// radiosities to `emission + accumulated gather`, and pull
+    /// area-weighted averages back up. Clears `gather`.
+    pub fn push_pull(&mut self) {
+        self.push_pull_rec(0, 0.0);
+        for g in self.gather.iter_mut() {
+            *g = 0.0;
+        }
+    }
+
+    fn push_pull_rec(&mut self, node: usize, down: f64) -> f64 {
+        let g = self.gather[node] + down;
+        if self.is_leaf(node) {
+            self.b[node] = self.patch.emission + g;
+        } else {
+            let mut sum = 0.0;
+            for c in 0..4 {
+                sum += self.push_pull_rec(4 * node + 1 + c, g);
+            }
+            // Children have equal areas: the pull is a plain average.
+            self.b[node] = 0.25 * sum;
+        }
+        self.b[node]
+    }
+
+    /// Total power `Σ A_leaf · B_leaf` of the patch.
+    pub fn power(&self) -> f64 {
+        let first_leaf = node_count(self.depth) - 4usize.pow(self.depth);
+        let leaf_area = self.patch.area() / 4f64.powi(self.depth as i32);
+        self.b[first_leaf..].iter().sum::<f64>() * leaf_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::v3;
+
+    fn unit_patch(e: f64, rho: f64) -> Patch {
+        Patch {
+            origin: v3(0.0, 0.0, 0.0),
+            eu: v3(1.0, 0.0, 0.0),
+            ev: v3(0.0, 1.0, 0.0),
+            emission: e,
+            reflectance: rho,
+        }
+    }
+
+    #[test]
+    fn node_counts_and_levels() {
+        assert_eq!(node_count(0), 1);
+        assert_eq!(node_count(1), 5);
+        assert_eq!(node_count(2), 21);
+        assert_eq!(level_of(0), 0);
+        for n in 1..5 {
+            assert_eq!(level_of(n), 1);
+        }
+        for n in 5..21 {
+            assert_eq!(level_of(n), 2);
+        }
+    }
+
+    #[test]
+    fn extents_tile_each_level() {
+        // At level 2 the 16 extents must tile [0,1]² exactly.
+        let mut area = 0.0;
+        for node in 5..21 {
+            let (s0, s1, t0, t1) = extent(node);
+            assert!(s0 < s1 && t0 < t1);
+            assert!((s1 - s0 - 0.25).abs() < 1e-12);
+            area += (s1 - s0) * (t1 - t0);
+        }
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        for parent in [0usize, 1, 4, 7] {
+            let (s0, s1, t0, t1) = extent(parent);
+            let mut area = 0.0;
+            for c in 0..4 {
+                let (a0, a1, b0, b1) = extent(4 * parent + 1 + c);
+                assert!(a0 >= s0 - 1e-12 && a1 <= s1 + 1e-12);
+                assert!(b0 >= t0 - 1e-12 && b1 <= t1 + 1e-12);
+                area += (a1 - a0) * (b1 - b0);
+            }
+            assert!((area - (s1 - s0) * (t1 - t0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn push_pull_conserves_uniform_gather() {
+        // Gathering G at the root is the same as B = E + G everywhere.
+        let mut t = PatchTree::new(unit_patch(1.0, 0.5), 2);
+        t.gather[0] = 0.75;
+        t.push_pull();
+        for &b in &t.b {
+            assert!((b - 1.75).abs() < 1e-12);
+        }
+        assert!((t.power() - 1.75).abs() < 1e-12);
+        assert!(t.gather.iter().all(|&g| g == 0.0), "gather cleared");
+    }
+
+    #[test]
+    fn push_pull_averages_up() {
+        let mut t = PatchTree::new(unit_patch(0.0, 0.5), 1);
+        // Gather only into child 1.
+        t.gather[1] = 1.0;
+        t.push_pull();
+        assert_eq!(t.b[1], 1.0);
+        assert_eq!(t.b[2], 0.0);
+        assert!((t.b[0] - 0.25).abs() < 1e-12, "root is the area average");
+        assert!((t.power() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Test scenes: parallel plates and an open (Cornell-style) box.
+
+use crate::geom::{v3, Patch};
+
+/// A scene is just its patch list (geometry is replicated on every
+/// processor; only radiosity values travel).
+#[derive(Clone, Debug)]
+pub struct Scene {
+    /// Top-level surfaces.
+    pub patches: Vec<Patch>,
+}
+
+/// Two unit plates facing each other at the given gap: the lower one emits,
+/// both reflect with `rho`.
+pub fn parallel_plates(gap: f64, emission: f64, rho: f64) -> Scene {
+    Scene {
+        patches: vec![
+            // Emitter at z=0 facing +z.
+            Patch {
+                origin: v3(0.0, 0.0, 0.0),
+                eu: v3(1.0, 0.0, 0.0),
+                ev: v3(0.0, 1.0, 0.0),
+                emission,
+                reflectance: rho,
+            },
+            // Receiver at z=gap facing −z (swap edges to flip the normal).
+            Patch {
+                origin: v3(0.0, 0.0, gap),
+                eu: v3(0.0, 1.0, 0.0),
+                ev: v3(1.0, 0.0, 0.0),
+                emission: 0.0,
+                reflectance: rho,
+            },
+        ],
+    }
+}
+
+/// An open box (floor, ceiling with a light, four walls), Cornell style.
+/// All interior normals.
+pub fn open_box(emission: f64, rho: f64) -> Scene {
+    let patches = vec![
+        // Floor (z = 0, normal +z).
+        Patch {
+            origin: v3(0.0, 0.0, 0.0),
+            eu: v3(1.0, 0.0, 0.0),
+            ev: v3(0.0, 1.0, 0.0),
+            emission: 0.0,
+            reflectance: rho,
+        },
+        // Ceiling (z = 1, normal −z): the light.
+        Patch {
+            origin: v3(0.0, 0.0, 1.0),
+            eu: v3(0.0, 1.0, 0.0),
+            ev: v3(1.0, 0.0, 0.0),
+            emission,
+            reflectance: 0.0,
+        },
+        // Wall y = 0 (normal +y).
+        Patch {
+            origin: v3(0.0, 0.0, 0.0),
+            eu: v3(0.0, 0.0, 1.0),
+            ev: v3(1.0, 0.0, 0.0),
+            emission: 0.0,
+            reflectance: rho,
+        },
+        // Wall y = 1 (normal −y).
+        Patch {
+            origin: v3(0.0, 1.0, 0.0),
+            eu: v3(1.0, 0.0, 0.0),
+            ev: v3(0.0, 0.0, 1.0),
+            emission: 0.0,
+            reflectance: rho,
+        },
+        // Wall x = 0 (normal +x).
+        Patch {
+            origin: v3(0.0, 0.0, 0.0),
+            eu: v3(0.0, 1.0, 0.0),
+            ev: v3(0.0, 0.0, 1.0),
+            emission: 0.0,
+            reflectance: rho,
+        },
+        // Wall x = 1 (normal −x).
+        Patch {
+            origin: v3(1.0, 0.0, 0.0),
+            eu: v3(0.0, 0.0, 1.0),
+            ev: v3(0.0, 1.0, 0.0),
+            emission: 0.0,
+            reflectance: rho,
+        },
+    ];
+    Scene { patches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plates_face_each_other() {
+        let s = parallel_plates(1.0, 1.0, 0.5);
+        let n0 = s.patches[0].normal();
+        let n1 = s.patches[1].normal();
+        assert_eq!(n0, v3(0.0, 0.0, 1.0));
+        assert_eq!(n1, v3(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn box_normals_point_inward() {
+        let s = open_box(1.0, 0.5);
+        let center = v3(0.5, 0.5, 0.5);
+        for p in &s.patches {
+            let (c, _) = p.sub(0.4, 0.6, 0.4, 0.6);
+            let to_center = center - c;
+            assert!(
+                p.normal().dot(to_center) > 0.0,
+                "patch at {:?} faces outward",
+                p.origin
+            );
+        }
+    }
+
+    #[test]
+    fn box_areas_are_unit() {
+        for p in &open_box(1.0, 0.5).patches {
+            assert!((p.area() - 1.0).abs() < 1e-12);
+        }
+    }
+}

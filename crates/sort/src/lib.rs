@@ -1,0 +1,15 @@
+//! BSP sorting subroutines.
+//!
+//! §4 of the paper argues that "curve fitting" the BSP cost function is
+//! most realistic "on fairly simple subroutines (i.e., broadcast or
+//! sorting)". This crate provides those subroutines — a one-round sample
+//! sort and a two-round radix exchange — with the deterministic superstep
+//! and h-relation structure that makes their predicted times sharp, plus
+//! the validation experiment (predicted vs emulated-actual) in the test
+//! and bench suites.
+
+pub mod radix;
+pub mod sample;
+
+pub use radix::radix_sort;
+pub use sample::{sample_sort, OVERSAMPLE};

@@ -1,0 +1,92 @@
+//! Multi-round parallel radix exchange sort.
+//!
+//! Keys are routed by successively finer digit groups of the most
+//! significant bits: round `r` routes on bits `[64 − (r+1)·b, 64 − r·b)`
+//! where `2^b = p`. One round already places every key on its final
+//! processor when keys are uniform; a second local counting pass finishes
+//! the order. This variant trades more supersteps (one per round) for a
+//! perfectly predictable communication pattern — a counterpoint to sample
+//! sort in the curve-fitting experiment.
+
+use green_bsp::{Ctx, Packet};
+
+/// Sort the union of all processors' keys by MSB radix exchange. Returns
+/// this processor's globally ordered slice (by MSB bucket = pid).
+pub fn radix_sort(ctx: &mut Ctx, keys: Vec<u64>) -> Vec<u64> {
+    let p = ctx.nprocs();
+    if p == 1 {
+        let mut keys = keys;
+        keys.sort_unstable();
+        return keys;
+    }
+    // Bits needed to index p buckets (p need not be a power of two: route
+    // by scaled MSB value).
+    let mut mine: Vec<u64> = Vec::with_capacity(keys.len() * 2);
+    for k in keys {
+        // Owner by the top bits, scaled into 0..p.
+        let bucket = (((k >> 32) as u128 * p as u128) >> 32) as usize;
+        let bucket = bucket.min(p - 1);
+        if bucket == ctx.pid() {
+            mine.push(k);
+        } else {
+            ctx.send_pkt(bucket, Packet::two_u64(k, 0));
+        }
+    }
+    ctx.sync();
+    while let Some(pkt) = ctx.get_pkt() {
+        mine.push(pkt.as_two_u64().0);
+    }
+    mine.sort_unstable();
+    ctx.charge((mine.len().max(1).ilog2() as u64) * mine.len() as u64);
+    mine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::verify_sorted;
+    use green_bsp::{run, Config};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn radix_sorts_uniform_keys() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let n_per = 1500;
+            let out = run(&Config::new(p), |ctx| {
+                let mut rng = StdRng::seed_from_u64(77 + ctx.pid() as u64);
+                let keys: Vec<u64> = (0..n_per).map(|_| rng.gen()).collect();
+                let sorted = radix_sort(ctx, keys);
+                verify_sorted(ctx, &sorted, (p * n_per) as u64)
+            });
+            assert!(out.results.iter().all(|&ok| ok), "p={p}");
+        }
+    }
+
+    #[test]
+    fn radix_and_sample_sort_agree() {
+        let p = 4;
+        let out = run(&Config::new(p), |ctx| {
+            let mut rng = StdRng::seed_from_u64(5 + ctx.pid() as u64);
+            let keys: Vec<u64> = (0..800).map(|_| rng.gen()).collect();
+            let a = radix_sort(ctx, keys.clone());
+            let b = crate::sample::sample_sort(ctx, keys);
+            (a, b)
+        });
+        let mut all_a: Vec<u64> = out.results.iter().flat_map(|(a, _)| a.clone()).collect();
+        let mut all_b: Vec<u64> = out.results.iter().flat_map(|(_, b)| b.clone()).collect();
+        all_a.sort_unstable();
+        all_b.sort_unstable();
+        assert_eq!(all_a, all_b);
+    }
+
+    #[test]
+    fn one_routing_superstep() {
+        let out = run(&Config::new(4), |ctx| {
+            let mut rng = StdRng::seed_from_u64(ctx.pid() as u64);
+            let keys: Vec<u64> = (0..100).map(|_| rng.gen()).collect();
+            radix_sort(ctx, keys).len()
+        });
+        assert_eq!(out.stats.s(), 2); // 1 routing sync + final superstep
+    }
+}

@@ -1,0 +1,214 @@
+//! One-round parallel sample sort.
+//!
+//! Superstep structure (3 supersteps: 2 synchronizations + the final local
+//! sort):
+//!
+//! 1. sort locally, pick `OVERSAMPLE` regular samples, all-gather them;
+//! 2. every processor computes the same `p − 1` splitters from the
+//!    gathered samples and routes each key to its bucket's owner (the
+//!    all-to-all that dominates `H`);
+//! 3. merge the received runs locally.
+//!
+//! With regular sampling the largest bucket is at most `2·n/p + p·s` keys,
+//! so the h-relation is balanced and the predicted time
+//! `W + g·(n/p) + 2L` is sharp — the property §4 wants from a "simple
+//! subroutine".
+
+use green_bsp::{collectives, Ctx, Packet};
+
+/// Samples contributed per processor to the splitter pool.
+pub const OVERSAMPLE: usize = 32;
+
+/// Sort the union of all processors' keys. Returns this processor's
+/// globally sorted slice (bucket `pid`: all its keys are ≥ every key on
+/// lower-numbered processors and ≤ every key on higher ones).
+pub fn sample_sort(ctx: &mut Ctx, mut keys: Vec<u64>) -> Vec<u64> {
+    let p = ctx.nprocs();
+    if p == 1 {
+        keys.sort_unstable();
+        return keys;
+    }
+    keys.sort_unstable();
+    ctx.charge((keys.len().max(1).ilog2() as u64) * keys.len() as u64);
+
+    // Superstep 1: all-gather regular samples. Each sample is sent with its
+    // owner's rank so every processor assembles the identical pool.
+    let me = ctx.pid();
+    for s in 0..OVERSAMPLE {
+        let sample = if keys.is_empty() {
+            u64::MAX
+        } else {
+            keys[(s * keys.len()) / OVERSAMPLE]
+        };
+        for dest in 0..p {
+            if dest != me {
+                ctx.send_pkt(dest, Packet::two_u64((me * OVERSAMPLE + s) as u64, sample));
+            }
+        }
+    }
+    // (collectives are not used here because each proc sends OVERSAMPLE
+    // values; the pool is assembled by slot index.)
+    ctx.sync();
+    let mut pool = vec![u64::MAX; p * OVERSAMPLE];
+    for s in 0..OVERSAMPLE {
+        pool[me * OVERSAMPLE + s] = if keys.is_empty() {
+            u64::MAX
+        } else {
+            keys[(s * keys.len()) / OVERSAMPLE]
+        };
+    }
+    while let Some(pkt) = ctx.get_pkt() {
+        let (slot, v) = pkt.as_two_u64();
+        pool[slot as usize] = v;
+    }
+    pool.sort_unstable();
+    let splitters: Vec<u64> = (1..p).map(|i| pool[i * OVERSAMPLE]).collect();
+
+    // Superstep 2: route keys to their buckets.
+    for &k in &keys {
+        let bucket = splitters.partition_point(|&s| s <= k);
+        if bucket == me {
+            continue; // keep local keys out of the network
+        }
+        ctx.send_pkt(bucket, Packet::two_u64(k, 0));
+    }
+    let mut mine: Vec<u64> = keys
+        .iter()
+        .copied()
+        .filter(|&k| splitters.partition_point(|&s| s <= k) == me)
+        .collect();
+    ctx.sync();
+    while let Some(pkt) = ctx.get_pkt() {
+        mine.push(pkt.as_two_u64().0);
+    }
+    mine.sort_unstable();
+    ctx.charge((mine.len().max(1).ilog2() as u64) * mine.len() as u64);
+    mine
+}
+
+/// Verify a distributed sorted result: locally sorted, globally ordered
+/// across processor boundaries, and the right total count. One superstep.
+/// Returns true on every processor iff the order is valid.
+pub fn verify_sorted(ctx: &mut Ctx, mine: &[u64], expected_total: u64) -> bool {
+    assert!(mine.windows(2).all(|w| w[0] <= w[1]), "locally unsorted");
+    // Exchange boundary keys: my min to the left-made check via allgather.
+    let lo = mine.first().copied().unwrap_or(u64::MAX);
+    let hi = mine.last().copied().unwrap_or(0);
+    let los = collectives::allgather_u64(ctx, lo);
+    let his = collectives::allgather_u64(ctx, hi);
+    let count = collectives::sum_u64(ctx, mine.len() as u64);
+    let mut ok = count == expected_total;
+    let mut prev_hi = 0u64;
+    for pid in 0..ctx.nprocs() {
+        if los[pid] != u64::MAX {
+            ok &= los[pid] >= prev_hi;
+        }
+        if his[pid] != 0 || los[pid] != u64::MAX {
+            prev_hi = prev_hi.max(his[pid]);
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use green_bsp::{run, Config};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn keys_for(pid: usize, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (pid as u64) << 32);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn check(p: usize, n_per: usize, seed: u64) {
+        let out = run(&Config::new(p), |ctx| {
+            let keys = keys_for(ctx.pid(), n_per, seed);
+            let sorted = sample_sort(ctx, keys);
+            let ok = verify_sorted(ctx, &sorted, (p * n_per) as u64);
+            (sorted, ok)
+        });
+        // Everything verified in-program; double-check globally here.
+        let mut all: Vec<u64> = Vec::new();
+        for (sorted, ok) in &out.results {
+            assert!(ok);
+            all.extend_from_slice(sorted);
+        }
+        let mut expect: Vec<u64> = (0..p).flat_map(|pid| keys_for(pid, n_per, seed)).collect();
+        expect.sort_unstable();
+        assert_eq!(
+            all, expect,
+            "concatenation of buckets must be the sorted whole"
+        );
+    }
+
+    #[test]
+    fn sorts_across_processor_counts() {
+        for p in [1usize, 2, 3, 4, 8] {
+            check(p, 2000, 42);
+        }
+    }
+
+    #[test]
+    fn handles_skewed_and_duplicate_keys() {
+        let p = 4;
+        let out = run(&Config::new(p), |ctx| {
+            // Heavily duplicated keys + one processor with none.
+            let keys: Vec<u64> = if ctx.pid() == 2 {
+                Vec::new()
+            } else {
+                (0..3000).map(|i| (i % 7) as u64 * 1000).collect()
+            };
+            let sorted = sample_sort(ctx, keys);
+            verify_sorted(ctx, &sorted, 9000)
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn superstep_count_is_constant() {
+        for p in [2usize, 4, 8] {
+            let out = run(&Config::new(p), |ctx| {
+                let keys = keys_for(ctx.pid(), 500, 7);
+                sample_sort(ctx, keys).len()
+            });
+            // 2 syncs (samples, routing) + final = 3, plus verify's cost if
+            // called; here: exactly 3.
+            assert_eq!(out.stats.s(), 3, "p={p}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_balanced() {
+        let p = 8;
+        let n_per = 4000;
+        let out = run(&Config::new(p), |ctx| {
+            let keys = keys_for(ctx.pid(), n_per, 13);
+            sample_sort(ctx, keys).len()
+        });
+        let max = *out.results.iter().max().unwrap();
+        assert!(
+            max < 2 * n_per + p * OVERSAMPLE,
+            "regular sampling bound violated: max bucket {max}"
+        );
+    }
+
+    #[test]
+    fn h_relation_is_about_n_per_proc() {
+        // Each processor sends at most its n keys plus samples: the
+        // all-to-all h is Θ(n/p), which is what makes the predicted time
+        // W + g·h + 2L sharp.
+        let p = 4;
+        let n_per = 3000;
+        let out = run(&Config::new(p), |ctx| {
+            let keys = keys_for(ctx.pid(), n_per, 23);
+            sample_sort(ctx, keys).len()
+        });
+        let h = out.stats.h_total();
+        assert!(
+            h <= (n_per + p * OVERSAMPLE + 100) as u64 * 2,
+            "H = {h} too large for n/p = {n_per}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: both sorts must produce the globally sorted multiset for
+//! arbitrary inputs — duplicates, skew, empty processors, any p.
+
+use bsp_sort::{radix_sort, sample_sort};
+use green_bsp::{run, Config};
+use proptest::prelude::*;
+
+fn gather_sorted(
+    p: usize,
+    inputs: Vec<Vec<u64>>,
+    which: fn(&mut green_bsp::Ctx, Vec<u64>) -> Vec<u64>,
+) -> Vec<u64> {
+    let out = run(&Config::new(p), |ctx| {
+        which(ctx, inputs[ctx.pid()].clone())
+    });
+    // Buckets concatenate in pid order into the global sorted sequence.
+    out.results.into_iter().flatten().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sample_sort_sorts_anything(
+        p in 1usize..6,
+        mut inputs in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..400), 6),
+    ) {
+        inputs.truncate(p);
+        while inputs.len() < p {
+            inputs.push(Vec::new());
+        }
+        let mut expect: Vec<u64> = inputs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        let got = gather_sorted(p, inputs, |ctx, keys| sample_sort(ctx, keys));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn radix_sort_sorts_anything(
+        p in 1usize..6,
+        mut inputs in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..400), 6),
+    ) {
+        inputs.truncate(p);
+        while inputs.len() < p {
+            inputs.push(Vec::new());
+        }
+        let mut expect: Vec<u64> = inputs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        let got = gather_sorted(p, inputs, |ctx, keys| radix_sort(ctx, keys));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn heavy_duplicates_are_fine(
+        p in 2usize..5,
+        value in any::<u64>(),
+        n in 1usize..500,
+    ) {
+        // All processors hold n copies of the same key.
+        let inputs: Vec<Vec<u64>> = (0..p).map(|_| vec![value; n]).collect();
+        let got = gather_sorted(p, inputs, |ctx, keys| sample_sort(ctx, keys));
+        prop_assert_eq!(got, vec![value; p * n]);
+    }
+}

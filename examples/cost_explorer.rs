@@ -1,0 +1,55 @@
+//! Explore the BSP cost model: for a hypothetical program's (W, H, S)
+//! scaling, find each machine's optimal processor count and the crossover
+//! points — the trade-off reasoning §1 of the paper prescribes for BSP
+//! programmers ("the correct trade-offs can be selected by taking into
+//! account the g and L parameters of the underlying machine").
+//!
+//! Run with: `cargo run --release --example cost_explorer [W_seconds] [H_per_proc] [S]`
+
+use bsp_repro::green_bsp::{cost, predict, CENJU, PC_LAN, SGI};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let w: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let h_pp: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let s: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    // Scaling model: perfect work division, communication growing with p,
+    // superstep count fixed (the Ocean profile).
+    let model = move |p: usize| {
+        let h = if p == 1 { 0 } else { h_pp * (p as u64 - 1) / 4 };
+        (w / p as f64, h, s)
+    };
+
+    println!("program: W(1) = {w}s, H ~ {h_pp}·(p−1)/4, S = {s}\n");
+    print!("{:>7}", "p");
+    for m in [&SGI, &CENJU, &PC_LAN] {
+        print!("{:>12}", m.name);
+    }
+    println!();
+    for p in [1usize, 2, 4, 8, 16] {
+        print!("{p:>7}");
+        for m in [&SGI, &CENJU, &PC_LAN] {
+            if m.supports(p) {
+                let (wp, h, s) = model(p);
+                print!("{:>12.3}", predict(m, p, wp, h, s).total());
+            } else {
+                print!("{:>12}", "-");
+            }
+        }
+        println!();
+    }
+    println!();
+    for m in [&SGI, &CENJU, &PC_LAN] {
+        let (best_p, best_t) = cost::best_procs(m, 16, model);
+        let full = m.max_procs;
+        let (wf, hf, sf) = model(full);
+        let t_full = predict(m, full, wf, hf, sf).total();
+        println!(
+            "{:>6}: optimum at p = {best_p} ({best_t:.3}s); running all {full} procs costs {t_full:.3}s",
+            m.name
+        );
+    }
+    println!("\nTry `cost_explorer 2.0 4000 6` (the N-body profile): every machine");
+    println!("then wants all its processors — few supersteps tame the latency term.");
+}

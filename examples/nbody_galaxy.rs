@@ -1,0 +1,59 @@
+//! Galaxy simulation: evolve a Plummer sphere with the parallel Barnes-Hut
+//! code (paper §3.2) and watch energy conservation and load balancing.
+//!
+//! Run with: `cargo run --release --example nbody_galaxy [n_bodies]`
+
+use bsp_repro::green_bsp::{run, Config};
+use bsp_repro::nbody::{initial_partition, nbody_sim, plummer, total_energy, Body, SimConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let p = 4;
+    let cfg = SimConfig {
+        iters: 10,
+        dt: 0.01,
+        ..SimConfig::default()
+    };
+
+    let bodies = plummer(n, 1996);
+    let e0 = total_energy(&bodies, cfg.theta, cfg.eps);
+    println!("{n} bodies on {p} BSP processes, {} iterations", cfg.iters);
+    println!("initial energy: {e0:.6}");
+
+    let (parts, cuts) = initial_partition(&bodies, p);
+    let out = run(&Config::new(p), |ctx| {
+        nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, &cfg)
+    });
+
+    let mut all: Vec<Body> = out
+        .results
+        .iter()
+        .flat_map(|r| r.bodies.iter().copied())
+        .collect();
+    all.sort_unstable_by_key(|b| b.id);
+    let e1 = total_energy(&all, cfg.theta, cfg.eps);
+    println!(
+        "final energy:   {e1:.6}  (drift {:.3}%)",
+        (e1 - e0).abs() / e0.abs() * 100.0
+    );
+    for (pid, r) in out.results.iter().enumerate() {
+        println!(
+            "  proc {pid}: {:5} bodies, {:6} essential points received, {:4} migrated out, {} repartitions",
+            r.bodies.len(),
+            r.essential_recv,
+            r.migrated_out,
+            r.repartitions
+        );
+    }
+    println!(
+        "BSP stats: S = {} ({} per iteration), H = {} packets, wall = {:.2} s",
+        out.stats.s(),
+        (out.stats.s() - 1) / cfg.iters as u64,
+        out.stats.h_total(),
+        out.wall.as_secs_f64()
+    );
+    assert!(all.len() == n, "bodies conserved");
+}

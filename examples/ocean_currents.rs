@@ -1,0 +1,81 @@
+//! Ocean gyre spin-up: run the eddy simulation (paper §3.1) and render the
+//! streamfunction as ASCII contours, then reproduce the Figure 1.1
+//! breakpoint analysis for this size.
+//!
+//! Run with: `cargo run --release --example ocean_currents [interior_n]`
+
+use bsp_repro::green_bsp::{predict, run, Config, CENJU, PC_LAN, SGI};
+use bsp_repro::ocean::{assemble_psi, ocean_run, OceanConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    assert!(n.is_power_of_two(), "interior size must be a power of two");
+    let p = 4;
+    let cfg = OceanConfig {
+        steps: 12,
+        ..OceanConfig::new(n)
+    };
+
+    let out = run(&Config::new(p), |ctx| ocean_run(ctx, &cfg));
+    let psi = assemble_psi(&out.results, n);
+    println!(
+        "ocean {}x{} (paper size {}), {} steps on {} procs: KE = {:.5}, {} V-cycles, S = {}, H = {}",
+        n,
+        n,
+        cfg.paper_size(),
+        cfg.steps,
+        p,
+        out.results[0].kinetic_energy,
+        out.results[0].cycles,
+        out.stats.s(),
+        out.stats.h_total()
+    );
+
+    // ASCII contours of ψ (the wind-driven gyre).
+    let maxv = psi
+        .iter()
+        .cloned()
+        .fold(0.0f64, |a, b| a.max(b.abs()))
+        .max(1e-30);
+    let chars = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let step = (n / 32).max(1);
+    println!("\nstreamfunction |ψ| contours:");
+    for i in (0..n).step_by(step) {
+        let row: String = (0..n)
+            .step_by(step)
+            .map(|j| {
+                let v = (psi[i * n + j].abs() / maxv * (chars.len() - 1) as f64) as usize;
+                chars[v.min(chars.len() - 1)]
+            })
+            .collect();
+        println!("  {row}");
+    }
+
+    // Figure 1.1-style breakpoint analysis from the measured W/H/S of THIS
+    // run, projected onto the paper's machines (W measured on the host).
+    println!("\nEquation (1) projection of this run per machine and p (W from host):");
+    let w = out.stats.w_total().as_secs_f64();
+    let (h, s) = (out.stats.h_total(), out.stats.s());
+    print!("{:>8}", "machine");
+    for p in [1usize, 2, 4, 8, 16] {
+        print!("{p:>9}");
+    }
+    println!();
+    for m in [&SGI, &CENJU, &PC_LAN] {
+        print!("{:>8}", m.name);
+        for pp in [1usize, 2, 4, 8, 16] {
+            if m.supports(pp) {
+                // Crude scaling model: W/p, H and S as measured.
+                let t = predict(m, pp, w / pp as f64, if pp == 1 { 0 } else { h }, s).total();
+                print!("{t:>9.3}");
+            } else {
+                print!("{:>9}", "-");
+            }
+        }
+        println!();
+    }
+    println!("(watch the high-latency rows stop improving — the paper's breakpoints)");
+}

@@ -1,0 +1,23 @@
+use bsp_harness::apps::{execute, prepare, App};
+use green_bsp::BackendKind;
+fn main() {
+    for app in [App::Msp, App::Ocean] {
+        let size = if app == App::Msp { 10_000 } else { 130 };
+        let wl = prepare(app, size);
+        for p in [1usize, 4, 16] {
+            let (st, wall) = execute(app, &wl, p, BackendKind::SeqSim);
+            println!(
+                "{} p={}: W={:.4}s TW={:.4}s S={} H={} wall={:.3}s units W={} TW={}",
+                app.name(),
+                p,
+                st.w_total().as_secs_f64(),
+                st.total_work().as_secs_f64(),
+                st.s(),
+                st.h_total(),
+                wall.as_secs_f64(),
+                st.w_units_total(),
+                st.total_work_units()
+            );
+        }
+    }
+}

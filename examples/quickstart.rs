@@ -1,0 +1,65 @@
+//! Quickstart: the Green BSP library in one file.
+//!
+//! Runs a superstep-structured word-count-style histogram: every process
+//! draws random values, routes each value to the process that owns its
+//! bucket (a total exchange), and the owners aggregate. Prints the BSP
+//! statistics (`W`, `H`, `S`) and what Equation (1) predicts the same
+//! program would cost on the paper's three 1996 machines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bsp_repro::green_bsp::{predict, run, Config, Packet, CENJU, PC_LAN, SGI};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let p = 8;
+    let items_per_proc = 100_000;
+    let buckets = 64;
+
+    let out = run(&Config::new(p), move |ctx| {
+        let p = ctx.nprocs();
+        let mut rng = StdRng::seed_from_u64(42 + ctx.pid() as u64);
+
+        // Superstep 0: route each item to its bucket's owner.
+        for _ in 0..items_per_proc {
+            let value: u64 = rng.gen_range(0..buckets);
+            let owner = (value as usize * p) / buckets as usize;
+            ctx.send_pkt(owner, Packet::two_u64(value, 1));
+        }
+        ctx.sync();
+
+        // Superstep 1: owners aggregate their buckets.
+        let mut counts = vec![0u64; buckets as usize];
+        while let Some(pkt) = ctx.get_pkt() {
+            let (value, one) = pkt.as_two_u64();
+            counts[value as usize] += one;
+        }
+        counts.iter().sum::<u64>()
+    });
+
+    let total: u64 = out.results.iter().sum();
+    assert_eq!(total, (p * items_per_proc) as u64);
+    println!("histogrammed {total} items on {p} BSP processes");
+    println!(
+        "stats: S = {}, H = {} packets, W = {:.1} ms, host wall = {:.1} ms",
+        out.stats.s(),
+        out.stats.h_total(),
+        out.stats.w_total().as_secs_f64() * 1e3,
+        out.wall.as_secs_f64() * 1e3
+    );
+
+    println!("\nEquation (1) cost on the paper's machines (communication only):");
+    for m in [&SGI, &CENJU, &PC_LAN] {
+        if !m.supports(p) {
+            continue;
+        }
+        let pred = predict(m, p, 0.0, out.stats.h_total(), out.stats.s());
+        println!(
+            "  {:>6}: gH = {:6.1} ms, LS = {:6.3} ms",
+            m.name,
+            pred.bandwidth * 1e3,
+            pred.latency * 1e3
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Hierarchical radiosity in an open box — the paper's §5 second
+//! future-work application, rendered as ASCII shading of the floor.
+//!
+//! Run with: `cargo run --release --example radiosity_box [depth]`
+
+use bsp_repro::green_bsp::{run, Config};
+use bsp_repro::radiosity::{node_count, open_box, solve_bsp, total_power};
+
+fn main() {
+    let depth: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let p = 4;
+    let iters = 20;
+    let scene = open_box(1.0, 0.6);
+
+    let out = run(&Config::new(p), |ctx| {
+        solve_bsp(ctx, &scene, depth, 0.03, iters)
+    });
+    let mut trees: Vec<Option<_>> = vec![None; scene.patches.len()];
+    for r in &out.results {
+        for (i, t) in r {
+            trees[*i as usize] = Some(t.clone());
+        }
+    }
+    let trees: Vec<_> = trees.into_iter().map(Option::unwrap).collect();
+    println!(
+        "open box, quadtree depth {depth}, {iters} iterations on {p} procs: S = {}, H = {} packets",
+        out.stats.s(),
+        out.stats.h_total()
+    );
+    println!(
+        "total power: {:.4}",
+        trees.iter().map(|t| t.power()).sum::<f64>()
+    );
+    let _ = total_power;
+
+    // Shade the floor's leaf radiosities.
+    let floor = &trees[0];
+    let side = 1usize << depth;
+    let first_leaf = node_count(depth) - side * side;
+    let max_b = floor.b[first_leaf..]
+        .iter()
+        .cloned()
+        .fold(1e-12_f64, f64::max);
+    let chars = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!("\nfloor radiosity (brighter near the walls that bounce the ceiling light):");
+    // Leaves are heap-ordered; map each to its (s, t) cell for display.
+    let mut grid = vec![0.0f64; side * side];
+    for (k, &b) in floor.b[first_leaf..].iter().enumerate() {
+        let node = first_leaf + k;
+        let (s0, _, t0, _) = bsp_repro::radiosity::patchtree::extent(node);
+        let ix = (s0 * side as f64).round() as usize;
+        let iy = (t0 * side as f64).round() as usize;
+        grid[iy.min(side - 1) * side + ix.min(side - 1)] = b;
+    }
+    for row in grid.chunks(side) {
+        let line: String = row
+            .iter()
+            .map(|&b| chars[((b / max_b) * (chars.len() - 1) as f64) as usize])
+            .collect();
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # bsp-repro — the SPAA'96 Green BSP reproduction, in one crate
+//!
+//! Umbrella crate re-exporting the whole workspace: the [`green_bsp`]
+//! runtime, the six applications of the paper (ocean, N-body, MST, SP,
+//! MSP, matmult), and the experiment harness that regenerates every table
+//! and figure.
+//!
+//! ```
+//! use bsp_repro::green_bsp::{run, Config};
+//! use bsp_repro::green_bsp::collectives::sum_u64;
+//!
+//! let out = run(&Config::new(4), |ctx| sum_u64(ctx, ctx.pid() as u64));
+//! assert_eq!(out.results[0], 0 + 1 + 2 + 3);
+//! ```
+
+pub use bsp_fmm as fmm;
+pub use bsp_graph as graph;
+pub use bsp_harness as harness;
+pub use bsp_matmul as matmul;
+pub use bsp_nbody as nbody;
+pub use bsp_ocean as ocean;
+pub use bsp_radiosity as radiosity;
+pub use bsp_sort as sort;
+pub use green_bsp;

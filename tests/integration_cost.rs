@@ -1,0 +1,110 @@
+//! Integration of the measurement pipeline with the cost model: the
+//! harness quantities must satisfy the structural relations the paper's
+//! evaluation is built on.
+
+use bsp_repro::green_bsp::{predict, BackendKind, CENJU, PC_LAN, SGI};
+use bsp_repro::harness::apps::{execute, prepare, App};
+use bsp_repro::harness::measure::sweep;
+
+#[test]
+fn superstep_counts_match_paper_structure_at_small_scale() {
+    // matmult: S = 2√p − 1 for any size; nbody: S = 6 for one iteration.
+    let wl = prepare(App::Matmult, 48);
+    for (p, s) in [(1usize, 1u64), (4, 3), (9, 5), (16, 7)] {
+        let (stats, _) = execute(App::Matmult, &wl, p, BackendKind::Shared);
+        assert_eq!(stats.s(), s, "matmult p={p}");
+    }
+    let wl = prepare(App::Nbody, 400);
+    for p in [2usize, 4, 8] {
+        let (stats, _) = execute(App::Nbody, &wl, p, BackendKind::Shared);
+        assert_eq!(stats.s(), 6, "nbody p={p}");
+    }
+}
+
+#[test]
+fn matmult_h_matches_closed_form() {
+    // H = 2(√p − 1) · (n/√p)² with one f64 per packet.
+    let n = 96;
+    let wl = prepare(App::Matmult, n);
+    for p in [4usize, 9, 16] {
+        let q = (p as f64).sqrt() as u64;
+        let b = (n as u64) / q;
+        let (stats, _) = execute(App::Matmult, &wl, p, BackendKind::Shared);
+        assert_eq!(stats.h_total(), 2 * (q - 1) * b * b, "p={p}");
+    }
+}
+
+#[test]
+fn sp_superstep_regimes() {
+    // With a pop-count work factor the single processor is budget-bound
+    // (S ≈ pops/WF) while many processors are propagation-bound (S set by
+    // how many partition hops the wavefront needs, at least several).
+    let wl = prepare(App::Sp, 2500);
+    let (s1, _) = execute(App::Sp, &wl, 1, BackendKind::Shared);
+    let (s8, _) = execute(App::Sp, &wl, 8, BackendKind::Shared);
+    assert!(
+        s1.s() >= 2500 / bsp_repro::graph::DEFAULT_WORK_FACTOR as u64,
+        "p=1 must be budget-bound: S = {}",
+        s1.s()
+    );
+    assert!(
+        s8.s() >= 5,
+        "p=8 must still need several propagation supersteps: S = {}",
+        s8.s()
+    );
+}
+
+#[test]
+fn high_latency_machines_lose_on_superstep_heavy_small_problems() {
+    // Ocean at a small size: per Equation (1) the PC LAN must be predicted
+    // slower at 8 procs than at 2 — the Figure 1.1 breakpoint.
+    let sw = sweep(App::Ocean, &[66], false);
+    let scale = sw.calibration(App::Ocean.paper_table(), &PC_LAN);
+    let t2 = sw
+        .predict_on(sw.get(66, 2).unwrap(), &PC_LAN, scale)
+        .total();
+    let t8 = sw
+        .predict_on(sw.get(66, 8).unwrap(), &PC_LAN, scale)
+        .total();
+    assert!(
+        t8 > t2,
+        "PC LAN should degrade from 2 to 8 procs on ocean 66: {t2} vs {t8}"
+    );
+    // While the SGI keeps improving.
+    let scale = sw.calibration(App::Ocean.paper_table(), &SGI);
+    let s2 = sw.predict_on(sw.get(66, 2).unwrap(), &SGI, scale).total();
+    let s16 = sw.predict_on(sw.get(66, 16).unwrap(), &SGI, scale).total();
+    assert!(s16 < s2, "SGI should keep improving: {s2} vs {s16}");
+}
+
+#[test]
+fn nbody_scales_on_every_machine() {
+    // Few supersteps and modest bandwidth: the paper's best-scaling app.
+    let sw = sweep(App::Nbody, &[4_000], false);
+    for machine in [&SGI, &CENJU, &PC_LAN] {
+        let scale = sw.calibration(App::Nbody.paper_table(), machine);
+        let p = machine.max_procs;
+        let t1 = sw
+            .predict_on(sw.get(4_000, 1).unwrap(), machine, scale)
+            .total();
+        let tp = sw
+            .predict_on(sw.get(4_000, p).unwrap(), machine, scale)
+            .total();
+        let spdp = t1 / tp;
+        assert!(
+            spdp > 0.4 * p as f64,
+            "{}: nbody speedup {spdp:.1} too low for p={p}",
+            machine.name
+        );
+    }
+}
+
+#[test]
+fn predictions_decompose() {
+    let pred = predict(&CENJU, 16, 1.0, 50_000, 100);
+    assert!((pred.total() - (1.0 + pred.bandwidth + pred.latency)).abs() < 1e-12);
+    assert!(pred.comm_fraction() > 0.0 && pred.comm_fraction() < 1.0);
+    // Bandwidth: 3.6 µs × 50k = 180 ms; latency: 2880 µs × 100 = 288 ms.
+    assert!((pred.bandwidth - 0.18).abs() < 1e-9);
+    assert!((pred.latency - 0.288).abs() < 1e-9);
+}
