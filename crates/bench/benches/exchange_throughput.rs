@@ -1,0 +1,33 @@
+//! Exchange-fabric throughput: packets/sec through the transport hot path,
+//! every backend, `p = 1..=8`. This is the headline number for the slab
+//! mailbox redesign (DESIGN.md, "Transport hot path"): the shared-memory
+//! backend's per-chunk mutex was replaced by a single `fetch_add` slab
+//! reservation, and bulk sends bypass per-packet staging entirely.
+//!
+//! The `report bench_exchange` harness subcommand runs the same sweep
+//! without Criterion and emits `BENCH_exchange.json`.
+
+use bsp_bench::quick_criterion;
+use bsp_harness::exchange::{backends, measure_exchange};
+use criterion::Criterion;
+
+const VOLUME: usize = 20_000; // packets per proc per superstep
+const STEPS: usize = 4;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_throughput");
+    for (name, backend) in backends() {
+        for p in 1usize..=8 {
+            group.bench_function(format!("{name}/p{p}"), |b| {
+                b.iter(|| std::hint::black_box(measure_exchange(name, backend, p, VOLUME, STEPS)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

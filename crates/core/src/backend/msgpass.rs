@@ -9,8 +9,9 @@
 //! empty, must arrive). Channels stand in for MPI `Isend`/`Irecv` pairs.
 
 use super::super::context::ProcTransport;
-use super::super::packet::Packet;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use super::super::packet::{Packet, PACKET_SIZE};
+use crate::stats::TransportCounters;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Per-process endpoint of the message-passing transport.
 pub(crate) struct MsgPassProc {
@@ -22,6 +23,7 @@ pub(crate) struct MsgPassProc {
     senders: Vec<Option<Sender<Vec<Packet>>>>,
     /// `receivers[src]` yields `src`'s superstep batches for this process.
     receivers: Vec<Option<Receiver<Vec<Packet>>>>,
+    counters: TransportCounters,
 }
 
 impl MsgPassProc {
@@ -38,7 +40,7 @@ impl MsgPassProc {
         for src in 0..nprocs {
             for dest in 0..nprocs {
                 if src != dest {
-                    let (s, r) = unbounded();
+                    let (s, r) = channel();
                     tx[src][dest] = Some(s);
                     rx[src][dest] = Some(r);
                 }
@@ -56,6 +58,7 @@ impl MsgPassProc {
                 out: vec![Vec::new(); nprocs],
                 senders,
                 receivers,
+                counters: TransportCounters::default(),
             });
         }
         procs
@@ -67,6 +70,10 @@ impl ProcTransport for MsgPassProc {
         self.out[dest].push(pkt);
     }
 
+    fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
+        self.out[dest].extend_from_slice(pkts);
+    }
+
     fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>) {
         // Post all sends (a batch is sent even when empty: that emptiness is
         // what synchronizes the boundary, mirroring the 2p Isend/Irecv waits).
@@ -74,14 +81,23 @@ impl ProcTransport for MsgPassProc {
             if dest == self.pid {
                 continue;
             }
-            let batch = std::mem::take(&mut self.out[dest]);
+            // The outgoing batch surrenders its allocation to the receiver;
+            // pre-size the replacement from this superstep's volume so the
+            // next superstep appends without reallocating.
+            let volume = self.out[dest].len();
+            let batch = std::mem::replace(&mut self.out[dest], Vec::with_capacity(volume));
+            self.counters.lock_acquisitions += 1; // channel send
+            self.counters.pkts_moved += volume as u64;
+            self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
             self.senders[dest]
                 .as_ref()
                 .expect("peer channel")
                 .send(batch)
                 .expect("peer process hung up mid-superstep");
         }
-        // Self-delivery.
+        // Self-delivery (`append` leaves the buffer's allocation in place).
+        self.counters.pkts_moved += self.out[self.pid].len() as u64;
+        self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
         inbox.append(&mut self.out[self.pid]);
         // Wait for one batch from every peer, in pid order (deterministic
         // inbox layout; the BSP contract lets packets arrive in any order).
@@ -89,6 +105,7 @@ impl ProcTransport for MsgPassProc {
             if src == self.pid {
                 continue;
             }
+            self.counters.lock_acquisitions += 1; // channel receive
             let batch = self.receivers[src]
                 .as_ref()
                 .expect("peer channel")
@@ -99,4 +116,8 @@ impl ProcTransport for MsgPassProc {
     }
 
     fn finish(&mut self) {}
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
 }

@@ -83,6 +83,11 @@ impl ProcTransport for NetSimProc {
         self.inner.send(dest, pkt);
     }
 
+    fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
+        self.sent_this_step += pkts.len() as u64;
+        self.inner.send_batch(dest, pkts);
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
         let par = step & 1;
         let pid = self.inner.pid;
@@ -108,4 +113,8 @@ impl ProcTransport for NetSimProc {
     }
 
     fn finish(&mut self) {}
+
+    fn counters(&self) -> crate::stats::TransportCounters {
+        self.inner.counters()
+    }
 }

@@ -16,9 +16,9 @@
 //! superstep `s` before any process starts `s + 1`.
 
 use super::super::context::ProcTransport;
-use super::super::packet::Packet;
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use super::super::packet::{Packet, PACKET_SIZE};
+use crate::stats::TransportCounters;
+use std::sync::{Arc, Condvar, Mutex};
 
 pub(crate) struct SeqState {
     /// `bufs[dest][phase]` — no locking needed beyond the baton, but Mutex
@@ -48,16 +48,16 @@ impl SeqState {
     }
 
     fn wait_for_baton(&self, pid: usize) {
-        let mut b = self.baton.lock();
+        let mut b = self.baton.lock().unwrap();
         while b.current != pid {
-            self.cv.wait(&mut b);
+            b = self.cv.wait(b).unwrap();
         }
     }
 
     /// Hand the baton to the next not-yet-finished process after `pid`
     /// (cyclically). If every process is done, the baton stops moving.
     fn pass_baton(&self, pid: usize) {
-        let mut b = self.baton.lock();
+        let mut b = self.baton.lock().unwrap();
         debug_assert_eq!(b.current, pid);
         let p = b.done.len();
         for off in 1..=p {
@@ -78,6 +78,7 @@ pub(crate) struct SeqProc {
     st: Arc<SeqState>,
     pid: usize,
     out: Vec<Vec<Packet>>,
+    counters: TransportCounters,
 }
 
 impl SeqProc {
@@ -88,6 +89,7 @@ impl SeqProc {
                 st: Arc::clone(&st),
                 pid,
                 out: vec![Vec::new(); nprocs],
+                counters: TransportCounters::default(),
             })
             .collect()
     }
@@ -104,22 +106,33 @@ impl ProcTransport for SeqProc {
         self.out[dest].push(pkt);
     }
 
+    fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
+        self.out[dest].extend_from_slice(pkts);
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
         let phase = (step + 1) & 1;
         for (dest, batch) in self.out.iter_mut().enumerate() {
             if !batch.is_empty() {
-                self.st.bufs[dest][phase].lock().append(batch);
+                self.counters.lock_acquisitions += 1;
+                self.counters.pkts_moved += batch.len() as u64;
+                self.counters.bytes_moved += (batch.len() * PACKET_SIZE) as u64;
+                self.st.bufs[dest][phase].lock().unwrap().append(batch);
             }
         }
         self.st.pass_baton(self.pid);
         self.st.wait_for_baton(self.pid);
-        inbox.append(&mut self.st.bufs[self.pid][phase].lock());
+        inbox.append(&mut self.st.bufs[self.pid][phase].lock().unwrap());
     }
 
     fn finish(&mut self) {
-        let mut b = self.st.baton.lock();
+        let mut b = self.st.baton.lock().unwrap();
         b.done[self.pid] = true;
         drop(b);
         self.st.pass_baton(self.pid);
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
     }
 }

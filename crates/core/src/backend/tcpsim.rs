@@ -14,8 +14,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use super::super::context::ProcTransport;
-use super::super::packet::Packet;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use super::super::packet::{Packet, PACKET_SIZE};
+use crate::stats::TransportCounters;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
 /// Precomputed pairing schedule: `schedule[round][pid]` is `pid`'s partner in
@@ -65,8 +66,9 @@ pub(crate) struct TcpSimProc {
     schedule: Arc<Schedule>,
     /// `senders[dest]` / `receivers[src]`: one bounded pipe per ordered pair,
     /// standing in for the TCP connection.
-    senders: Vec<Option<Sender<Vec<Packet>>>>,
+    senders: Vec<Option<SyncSender<Vec<Packet>>>>,
     receivers: Vec<Option<Receiver<Vec<Packet>>>>,
+    counters: TransportCounters,
 }
 
 impl TcpSimProc {
@@ -75,7 +77,7 @@ impl TcpSimProc {
     /// with a full window.
     pub(crate) fn create_all(nprocs: usize) -> Vec<TcpSimProc> {
         let schedule = Arc::new(Schedule::round_robin(nprocs));
-        let mut tx: Vec<Vec<Option<Sender<Vec<Packet>>>>> = (0..nprocs)
+        let mut tx: Vec<Vec<Option<SyncSender<Vec<Packet>>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
         let mut rx: Vec<Vec<Option<Receiver<Vec<Packet>>>>> = (0..nprocs)
@@ -84,7 +86,7 @@ impl TcpSimProc {
         for src in 0..nprocs {
             for dest in 0..nprocs {
                 if src != dest {
-                    let (s, r) = bounded(1);
+                    let (s, r) = sync_channel(1);
                     tx[src][dest] = Some(s);
                     rx[src][dest] = Some(r);
                 }
@@ -97,6 +99,7 @@ impl TcpSimProc {
                 schedule: Arc::clone(&schedule),
                 senders: std::mem::take(&mut tx[pid]),
                 receivers: (0..nprocs).map(|src| rx[src][pid].take()).collect(),
+                counters: TransportCounters::default(),
             })
             .collect()
     }
@@ -107,8 +110,14 @@ impl ProcTransport for TcpSimProc {
         self.out[dest].push(pkt);
     }
 
+    fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
+        self.out[dest].extend_from_slice(pkts);
+    }
+
     fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>) {
-        // Self-delivery first.
+        // Self-delivery first (`append` keeps the buffer's allocation).
+        self.counters.pkts_moved += self.out[self.pid].len() as u64;
+        self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
         inbox.append(&mut self.out[self.pid]);
         // Staged conversation: in each round talk to exactly one partner.
         // Lower pid transmits first; the partner reads the pipe before
@@ -118,7 +127,13 @@ impl ProcTransport for TcpSimProc {
             if partner == self.pid {
                 continue; // bye
             }
-            let batch = std::mem::take(&mut self.out[partner]);
+            // Pre-size the replacement buffer from this superstep's volume;
+            // the outgoing allocation travels to the partner.
+            let volume = self.out[partner].len();
+            let batch = std::mem::replace(&mut self.out[partner], Vec::with_capacity(volume));
+            self.counters.lock_acquisitions += 2; // pipe send + recv
+            self.counters.pkts_moved += volume as u64;
+            self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
             if self.pid < partner {
                 self.senders[partner]
                     .as_ref()
@@ -148,6 +163,10 @@ impl ProcTransport for TcpSimProc {
     }
 
     fn finish(&mut self) {}
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,9 @@
 //! [`TreeBarrier`] and [`DisseminationBarrier`] are provided for the barrier
 //! ablation bench.
 
-use parking_lot::{Condvar, Mutex};
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Number of busy spins before a spinning barrier starts yielding the CPU.
 /// Logical BSP processes routinely outnumber cores (the paper oversubscribes
@@ -85,7 +86,7 @@ impl CentralBarrier {
 
 impl Barrier for CentralBarrier {
     fn wait(&self, _pid: usize) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.0 += 1;
         if st.0 == self.parties {
             st.0 = 0;
@@ -94,7 +95,7 @@ impl Barrier for CentralBarrier {
         } else {
             let gen = st.1;
             while st.1 == gen {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st).unwrap();
             }
         }
     }
@@ -107,8 +108,7 @@ impl Barrier for CentralBarrier {
 // ---------------------------------------------------------------------------
 
 /// Cache-line padded atomic counter.
-#[repr(align(64))]
-struct PaddedAtomic(AtomicU64);
+type PaddedAtomic = CachePadded<AtomicU64>;
 
 /// The paper's shared-memory barrier (Appendix B.1): each processor
 /// increments its own flag; processor 0 spins on flags `1..p-1`, processors
@@ -123,7 +123,9 @@ impl FlagBarrier {
     pub fn new(p: usize) -> Self {
         assert!(p > 0);
         FlagBarrier {
-            flags: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+            flags: (0..p)
+                .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 }
@@ -179,9 +181,13 @@ impl TreeBarrier {
         assert!(p > 0);
         TreeBarrier {
             parties: p,
-            arrive: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
-            release: PaddedAtomic(AtomicU64::new(0)),
-            gen: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+            arrive: (0..p)
+                .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
+                .collect(),
+            release: PaddedAtomic::new(AtomicU64::new(0)),
+            gen: (0..p)
+                .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -247,9 +253,15 @@ impl DisseminationBarrier {
             parties: p,
             rounds,
             flags: (0..rounds)
-                .map(|_| (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect())
+                .map(|_| {
+                    (0..p)
+                        .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
+                        .collect()
+                })
                 .collect(),
-            gen: (0..p).map(|_| PaddedAtomic(AtomicU64::new(0))).collect(),
+            gen: (0..p)
+                .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 }

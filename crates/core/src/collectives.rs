@@ -104,9 +104,7 @@ pub fn broadcast_pkts(ctx: &mut Ctx, root: usize, data: &[Packet]) -> Vec<Packet
     if ctx.pid() == root {
         for dest in 0..p {
             if dest != root {
-                for pkt in data {
-                    ctx.send_pkt(dest, *pkt);
-                }
+                ctx.send_pkts(dest, data);
             }
         }
     }
@@ -158,13 +156,16 @@ pub fn broadcast_pkts_two_phase(ctx: &mut Ctx, root: usize, data: &[Packet]) -> 
         let pkt = ctx.get_pkt().expect("index packet without data packet");
         mine.push((global, pkt));
     }
-    // Phase 2: everyone rebroadcasts its slice to everyone.
+    // Phase 2: everyone rebroadcasts its slice to everyone. The interleaved
+    // (index, data) batch is identical for every destination, so it is built
+    // once and bulk-sent.
+    let rebroadcast: Vec<Packet> = mine
+        .iter()
+        .flat_map(|&(global, pkt)| [Packet::two_u64(global, 0), pkt])
+        .collect();
     for dest in 0..p {
         if dest != me {
-            for (global, pkt) in &mine {
-                ctx.send_pkt(dest, Packet::two_u64(*global, 0));
-                ctx.send_pkt(dest, *pkt);
-            }
+            ctx.send_pkts(dest, &rebroadcast);
         }
     }
     ctx.sync();
@@ -186,9 +187,7 @@ pub fn broadcast_pkts_two_phase(ctx: &mut Ctx, root: usize, data: &[Packet]) -> 
 pub fn gather_pkts(ctx: &mut Ctx, root: usize, data: &[Packet]) -> Option<Vec<Packet>> {
     let me = ctx.pid();
     if me != root {
-        for pkt in data {
-            ctx.send_pkt(root, *pkt);
-        }
+        ctx.send_pkts(root, data);
     }
     ctx.sync();
     if me == root {

@@ -8,7 +8,7 @@
 //! are derived.
 
 use crate::packet::Packet;
-use crate::stats::LocalStep;
+use crate::stats::{LocalStep, TransportCounters};
 use std::time::Instant;
 
 /// Backend-specific per-process transport. Implementations deliver packets
@@ -21,6 +21,15 @@ pub(crate) trait ProcTransport: Send {
     /// Queue `pkt` for delivery to `dest` at the start of the next superstep.
     fn send(&mut self, dest: usize, pkt: Packet);
 
+    /// Queue a whole batch for `dest`. Backends override this to bypass the
+    /// per-packet staging checks (one chunk reservation or one buffer extend
+    /// for the entire batch); the default just loops.
+    fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
+        for &pkt in pkts {
+            self.send(dest, pkt);
+        }
+    }
+
     /// Complete superstep `step` (0-based): flush queued packets, perform the
     /// global synchronization, and append the packets addressed to this
     /// process during `step` to `inbox`.
@@ -30,6 +39,12 @@ pub(crate) trait ProcTransport: Send {
     /// this to hand control onward; barrier-based transports rely on the
     /// superstep-alignment contract instead.
     fn finish(&mut self);
+
+    /// Hot-path counters accumulated over the run (lock acquisitions, slab
+    /// reservations, spills, volume). Collected into [`crate::RunStats`].
+    fn counters(&self) -> TransportCounters {
+        TransportCounters::default()
+    }
 }
 
 /// The BSP process context handed to the user function by [`crate::run`].
@@ -44,7 +59,11 @@ pub struct Ctx {
     pid: usize,
     nprocs: usize,
     pub(crate) transport: Box<dyn ProcTransport>,
+    /// Current superstep's delivered packets. Swapped with `spare` at every
+    /// `sync` so both buffers' allocations persist for the whole run.
     inbox: Vec<Packet>,
+    /// The other inbox buffer of the double-buffer pair.
+    spare: Vec<Packet>,
     inbox_pos: usize,
     step: usize,
     sent_this_step: u64,
@@ -61,6 +80,7 @@ impl Ctx {
             nprocs,
             transport,
             inbox: Vec::new(),
+            spare: Vec::new(),
             inbox_pos: 0,
             step: 0,
             sent_this_step: 0,
@@ -82,11 +102,10 @@ impl Ctx {
     /// synchronizations at all).
     pub(crate) fn finalize(&mut self) {
         let compute = self.step_start.elapsed();
-        debug_assert_eq!(
-            self.sent_this_step, 0,
-            "proc {} sent {} packets after its last sync; they will never be delivered",
-            self.pid, self.sent_this_step
-        );
+        // Packets sent after the last sync have no delivery boundary left.
+        // They are recorded in this final LocalStep and surfaced as
+        // `RunStats::undelivered_pkts` — a debug_assert here used to lose
+        // them silently in release builds.
         self.log.push(LocalStep {
             sent: self.sent_this_step,
             recv: 0,
@@ -123,6 +142,17 @@ impl Ctx {
         self.transport.send(dest, pkt);
     }
 
+    /// Send a whole batch of packets to process `dest`; equivalent to calling
+    /// [`Ctx::send_pkt`] once per packet, but the per-packet staging checks
+    /// are bypassed: the transport reserves space for the batch at once.
+    /// Collectives and the DRMA layer route their bulk traffic through this.
+    #[inline]
+    pub fn send_pkts(&mut self, dest: usize, pkts: &[Packet]) {
+        debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        self.sent_this_step += pkts.len() as u64;
+        self.transport.send_batch(dest, pkts);
+    }
+
     /// Get the next packet sent to this process in the previous superstep, in
     /// arbitrary order; `None` when there are no further packets (the paper's
     /// `bspGetPkt`).
@@ -150,6 +180,10 @@ impl Ctx {
     pub fn sync(&mut self) {
         let compute = self.step_start.elapsed();
         let sent = self.sent_this_step;
+        // Swap the double-buffered inboxes: the buffer delivered into keeps
+        // its allocation from two supersteps ago, so a steady traffic level
+        // reallocates neither buffer.
+        std::mem::swap(&mut self.inbox, &mut self.spare);
         self.inbox.clear();
         self.inbox_pos = 0;
         self.transport.exchange(self.step, &mut self.inbox);

@@ -87,14 +87,17 @@ impl Drma {
     }
 
     fn send_puts(&mut self, ctx: &mut Ctx) {
+        let mut batch: Vec<Packet> = Vec::new();
         for (dest, r, offset, values) in self.puts.drain(..) {
             debug_assert!(r <= ID_MASK);
-            for (i, v) in values.into_iter().enumerate() {
-                ctx.send_pkt(
-                    dest,
-                    Packet::tag_u32_f64((T_PUT << TAG_SHIFT) | r, offset + i as u32, v),
-                );
-            }
+            // Encode the whole put as one packet batch and bulk-send it.
+            batch.clear();
+            batch.extend(
+                values.into_iter().enumerate().map(|(i, v)| {
+                    Packet::tag_u32_f64((T_PUT << TAG_SHIFT) | r, offset + i as u32, v)
+                }),
+            );
+            ctx.send_pkts(dest, &batch);
         }
     }
 
@@ -121,15 +124,15 @@ impl Drma {
                 _ => unreachable!("unexpected DRMA tag {tag}"),
             }
         }
-        // Serve gets against pre-put state.
+        // Serve gets against pre-put state, one bulk reply per request.
+        let mut reply: Vec<Packet> = Vec::new();
         for &(asker, handle, r, offset, len) in &requests {
-            for i in 0..len {
+            reply.clear();
+            reply.extend((0..len).map(|i| {
                 let v = self.regions[r as usize][(offset + i) as usize];
-                ctx.send_pkt(
-                    asker,
-                    Packet::tag_u32_f64((T_GREP << TAG_SHIFT) | handle, i, v),
-                );
-            }
+                Packet::tag_u32_f64((T_GREP << TAG_SHIFT) | handle, i, v)
+            }));
+            ctx.send_pkts(asker, &reply);
         }
         // Apply puts.
         for (r, off, v) in put_pkts {

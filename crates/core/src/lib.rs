@@ -63,6 +63,7 @@ pub mod drma;
 pub mod machine;
 pub mod message;
 pub mod packet;
+pub mod pad;
 pub mod runner;
 pub mod stats;
 

@@ -4,7 +4,7 @@
 use crate::backend::msgpass::MsgPassProc;
 use crate::backend::netsim::{NetSimProc, NetSimState};
 use crate::backend::seqsim::SeqProc;
-use crate::backend::shared::{SharedProc, SharedState, DEFAULT_CHUNK};
+use crate::backend::shared::{SharedProc, SharedState, DEFAULT_CHUNK, DEFAULT_SLAB_CAP};
 use crate::backend::tcpsim::TcpSimProc;
 use crate::backend::BackendKind;
 use crate::barrier::BarrierKind;
@@ -21,9 +21,13 @@ pub struct Config {
     pub backend: BackendKind,
     /// Barrier used by barrier-based backends.
     pub barrier: BarrierKind,
-    /// Packets staged per destination before taking the input-buffer lock
+    /// Packets staged per destination before reserving mailbox space
     /// (shared-memory backend; the paper uses 1000).
     pub chunk: usize,
+    /// Initial per-(destination, phase) mailbox slab capacity in packets
+    /// (shared-memory backend). Traffic beyond this spills to a locked
+    /// overflow once, then the slab grows at the superstep boundary.
+    pub slab_cap: usize,
 }
 
 impl Config {
@@ -35,6 +39,7 @@ impl Config {
             backend: BackendKind::default(),
             barrier: BarrierKind::default(),
             chunk: DEFAULT_CHUNK,
+            slab_cap: DEFAULT_SLAB_CAP,
         }
     }
 
@@ -55,6 +60,13 @@ impl Config {
         self.chunk = chunk.max(1);
         self
     }
+
+    /// Set the shared-memory mailbox slab capacity (packets per
+    /// destination per phase).
+    pub fn slab_cap(mut self, slab_cap: usize) -> Self {
+        self.slab_cap = slab_cap.max(1);
+        self
+    }
 }
 
 /// Results of a BSP run: one value per process plus merged statistics.
@@ -72,7 +84,7 @@ fn build_transports(cfg: &Config) -> Vec<Box<dyn ProcTransport>> {
     let p = cfg.nprocs;
     match cfg.backend {
         BackendKind::Shared => {
-            let st = SharedState::new(p, cfg.barrier.build(p));
+            let st = SharedState::new(p, cfg.barrier.build(p), cfg.slab_cap);
             (0..p)
                 .map(|pid| {
                     Box::new(SharedProc::new(st.clone(), pid, cfg.chunk)) as Box<dyn ProcTransport>
@@ -92,7 +104,7 @@ fn build_transports(cfg: &Config) -> Vec<Box<dyn ProcTransport>> {
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
         BackendKind::NetSim(params) => {
-            let shared = SharedState::new(p, cfg.barrier.build(p));
+            let shared = SharedState::new(p, cfg.barrier.build(p), cfg.slab_cap);
             let ns = NetSimState::new(cfg.barrier.build(p));
             (0..p)
                 .map(|pid| {
@@ -152,8 +164,12 @@ where
     let nprocs = cfg.nprocs;
     let f = &f;
 
-    let mut per_proc: Vec<Option<(R, Vec<crate::stats::LocalStep>)>> =
-        (0..nprocs).map(|_| None).collect();
+    type ProcResult<R> = (
+        R,
+        Vec<crate::stats::LocalStep>,
+        crate::stats::TransportCounters,
+    );
+    let mut per_proc: Vec<Option<ProcResult<R>>> = (0..nprocs).map(|_| None).collect();
 
     std::thread::scope(|s| {
         let handles: Vec<_> = transports
@@ -165,7 +181,8 @@ where
                     ctx.begin();
                     let r = f(&mut ctx);
                     ctx.finalize();
-                    (r, ctx.log)
+                    let counters = ctx.transport.counters();
+                    (r, ctx.log, counters)
                 })
             })
             .collect();
@@ -177,14 +194,24 @@ where
     let wall = start.elapsed();
     let mut results = Vec::with_capacity(nprocs);
     let mut logs = Vec::with_capacity(nprocs);
+    let mut transport = Vec::with_capacity(nprocs);
     for slot in per_proc {
-        let (r, log) = slot.unwrap();
+        let (r, log, counters) = slot.unwrap();
         results.push(r);
         logs.push(log);
+        transport.push(counters);
+    }
+    let mut stats = RunStats::merge(nprocs, logs);
+    stats.transport = transport;
+    if stats.undelivered_pkts > 0 {
+        eprintln!(
+            "green-bsp warning: {} packet(s) sent after the last sync were never delivered",
+            stats.undelivered_pkts
+        );
     }
     RunOutput {
         results,
-        stats: RunStats::merge(nprocs, logs),
+        stats,
         wall,
     }
 }
@@ -389,5 +416,159 @@ mod tests {
     #[should_panic(expected = "at least one process")]
     fn zero_procs_rejected() {
         let _ = run(&Config::new(0), |_ctx| ());
+    }
+
+    #[test]
+    fn tiny_slab_overflows_and_still_delivers() {
+        // Slab capacity far below the traffic level: every flush spills, the
+        // slab grows at the boundary, and nothing is lost or duplicated.
+        let cfg = Config::new(3).chunk(7).slab_cap(4);
+        let out = run(&cfg, |ctx| {
+            let p = ctx.nprocs();
+            let me = ctx.pid() as u64;
+            let mut seen: Vec<u64> = Vec::new();
+            for step in 0..4u64 {
+                for dest in 0..p {
+                    for i in 0..50u64 {
+                        ctx.send_pkt(dest, Packet::two_u64(me * 1000 + step * 100 + i, 0));
+                    }
+                }
+                ctx.sync();
+                while let Some(pkt) = ctx.get_pkt() {
+                    seen.push(pkt.as_two_u64().0);
+                }
+            }
+            seen.sort_unstable();
+            seen
+        });
+        let p = 3u64;
+        for r in &out.results {
+            assert_eq!(r.len(), (p * 4 * 50) as usize);
+            let mut expect: Vec<u64> = (0..p)
+                .flat_map(|src| {
+                    (0..4u64).flat_map(move |s| (0..50u64).map(move |i| src * 1000 + s * 100 + i))
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(r, &expect);
+        }
+        let t = out.stats.transport_total();
+        assert!(t.overflow_spills > 0, "tiny slab must spill: {:?}", t);
+        assert_eq!(t.pkts_moved, p * p * 4 * 50);
+    }
+
+    #[test]
+    fn in_capacity_shared_run_takes_no_locks() {
+        let out = run(&Config::new(4), |ctx| {
+            for dest in 0..ctx.nprocs() {
+                for i in 0..100u64 {
+                    ctx.send_pkt(dest, Packet::two_u64(i, 0));
+                }
+            }
+            ctx.sync();
+            while ctx.get_pkt().is_some() {}
+        });
+        let t = out.stats.transport_total();
+        assert_eq!(
+            t.lock_acquisitions, 0,
+            "slab path must be lock-free: {:?}",
+            t
+        );
+        assert!(t.slab_reservations > 0);
+        assert_eq!(t.overflow_spills, 0);
+        assert_eq!(
+            t.bytes_moved,
+            t.pkts_moved * crate::packet::PACKET_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn undelivered_sends_are_surfaced_not_lost_silently() {
+        let out = run(&Config::new(2), |ctx| {
+            ctx.send_pkt(1 - ctx.pid(), Packet::ZERO);
+            ctx.sync();
+            while ctx.get_pkt().is_some() {}
+            // Bug under test: sending after the last sync.
+            ctx.send_pkt(1 - ctx.pid(), Packet::ZERO);
+            ctx.send_pkt(1 - ctx.pid(), Packet::ZERO);
+        });
+        assert_eq!(out.stats.undelivered_pkts, 4);
+        // A clean program reports zero.
+        let clean = run(&Config::new(2), |ctx| ctx.sync());
+        assert_eq!(clean.stats.undelivered_pkts, 0);
+    }
+
+    #[test]
+    fn batch_send_matches_per_packet_send_on_all_backends() {
+        for p in [1, 2, 4] {
+            for cfg in all_backends(p) {
+                let batched = run(&cfg, |ctx| {
+                    let me = ctx.pid() as u64;
+                    let pkts: Vec<Packet> = (0..2500).map(|i| Packet::two_u64(me, i)).collect();
+                    for dest in 0..ctx.nprocs() {
+                        ctx.send_pkts(dest, &pkts);
+                    }
+                    ctx.sync();
+                    let mut seen: Vec<(u64, u64)> = Vec::new();
+                    while let Some(pkt) = ctx.get_pkt() {
+                        seen.push(pkt.as_two_u64());
+                    }
+                    seen.sort_unstable();
+                    seen
+                });
+                let looped = run(&cfg, |ctx| {
+                    let me = ctx.pid() as u64;
+                    for dest in 0..ctx.nprocs() {
+                        for i in 0..2500 {
+                            ctx.send_pkt(dest, Packet::two_u64(me, i));
+                        }
+                    }
+                    ctx.sync();
+                    let mut seen: Vec<(u64, u64)> = Vec::new();
+                    while let Some(pkt) = ctx.get_pkt() {
+                        seen.push(pkt.as_two_u64());
+                    }
+                    seen.sort_unstable();
+                    seen
+                });
+                assert_eq!(batched.results, looped.results, "backend {:?}", cfg.backend);
+                assert_eq!(batched.stats.h_total(), looped.stats.h_total());
+            }
+        }
+    }
+
+    #[test]
+    fn slab_growth_makes_second_burst_lock_free() {
+        // Superstep 0 overflows a small slab; the owner grows it at the
+        // boundary; superstep 1's identical burst must spill nowhere.
+        let cfg = Config::new(2).slab_cap(8).chunk(4);
+        let out = run(&cfg, |ctx| {
+            for _ in 0..4 {
+                for i in 0..200u64 {
+                    ctx.send_pkt(1 - ctx.pid(), Packet::two_u64(i, 0));
+                }
+                ctx.sync();
+                let mut n = 0;
+                while ctx.get_pkt().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 200);
+            }
+        });
+        let t = out.stats.transport_total();
+        // Phase discipline: two mailboxes per dest, so exactly the first TWO
+        // bursts (one per phase) spill — 48 of the 50 four-packet flushes
+        // each, per proc — and the grown slabs absorb supersteps 2 and 3.
+        assert_eq!(t.overflow_spills, 2 * 2 * 48, "{:?}", t);
+        let grown_free = run(&Config::new(2).slab_cap(1024), |ctx| {
+            for _ in 0..4 {
+                for i in 0..200u64 {
+                    ctx.send_pkt(1 - ctx.pid(), Packet::two_u64(i, 0));
+                }
+                ctx.sync();
+                while ctx.get_pkt().is_some() {}
+            }
+        });
+        assert_eq!(grown_free.stats.transport_total().overflow_spills, 0);
     }
 }

@@ -26,6 +26,36 @@ pub struct LocalStep {
     pub work_units: u64,
 }
 
+/// What one process's transport did on the communication hot path over a
+/// whole run. Accumulated locally with no cross-thread synchronization;
+/// collected after the program finishes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Mutex/channel-lock operations taken on the hot path (shared-memory
+    /// overflow locks, channel sends/receives). The slab mailbox design
+    /// drives this to ~0 for in-capacity traffic.
+    pub lock_acquisitions: u64,
+    /// Lock-free chunk reservations (`fetch_add` on a mailbox cursor).
+    pub slab_reservations: u64,
+    /// Batches that overran the slab and spilled to the locked overflow.
+    pub overflow_spills: u64,
+    /// Packets this transport moved into destination buffers.
+    pub pkts_moved: u64,
+    /// Bytes moved (`pkts_moved × PACKET_SIZE`).
+    pub bytes_moved: u64,
+}
+
+impl TransportCounters {
+    /// Accumulate `other` into `self`.
+    pub fn add(&mut self, other: &TransportCounters) {
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.slab_reservations += other.slab_reservations;
+        self.overflow_spills += other.overflow_spills;
+        self.pkts_moved += other.pkts_moved;
+        self.bytes_moved += other.bytes_moved;
+    }
+}
+
 /// Merged view of one superstep across all processes.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StepStats {
@@ -65,6 +95,12 @@ pub struct RunStats {
     pub per_proc_compute: Vec<Duration>,
     /// Per-process totals of charged work units.
     pub per_proc_work_units: Vec<u64>,
+    /// Per-process transport hot-path counters (empty for hand-built stats).
+    pub transport: Vec<TransportCounters>,
+    /// Packets sent after the last `sync` of the program. They can never be
+    /// delivered (there is no further superstep boundary); a non-zero count
+    /// is a program bug that release builds previously lost silently.
+    pub undelivered_pkts: u64,
 }
 
 impl RunStats {
@@ -106,6 +142,15 @@ impl RunStats {
         self.steps.iter().map(|s| s.total_pkts).sum()
     }
 
+    /// Sum of the per-process transport counters.
+    pub fn transport_total(&self) -> TransportCounters {
+        let mut t = TransportCounters::default();
+        for c in &self.transport {
+            t.add(c);
+        }
+        t
+    }
+
     /// Merge per-process superstep logs into a `RunStats`.
     ///
     /// Panics if the processes did not all execute the same number of
@@ -127,7 +172,13 @@ impl RunStats {
         let mut steps = vec![StepStats::default(); nsteps];
         let mut per_proc_compute = vec![Duration::ZERO; nprocs];
         let mut per_proc_work_units = vec![0u64; nprocs];
+        // The last LocalStep is the partial superstep after the final sync:
+        // packets recorded as sent there have no delivery boundary left.
+        let mut undelivered_pkts = 0u64;
         for (pid, log) in logs.iter().enumerate() {
+            if let Some(last) = log.last() {
+                undelivered_pkts += last.sent;
+            }
             for (i, ls) in log.iter().enumerate() {
                 let st = &mut steps[i];
                 st.max_sent = st.max_sent.max(ls.sent);
@@ -146,6 +197,8 @@ impl RunStats {
             steps,
             per_proc_compute,
             per_proc_work_units,
+            transport: Vec::new(),
+            undelivered_pkts,
         }
     }
 }

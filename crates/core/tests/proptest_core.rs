@@ -21,6 +21,64 @@ fn traffic_plan() -> impl Strategy<Value = TrafficPlan> {
     })
 }
 
+/// Volumes that exercise the transport's edge cases for a chunk size of 16
+/// and a slab capacity of 32: empty, single, either side of the staging
+/// chunk boundary, and enough to overflow the slab (which then grows at the
+/// superstep boundary — both the pre- and post-growth paths get traffic).
+fn boundary_volume() -> impl Strategy<Value = u8> {
+    const VOLS: [u8; 12] = [0, 1, 2, 15, 16, 17, 31, 32, 33, 60, 64, 70];
+    (0usize..VOLS.len()).prop_map(|i| VOLS[i])
+}
+
+/// A traffic plan whose per-pair volumes sit on chunk/slab boundaries.
+fn boundary_plan() -> impl Strategy<Value = TrafficPlan> {
+    (1usize..=5).prop_flat_map(|p| {
+        let step = prop::collection::vec(prop::collection::vec(boundary_volume(), p), p);
+        prop::collection::vec(step, 1..4).prop_map(move |plan| TrafficPlan { nprocs: p, plan })
+    })
+}
+
+/// Execute the plan; per process return the full sorted multiset of payloads
+/// per superstep.
+fn execute_multiset(plan: &TrafficPlan, cfg: &Config) -> Vec<Vec<Vec<u64>>> {
+    let plan = plan.clone();
+    let out = green_bsp::run(cfg, move |ctx| {
+        let me = ctx.pid();
+        let mut log = Vec::new();
+        let mut batch: Vec<Packet> = Vec::new();
+        for (step, matrix) in plan.plan.iter().enumerate() {
+            for (dest, &count) in matrix[me].iter().enumerate() {
+                batch.clear();
+                batch.extend((0..count).map(|k| {
+                    let tag = ((step as u64) << 32)
+                        | ((me as u64) << 24)
+                        | ((dest as u64) << 16)
+                        | k as u64;
+                    Packet::two_u64(tag, tag)
+                }));
+                // Alternate batch and per-packet sends so both paths are
+                // exercised against each other.
+                if (step + dest) % 2 == 0 {
+                    ctx.send_pkts(dest, &batch);
+                } else {
+                    for &pkt in &batch {
+                        ctx.send_pkt(dest, pkt);
+                    }
+                }
+            }
+            ctx.sync();
+            let mut got: Vec<u64> = Vec::new();
+            while let Some(pkt) = ctx.get_pkt() {
+                got.push(pkt.as_two_u64().0);
+            }
+            got.sort_unstable();
+            log.push(got);
+        }
+        log
+    });
+    out.results
+}
+
 /// Execute the plan; per process return (received count, payload checksum)
 /// per superstep.
 fn execute(plan: &TrafficPlan, backend: BackendKind) -> Vec<Vec<(u64, u64)>> {
@@ -66,6 +124,25 @@ proptest! {
         let reference = execute(&plan, BackendKind::Shared);
         for backend in [BackendKind::MsgPass, BackendKind::TcpSim, BackendKind::SeqSim] {
             let got = execute(&plan, backend);
+            prop_assert_eq!(&reference, &got, "backend {:?} diverged", backend);
+        }
+    }
+
+    /// With a tiny staging chunk and slab capacity, traffic whose volumes sit
+    /// exactly on the chunk and slab boundaries (forcing overflow spills and
+    /// barrier-time slab growth in the shared backend) is still delivered as
+    /// an identical multiset by every backend.
+    #[test]
+    fn boundary_volumes_deliver_identical_multisets(plan in boundary_plan()) {
+        let mk = |backend| {
+            Config::new(plan.nprocs)
+                .backend(backend)
+                .chunk(16)
+                .slab_cap(32)
+        };
+        let reference = execute_multiset(&plan, &mk(BackendKind::Shared));
+        for backend in [BackendKind::MsgPass, BackendKind::TcpSim, BackendKind::SeqSim] {
+            let got = execute_multiset(&plan, &mk(backend));
             prop_assert_eq!(&reference, &got, "backend {:?} diverged", backend);
         }
     }

@@ -1,0 +1,165 @@
+//! Raw exchange-fabric throughput: packets routed per second through each
+//! library implementation, isolated from application compute.
+//!
+//! The program is a cyclic total exchange: every process sends `volume`
+//! packets per superstep, spread round-robin over all destinations, then
+//! drains its inbox. With 16-byte packets and no local work, the measured
+//! packets/second is dominated by the transport hot path — staging, chunk
+//! reservation, delivery, and the barrier — which is exactly what the slab
+//! mailbox redesign targets. The `report bench_exchange` subcommand sweeps
+//! `p = 1..=8` on every backend and emits `BENCH_exchange.json`.
+
+use green_bsp::{run, BackendKind, Config, NetSimParams, Packet};
+use std::time::Instant;
+
+/// One measured throughput point.
+#[derive(Clone, Debug)]
+pub struct ExchangePoint {
+    /// Backend label (`shared`, `msgpass`, `tcpsim`, `seqsim`, `netsim`).
+    pub backend: String,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Packets sent per process per superstep.
+    pub volume: usize,
+    /// Supersteps routed.
+    pub steps: usize,
+    /// Total packets delivered over the run.
+    pub total_pkts: u64,
+    /// Wall-clock seconds for the whole run.
+    pub secs: f64,
+    /// Delivered packets per second.
+    pub pkts_per_sec: f64,
+}
+
+/// The backends swept by the throughput bench. NetSim runs with zeroed
+/// `g`/`L` so it measures its bookkeeping overhead, not injected delays.
+pub fn backends() -> Vec<(&'static str, BackendKind)> {
+    vec![
+        ("shared", BackendKind::Shared),
+        ("msgpass", BackendKind::MsgPass),
+        ("tcpsim", BackendKind::TcpSim),
+        ("seqsim", BackendKind::SeqSim),
+        (
+            "netsim",
+            BackendKind::NetSim(NetSimParams {
+                g_us: 0.0,
+                l_us: 0.0,
+                time_scale: 0.0,
+            }),
+        ),
+    ]
+}
+
+/// Route `steps` supersteps of an all-to-all pattern at `volume` packets per
+/// process per superstep and report the delivered-packet rate.
+pub fn measure_exchange(
+    label: &str,
+    backend: BackendKind,
+    p: usize,
+    volume: usize,
+    steps: usize,
+) -> ExchangePoint {
+    let cfg = Config::new(p).backend(backend);
+    // One untimed warmup run: brings the allocator, page cache, and CPU to
+    // steady state so the timed run measures the fabric, not cold-start
+    // artifacts (the criterion bench warms up the same way).
+    run_pattern(&cfg, volume, 2.min(steps));
+    let start = Instant::now();
+    let out = run_pattern(&cfg, volume, steps);
+    let secs = start.elapsed().as_secs_f64();
+    let total_pkts: u64 = out.results.iter().sum();
+    ExchangePoint {
+        backend: label.to_string(),
+        nprocs: p,
+        volume,
+        steps,
+        total_pkts,
+        secs,
+        pkts_per_sec: total_pkts as f64 / secs.max(1e-12),
+    }
+}
+
+/// Run the cyclic all-to-all pattern once; returns per-proc delivered counts.
+fn run_pattern(cfg: &Config, volume: usize, steps: usize) -> green_bsp::RunOutput<u64> {
+    run(cfg, |ctx| {
+        let p = ctx.nprocs();
+        let me = ctx.pid() as u64;
+        // Per-destination batch reused across supersteps.
+        let mut batch: Vec<Vec<Packet>> = vec![Vec::new(); p];
+        let per_dest = volume / p;
+        let extra = volume % p;
+        let mut delivered = 0u64;
+        for step in 0..steps {
+            for (dest, buf) in batch.iter_mut().enumerate() {
+                let k = per_dest + usize::from(dest < extra);
+                buf.clear();
+                buf.extend((0..k).map(|i| Packet::two_u64(me, (step * volume + i) as u64)));
+                ctx.send_pkts(dest, buf);
+            }
+            ctx.sync();
+            while ctx.get_pkt().is_some() {
+                delivered += 1;
+            }
+        }
+        delivered
+    })
+}
+
+/// Sweep every backend over `procs`, printing progress to stderr.
+pub fn sweep_exchange(procs: &[usize], volume: usize, steps: usize) -> Vec<ExchangePoint> {
+    let mut points = Vec::new();
+    for (label, backend) in backends() {
+        for &p in procs {
+            let pt = measure_exchange(label, backend, p, volume, steps);
+            eprintln!(
+                "  {:8} p={}  {:>12.0} pkts/s  ({} pkts in {:.3}s)",
+                pt.backend, pt.nprocs, pt.pkts_per_sec, pt.total_pkts, pt.secs
+            );
+            points.push(pt);
+        }
+    }
+    points
+}
+
+/// Serialize the sweep as the `BENCH_exchange.json` document.
+pub fn to_json(points: &[ExchangePoint]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"exchange_throughput\",\n");
+    s.push_str("  \"packet_bytes\": 16,\n  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"p\": {}, \"volume_per_proc\": {}, \
+             \"steps\": {}, \"total_pkts\": {}, \"secs\": {:.6}, \"pkts_per_sec\": {:.1}}}{}\n",
+            p.backend,
+            p.nprocs,
+            p.volume,
+            p.steps,
+            p.total_pkts,
+            p.secs,
+            p.pkts_per_sec,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_point_routes_expected_volume() {
+        let pt = measure_exchange("shared", BackendKind::Shared, 2, 100, 3);
+        assert_eq!(pt.total_pkts, 2 * 100 * 3);
+        assert!(pt.pkts_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let pts = vec![measure_exchange("seqsim", BackendKind::SeqSim, 1, 10, 2)];
+        let j = to_json(&pts);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"backend\": \"seqsim\""));
+        assert!(j.contains("\"pkts_per_sec\""));
+    }
+}

@@ -12,6 +12,7 @@
 //! `report all`, with `--full` for the paper's complete problem sizes.
 
 pub mod apps;
+pub mod exchange;
 pub mod measure;
 pub mod paper;
 pub mod tables;

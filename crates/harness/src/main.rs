@@ -1,6 +1,9 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6] [--full]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange] [--full]`
+//!
+//! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
+//! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
 //!
 //! Default sizes are reduced for quick runs; `--full` sweeps the paper's
 //! complete problem sizes (several minutes).
@@ -61,6 +64,16 @@ fn main() {
         "c4" => c_for(App::Nbody),
         "c5" => c_for(App::Sp),
         "c6" => c_for(App::Msp),
+        "bench_exchange" => {
+            use bsp_harness::exchange;
+            let (volume, steps) = if full { (200_000, 16) } else { (50_000, 8) };
+            let procs: Vec<usize> = (1..=8).collect();
+            eprintln!("exchange throughput sweep (volume {volume}/proc/step, {steps} steps)...");
+            let points = exchange::sweep_exchange(&procs, volume, steps);
+            let json = exchange::to_json(&points);
+            std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
+            eprintln!("wrote BENCH_exchange.json ({} points)", points.len());
+        }
         "all" => {
             tables::fig2_1();
             let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
@@ -76,7 +89,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6] [--full]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange] [--full]");
             std::process::exit(2);
         }
     }

@@ -10,9 +10,7 @@ fn gather_sorted(
     inputs: Vec<Vec<u64>>,
     which: fn(&mut green_bsp::Ctx, Vec<u64>) -> Vec<u64>,
 ) -> Vec<u64> {
-    let out = run(&Config::new(p), |ctx| {
-        which(ctx, inputs[ctx.pid()].clone())
-    });
+    let out = run(&Config::new(p), |ctx| which(ctx, inputs[ctx.pid()].clone()));
     // Buckets concatenate in pid order into the global sorted sequence.
     out.results.into_iter().flatten().collect()
 }
@@ -32,7 +30,7 @@ proptest! {
         }
         let mut expect: Vec<u64> = inputs.iter().flatten().copied().collect();
         expect.sort_unstable();
-        let got = gather_sorted(p, inputs, |ctx, keys| sample_sort(ctx, keys));
+        let got = gather_sorted(p, inputs, sample_sort);
         prop_assert_eq!(got, expect);
     }
 
@@ -48,7 +46,7 @@ proptest! {
         }
         let mut expect: Vec<u64> = inputs.iter().flatten().copied().collect();
         expect.sort_unstable();
-        let got = gather_sorted(p, inputs, |ctx, keys| radix_sort(ctx, keys));
+        let got = gather_sorted(p, inputs, radix_sort);
         prop_assert_eq!(got, expect);
     }
 
@@ -60,7 +58,7 @@ proptest! {
     ) {
         // All processors hold n copies of the same key.
         let inputs: Vec<Vec<u64>> = (0..p).map(|_| vec![value; n]).collect();
-        let got = gather_sorted(p, inputs, |ctx, keys| sample_sort(ctx, keys));
+        let got = gather_sorted(p, inputs, sample_sort);
         prop_assert_eq!(got, vec![value; p * n]);
     }
 }

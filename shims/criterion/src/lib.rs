@@ -1,0 +1,250 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the benchmarking API subset used by `crates/bench`: a
+//! [`Criterion`] configured with sample size / warm-up / measurement times,
+//! benchmark groups, and `Bencher::iter`. Measurements are real: each bench
+//! function is warmed up, then timed over the measurement window, and the
+//! mean, min, and max time per iteration are printed. There is no outlier
+//! analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, so `criterion::black_box` works.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Honour a benchmark-name substring filter from the command line
+    /// (`cargo bench -- <filter>`), ignoring criterion-style flags.
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        if filter.is_some() {
+            self.filter = filter;
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Print the closing summary (no-op beyond a newline in the shim).
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+/// A named group of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Group-local override of the timed sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Group-local override of the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls `iter`.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(m) => println!(
+                "{full:<50} time: [{} {} {}] ({} iters)",
+                fmt_duration(m.min),
+                fmt_duration(m.mean),
+                fmt_duration(m.max),
+                m.iters,
+            ),
+            None => println!("{full:<50} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+/// Times a closure (criterion's `Bencher`).
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Benchmark `routine`: warm up, then run `sample_size` samples within
+    /// the measurement window and record per-iteration times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost so the sample loop
+        // can batch fast routines.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Choose a batch size so one sample costs roughly
+        // measurement_time / sample_size.
+        let sample_target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((sample_target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            let per = dt / batch as u32;
+            total += dt;
+            iters += batch;
+            min = min.min(per);
+            max = max.max(per);
+            // Never overrun the window by more than ~2x for slow routines.
+            if bench_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+        self.result = Some(Measurement {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_timing() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz-no-match".into()),
+            ..Default::default()
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("skipped", |_b| ran = true);
+        group.finish();
+        assert!(!ran, "filtered bench must not run");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.000 s");
+    }
+}
