@@ -28,6 +28,7 @@
 use super::super::barrier::Barrier;
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
+use crate::check::audit::PhaseAudit;
 use crate::pad::CachePadded;
 use crate::stats::TransportCounters;
 use std::cell::UnsafeCell;
@@ -168,6 +169,9 @@ impl Mailbox {
             cap
         };
         if vec.capacity() < need {
+            if total > cap {
+                counters.slab_regrows += 1;
+            }
             *vec = Vec::with_capacity(need);
         }
         self.data.store(vec.as_mut_ptr(), Ordering::Relaxed);
@@ -187,16 +191,30 @@ pub(crate) struct SharedState {
     /// `mailboxes[dest][phase]`, phase alternating by superstep.
     pub(crate) mailboxes: Vec<[Mailbox; 2]>,
     pub(crate) barrier: Box<dyn Barrier>,
+    /// Shadow-state phase-discipline validator; attached on checked runs
+    /// only, so the unchecked hot path pays one predictable branch.
+    pub(crate) audit: Option<Arc<PhaseAudit>>,
 }
 
 impl SharedState {
+    #[cfg(test)]
     pub(crate) fn new(nprocs: usize, barrier: Box<dyn Barrier>, slab_cap: usize) -> Arc<Self> {
+        Self::with_audit(nprocs, barrier, slab_cap, None)
+    }
+
+    pub(crate) fn with_audit(
+        nprocs: usize,
+        barrier: Box<dyn Barrier>,
+        slab_cap: usize,
+        audit: Option<Arc<PhaseAudit>>,
+    ) -> Arc<Self> {
         let cap = slab_cap.max(1);
         Arc::new(SharedState {
             mailboxes: (0..nprocs)
                 .map(|_| [Mailbox::new(cap), Mailbox::new(cap)])
                 .collect(),
             barrier,
+            audit,
         })
     }
 }
@@ -236,6 +254,9 @@ impl SharedProc {
             return;
         }
         let phase = self.write_phase();
+        if let Some(a) = &self.st.audit {
+            a.on_push(self.pid, dest, phase, self.cur_step);
+        }
         self.st.mailboxes[dest][phase].push(&self.stage[dest], &mut self.counters);
         self.stage[dest].clear();
     }
@@ -244,7 +265,13 @@ impl SharedProc {
     /// reads, appending into `inbox`.
     pub(crate) fn drain_own(&mut self, step: usize, inbox: &mut Vec<Packet>) {
         let phase = (step + 1) & 1;
+        if let Some(a) = &self.st.audit {
+            a.on_drain_start(self.pid, phase, step);
+        }
         self.st.mailboxes[self.pid][phase].drain(inbox, &mut self.counters);
+        if let Some(a) = &self.st.audit {
+            a.on_drain_end(self.pid, phase);
+        }
     }
 
     /// Flush all staging areas into the destination mailboxes.
@@ -272,6 +299,9 @@ impl ProcTransport for SharedProc {
         } else {
             self.flush_dest(dest);
             let phase = self.write_phase();
+            if let Some(a) = &self.st.audit {
+                a.on_push(self.pid, dest, phase, self.cur_step);
+            }
             self.st.mailboxes[dest][phase].push(pkts, &mut self.counters);
         }
     }

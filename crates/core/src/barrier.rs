@@ -351,6 +351,49 @@ mod tests {
         }
     }
 
+    /// Rapidly reuse one barrier for thousands of generations, verifying
+    /// both the monotone-counter generation encoding (no stale-generation
+    /// release is ever observed) and the Release/Acquire publication edge
+    /// the exchange fabric relies on: data written with Relaxed ordering
+    /// before a crossing must be visible after it.
+    fn generation_reuse_stress(barrier: Arc<dyn Barrier>, p: usize, gens: u64) {
+        let cell = AtomicU64::new(u64::MAX);
+        std::thread::scope(|s| {
+            for pid in 0..p {
+                let b = Arc::clone(&barrier);
+                let cell = &cell;
+                s.spawn(move || {
+                    for g in 0..gens {
+                        if pid == 0 {
+                            cell.store(g, Ordering::Relaxed);
+                        }
+                        b.wait(pid);
+                        assert_eq!(
+                            cell.load(Ordering::Relaxed),
+                            g,
+                            "barrier crossing failed to publish generation {g}"
+                        );
+                        b.wait(pid); // hold readers until everyone has checked
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn all_barriers_publish_across_thousands_of_reused_generations() {
+        for kind in [
+            BarrierKind::Central,
+            BarrierKind::Flag,
+            BarrierKind::Tree,
+            BarrierKind::Dissemination,
+        ] {
+            for p in [2, 4, 8] {
+                generation_reuse_stress(Arc::from(kind.build(p)), p, 2_000);
+            }
+        }
+    }
+
     #[test]
     fn kinds_build() {
         for kind in [

@@ -13,12 +13,14 @@
 //! intended for the same superstep. All processes must call the same
 //! collective at the same point.
 
+use crate::check::CollectiveKind;
 use crate::context::Ctx;
 use crate::packet::Packet;
 
 /// All-gather a `u64`: returns the vector of every process's value, indexed
 /// by pid. One superstep; `h = p − 1`.
 pub fn allgather_u64(ctx: &mut Ctx, v: u64) -> Vec<u64> {
+    ctx.record_collective(CollectiveKind::AllgatherU64);
     let p = ctx.nprocs();
     let me = ctx.pid();
     for dest in 0..p {
@@ -39,6 +41,7 @@ pub fn allgather_u64(ctx: &mut Ctx, v: u64) -> Vec<u64> {
 /// All-gather an `f64`: returns every process's value, indexed by pid.
 /// One superstep; `h = p − 1`.
 pub fn allgather_f64(ctx: &mut Ctx, v: f64) -> Vec<f64> {
+    ctx.record_collective(CollectiveKind::AllgatherF64);
     let p = ctx.nprocs();
     let me = ctx.pid();
     for dest in 0..p {
@@ -100,6 +103,7 @@ pub fn exscan_u64(ctx: &mut Ctx, v: u64) -> u64 {
 /// Broadcast a packet sequence from `root` to everyone; returns the data on
 /// every process. One superstep; `h = (p − 1)·len` at the root.
 pub fn broadcast_pkts(ctx: &mut Ctx, root: usize, data: &[Packet]) -> Vec<Packet> {
+    ctx.record_collective(CollectiveKind::BroadcastPkts);
     let p = ctx.nprocs();
     if ctx.pid() == root {
         for dest in 0..p {
@@ -127,6 +131,7 @@ pub fn broadcast_pkts(ctx: &mut Ctx, root: usize, data: &[Packet]) -> Vec<Packet
 /// programmer evaluate (better when `g·len·(p−3) > L`). Slices are tagged so
 /// the result is returned in the root's original order on every process.
 pub fn broadcast_pkts_two_phase(ctx: &mut Ctx, root: usize, data: &[Packet]) -> Vec<Packet> {
+    ctx.record_collective(CollectiveKind::BroadcastTwoPhase);
     let p = ctx.nprocs();
     if p == 1 {
         return data.to_vec();
@@ -185,6 +190,7 @@ pub fn broadcast_pkts_two_phase(ctx: &mut Ctx, root: usize, data: &[Packet]) -> 
 /// order, callers label their data) at the root, `None` elsewhere.
 /// One superstep.
 pub fn gather_pkts(ctx: &mut Ctx, root: usize, data: &[Packet]) -> Option<Vec<Packet>> {
+    ctx.record_collective(CollectiveKind::GatherPkts);
     let me = ctx.pid();
     if me != root {
         ctx.send_pkts(root, data);

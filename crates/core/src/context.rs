@@ -7,8 +7,15 @@
 //! charged work units) from which the cost-model quantities `W`, `H`, `S`
 //! are derived.
 
+use crate::check::{
+    report, CheckCtx, CheckKind, CheckReport, CollectiveEvent, CollectiveKind, DrmaEvent, DrmaOp,
+    TrackedPkt,
+};
 use crate::packet::Packet;
 use crate::stats::{LocalStep, TransportCounters};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Backend-specific per-process transport. Implementations deliver packets
@@ -71,6 +78,9 @@ pub struct Ctx {
     step_start: Instant,
     pub(crate) log: Vec<LocalStep>,
     next_msg_id: u16,
+    /// Per-process checker state; `None` on unchecked runs, so the hot path
+    /// pays one predictable branch per operation.
+    pub(crate) check: Option<Box<CheckCtx>>,
 }
 
 impl Ctx {
@@ -88,6 +98,7 @@ impl Ctx {
             step_start: Instant::now(),
             log: Vec::new(),
             next_msg_id: 0,
+            check: None,
         }
     }
 
@@ -136,9 +147,13 @@ impl Ctx {
     /// Send a packet to process `dest`; it becomes readable there in the next
     /// superstep (the paper's `bspSendPkt`). Sending to `self` is allowed.
     #[inline]
+    #[track_caller]
     pub fn send_pkt(&mut self, dest: usize, pkt: Packet) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
         self.sent_this_step += 1;
+        if let Some(c) = &mut self.check {
+            c.record_send(self.step, dest, Location::caller(), 1);
+        }
         self.transport.send(dest, pkt);
     }
 
@@ -147,9 +162,13 @@ impl Ctx {
     /// are bypassed: the transport reserves space for the batch at once.
     /// Collectives and the DRMA layer route their bulk traffic through this.
     #[inline]
+    #[track_caller]
     pub fn send_pkts(&mut self, dest: usize, pkts: &[Packet]) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
         self.sent_this_step += pkts.len() as u64;
+        if let Some(c) = &mut self.check {
+            c.record_send(self.step, dest, Location::caller(), pkts.len() as u64);
+        }
         self.transport.send_batch(dest, pkts);
     }
 
@@ -165,6 +184,28 @@ impl Ctx {
         } else {
             None
         }
+    }
+
+    /// Like [`Ctx::get_pkt`], but the returned packet carries its superstep
+    /// epoch — the checked face of the paper's `bspGetPkt`. On a checked run
+    /// ([`crate::Config::checked`]), reading the packet after the `sync` that
+    /// ends the current superstep files a
+    /// [`CheckKind::StalePacketRead`](crate::check::CheckKind) diagnostic
+    /// with the proc id, both supersteps, and the originating send site(s);
+    /// on an unchecked run the packet behaves like a plain [`Packet`].
+    #[inline]
+    pub fn get_pkt_tracked(&mut self) -> Option<TrackedPkt> {
+        let pkt = self.get_pkt()?;
+        Some(match &self.check {
+            Some(c) => TrackedPkt::tracked(
+                pkt,
+                self.step as u64,
+                self.pid,
+                Arc::clone(&c.epoch),
+                Arc::clone(&c.shared.sink),
+            ),
+            None => TrackedPkt::new(pkt, self.step as u64, self.pid),
+        })
     }
 
     /// Number of packets delivered this superstep and not yet read (the
@@ -196,6 +237,12 @@ impl Ctx {
         self.step += 1;
         self.sent_this_step = 0;
         self.work_units = 0;
+        if let Some(c) = &mut self.check {
+            // Invalidate every TrackedPkt delivered before this boundary and
+            // count the sync for the congruence analysis.
+            c.epoch.store(self.step as u64, Ordering::Relaxed);
+            c.trace.syncs += 1;
+        }
         // The clock reopens after the exchange, so barrier wait and routing
         // time are excluded from the work depth, as in the paper (BSP models
         // only communication and synchronization; W is local computation).
@@ -208,6 +255,57 @@ impl Ctx {
     #[inline]
     pub fn charge(&mut self, units: u64) {
         self.work_units += units;
+    }
+
+    /// Record a collective invocation for the congruence analysis, and check
+    /// the collective contract (the caller must have drained its inbox; see
+    /// [`crate::collectives`]). No-op on unchecked runs.
+    pub(crate) fn record_collective(&mut self, kind: CollectiveKind) {
+        let pending = self.inbox.len() - self.inbox_pos;
+        let (pid, step) = (self.pid, self.step);
+        if let Some(c) = &mut self.check {
+            if pending > 0 {
+                report(
+                    &c.shared.sink,
+                    CheckReport {
+                        kind: CheckKind::CollectiveContract,
+                        pid,
+                        step,
+                        related_step: None,
+                        detail: format!(
+                            "{:?} entered with {} unread packet(s) pending: a \
+                             collective owns its superstep(s) and the caller \
+                             must drain the inbox first",
+                            kind, pending
+                        ),
+                    },
+                );
+            }
+            c.trace.collectives.push(CollectiveEvent { step, kind });
+        }
+    }
+
+    /// Record one DRMA operation for the conflict analysis. No-op on
+    /// unchecked runs.
+    pub(crate) fn record_drma(
+        &mut self,
+        dest: usize,
+        region: u32,
+        offset: u32,
+        len: u32,
+        op: DrmaOp,
+    ) {
+        let step = self.step;
+        if let Some(c) = &mut self.check {
+            c.trace.drma.push(DrmaEvent {
+                step,
+                dest,
+                region,
+                offset,
+                len,
+                op,
+            });
+        }
     }
 
     /// Fresh message id for the variable-length message layer.

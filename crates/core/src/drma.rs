@@ -16,6 +16,7 @@
 //! price of fetching through a message-passing substrate; put-only phases
 //! can use the cheaper [`Drma::sync_put`].
 
+use crate::check::{CollectiveKind, DrmaOp};
 use crate::context::Ctx;
 use crate::packet::Packet;
 
@@ -90,6 +91,7 @@ impl Drma {
         let mut batch: Vec<Packet> = Vec::new();
         for (dest, r, offset, values) in self.puts.drain(..) {
             debug_assert!(r <= ID_MASK);
+            ctx.record_drma(dest, r, offset, values.len() as u32, DrmaOp::Put);
             // Encode the whole put as one packet batch and bulk-send it.
             batch.clear();
             batch.extend(
@@ -152,11 +154,13 @@ impl Drma {
     /// Superstep boundary with full put/get semantics. Costs two underlying
     /// synchronizations.
     pub fn sync(&mut self, ctx: &mut Ctx) {
+        ctx.record_collective(CollectiveKind::DrmaSync);
         // Phase A: ship puts and get requests.
         self.send_puts(ctx);
         let me = ctx.pid() as u64;
         let gets = std::mem::take(&mut self.gets);
         for (dest, r, offset, len) in gets {
+            ctx.record_drma(dest, r, offset, len, DrmaOp::Get);
             let handle = self.fetched.len() as u64;
             self.fetched.push(Vec::new());
             debug_assert!(handle < (1 << 20) && (len as u64) < (1 << 20));
@@ -181,6 +185,7 @@ impl Drma {
             self.gets.is_empty(),
             "sync_put with pending gets; use sync()"
         );
+        ctx.record_collective(CollectiveKind::DrmaSyncPut);
         self.send_puts(ctx);
         ctx.sync();
         self.apply_incoming(ctx, false);

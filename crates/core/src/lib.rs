@@ -53,9 +53,20 @@
 //! platforms (Figure 2.1) and [`cost`] evaluates Equation (1), so measured
 //! statistics ([`RunStats`]) can be turned into the paper's predicted-time
 //! columns.
+//!
+//! ## Checking
+//!
+//! The BSP contract (packet lifetimes, superstep congruence, DRMA conflict
+//! freedom) is implicit in the paper's library — misuse silently corrupts
+//! results. [`check`] turns those rules into machine-checked diagnostics:
+//! enable it with [`Config::checked`] and read the structured
+//! [`CheckReport`]s from [`RunStats::check_reports`].
+
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod backend;
 pub mod barrier;
+pub mod check;
 pub mod collectives;
 pub mod context;
 pub mod cost;
@@ -69,6 +80,7 @@ pub mod stats;
 
 pub use backend::{BackendKind, NetSimParams};
 pub use barrier::BarrierKind;
+pub use check::{CheckKind, CheckReport, CollectiveKind, TrackedPkt};
 pub use context::Ctx;
 pub use cost::{predict, predict_from_stats, Prediction};
 pub use machine::{Machine, CENJU, PAPER_MACHINES, PC_LAN, SGI};

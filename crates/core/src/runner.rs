@@ -8,8 +8,11 @@ use crate::backend::shared::{SharedProc, SharedState, DEFAULT_CHUNK, DEFAULT_SLA
 use crate::backend::tcpsim::TcpSimProc;
 use crate::backend::BackendKind;
 use crate::barrier::BarrierKind;
+use crate::check::audit::CheckedBackend;
+use crate::check::{self, CheckCtx, CheckKind, CheckReport, CheckShared, ProcTrace};
 use crate::context::{Ctx, ProcTransport};
 use crate::stats::RunStats;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for a BSP run.
@@ -28,6 +31,12 @@ pub struct Config {
     /// (shared-memory backend). Traffic beyond this spills to a locked
     /// overflow once, then the slab grows at the superstep boundary.
     pub slab_cap: usize,
+    /// Run under the BSP checker (see [`crate::check`]): packet-lifetime
+    /// tracking, superstep/collective congruence, DRMA conflict detection,
+    /// per-superstep packet conservation, and (shared-memory backends) the
+    /// slab phase-discipline audit. Diagnostics land in
+    /// [`RunStats::check_reports`].
+    pub check: bool,
 }
 
 impl Config {
@@ -40,6 +49,7 @@ impl Config {
             barrier: BarrierKind::default(),
             chunk: DEFAULT_CHUNK,
             slab_cap: DEFAULT_SLAB_CAP,
+            check: false,
         }
     }
 
@@ -67,6 +77,12 @@ impl Config {
         self.slab_cap = slab_cap.max(1);
         self
     }
+
+    /// Enable the BSP checker for this run (see [`crate::check`]).
+    pub fn checked(mut self) -> Self {
+        self.check = true;
+        self
+    }
 }
 
 /// Results of a BSP run: one value per process plus merged statistics.
@@ -80,11 +96,12 @@ pub struct RunOutput<R> {
     pub wall: Duration,
 }
 
-fn build_transports(cfg: &Config) -> Vec<Box<dyn ProcTransport>> {
+fn build_transports(cfg: &Config, check: Option<&Arc<CheckShared>>) -> Vec<Box<dyn ProcTransport>> {
     let p = cfg.nprocs;
-    match cfg.backend {
+    let audit = check.map(|c| Arc::clone(&c.audit));
+    let bare: Vec<Box<dyn ProcTransport>> = match cfg.backend {
         BackendKind::Shared => {
-            let st = SharedState::new(p, cfg.barrier.build(p), cfg.slab_cap);
+            let st = SharedState::with_audit(p, cfg.barrier.build(p), cfg.slab_cap, audit);
             (0..p)
                 .map(|pid| {
                     Box::new(SharedProc::new(st.clone(), pid, cfg.chunk)) as Box<dyn ProcTransport>
@@ -104,7 +121,7 @@ fn build_transports(cfg: &Config) -> Vec<Box<dyn ProcTransport>> {
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
         BackendKind::NetSim(params) => {
-            let shared = SharedState::new(p, cfg.barrier.build(p), cfg.slab_cap);
+            let shared = SharedState::with_audit(p, cfg.barrier.build(p), cfg.slab_cap, audit);
             let ns = NetSimState::new(cfg.barrier.build(p));
             (0..p)
                 .map(|pid| {
@@ -118,6 +135,19 @@ fn build_transports(cfg: &Config) -> Vec<Box<dyn ProcTransport>> {
                 })
                 .collect()
         }
+    };
+    match check {
+        None => bare,
+        // Checked run: interpose the conservation-checking wrapper between
+        // the context and every backend endpoint.
+        Some(shared) => bare
+            .into_iter()
+            .enumerate()
+            .map(|(pid, t)| {
+                Box::new(CheckedBackend::new(t, Arc::clone(shared), pid, p))
+                    as Box<dyn ProcTransport>
+            })
+            .collect(),
     }
 }
 
@@ -159,7 +189,8 @@ where
     R: Send,
 {
     assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
-    let transports = build_transports(cfg);
+    let shared = cfg.check.then(|| CheckShared::new(cfg.nprocs));
+    let transports = build_transports(cfg, shared.as_ref());
     let start = Instant::now();
     let nprocs = cfg.nprocs;
     let f = &f;
@@ -168,6 +199,7 @@ where
         R,
         Vec<crate::stats::LocalStep>,
         crate::stats::TransportCounters,
+        Option<Box<ProcTrace>>,
     );
     let mut per_proc: Vec<Option<ProcResult<R>>> = (0..nprocs).map(|_| None).collect();
 
@@ -176,13 +208,18 @@ where
             .into_iter()
             .enumerate()
             .map(|(pid, transport)| {
+                let shared = shared.clone();
                 s.spawn(move || {
                     let mut ctx = Ctx::new(pid, nprocs, transport);
+                    if let Some(shared) = shared {
+                        ctx.check = Some(Box::new(CheckCtx::new(shared)));
+                    }
                     ctx.begin();
                     let r = f(&mut ctx);
                     ctx.finalize();
                     let counters = ctx.transport.counters();
-                    (r, ctx.log, counters)
+                    let trace = ctx.check.take().map(|c| Box::new(c.trace));
+                    (r, ctx.log, counters, trace)
                 })
             })
             .collect();
@@ -195,14 +232,62 @@ where
     let mut results = Vec::with_capacity(nprocs);
     let mut logs = Vec::with_capacity(nprocs);
     let mut transport = Vec::with_capacity(nprocs);
+    let mut traces: Vec<ProcTrace> = Vec::new();
     for slot in per_proc {
-        let (r, log, counters) = slot.unwrap();
+        let (r, log, counters, trace) = slot.unwrap();
         results.push(r);
         logs.push(log);
         transport.push(counters);
+        if let Some(t) = trace {
+            traces.push(*t);
+        }
     }
-    let mut stats = RunStats::merge(nprocs, logs);
+    // Post-last-sync sends: each process's final partial LocalStep records
+    // them. Reported as a structured diagnostic — the same path in debug
+    // and release builds (this used to be a debug_assert that silently
+    // vanished from release binaries).
+    let mut undelivered_reports: Vec<CheckReport> = Vec::new();
+    for (pid, log) in logs.iter().enumerate() {
+        let Some(last) = log.last().filter(|l| l.sent > 0) else {
+            continue;
+        };
+        let step = log.len() - 1;
+        let mut detail = format!(
+            "{} packet(s) sent after the program's last sync have no delivery \
+             boundary and can never arrive",
+            last.sent
+        );
+        if let Some(t) = traces.get(pid) {
+            let sites: Vec<String> = t
+                .sites
+                .iter()
+                .filter(|s| s.step == step)
+                .map(|s| format!("{}:{} ({} pkt(s))", s.site.file(), s.site.line(), s.count))
+                .collect();
+            if !sites.is_empty() {
+                detail.push_str(&format!("; send site(s): {}", sites.join(", ")));
+            }
+        }
+        undelivered_reports.push(CheckReport {
+            kind: CheckKind::UndeliveredSend,
+            pid,
+            step,
+            related_step: None,
+            detail,
+        });
+    }
+    // Checked runs tolerate superstep misalignment in the merge — the
+    // checker reports it as a diagnostic instead of panicking mid-collect.
+    let mut stats = if cfg.check {
+        RunStats::merge_lenient(nprocs, logs)
+    } else {
+        RunStats::merge(nprocs, logs)
+    };
     stats.transport = transport;
+    if let Some(shared) = &shared {
+        stats.check_reports = check::analyze(&traces, &shared.sink);
+    }
+    stats.check_reports.extend(undelivered_reports);
     if stats.undelivered_pkts > 0 {
         eprintln!(
             "green-bsp warning: {} packet(s) sent after the last sync were never delivered",

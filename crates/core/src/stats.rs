@@ -9,6 +9,7 @@
 //! and communication time) that the paper uses to qualify superlinear
 //! speed-ups.
 
+use crate::check::CheckReport;
 use std::time::Duration;
 
 /// What one process recorded during one superstep. Collected locally with no
@@ -39,6 +40,9 @@ pub struct TransportCounters {
     pub slab_reservations: u64,
     /// Batches that overran the slab and spilled to the locked overflow.
     pub overflow_spills: u64,
+    /// Slab buffers regrown at a superstep boundary after an overflow (each
+    /// regrow makes the next burst of the same size lock-free).
+    pub slab_regrows: u64,
     /// Packets this transport moved into destination buffers.
     pub pkts_moved: u64,
     /// Bytes moved (`pkts_moved × PACKET_SIZE`).
@@ -51,6 +55,7 @@ impl TransportCounters {
         self.lock_acquisitions += other.lock_acquisitions;
         self.slab_reservations += other.slab_reservations;
         self.overflow_spills += other.overflow_spills;
+        self.slab_regrows += other.slab_regrows;
         self.pkts_moved += other.pkts_moved;
         self.bytes_moved += other.bytes_moved;
     }
@@ -101,6 +106,10 @@ pub struct RunStats {
     /// delivered (there is no further superstep boundary); a non-zero count
     /// is a program bug that release builds previously lost silently.
     pub undelivered_pkts: u64,
+    /// Structured diagnostics from the BSP checker (see [`crate::check`]).
+    /// Undelivered-send reports are filed on every run; the full set of
+    /// checks runs under [`crate::Config::checked`]. Empty means clean.
+    pub check_reports: Vec<CheckReport>,
 }
 
 impl RunStats {
@@ -169,6 +178,25 @@ impl RunStats {
                 log.len()
             );
         }
+        Self::merge_unchecked(nprocs, logs)
+    }
+
+    /// Merge per-process superstep logs without the alignment panic: shorter
+    /// logs are padded with empty supersteps. Used by checked runs, where a
+    /// superstep misalignment is reported as a structured
+    /// [`crate::check::CheckKind::SuperstepMismatch`] diagnostic instead of
+    /// aborting the statistics merge.
+    pub fn merge_lenient(nprocs: usize, mut logs: Vec<Vec<LocalStep>>) -> RunStats {
+        assert_eq!(logs.len(), nprocs);
+        let nsteps = logs.iter().map(Vec::len).max().unwrap_or(0);
+        for log in &mut logs {
+            log.resize(nsteps, LocalStep::default());
+        }
+        Self::merge_unchecked(nprocs, logs)
+    }
+
+    fn merge_unchecked(nprocs: usize, logs: Vec<Vec<LocalStep>>) -> RunStats {
+        let nsteps = logs[0].len();
         let mut steps = vec![StepStats::default(); nsteps];
         let mut per_proc_compute = vec![Duration::ZERO; nprocs];
         let mut per_proc_work_units = vec![0u64; nprocs];
@@ -199,6 +227,7 @@ impl RunStats {
             per_proc_work_units,
             transport: Vec::new(),
             undelivered_pkts,
+            check_reports: Vec::new(),
         }
     }
 }
@@ -251,6 +280,15 @@ mod tests {
     fn merge_detects_misalignment() {
         let logs = vec![vec![ls(0, 0, 1, 0)], vec![]];
         RunStats::merge(2, logs);
+    }
+
+    #[test]
+    fn merge_lenient_pads_misaligned_logs() {
+        let logs = vec![vec![ls(5, 0, 1, 0), ls(0, 5, 1, 0)], vec![ls(5, 5, 1, 0)]];
+        let rs = RunStats::merge_lenient(2, logs);
+        assert_eq!(rs.s(), 2);
+        assert_eq!(rs.steps[0].max_sent, 5);
+        assert_eq!(rs.steps[1].max_recv, 5);
     }
 
     #[test]

@@ -159,10 +159,17 @@ pub fn prepare(app: App, size: usize) -> Workload {
 /// paper assumes pre-partitioned inputs. Returns the run statistics and
 /// host wall time.
 pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunStats, Duration) {
-    let cfg = Config::new(p).backend(backend);
+    execute_cfg(app, wl, &Config::new(p).backend(backend))
+}
+
+/// Like [`execute`], but with a caller-supplied [`Config`] — used by
+/// `report check` to run the applications under the BSP checker
+/// ([`Config::checked`]). `cfg.nprocs` selects the processor count.
+pub fn execute_cfg(app: App, wl: &Workload, cfg: &Config) -> (RunStats, Duration) {
+    let p = cfg.nprocs;
     match (app, wl) {
         (App::Ocean, Workload::Ocean(ocfg)) => {
-            let out = run(&cfg, |ctx| {
+            let out = run(cfg, |ctx| {
                 let r = ocean_run(ctx, ocfg);
                 r.kinetic_energy
             });
@@ -172,7 +179,7 @@ pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunS
             let (parts, cuts) = initial_partition(bodies, p);
             let sim = SimConfig::default();
             let n = bodies.len();
-            let out = run(&cfg, |ctx| {
+            let out = run(cfg, |ctx| {
                 let r = nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, &sim);
                 r.bodies.len()
             });
@@ -181,7 +188,7 @@ pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunS
         (App::Mst, Workload::Graph(g)) => {
             let owner = partition_kd(&g.pos, p);
             let locals = build_locals(g, &owner, p);
-            let out = run(&cfg, |ctx| {
+            let out = run(cfg, |ctx| {
                 mst_run(ctx, &locals[ctx.pid()], &owner).total_weight
             });
             (out.stats, out.wall)
@@ -189,7 +196,7 @@ pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunS
         (App::Sp, Workload::Graph(g)) => {
             let owner = partition_kd(&g.pos, p);
             let locals = build_locals(g, &owner, p);
-            let out = run(&cfg, |ctx| {
+            let out = run(cfg, |ctx| {
                 sp_run(ctx, &locals[ctx.pid()], 0, bsp_graph::DEFAULT_WORK_FACTOR)
                     .dist
                     .len()
@@ -202,7 +209,7 @@ pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunS
             let sources: Vec<u32> = (0..MSP_SOURCES)
                 .map(|i| ((i * g.n) / MSP_SOURCES) as u32)
                 .collect();
-            let out = run(&cfg, |ctx| {
+            let out = run(cfg, |ctx| {
                 msp_run(
                     ctx,
                     &locals[ctx.pid()],
@@ -215,7 +222,7 @@ pub fn execute(app: App, wl: &Workload, p: usize, backend: BackendKind) -> (RunS
         }
         (App::Matmult, Workload::Mat(a, b)) => {
             let blocks = skewed_blocks(a, b, p);
-            let out = run(&cfg, |ctx| {
+            let out = run(cfg, |ctx| {
                 let (ab, bb) = blocks[ctx.pid()].clone();
                 cannon_run(ctx, ab, bb).data[0]
             });

@@ -1,0 +1,139 @@
+//! `report check` — run the six paper applications under the BSP checker
+//! on every backend, and model-check the slab-mailbox protocol.
+//!
+//! This is the harness face of `green_bsp::check`: each (application,
+//! backend) pair runs with [`Config::checked`] and must produce zero
+//! [`CheckReport`]s (the applications are correct BSP programs, so any
+//! diagnostic is a checker false positive or a runtime bug — both
+//! failures). The seeded-interleaving model checker then explores
+//! adversarial schedules of the mailbox reserve/deposit/swap protocol and
+//! the barrier flags.
+
+use crate::apps::{execute_cfg, prepare, App};
+use green_bsp::check::interleave::{self, Fault, ModelConfig};
+use green_bsp::{BackendKind, Config};
+
+/// Backends the checker sweep covers.
+const BACKENDS: [BackendKind; 4] = [
+    BackendKind::Shared,
+    BackendKind::MsgPass,
+    BackendKind::TcpSim,
+    BackendKind::SeqSim,
+];
+
+/// Problem size per app for the checked sweep. Checked runs pay for
+/// tracking, so these are the smallest sizes that still exercise every
+/// superstep pattern.
+fn check_size(app: App) -> usize {
+    match app {
+        App::Ocean => 34,
+        App::Nbody => 500,
+        App::Matmult => 48,
+        _ => 400,
+    }
+}
+
+/// Number of interleaving schedules explored per model configuration.
+pub const SCHEDULES: usize = 1000;
+
+/// Run the full checker suite; returns `true` when everything is clean.
+pub fn run_check(full: bool) -> bool {
+    let mut clean = true;
+    let p = 4;
+
+    eprintln!("== checked application sweep (p = {p}) ==");
+    for app in App::ALL {
+        let size = if full {
+            app.quick_sizes()[0]
+        } else {
+            check_size(app)
+        };
+        let wl = prepare(app, size);
+        for backend in BACKENDS {
+            let cfg = Config::new(p).backend(backend).checked();
+            let (stats, wall) = execute_cfg(app, &wl, &cfg);
+            if stats.check_reports.is_empty() {
+                eprintln!(
+                    "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?})",
+                    app.name(),
+                    backend,
+                    size,
+                    stats.s(),
+                    wall
+                );
+            } else {
+                clean = false;
+                eprintln!(
+                    "  {:8} {:8?} size {:>6}: {} DIAGNOSTIC(S)",
+                    app.name(),
+                    backend,
+                    size,
+                    stats.check_reports.len()
+                );
+                for r in &stats.check_reports {
+                    eprintln!("    {r}");
+                }
+            }
+        }
+    }
+
+    eprintln!("== interleaving model check ({SCHEDULES} schedules per config) ==");
+    for cfg in [
+        ModelConfig::default(), // overflow path exercised
+        ModelConfig {
+            slab_cap: 64, // pure lock-free path
+            ..ModelConfig::default()
+        },
+        ModelConfig {
+            threads: 4,
+            supersteps: 4,
+            ..ModelConfig::default()
+        },
+    ] {
+        let out = interleave::explore(cfg, SCHEDULES, 0xB5B);
+        if out.violating_schedules == 0 {
+            eprintln!(
+                "  threads {} cap {:>3}: {} schedules, no violation",
+                cfg.threads, cfg.slab_cap, out.schedules
+            );
+        } else {
+            clean = false;
+            eprintln!(
+                "  threads {} cap {:>3}: {} of {} schedules VIOLATED: {}",
+                cfg.threads,
+                cfg.slab_cap,
+                out.violating_schedules,
+                out.schedules,
+                out.first_violation.as_deref().unwrap_or("?")
+            );
+        }
+    }
+    // Detection-power canary: the fault-injected protocol must be caught,
+    // otherwise a clean pass above proves nothing.
+    for fault in [Fault::SkipBarrier, Fault::WrongPhase] {
+        let out = interleave::explore(
+            ModelConfig {
+                fault,
+                ..ModelConfig::default()
+            },
+            SCHEDULES,
+            0xB5B,
+        );
+        if out.violating_schedules > 0 {
+            eprintln!(
+                "  fault {:?}: caught in {} of {} schedules (detection power ok)",
+                fault, out.violating_schedules, out.schedules
+            );
+        } else {
+            clean = false;
+            eprintln!("  fault {fault:?}: NOT DETECTED — the model checker is blind");
+        }
+    }
+
+    if clean {
+        eprintln!("checker: all clean");
+    } else {
+        eprintln!("checker: FAILURES (see above)");
+    }
+    clean
+}

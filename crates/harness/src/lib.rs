@@ -12,10 +12,11 @@
 //! `report all`, with `--full` for the paper's complete problem sizes.
 
 pub mod apps;
+pub mod check;
 pub mod exchange;
 pub mod measure;
 pub mod paper;
 pub mod tables;
 
-pub use apps::{execute, prepare, App, Workload};
+pub use apps::{execute, execute_cfg, prepare, App, Workload};
 pub use measure::{measure, sweep, Measurement, Sweep};

@@ -1,9 +1,13 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange] [--full]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|check] [--full]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
+//!
+//! `check` runs the six applications under the BSP phase-discipline checker
+//! on every backend and model-checks the slab-mailbox protocol over seeded
+//! adversarial interleavings; exits non-zero on any diagnostic.
 //!
 //! Default sizes are reduced for quick runs; `--full` sweeps the paper's
 //! complete problem sizes (several minutes).
@@ -74,6 +78,11 @@ fn main() {
             std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
             eprintln!("wrote BENCH_exchange.json ({} points)", points.len());
         }
+        "check" => {
+            if !bsp_harness::check::run_check(full) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             tables::fig2_1();
             let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
@@ -89,7 +98,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange] [--full]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|check] [--full]");
             std::process::exit(2);
         }
     }
