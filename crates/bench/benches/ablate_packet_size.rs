@@ -1,11 +1,13 @@
-//! Ablation: fixed 16-byte packets vs the variable-length message
-//! extension (paper footnote 2: the authors were adding arbitrary-length
-//! packets and expected "no significant changes in performance"). This
-//! quantifies the framing overhead of moving a bulk payload either way.
+//! Ablation: fixed 16-byte packets vs variable-length messages (paper
+//! footnote 2: the authors were adding arbitrary-length packets and
+//! expected "no significant changes in performance"). Three arms move the
+//! same bulk payload: raw 16-byte packets, the legacy fragmentation shim
+//! (header packet + one packet per 8 payload bytes), and the zero-copy
+//! byte lane (one reservation + memcpy per destination, DESIGN.md §9).
 
 use bsp_bench::quick_criterion;
 use criterion::Criterion;
-use green_bsp::message::{recv_msgs, send_msg};
+use green_bsp::message::{recv_msgs, recv_msgs_fragmented, send_msg, send_msg_fragmented};
 use green_bsp::{run, Config, Packet};
 
 const PAYLOAD: usize = 64 * 1024; // bytes per pair
@@ -31,13 +33,28 @@ fn bulk_fixed_packets(p: usize) {
     std::hint::black_box(out.results);
 }
 
-fn bulk_messages(p: usize) {
+fn bulk_fragmented(p: usize) {
     let out = run(&Config::new(p), |ctx| {
         let me = ctx.pid();
         let payload = vec![0xABu8; PAYLOAD];
         for dest in 0..ctx.nprocs() {
             if dest != me {
-                send_msg(ctx, dest, &payload);
+                send_msg_fragmented(ctx, dest, &payload);
+            }
+        }
+        ctx.sync();
+        recv_msgs_fragmented(ctx).len()
+    });
+    std::hint::black_box(out.results);
+}
+
+fn bulk_byte_lane(p: usize) {
+    let out = run(&Config::new(p), |ctx| {
+        let me = ctx.pid();
+        let payload = vec![0xABu8; PAYLOAD];
+        for dest in 0..ctx.nprocs() {
+            if dest != me {
+                send_msg(ctx, dest, &payload); // routes over the byte lane
             }
         }
         ctx.sync();
@@ -52,8 +69,11 @@ fn benches(c: &mut Criterion) {
         group.bench_function(format!("fixed_16B_packets/p{p}"), |b| {
             b.iter(|| bulk_fixed_packets(p));
         });
-        group.bench_function(format!("variable_messages/p{p}"), |b| {
-            b.iter(|| bulk_messages(p));
+        group.bench_function(format!("fragmented_messages/p{p}"), |b| {
+            b.iter(|| bulk_fragmented(p));
+        });
+        group.bench_function(format!("byte_lane/p{p}"), |b| {
+            b.iter(|| bulk_byte_lane(p));
         });
     }
     group.finish();

@@ -1,0 +1,43 @@
+//! Variable-length message throughput: zero-copy byte lane vs the legacy
+//! 16-byte fragmentation shim, `p = 1..=8` × {64 B, 1 KiB, 64 KiB} on the
+//! shared backend. This is the headline number for the byte-lane redesign
+//! (DESIGN.md §9): one slab reservation + memcpy per destination instead
+//! of a header packet plus one packet per 8 payload bytes.
+//!
+//! The `report bench_message` harness subcommand runs the same sweep
+//! without Criterion and emits `BENCH_message.json`.
+
+use bsp_bench::quick_criterion;
+use bsp_harness::message_bench::{measure_messages, MSG_SIZES};
+use criterion::Criterion;
+use green_bsp::BackendKind;
+
+const STEPS: usize = 4;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_lane");
+    for msg_bytes in MSG_SIZES {
+        for p in 1usize..=8 {
+            for (lane, byte_lane) in [("bytes", true), ("frag", false)] {
+                group.bench_function(format!("{lane}/{msg_bytes}B/p{p}"), |b| {
+                    b.iter(|| {
+                        std::hint::black_box(measure_messages(
+                            BackendKind::Shared,
+                            p,
+                            msg_bytes,
+                            STEPS,
+                            byte_lane,
+                        ))
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -13,16 +13,26 @@ use super::super::packet::{Packet, PACKET_SIZE};
 use crate::stats::TransportCounters;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
+/// One superstep's traffic from one process to one peer: the fixed-size
+/// packets and the byte-lane records, shipped together in a single channel
+/// send (one MPI message in the paper's terms).
+pub(crate) struct Batch {
+    pub(crate) pkts: Vec<Packet>,
+    pub(crate) bytes: Vec<u8>,
+}
+
 /// Per-process endpoint of the message-passing transport.
 pub(crate) struct MsgPassProc {
     pid: usize,
     nprocs: usize,
     /// Per-destination output buffers.
     out: Vec<Vec<Packet>>,
+    /// Per-destination byte-lane output buffers.
+    out_bytes: Vec<Vec<u8>>,
     /// `senders[dest]` carries this process's superstep batches to `dest`.
-    senders: Vec<Option<Sender<Vec<Packet>>>>,
+    senders: Vec<Option<Sender<Batch>>>,
     /// `receivers[src]` yields `src`'s superstep batches for this process.
-    receivers: Vec<Option<Receiver<Vec<Packet>>>>,
+    receivers: Vec<Option<Receiver<Batch>>>,
     counters: TransportCounters,
 }
 
@@ -31,10 +41,10 @@ impl MsgPassProc {
     /// pair of distinct processes.
     pub(crate) fn create_all(nprocs: usize) -> Vec<MsgPassProc> {
         // channel[src][dest]
-        let mut tx: Vec<Vec<Option<Sender<Vec<Packet>>>>> = (0..nprocs)
+        let mut tx: Vec<Vec<Option<Sender<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
-        let mut rx: Vec<Vec<Option<Receiver<Vec<Packet>>>>> = (0..nprocs)
+        let mut rx: Vec<Vec<Option<Receiver<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
         for src in 0..nprocs {
@@ -56,6 +66,7 @@ impl MsgPassProc {
                 pid,
                 nprocs,
                 out: vec![Vec::new(); nprocs],
+                out_bytes: vec![Vec::new(); nprocs],
                 senders,
                 receivers,
                 counters: TransportCounters::default(),
@@ -74,18 +85,30 @@ impl ProcTransport for MsgPassProc {
         self.out[dest].extend_from_slice(pkts);
     }
 
-    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>) {
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
+        self.counters.bytes_moved += bytes.len() as u64;
+        self.out_bytes[dest].extend_from_slice(bytes);
+    }
+
+    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         // Post all sends (a batch is sent even when empty: that emptiness is
         // what synchronizes the boundary, mirroring the 2p Isend/Irecv waits).
         for dest in 0..self.nprocs {
             if dest == self.pid {
                 continue;
             }
-            // The outgoing batch surrenders its allocation to the receiver;
-            // pre-size the replacement from this superstep's volume so the
+            // The outgoing batch surrenders its allocations to the receiver;
+            // pre-size the replacements from this superstep's volume so the
             // next superstep appends without reallocating.
             let volume = self.out[dest].len();
-            let batch = std::mem::replace(&mut self.out[dest], Vec::with_capacity(volume));
+            let byte_volume = self.out_bytes[dest].len();
+            let batch = Batch {
+                pkts: std::mem::replace(&mut self.out[dest], Vec::with_capacity(volume)),
+                bytes: std::mem::replace(
+                    &mut self.out_bytes[dest],
+                    Vec::with_capacity(byte_volume),
+                ),
+            };
             self.counters.lock_acquisitions += 1; // channel send
             self.counters.pkts_moved += volume as u64;
             self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
@@ -95,10 +118,11 @@ impl ProcTransport for MsgPassProc {
                 .send(batch)
                 .expect("peer process hung up mid-superstep");
         }
-        // Self-delivery (`append` leaves the buffer's allocation in place).
+        // Self-delivery (`append` leaves the buffers' allocations in place).
         self.counters.pkts_moved += self.out[self.pid].len() as u64;
         self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
         inbox.append(&mut self.out[self.pid]);
+        byte_inbox.append(&mut self.out_bytes[self.pid]);
         // Wait for one batch from every peer, in pid order (deterministic
         // inbox layout; the BSP contract lets packets arrive in any order).
         for src in 0..self.nprocs {
@@ -111,7 +135,8 @@ impl ProcTransport for MsgPassProc {
                 .expect("peer channel")
                 .recv()
                 .expect("peer process hung up mid-superstep");
-            inbox.extend(batch);
+            inbox.extend(batch.pkts);
+            byte_inbox.extend_from_slice(&batch.bytes);
         }
     }
 

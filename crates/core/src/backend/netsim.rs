@@ -12,7 +12,7 @@
 
 use super::super::barrier::Barrier;
 use super::super::context::ProcTransport;
-use super::super::packet::Packet;
+use super::super::packet::{Packet, PACKET_SIZE};
 use super::shared::{SharedProc, SharedState};
 use super::NetSimParams;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,19 +88,30 @@ impl ProcTransport for NetSimProc {
         self.inner.send_batch(dest, pkts);
     }
 
-    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
+        // Charge the byte lane in packet-equivalents so the emulated g·h
+        // delay reflects the true wire volume. ceil(len/16) slightly
+        // over-charges short records — a documented approximation (DESIGN §9).
+        self.sent_this_step += bytes.len().div_ceil(PACKET_SIZE) as u64;
+        self.inner.send_bytes(dest, bytes);
+    }
+
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         let par = step & 1;
         let pid = self.inner.pid;
-        // Record how many packets this process received by measuring the
-        // inbox growth across the inner exchange.
+        // Record how much this process received by measuring the inbox
+        // growth across the inner exchange.
         let before = inbox.len();
+        let byte_before = byte_inbox.len();
         // Contribute our send count before the inner barrier...
         self.st.slots[par].fetch_max(self.sent_this_step, Ordering::AcqRel);
         self.sent_this_step = 0;
-        self.inner.exchange(step, inbox);
+        self.inner.exchange(step, inbox, byte_inbox);
         // ...and our receive count before the second barrier. (recv counts
-        // are only known after delivery, so h is finalized here.)
-        let recvd = (inbox.len() - before) as u64;
+        // are only known after delivery, so h is finalized here.) Byte-lane
+        // receives are charged in packet-equivalents, like sends.
+        let recvd = (inbox.len() - before) as u64
+            + (byte_inbox.len() - byte_before).div_ceil(PACKET_SIZE) as u64;
         self.st.slots[par].fetch_max(recvd, Ordering::AcqRel);
         self.st.barrier2.wait(pid);
         let h = self.st.slots[par].load(Ordering::Acquire);

@@ -24,6 +24,8 @@ pub(crate) struct SeqState {
     /// `bufs[dest][phase]` — no locking needed beyond the baton, but Mutex
     /// keeps the code uniform and the cost is one uncontended lock.
     bufs: Vec<[Mutex<Vec<Packet>>; 2]>,
+    /// `byte_bufs[dest][phase]` — byte-lane records, same phase discipline.
+    byte_bufs: Vec<[Mutex<Vec<u8>>; 2]>,
     baton: Mutex<BatonState>,
     cv: Condvar,
 }
@@ -37,6 +39,9 @@ impl SeqState {
     pub(crate) fn new(nprocs: usize) -> Arc<Self> {
         Arc::new(SeqState {
             bufs: (0..nprocs)
+                .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+                .collect(),
+            byte_bufs: (0..nprocs)
                 .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
                 .collect(),
             baton: Mutex::new(BatonState {
@@ -78,6 +83,7 @@ pub(crate) struct SeqProc {
     st: Arc<SeqState>,
     pid: usize,
     out: Vec<Vec<Packet>>,
+    out_bytes: Vec<Vec<u8>>,
     counters: TransportCounters,
 }
 
@@ -89,6 +95,7 @@ impl SeqProc {
                 st: Arc::clone(&st),
                 pid,
                 out: vec![Vec::new(); nprocs],
+                out_bytes: vec![Vec::new(); nprocs],
                 counters: TransportCounters::default(),
             })
             .collect()
@@ -110,7 +117,12 @@ impl ProcTransport for SeqProc {
         self.out[dest].extend_from_slice(pkts);
     }
 
-    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
+        self.counters.bytes_moved += bytes.len() as u64;
+        self.out_bytes[dest].extend_from_slice(bytes);
+    }
+
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         let phase = (step + 1) & 1;
         for (dest, batch) in self.out.iter_mut().enumerate() {
             if !batch.is_empty() {
@@ -120,9 +132,16 @@ impl ProcTransport for SeqProc {
                 self.st.bufs[dest][phase].lock().unwrap().append(batch);
             }
         }
+        for (dest, buf) in self.out_bytes.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.counters.lock_acquisitions += 1;
+                self.st.byte_bufs[dest][phase].lock().unwrap().append(buf);
+            }
+        }
         self.st.pass_baton(self.pid);
         self.st.wait_for_baton(self.pid);
         inbox.append(&mut self.st.bufs[self.pid][phase].lock().unwrap());
+        byte_inbox.append(&mut self.st.byte_bufs[self.pid][phase].lock().unwrap());
     }
 
     fn finish(&mut self) {

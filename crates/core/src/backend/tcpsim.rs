@@ -15,6 +15,7 @@
 
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
+use super::msgpass::Batch;
 use crate::stats::TransportCounters;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -63,11 +64,14 @@ impl Schedule {
 pub(crate) struct TcpSimProc {
     pid: usize,
     out: Vec<Vec<Packet>>,
+    /// Per-destination byte-lane output buffers; shipped in the same staged
+    /// conversation as the packets (one [`Batch`] per pipe transfer).
+    out_bytes: Vec<Vec<u8>>,
     schedule: Arc<Schedule>,
     /// `senders[dest]` / `receivers[src]`: one bounded pipe per ordered pair,
     /// standing in for the TCP connection.
-    senders: Vec<Option<SyncSender<Vec<Packet>>>>,
-    receivers: Vec<Option<Receiver<Vec<Packet>>>>,
+    senders: Vec<Option<SyncSender<Batch>>>,
+    receivers: Vec<Option<Receiver<Batch>>>,
     counters: TransportCounters,
 }
 
@@ -77,10 +81,10 @@ impl TcpSimProc {
     /// with a full window.
     pub(crate) fn create_all(nprocs: usize) -> Vec<TcpSimProc> {
         let schedule = Arc::new(Schedule::round_robin(nprocs));
-        let mut tx: Vec<Vec<Option<SyncSender<Vec<Packet>>>>> = (0..nprocs)
+        let mut tx: Vec<Vec<Option<SyncSender<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
-        let mut rx: Vec<Vec<Option<Receiver<Vec<Packet>>>>> = (0..nprocs)
+        let mut rx: Vec<Vec<Option<Receiver<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
         for src in 0..nprocs {
@@ -96,6 +100,7 @@ impl TcpSimProc {
             .map(|pid| TcpSimProc {
                 pid,
                 out: vec![Vec::new(); nprocs],
+                out_bytes: vec![Vec::new(); nprocs],
                 schedule: Arc::clone(&schedule),
                 senders: std::mem::take(&mut tx[pid]),
                 receivers: (0..nprocs).map(|src| rx[src][pid].take()).collect(),
@@ -114,11 +119,17 @@ impl ProcTransport for TcpSimProc {
         self.out[dest].extend_from_slice(pkts);
     }
 
-    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>) {
-        // Self-delivery first (`append` keeps the buffer's allocation).
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
+        self.counters.bytes_moved += bytes.len() as u64;
+        self.out_bytes[dest].extend_from_slice(bytes);
+    }
+
+    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
+        // Self-delivery first (`append` keeps the buffers' allocations).
         self.counters.pkts_moved += self.out[self.pid].len() as u64;
         self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
         inbox.append(&mut self.out[self.pid]);
+        byte_inbox.append(&mut self.out_bytes[self.pid]);
         // Staged conversation: in each round talk to exactly one partner.
         // Lower pid transmits first; the partner reads the pipe before
         // replying — the scheduling that avoids blocking-TCP deadlock.
@@ -127,10 +138,17 @@ impl ProcTransport for TcpSimProc {
             if partner == self.pid {
                 continue; // bye
             }
-            // Pre-size the replacement buffer from this superstep's volume;
-            // the outgoing allocation travels to the partner.
+            // Pre-size the replacement buffers from this superstep's volume;
+            // the outgoing allocations travel to the partner.
             let volume = self.out[partner].len();
-            let batch = std::mem::replace(&mut self.out[partner], Vec::with_capacity(volume));
+            let byte_volume = self.out_bytes[partner].len();
+            let batch = Batch {
+                pkts: std::mem::replace(&mut self.out[partner], Vec::with_capacity(volume)),
+                bytes: std::mem::replace(
+                    &mut self.out_bytes[partner],
+                    Vec::with_capacity(byte_volume),
+                ),
+            };
             self.counters.lock_acquisitions += 2; // pipe send + recv
             self.counters.pkts_moved += volume as u64;
             self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
@@ -145,14 +163,16 @@ impl ProcTransport for TcpSimProc {
                     .unwrap()
                     .recv()
                     .expect("partner hung up");
-                inbox.extend(got);
+                inbox.extend(got.pkts);
+                byte_inbox.extend_from_slice(&got.bytes);
             } else {
                 let got = self.receivers[partner]
                     .as_ref()
                     .unwrap()
                     .recv()
                     .expect("partner hung up");
-                inbox.extend(got);
+                inbox.extend(got.pkts);
+                byte_inbox.extend_from_slice(&got.bytes);
                 self.senders[partner]
                     .as_ref()
                     .unwrap()

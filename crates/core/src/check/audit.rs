@@ -242,8 +242,11 @@ impl ProcTransport for Box<dyn ProcTransport> {
     fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
         (**self).send_batch(dest, pkts)
     }
-    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
-        (**self).exchange(step, inbox)
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
+        (**self).send_bytes(dest, bytes)
+    }
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
+        (**self).exchange(step, inbox, byte_inbox)
     }
     fn finish(&mut self) {
         (**self).finish()
@@ -263,6 +266,8 @@ pub(crate) struct CheckedBackend<B: ProcTransport> {
     pid: usize,
     /// Packets sent per destination during the current superstep.
     sent_to: Vec<u64>,
+    /// Byte-lane bytes sent per destination during the current superstep.
+    sent_bytes_to: Vec<u64>,
     step: usize,
 }
 
@@ -273,6 +278,7 @@ impl<B: ProcTransport> CheckedBackend<B> {
             shared,
             pid,
             sent_to: vec![0; nprocs],
+            sent_bytes_to: vec![0; nprocs],
             step: 0,
         }
     }
@@ -293,7 +299,12 @@ impl<B: ProcTransport> ProcTransport for CheckedBackend<B> {
         self.inner.send_batch(dest, pkts);
     }
 
-    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>) {
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
+        self.sent_bytes_to[dest] += bytes.len() as u64;
+        self.inner.send_bytes(dest, bytes);
+    }
+
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         debug_assert_eq!(step, self.step, "transport driven out of order");
         let phase = step & 1;
         // Publish this superstep's per-destination counts before entering
@@ -303,8 +314,13 @@ impl<B: ProcTransport> ProcTransport for CheckedBackend<B> {
             self.shared.ledger.add(dest, phase, *n);
             *n = 0;
         }
+        for (dest, n) in self.sent_bytes_to.iter_mut().enumerate() {
+            self.shared.ledger_bytes.add(dest, phase, *n);
+            *n = 0;
+        }
         let before = inbox.len();
-        self.inner.exchange(step, inbox);
+        let byte_before = byte_inbox.len();
+        self.inner.exchange(step, inbox, byte_inbox);
         let delivered = (inbox.len() - before) as u64;
         let expected = self.shared.ledger.take(self.pid, phase);
         if delivered != expected {
@@ -319,6 +335,24 @@ impl<B: ProcTransport> ProcTransport for CheckedBackend<B> {
                         "superstep {} delivered {} packet(s) to proc {} but the \
                          processes sent it {} (transport conservation violated)",
                         step, delivered, self.pid, expected
+                    ),
+                },
+            );
+        }
+        let bytes_delivered = (byte_inbox.len() - byte_before) as u64;
+        let bytes_expected = self.shared.ledger_bytes.take(self.pid, phase);
+        if bytes_delivered != bytes_expected {
+            report(
+                &self.shared.sink,
+                CheckReport {
+                    kind: CheckKind::DeliveryMismatch,
+                    pid: self.pid,
+                    step,
+                    related_step: None,
+                    detail: format!(
+                        "superstep {} delivered {} byte-lane byte(s) to proc {} but \
+                         the processes sent it {} (transport conservation violated)",
+                        step, bytes_delivered, self.pid, bytes_expected
                     ),
                 },
             );

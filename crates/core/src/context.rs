@@ -9,7 +9,7 @@
 
 use crate::check::{
     report, CheckCtx, CheckKind, CheckReport, CollectiveEvent, CollectiveKind, DrmaEvent, DrmaOp,
-    TrackedPkt,
+    TrackedPkt, LANE_BYTES, LANE_MSG, LANE_RAW,
 };
 use crate::packet::Packet;
 use crate::stats::{LocalStep, TransportCounters};
@@ -17,6 +17,11 @@ use std::panic::Location;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Length of a byte-lane record header: `[u32 src LE | u32 len LE]`,
+/// followed by `len` payload bytes. Records are packed densely in the lane
+/// buffers with no alignment padding.
+pub const MSG_HDR: usize = 8;
 
 /// Backend-specific per-process transport. Implementations deliver packets
 /// sent in superstep `s` at the beginning of superstep `s + 1`.
@@ -37,10 +42,18 @@ pub(crate) trait ProcTransport: Send {
         }
     }
 
+    /// Queue a buffer of byte-lane records (complete `[src|len|payload]`
+    /// frames, already packed back to back) for `dest`. [`Ctx::sync`] calls
+    /// this at most once per destination per superstep with the whole
+    /// superstep's staged traffic, so a backend pays one reservation or one
+    /// buffer append per destination, never one per message.
+    fn send_bytes(&mut self, dest: usize, bytes: &[u8]);
+
     /// Complete superstep `step` (0-based): flush queued packets, perform the
     /// global synchronization, and append the packets addressed to this
-    /// process during `step` to `inbox`.
-    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>);
+    /// process during `step` to `inbox` (and the byte-lane records to
+    /// `byte_inbox`).
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>);
 
     /// The user function returned. Transports that serialize execution use
     /// this to hand control onward; barrier-based transports rely on the
@@ -72,15 +85,92 @@ pub struct Ctx {
     /// The other inbox buffer of the double-buffer pair.
     spare: Vec<Packet>,
     inbox_pos: usize,
+    /// Per-destination byte-lane staging: framed records accumulated during
+    /// the superstep and handed to the transport in one piece at `sync`.
+    byte_out: Vec<Vec<u8>>,
+    /// Byte-lane records delivered this superstep (double-buffered with
+    /// `byte_spare`, like the packet inbox).
+    byte_inbox: Vec<u8>,
+    byte_spare: Vec<u8>,
+    /// Read cursor into `byte_inbox` (record-granular).
+    byte_pos: usize,
     step: usize,
     sent_this_step: u64,
+    sent_bytes_this_step: u64,
     work_units: u64,
     step_start: Instant,
     pub(crate) log: Vec<LocalStep>,
     next_msg_id: u16,
+    /// True while the legacy fragmentation layer is emitting its packets, so
+    /// lane accounting can tell message fragments from raw packets.
+    pub(crate) in_msg_send: bool,
     /// Per-process checker state; `None` on unchecked runs, so the hot path
     /// pays one predictable branch per operation.
     pub(crate) check: Option<Box<CheckCtx>>,
+}
+
+/// In-place serializer for one byte-lane message, created by
+/// [`Ctx::msg_writer`]: values are appended directly to the outgoing lane
+/// buffer (no intermediate `Vec`), and the record's length header is patched
+/// when the writer drops. Equivalent to one [`Ctx::send_bytes`] call.
+pub struct MsgWriter<'a> {
+    buf: &'a mut Vec<u8>,
+    /// Offset of this record's header in `buf`.
+    start: usize,
+    sent_bytes: &'a mut u64,
+}
+
+impl MsgWriter<'_> {
+    /// Append raw bytes to the message payload.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a little-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    #[inline]
+    pub fn put_f32(&mut self, v: f32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Payload bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start - MSG_HDR
+    }
+
+    /// Whether no payload has been written yet (an empty message is valid).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MsgWriter<'_> {
+    fn drop(&mut self) {
+        let len = self.buf.len() - self.start - MSG_HDR;
+        assert!(len <= u32::MAX as usize, "message too large: {} bytes", len);
+        self.buf[self.start + 4..self.start + MSG_HDR].copy_from_slice(&(len as u32).to_le_bytes());
+        *self.sent_bytes += (MSG_HDR + len) as u64;
+    }
 }
 
 impl Ctx {
@@ -92,12 +182,18 @@ impl Ctx {
             inbox: Vec::new(),
             spare: Vec::new(),
             inbox_pos: 0,
+            byte_out: vec![Vec::new(); nprocs],
+            byte_inbox: Vec::new(),
+            byte_spare: Vec::new(),
+            byte_pos: 0,
             step: 0,
             sent_this_step: 0,
+            sent_bytes_this_step: 0,
             work_units: 0,
             step_start: Instant::now(),
             log: Vec::new(),
             next_msg_id: 0,
+            in_msg_send: false,
             check: None,
         }
     }
@@ -120,6 +216,8 @@ impl Ctx {
         self.log.push(LocalStep {
             sent: self.sent_this_step,
             recv: 0,
+            sent_bytes: self.sent_bytes_this_step,
+            recv_bytes: 0,
             compute,
             work_units: self.work_units,
         });
@@ -153,6 +251,8 @@ impl Ctx {
         self.sent_this_step += 1;
         if let Some(c) = &mut self.check {
             c.record_send(self.step, dest, Location::caller(), 1);
+            let lane = if self.in_msg_send { LANE_MSG } else { LANE_RAW };
+            c.record_lane(self.step, lane);
         }
         self.transport.send(dest, pkt);
     }
@@ -168,8 +268,84 @@ impl Ctx {
         self.sent_this_step += pkts.len() as u64;
         if let Some(c) = &mut self.check {
             c.record_send(self.step, dest, Location::caller(), pkts.len() as u64);
+            let lane = if self.in_msg_send { LANE_MSG } else { LANE_RAW };
+            c.record_lane(self.step, lane);
         }
         self.transport.send_batch(dest, pkts);
+    }
+
+    /// Send `payload` to process `dest` as one variable-length byte-lane
+    /// message; it arrives there in the next superstep and is read with
+    /// [`Ctx::recv_bytes`]. Unlike the legacy
+    /// [`crate::message::send_msg_fragmented`] discipline, the payload is not
+    /// chopped into 16-byte packets: the whole message is staged with one
+    /// `memcpy` behind an 8-byte `{src, len}` header and delivered
+    /// zero-copy after the barrier. An empty payload is a valid message.
+    #[inline]
+    pub fn send_bytes(&mut self, dest: usize, payload: &[u8]) {
+        debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        assert!(
+            payload.len() <= u32::MAX as usize,
+            "message too large: {} bytes",
+            payload.len()
+        );
+        self.sent_bytes_this_step += (MSG_HDR + payload.len()) as u64;
+        if let Some(c) = &mut self.check {
+            c.record_lane(self.step, LANE_BYTES);
+        }
+        let buf = &mut self.byte_out[dest];
+        buf.extend_from_slice(&(self.pid as u32).to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(payload);
+    }
+
+    /// Open one byte-lane message to `dest` for in-place serialization:
+    /// values are written straight into the outgoing lane buffer, and the
+    /// record's length header is patched when the returned [`MsgWriter`]
+    /// drops. Equivalent to building a `Vec<u8>` and calling
+    /// [`Ctx::send_bytes`], without the intermediate allocation and copy.
+    pub fn msg_writer(&mut self, dest: usize) -> MsgWriter<'_> {
+        debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        if let Some(c) = &mut self.check {
+            c.record_lane(self.step, LANE_BYTES);
+        }
+        let buf = &mut self.byte_out[dest];
+        let start = buf.len();
+        buf.extend_from_slice(&(self.pid as u32).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        MsgWriter {
+            buf,
+            start,
+            sent_bytes: &mut self.sent_bytes_this_step,
+        }
+    }
+
+    /// Get the next byte-lane message delivered to this process in the
+    /// previous superstep: `(source pid, payload)`. Messages from one sender
+    /// arrive in that sender's send order; the interleaving across senders
+    /// is unspecified, like packet delivery order. `None` when every
+    /// delivered message has been read. Unread messages are discarded at the
+    /// next [`Ctx::sync`], mirroring the packet contract.
+    #[inline]
+    pub fn recv_bytes(&mut self) -> Option<(usize, &[u8])> {
+        if self.byte_pos >= self.byte_inbox.len() {
+            return None;
+        }
+        let hdr = &self.byte_inbox[self.byte_pos..self.byte_pos + MSG_HDR];
+        let src = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(hdr[4..8].try_into().unwrap()) as usize;
+        let body = self.byte_pos + MSG_HDR;
+        debug_assert!(body + len <= self.byte_inbox.len(), "truncated record");
+        self.byte_pos = body + len;
+        Some((src, &self.byte_inbox[body..body + len]))
+    }
+
+    /// Unread byte-lane bytes remaining this superstep (headers included) —
+    /// the byte-lane counterpart of [`Ctx::pkts_remaining`]. Zero means
+    /// [`Ctx::recv_bytes`] will return `None`.
+    #[inline]
+    pub fn bytes_remaining(&self) -> usize {
+        self.byte_inbox.len() - self.byte_pos
     }
 
     /// Get the next packet sent to this process in the previous superstep, in
@@ -221,21 +397,38 @@ impl Ctx {
     pub fn sync(&mut self) {
         let compute = self.step_start.elapsed();
         let sent = self.sent_this_step;
+        let sent_bytes = self.sent_bytes_this_step;
+        // Hand the superstep's staged byte-lane traffic to the transport in
+        // one piece per destination (clearing keeps each buffer's
+        // allocation for the next superstep).
+        for dest in 0..self.nprocs {
+            if !self.byte_out[dest].is_empty() {
+                self.transport.send_bytes(dest, &self.byte_out[dest]);
+                self.byte_out[dest].clear();
+            }
+        }
         // Swap the double-buffered inboxes: the buffer delivered into keeps
         // its allocation from two supersteps ago, so a steady traffic level
         // reallocates neither buffer.
         std::mem::swap(&mut self.inbox, &mut self.spare);
         self.inbox.clear();
         self.inbox_pos = 0;
-        self.transport.exchange(self.step, &mut self.inbox);
+        std::mem::swap(&mut self.byte_inbox, &mut self.byte_spare);
+        self.byte_inbox.clear();
+        self.byte_pos = 0;
+        self.transport
+            .exchange(self.step, &mut self.inbox, &mut self.byte_inbox);
         self.log.push(LocalStep {
             sent,
             recv: self.inbox.len() as u64,
+            sent_bytes,
+            recv_bytes: self.byte_inbox.len() as u64,
             compute,
             work_units: self.work_units,
         });
         self.step += 1;
         self.sent_this_step = 0;
+        self.sent_bytes_this_step = 0;
         self.work_units = 0;
         if let Some(c) = &mut self.check {
             // Invalidate every TrackedPkt delivered before this boundary and
@@ -261,7 +454,7 @@ impl Ctx {
     /// the collective contract (the caller must have drained its inbox; see
     /// [`crate::collectives`]). No-op on unchecked runs.
     pub(crate) fn record_collective(&mut self, kind: CollectiveKind) {
-        let pending = self.inbox.len() - self.inbox_pos;
+        let pending = (self.inbox.len() - self.inbox_pos) + (self.byte_inbox.len() - self.byte_pos);
         let (pid, step) = (self.pid, self.step);
         if let Some(c) = &mut self.check {
             if pending > 0 {
@@ -273,9 +466,9 @@ impl Ctx {
                         step,
                         related_step: None,
                         detail: format!(
-                            "{:?} entered with {} unread packet(s) pending: a \
-                             collective owns its superstep(s) and the caller \
-                             must drain the inbox first",
+                            "{:?} entered with {} unread packet(s)/lane byte(s) \
+                             pending: a collective owns its superstep(s) and the \
+                             caller must drain the inbox first",
                             kind, pending
                         ),
                     },

@@ -15,8 +15,11 @@
 //!
 //! The library deliberately offers only one communication and one
 //! synchronization operation — [`Ctx::send_pkt`], [`Ctx::get_pkt`],
-//! [`Ctx::sync`] — mirroring the paper's minimalist design. Everything else
-//! ([`collectives`], variable-length [`message`]s) is built on top.
+//! [`Ctx::sync`] — mirroring the paper's minimalist design, plus a
+//! zero-copy *byte lane* ([`Ctx::send_bytes`] / [`Ctx::recv_bytes`]) that
+//! carries variable-length messages without 16-byte fragmentation
+//! (DESIGN.md §9). Everything else ([`collectives`], the [`message`]
+//! shims) is built on top.
 //!
 //! ## Quick start
 //!
@@ -81,7 +84,7 @@ pub mod stats;
 pub use backend::{BackendKind, NetSimParams};
 pub use barrier::BarrierKind;
 pub use check::{CheckKind, CheckReport, CollectiveKind, TrackedPkt};
-pub use context::Ctx;
+pub use context::{Ctx, MsgWriter, MSG_HDR};
 pub use cost::{predict, predict_from_stats, Prediction};
 pub use machine::{Machine, CENJU, PAPER_MACHINES, PC_LAN, SGI};
 pub use packet::{Packet, PACKET_SIZE};

@@ -1,36 +1,77 @@
-//! Variable-length messages on top of fixed-size packets.
+//! Variable-length messages: the byte-lane shims and the legacy
+//! fragmentation layer.
 //!
 //! The paper's library fixed the packet size at 16 bytes; footnote 2 notes
 //! the authors were changing the system to allow packets of arbitrary
 //! length, expecting better readability but no significant performance
-//! change. This module is that extension: a message is fragmented into
-//! 16-byte packets (a header carrying the byte length, then 8 payload bytes
-//! per fragment) and reassembled at the receiver. The ablation bench
-//! `ablate_packet_size` quantifies the framing overhead the fixed-size
-//! discipline costs.
+//! change. This module's original answer was *fragmentation*: chop a
+//! message into 16-byte packets (a header carrying the byte length, then 8
+//! payload bytes per fragment) and reassemble at the receiver — paying
+//! 50% framing overhead and a per-fragment staging cost.
 //!
-//! # Wire format
+//! [`send_msg`] / [`recv_msgs`] are now thin shims over the zero-copy
+//! byte lane ([`crate::Ctx::send_bytes`] / [`crate::Ctx::recv_bytes`]): one
+//! memcpy per message behind an 8-byte `{src, len}` header, delivered in
+//! bulk after the barrier (DESIGN.md §9). Existing callers get the fast
+//! path without changes. The original discipline survives as
+//! [`send_msg_fragmented`] / [`recv_msgs_fragmented`] so the
+//! `ablate_packet_size` bench and the cross-lane property tests can still
+//! measure exactly what the fixed-size discipline costs.
+//!
+//! # Fragmentation wire format
 //!
 //! Every fragment packet is `[u16 src | u16 msg_id | u32 seq | 8 payload
 //! bytes]`. `seq == 0` is the header; its payload carries the message length
 //! in bytes as a `u32`. Fragments `1..=ceil(len/8)` carry the body.
 //!
-//! # Contract
+//! # Fragmentation contract
 //!
-//! A superstep's traffic must be all-messages or all-raw-packets; the two
-//! layers cannot share a superstep because reassembly consumes the whole
-//! inbox.
+//! A superstep's packet traffic must be all-messages or all-raw-packets;
+//! the two cannot share a superstep because reassembly consumes the whole
+//! inbox. On a checked run ([`crate::Config::checked`]) a violation is
+//! reported as a structured
+//! [`CheckKind::MessageFraming`](crate::check::CheckKind) diagnostic (lane
+//! mixing is caught by the post-run trace analysis; malformed inboxes are
+//! caught during reassembly); on an unchecked run a malformed inbox still
+//! panics, as the original layer did. The byte lane has no such
+//! restriction — it composes freely with raw packet traffic.
 
+use crate::check::{report, CheckKind, CheckReport};
 use crate::context::Ctx;
 use crate::packet::Packet;
-use std::collections::HashMap;
 
 /// Payload bytes carried per fragment packet.
 pub const FRAG_PAYLOAD: usize = 8;
 
 /// Send `bytes` to `dest` as a variable-length message; it can be collected
-/// with [`recv_msgs`] in the next superstep. Costs `1 + ceil(len/8)` packets.
+/// with [`recv_msgs`] in the next superstep.
+///
+/// Ships on the byte lane: one staged memcpy behind an 8-byte header,
+/// regardless of length (the legacy cost was `1 + ceil(len/8)` packets
+/// through the 16-byte fragmentation path — see [`send_msg_fragmented`]).
 pub fn send_msg(ctx: &mut Ctx, dest: usize, bytes: &[u8]) {
+    ctx.send_bytes(dest, bytes);
+}
+
+/// Drain the byte lane and collect every message delivered this superstep.
+/// Returns `(source pid, message bytes)` pairs sorted by source then by the
+/// sender's message order.
+pub fn recv_msgs(ctx: &mut Ctx) -> Vec<(usize, Vec<u8>)> {
+    let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
+    while let Some((src, payload)) = ctx.recv_bytes() {
+        out.push((src, payload.to_vec()));
+    }
+    // Every backend preserves per-sender arrival order, so a stable sort by
+    // source yields the documented (source, send-order) ordering.
+    out.sort_by_key(|&(src, _)| src);
+    out
+}
+
+/// Send `bytes` to `dest` through the legacy 16-byte fragmentation path.
+/// Costs `1 + ceil(len/8)` packets. Kept for the `ablate_packet_size`
+/// bench and for tests that compare the two lanes; new code should use
+/// [`send_msg`] (the byte lane).
+pub fn send_msg_fragmented(ctx: &mut Ctx, dest: usize, bytes: &[u8]) {
     assert!(
         bytes.len() <= u32::MAX as usize,
         "message too large: {} bytes",
@@ -38,6 +79,9 @@ pub fn send_msg(ctx: &mut Ctx, dest: usize, bytes: &[u8]) {
     );
     let src = ctx.pid() as u16;
     let id = ctx.alloc_msg_id();
+    // Mark the sends as message fragments so the checker's lane analysis
+    // can flag a superstep that also carries raw packets.
+    ctx.in_msg_send = true;
     let mut header = Packet::ZERO;
     header.put_u16(0, src).put_u16(2, id).put_u32(4, 0);
     header.put_u32(8, bytes.len() as u32);
@@ -50,63 +94,120 @@ pub fn send_msg(ctx: &mut Ctx, dest: usize, bytes: &[u8]) {
         frag.0[8..8 + chunk.len()].copy_from_slice(chunk);
         ctx.send_pkt(dest, frag);
     }
+    ctx.in_msg_send = false;
 }
 
-/// Drain the inbox and reassemble every message delivered this superstep.
-/// Returns `(source pid, message bytes)` pairs sorted by source then by the
-/// sender's message order.
+/// File a framing violation: a structured diagnostic on a checked run, a
+/// panic (the original layer's behavior) otherwise.
+fn framing_violation(ctx: &mut Ctx, detail: String) {
+    let (pid, step) = (ctx.pid(), ctx.superstep());
+    match &mut ctx.check {
+        Some(c) => report(
+            &c.shared.sink,
+            CheckReport {
+                kind: CheckKind::MessageFraming,
+                pid,
+                step,
+                related_step: None,
+                detail,
+            },
+        ),
+        None => panic!("{}", detail),
+    }
+}
+
+/// Drain the packet inbox and reassemble every fragmented message delivered
+/// this superstep. Returns `(source pid, message bytes)` pairs sorted by
+/// source then by the sender's message order — deterministic by
+/// construction: fragments are bucketed per source pid, and every backend
+/// preserves a single sender's packet order.
 ///
-/// Panics if the inbox holds malformed fragments (missing header, missing
-/// fragments, or length mismatch) — a framing violation, not a routing
-/// failure, since the BSP layer delivers all packets of a superstep
-/// together.
-pub fn recv_msgs(ctx: &mut Ctx) -> Vec<(usize, Vec<u8>)> {
-    /// Reassembly state of one message: announced length (from the header)
-    /// and the fragments seen so far, tagged by sequence number.
-    type Partial = (Option<u32>, Vec<(u32, [u8; FRAG_PAYLOAD])>);
-    // (src, id) -> partial message
-    let mut partial: HashMap<(u16, u16), Partial> = HashMap::new();
+/// A malformed inbox (missing header, missing fragment, or length
+/// mismatch) is reported as a [`CheckKind::MessageFraming`] diagnostic on a
+/// checked run (the broken message is skipped); on an unchecked run it
+/// panics, as the original layer did.
+pub fn recv_msgs_fragmented(ctx: &mut Ctx) -> Vec<(usize, Vec<u8>)> {
+    let p = ctx.nprocs();
+    // Per-source buckets, indexed by pid. Within a bucket the fragments sit
+    // in the sender's send order, so reassembly is a sequential scan.
+    let mut buckets: Vec<Vec<Packet>> = vec![Vec::new(); p];
+    let mut strays: Vec<u16> = Vec::new();
     while let Some(pkt) = ctx.get_pkt() {
         let src = pkt.get_u16(0);
-        let id = pkt.get_u16(2);
-        let seq = pkt.get_u32(4);
-        let entry = partial.entry((src, id)).or_insert((None, Vec::new()));
-        if seq == 0 {
-            entry.0 = Some(pkt.get_u32(8));
+        if (src as usize) < p {
+            buckets[src as usize].push(pkt);
         } else {
-            let mut payload = [0u8; FRAG_PAYLOAD];
-            payload.copy_from_slice(&pkt.0[8..16]);
-            entry.1.push((seq, payload));
+            strays.push(src);
         }
     }
-    let mut out: Vec<(u16, u16, Vec<u8>)> = Vec::with_capacity(partial.len());
-    for ((src, id), (len, mut frags)) in partial {
-        let len = len.unwrap_or_else(|| panic!("message ({src},{id}) missing header")) as usize;
-        let nfrags = len.div_ceil(FRAG_PAYLOAD);
-        assert_eq!(
-            frags.len(),
-            nfrags,
-            "message ({src},{id}) has {} fragments, expected {}",
-            frags.len(),
-            nfrags
+    for src in strays {
+        framing_violation(
+            ctx,
+            format!(
+                "fragment claims source pid {} but the machine has {} proc(s) \
+                 (raw packets mixed into a message superstep?)",
+                src, p
+            ),
         );
-        frags.sort_unstable_by_key(|&(seq, _)| seq);
-        let mut bytes = Vec::with_capacity(len);
-        for (i, (seq, payload)) in frags.iter().enumerate() {
-            assert_eq!(*seq as usize, i + 1, "message ({src},{id}) fragment gap");
-            let take = FRAG_PAYLOAD.min(len - bytes.len());
-            bytes.extend_from_slice(&payload[..take]);
-        }
-        out.push((src, id, bytes));
     }
-    // Deterministic order: by source pid, then sender's send order. Message
-    // ids wrap at 2^16, so order within a single superstep is exact as long
-    // as a sender posts fewer than 65536 messages per superstep (documented
-    // limit).
-    out.sort_unstable_by_key(|&(src, id, _)| (src, id));
-    out.into_iter()
-        .map(|(src, _, bytes)| (src as usize, bytes))
-        .collect()
+    let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
+    for (src, pkts) in buckets.into_iter().enumerate() {
+        let mut i = 0;
+        while i < pkts.len() {
+            let head = pkts[i];
+            let id = head.get_u16(2);
+            if head.get_u32(4) != 0 {
+                framing_violation(
+                    ctx,
+                    format!(
+                        "message ({},{}) missing header: fragment seq {} arrived \
+                         with no preceding header",
+                        src,
+                        id,
+                        head.get_u32(4)
+                    ),
+                );
+                i += 1;
+                continue;
+            }
+            let len = head.get_u32(8) as usize;
+            let nfrags = len.div_ceil(FRAG_PAYLOAD);
+            i += 1;
+            let mut bytes = Vec::with_capacity(len);
+            let mut ok = true;
+            for k in 0..nfrags {
+                let frag = pkts
+                    .get(i)
+                    .copied()
+                    .filter(|f| f.get_u16(2) == id && f.get_u32(4) == (k + 1) as u32);
+                let Some(frag) = frag else {
+                    framing_violation(
+                        ctx,
+                        format!(
+                            "message ({},{}) has {} fragment(s), expected {} \
+                             (fragment gap at seq {})",
+                            src,
+                            id,
+                            k,
+                            nfrags,
+                            k + 1
+                        ),
+                    );
+                    ok = false;
+                    break;
+                };
+                let take = FRAG_PAYLOAD.min(len - bytes.len());
+                bytes.extend_from_slice(&frag.0[8..8 + take]);
+                i += 1;
+            }
+            if ok {
+                out.push((src, bytes));
+            }
+        }
+    }
+    // Buckets were walked in ascending pid order and each bucket in send
+    // order, so `out` is already in the documented order.
+    out
 }
 
 #[cfg(test)]
@@ -122,6 +223,25 @@ mod tests {
                 send_msg(ctx, 1 - ctx.pid(), &payload);
                 ctx.sync();
                 recv_msgs(ctx)
+            });
+            for (pid, msgs) in out.results.iter().enumerate() {
+                assert_eq!(msgs.len(), 1);
+                let (src, bytes) = &msgs[0];
+                assert_eq!(*src, 1 - pid);
+                let expect: Vec<u8> = (0..len).map(|i| (i * 7 + (1 - pid)) as u8).collect();
+                assert_eq!(*bytes, expect, "len={}", len);
+            }
+        }
+    }
+
+    #[test]
+    fn fragmented_roundtrip_various_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 16, 63, 64, 65, 1000] {
+            let out = run(&Config::new(2), move |ctx| {
+                let payload: Vec<u8> = (0..len).map(|i| (i * 7 + ctx.pid()) as u8).collect();
+                send_msg_fragmented(ctx, 1 - ctx.pid(), &payload);
+                ctx.sync();
+                recv_msgs_fragmented(ctx)
             });
             for (pid, msgs) in out.results.iter().enumerate() {
                 assert_eq!(msgs.len(), 1);
@@ -157,27 +277,149 @@ mod tests {
     }
 
     #[test]
+    fn fragmented_many_messages_ordered_by_source_and_send_order() {
+        let out = run(&Config::new(4), |ctx| {
+            let p = ctx.nprocs();
+            for dest in 0..p {
+                for k in 0..3u8 {
+                    send_msg_fragmented(ctx, dest, &[ctx.pid() as u8, k]);
+                }
+            }
+            ctx.sync();
+            recv_msgs_fragmented(ctx)
+        });
+        for msgs in out.results {
+            assert_eq!(msgs.len(), 12);
+            for (i, (src, bytes)) in msgs.iter().enumerate() {
+                assert_eq!(*src, i / 3);
+                assert_eq!(bytes[0] as usize, i / 3);
+                assert_eq!(bytes[1] as usize, i % 3);
+            }
+        }
+    }
+
+    #[test]
     fn packet_cost_is_header_plus_fragments() {
         let out = run(&Config::new(2), |ctx| {
             if ctx.pid() == 0 {
-                send_msg(ctx, 1, &[0u8; 17]); // 1 header + 3 fragments
+                send_msg_fragmented(ctx, 1, &[0u8; 17]); // 1 header + 3 fragments
+            }
+            ctx.sync();
+            let _ = recv_msgs_fragmented(ctx);
+        });
+        assert_eq!(out.stats.steps[0].max_sent, 4);
+    }
+
+    #[test]
+    fn byte_lane_cost_is_header_plus_payload_bytes() {
+        let out = run(&Config::new(2), |ctx| {
+            if ctx.pid() == 0 {
+                send_msg(ctx, 1, &[0u8; 17]);
             }
             ctx.sync();
             let _ = recv_msgs(ctx);
         });
-        assert_eq!(out.stats.steps[0].max_sent, 4);
+        // No packets at all; 8-byte header + 17 payload bytes on the lane.
+        assert_eq!(out.stats.steps[0].max_sent, 0);
+        assert_eq!(out.stats.steps[0].h_bytes(), 8 + 17);
     }
 
     #[test]
     fn empty_message_is_just_a_header() {
         let out = run(&Config::new(2), |ctx| {
             if ctx.pid() == 0 {
-                send_msg(ctx, 1, &[]);
+                send_msg_fragmented(ctx, 1, &[]);
             }
             ctx.sync();
-            recv_msgs(ctx)
+            recv_msgs_fragmented(ctx)
         });
         assert_eq!(out.results[1], vec![(0usize, Vec::new())]);
         assert_eq!(out.stats.steps[0].max_sent, 1);
+    }
+
+    #[test]
+    fn lanes_agree_on_every_backend_shape() {
+        // The same message batch through both lanes must decode identically.
+        let prog_bytes = |ctx: &mut Ctx| {
+            let p = ctx.nprocs();
+            for dest in 0..p {
+                let payload: Vec<u8> = (0..(ctx.pid() * 13 + dest * 5) % 41)
+                    .map(|i| i as u8)
+                    .collect();
+                send_msg(ctx, dest, &payload);
+            }
+            ctx.sync();
+            recv_msgs(ctx)
+        };
+        let prog_frag = |ctx: &mut Ctx| {
+            let p = ctx.nprocs();
+            for dest in 0..p {
+                let payload: Vec<u8> = (0..(ctx.pid() * 13 + dest * 5) % 41)
+                    .map(|i| i as u8)
+                    .collect();
+                send_msg_fragmented(ctx, dest, &payload);
+            }
+            ctx.sync();
+            recv_msgs_fragmented(ctx)
+        };
+        let a = run(&Config::new(4), prog_bytes);
+        let b = run(&Config::new(4), prog_frag);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn malformed_inbox_is_a_diagnostic_when_checked() {
+        // Proc 0 sends proc 1 a raw packet that parses as an orphan
+        // fragment (seq != 0); the checked reassembler must report, not
+        // panic, and also flag the lane mixing in the post-run analysis.
+        let out = run(&Config::new(2).checked(), |ctx| {
+            if ctx.pid() == 0 {
+                let mut fake = Packet::ZERO;
+                fake.put_u16(0, 0).put_u16(2, 9).put_u32(4, 3);
+                ctx.send_pkt(1, fake);
+                send_msg_fragmented(ctx, 1, &[1, 2, 3]);
+            }
+            ctx.sync();
+            if ctx.pid() == 1 {
+                let msgs = recv_msgs_fragmented(ctx);
+                // The well-formed message still decodes.
+                assert_eq!(msgs, vec![(0usize, vec![1, 2, 3])]);
+            }
+            ctx.sync();
+        });
+        assert!(
+            out.stats
+                .check_reports
+                .iter()
+                .any(|r| r.kind == CheckKind::MessageFraming && r.detail.contains("missing header")),
+            "{:?}",
+            out.stats.check_reports
+        );
+        assert!(
+            out.stats
+                .check_reports
+                .iter()
+                .any(|r| r.kind == CheckKind::MessageFraming && r.detail.contains("mixed")),
+            "{:?}",
+            out.stats.check_reports
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BSP process panicked")]
+    fn malformed_inbox_panics_when_unchecked() {
+        // One sync total, so no process waits on a barrier after proc 1's
+        // reassembly panic (the panic surfaces through the runner's join).
+        let _ = run(&Config::new(2), |ctx| {
+            if ctx.pid() == 0 {
+                let mut fake = Packet::ZERO;
+                fake.put_u16(0, 0).put_u16(2, 9).put_u32(4, 3);
+                ctx.send_pkt(1, fake);
+            }
+            ctx.sync();
+            if ctx.pid() == 1 {
+                let _ = recv_msgs_fragmented(ctx);
+            }
+        });
     }
 }

@@ -248,14 +248,21 @@ where
     // vanished from release binaries).
     let mut undelivered_reports: Vec<CheckReport> = Vec::new();
     for (pid, log) in logs.iter().enumerate() {
-        let Some(last) = log.last().filter(|l| l.sent > 0) else {
+        let Some(last) = log.last().filter(|l| l.sent > 0 || l.sent_bytes > 0) else {
             continue;
         };
         let step = log.len() - 1;
+        let mut traffic = Vec::new();
+        if last.sent > 0 {
+            traffic.push(format!("{} packet(s)", last.sent));
+        }
+        if last.sent_bytes > 0 {
+            traffic.push(format!("{} byte-lane byte(s)", last.sent_bytes));
+        }
         let mut detail = format!(
-            "{} packet(s) sent after the program's last sync have no delivery \
+            "{} sent after the program's last sync have no delivery \
              boundary and can never arrive",
-            last.sent
+            traffic.join(" and ")
         );
         if let Some(t) = traces.get(pid) {
             let sites: Vec<String> = t
@@ -292,6 +299,12 @@ where
         eprintln!(
             "green-bsp warning: {} packet(s) sent after the last sync were never delivered",
             stats.undelivered_pkts
+        );
+    }
+    if stats.undelivered_bytes > 0 {
+        eprintln!(
+            "green-bsp warning: {} byte-lane byte(s) sent after the last sync were never delivered",
+            stats.undelivered_bytes
         );
     }
     RunOutput {
@@ -619,6 +632,130 @@ mod tests {
                 assert_eq!(batched.results, looped.results, "backend {:?}", cfg.backend);
                 assert_eq!(batched.stats.h_total(), looped.stats.h_total());
             }
+        }
+    }
+
+    #[test]
+    fn byte_lane_roundtrips_on_all_backends() {
+        for p in [1, 2, 3, 4, 8] {
+            for cfg in all_backends(p) {
+                let out = run(&cfg, |ctx| {
+                    let p = ctx.nprocs();
+                    let me = ctx.pid();
+                    // Variable-length messages, including an empty one, to
+                    // every destination (self included).
+                    for dest in 0..p {
+                        let payload: Vec<u8> =
+                            (0..(me * 37 + dest * 11) % 97).map(|i| i as u8).collect();
+                        ctx.send_bytes(dest, &payload);
+                        ctx.send_bytes(dest, &[]);
+                    }
+                    ctx.sync();
+                    let mut got: Vec<(usize, Vec<u8>)> = Vec::new();
+                    while let Some((src, payload)) = ctx.recv_bytes() {
+                        got.push((src, payload.to_vec()));
+                    }
+                    assert_eq!(ctx.bytes_remaining(), 0);
+                    got.sort();
+                    got
+                });
+                for (pid, got) in out.results.iter().enumerate() {
+                    let mut expect: Vec<(usize, Vec<u8>)> = (0..p)
+                        .flat_map(|src| {
+                            let payload: Vec<u8> =
+                                (0..(src * 37 + pid * 11) % 97).map(|i| i as u8).collect();
+                            [(src, payload), (src, Vec::new())]
+                        })
+                        .collect();
+                    expect.sort();
+                    assert_eq!(
+                        got, &expect,
+                        "backend {:?} p={} pid={}",
+                        cfg.backend, p, pid
+                    );
+                }
+                assert!(out.stats.h_bytes_total() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn msg_writer_matches_send_bytes() {
+        for cfg in all_backends(3) {
+            let out = run(&cfg, |ctx| {
+                let me = ctx.pid() as u64;
+                let next = (ctx.pid() + 1) % ctx.nprocs();
+                {
+                    let mut w = ctx.msg_writer(next);
+                    assert!(w.is_empty());
+                    w.put_u32(0xDEAD_BEEF);
+                    w.put_u64(me);
+                    w.put_f64(2.5);
+                    assert_eq!(w.len(), 4 + 8 + 8);
+                }
+                ctx.sync();
+                let (src, payload) = ctx.recv_bytes().expect("one message");
+                let v = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+                let s = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+                let f = f64::from_le_bytes(payload[12..20].try_into().unwrap());
+                assert_eq!(v, 0xDEAD_BEEF);
+                assert_eq!(s, src as u64);
+                assert_eq!(f, 2.5);
+                assert!(ctx.recv_bytes().is_none());
+                src
+            });
+            for (pid, &src) in out.results.iter().enumerate() {
+                assert_eq!(src, (pid + 2) % 3, "backend {:?}", cfg.backend);
+            }
+        }
+    }
+
+    #[test]
+    fn unread_byte_messages_are_discarded_at_sync() {
+        let out = run(&Config::new(2), |ctx| {
+            ctx.send_bytes(1 - ctx.pid(), &[1, 2, 3]);
+            ctx.send_bytes(1 - ctx.pid(), &[4, 5]);
+            ctx.sync();
+            assert!(ctx.bytes_remaining() > 0);
+            let _ = ctx.recv_bytes(); // read only one
+            ctx.sync();
+            ctx.bytes_remaining()
+        });
+        assert_eq!(out.results, vec![0, 0]);
+    }
+
+    #[test]
+    fn undelivered_byte_sends_are_surfaced() {
+        let out = run(&Config::new(2), |ctx| {
+            ctx.sync();
+            // Bug under test: byte-lane send after the last sync.
+            ctx.send_bytes(1 - ctx.pid(), &[9; 10]);
+        });
+        // 2 procs × (8-byte header + 10 payload bytes).
+        assert_eq!(out.stats.undelivered_bytes, 2 * 18);
+        assert!(out
+            .stats
+            .check_reports
+            .iter()
+            .any(|r| r.kind == CheckKind::UndeliveredSend && r.detail.contains("byte-lane")));
+    }
+
+    #[test]
+    fn checked_byte_lane_run_is_clean() {
+        for p in [2, 4] {
+            let out = run(&Config::new(p).checked(), |ctx| {
+                for dest in 0..ctx.nprocs() {
+                    ctx.send_bytes(dest, &[7; 33]);
+                }
+                ctx.sync();
+                while ctx.recv_bytes().is_some() {}
+                ctx.sync();
+            });
+            assert!(
+                out.stats.check_reports.is_empty(),
+                "{:?}",
+                out.stats.check_reports
+            );
         }
     }
 

@@ -20,6 +20,12 @@ pub struct LocalStep {
     pub sent: u64,
     /// Packets delivered to this process at the end of the superstep.
     pub recv: u64,
+    /// Byte-lane bytes this process sent during the superstep (record
+    /// headers included).
+    pub sent_bytes: u64,
+    /// Byte-lane bytes delivered to this process at the end of the
+    /// superstep.
+    pub recv_bytes: u64,
     /// Wall-clock local computation (superstep entry to `sync` entry).
     pub compute: Duration,
     /// Abstract work units charged via [`crate::Ctx::charge`]. Deterministic
@@ -70,6 +76,12 @@ pub struct StepStats {
     pub max_recv: u64,
     /// Total packets routed in this superstep.
     pub total_pkts: u64,
+    /// Largest number of byte-lane bytes sent by any process.
+    pub max_sent_bytes: u64,
+    /// Largest number of byte-lane bytes received by any process.
+    pub max_recv_bytes: u64,
+    /// Total byte-lane bytes routed in this superstep.
+    pub total_bytes: u64,
     /// `w_i`: largest local computation by any process.
     pub w: Duration,
     /// Sum of local computation over all processes.
@@ -86,6 +98,16 @@ impl StepStats {
     #[inline]
     pub fn h(&self) -> u64 {
         self.max_sent.max(self.max_recv)
+    }
+
+    /// Byte-lane h-relation in bytes: the largest number of lane bytes sent
+    /// or received by any processor. The paper defines `h` in packets; for
+    /// variable-length messages the natural unit is bytes, and the cost
+    /// model charges `g` per [`crate::packet::PACKET_SIZE`]-byte
+    /// packet-equivalent (`h_bytes / 16`, rounded up).
+    #[inline]
+    pub fn h_bytes(&self) -> u64 {
+        self.max_sent_bytes.max(self.max_recv_bytes)
     }
 }
 
@@ -106,6 +128,9 @@ pub struct RunStats {
     /// delivered (there is no further superstep boundary); a non-zero count
     /// is a program bug that release builds previously lost silently.
     pub undelivered_pkts: u64,
+    /// Byte-lane bytes sent after the last `sync` (same failure mode as
+    /// `undelivered_pkts`, on the variable-length lane).
+    pub undelivered_bytes: u64,
     /// Structured diagnostics from the BSP checker (see [`crate::check`]).
     /// Undelivered-send reports are filed on every run; the full set of
     /// checks runs under [`crate::Config::checked`]. Empty means clean.
@@ -123,6 +148,16 @@ impl RunStats {
     /// `H = Σ h_i`.
     pub fn h_total(&self) -> u64 {
         self.steps.iter().map(|s| s.h()).sum()
+    }
+
+    /// Byte-lane `H` in bytes: `Σ h_bytes_i`.
+    pub fn h_bytes_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.h_bytes()).sum()
+    }
+
+    /// Total byte-lane bytes routed over the whole run.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.total_bytes).sum()
     }
 
     /// `W = Σ w_i` — the work depth, as wall-clock time.
@@ -203,15 +238,20 @@ impl RunStats {
         // The last LocalStep is the partial superstep after the final sync:
         // packets recorded as sent there have no delivery boundary left.
         let mut undelivered_pkts = 0u64;
+        let mut undelivered_bytes = 0u64;
         for (pid, log) in logs.iter().enumerate() {
             if let Some(last) = log.last() {
                 undelivered_pkts += last.sent;
+                undelivered_bytes += last.sent_bytes;
             }
             for (i, ls) in log.iter().enumerate() {
                 let st = &mut steps[i];
                 st.max_sent = st.max_sent.max(ls.sent);
                 st.max_recv = st.max_recv.max(ls.recv);
                 st.total_pkts += ls.sent;
+                st.max_sent_bytes = st.max_sent_bytes.max(ls.sent_bytes);
+                st.max_recv_bytes = st.max_recv_bytes.max(ls.recv_bytes);
+                st.total_bytes += ls.sent_bytes;
                 st.w = st.w.max(ls.compute);
                 st.work_sum += ls.compute;
                 st.w_units = st.w_units.max(ls.work_units);
@@ -227,6 +267,7 @@ impl RunStats {
             per_proc_work_units,
             transport: Vec::new(),
             undelivered_pkts,
+            undelivered_bytes,
             check_reports: Vec::new(),
         }
     }
@@ -242,7 +283,27 @@ mod tests {
             recv,
             compute: Duration::from_millis(ms),
             work_units: wu,
+            ..LocalStep::default()
         }
+    }
+
+    #[test]
+    fn byte_lane_h_merges_like_packets() {
+        let bl = |sent_bytes: u64, recv_bytes: u64| LocalStep {
+            sent_bytes,
+            recv_bytes,
+            ..LocalStep::default()
+        };
+        let logs = vec![vec![bl(100, 40), bl(0, 0)], vec![bl(30, 90), bl(8, 0)]];
+        let rs = RunStats::merge(2, logs);
+        // step 0: max_sent_bytes 100, max_recv_bytes 90 -> h_bytes = 100;
+        // step 1: max_sent_bytes 8 -> h_bytes = 8.
+        assert_eq!(rs.steps[0].h_bytes(), 100);
+        assert_eq!(rs.h_bytes_total(), 108);
+        assert_eq!(rs.total_bytes(), 138);
+        // Bytes staged in the final partial superstep can never arrive.
+        assert_eq!(rs.undelivered_bytes, 8);
+        assert_eq!(rs.h_total(), 0, "byte lane does not inflate packet h");
     }
 
     #[test]

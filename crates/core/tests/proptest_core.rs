@@ -114,6 +114,13 @@ fn execute(plan: &TrafficPlan, backend: BackendKind) -> Vec<Vec<(u64, u64)>> {
     out.results
 }
 
+/// Message payload sizes spanning empty through 64 KiB, hitting the
+/// fragmentation edge cases (one-byte tail, exact fragment fill) on the way.
+fn msg_size() -> impl Strategy<Value = usize> {
+    const SIZES: [usize; 12] = [0, 1, 7, 8, 9, 63, 100, 500, 1024, 4096, 16384, 65536];
+    (0usize..SIZES.len()).prop_map(|i| SIZES[i])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -216,6 +223,57 @@ proptest! {
                 }
                 prop_assert!(matched, "unexpected message from {} to {}", src, pid);
             }
+        }
+    }
+
+    /// Random message batches round-trip identically on every backend, and
+    /// the byte lane agrees element-wise with the legacy 16-byte
+    /// fragmentation path (same sources, same order, same payloads).
+    #[test]
+    fn byte_lane_and_fragmentation_agree_on_all_backends(
+        p in 1usize..=5,
+        sizes in prop::collection::vec(msg_size(), 1..6),
+    ) {
+        let run_lane = |backend: BackendKind, fragmented: bool| {
+            let sizes = sizes.clone();
+            run(&Config::new(p).backend(backend), move |ctx| {
+                let me = ctx.pid();
+                for (i, &len) in sizes.iter().enumerate() {
+                    let dest = (me + i) % ctx.nprocs();
+                    let payload: Vec<u8> =
+                        (0..len).map(|j| (j.wrapping_mul(31) ^ me ^ i) as u8).collect();
+                    if fragmented {
+                        green_bsp::message::send_msg_fragmented(ctx, dest, &payload);
+                    } else {
+                        green_bsp::message::send_msg(ctx, dest, &payload);
+                    }
+                }
+                ctx.sync();
+                if fragmented {
+                    green_bsp::message::recv_msgs_fragmented(ctx)
+                } else {
+                    green_bsp::message::recv_msgs(ctx)
+                }
+            })
+            .results
+        };
+        let netsim = BackendKind::NetSim(green_bsp::NetSimParams {
+            g_us: 0.01,
+            l_us: 1.0,
+            time_scale: 1.0,
+        });
+        let reference = run_lane(BackendKind::Shared, false);
+        for backend in [
+            BackendKind::Shared,
+            BackendKind::MsgPass,
+            BackendKind::TcpSim,
+            BackendKind::SeqSim,
+            netsim,
+        ] {
+            let bytes = run_lane(backend, false);
+            prop_assert_eq!(&reference, &bytes, "byte lane on {:?} diverged", backend);
+            let frag = run_lane(backend, true);
+            prop_assert_eq!(&reference, &frag, "fragmentation on {:?} diverged", backend);
         }
     }
 

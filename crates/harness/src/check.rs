@@ -5,13 +5,17 @@
 //! backend) pair runs with [`Config::checked`] and must produce zero
 //! [`CheckReport`]s (the applications are correct BSP programs, so any
 //! diagnostic is a checker false positive or a runtime bug — both
-//! failures). The seeded-interleaving model checker then explores
-//! adversarial schedules of the mailbox reserve/deposit/swap protocol and
-//! the barrier flags.
+//! failures; the converted apps run with the byte lane active, so this
+//! sweep also proves the byte-conservation ledger is false-positive-free).
+//! A lane-agreement sweep then re-runs the byte-lane-converted apps
+//! (nbody, ocean, sort) against their packet-marshalling variants on every
+//! backend and demands bit-identical results. Finally the
+//! seeded-interleaving model checker explores adversarial schedules of the
+//! mailbox reserve/deposit/swap protocol and the barrier flags.
 
-use crate::apps::{execute_cfg, prepare, App};
+use crate::apps::{execute_cfg, prepare, App, SEED};
 use green_bsp::check::interleave::{self, Fault, ModelConfig};
-use green_bsp::{BackendKind, Config};
+use green_bsp::{run, BackendKind, Config};
 
 /// Backends the checker sweep covers.
 const BACKENDS: [BackendKind; 4] = [
@@ -77,6 +81,18 @@ pub fn run_check(full: bool) -> bool {
         }
     }
 
+    eprintln!("== lane agreement sweep (byte lane vs packets, p = {p}) ==");
+    for backend in BACKENDS {
+        for (name, ok) in lane_agreement(p, backend) {
+            if ok {
+                eprintln!("  {:8} {:8?}: bit-identical", name, backend);
+            } else {
+                clean = false;
+                eprintln!("  {:8} {:8?}: LANES DISAGREE", name, backend);
+            }
+        }
+    }
+
     eprintln!("== interleaving model check ({SCHEDULES} schedules per config) ==");
     for cfg in [
         ModelConfig::default(), // overflow path exercised
@@ -136,4 +152,77 @@ pub fn run_check(full: bool) -> bool {
         eprintln!("checker: FAILURES (see above)");
     }
     clean
+}
+
+/// Run each byte-lane-converted app on `backend` with both transport lanes
+/// and compare results bit for bit. Returns `(app, agree)` per app.
+fn lane_agreement(p: usize, backend: BackendKind) -> Vec<(&'static str, bool)> {
+    let mut out = Vec::new();
+
+    // N-body: full 5-superstep driver, 2 iterations (migration + essential
+    // exchange both exercised).
+    {
+        use bsp_nbody::{initial_partition, nbody_sim_with, plummer, SimConfig};
+        let n = 400;
+        let bodies = plummer(n, SEED);
+        let (parts, cuts) = initial_partition(&bodies, p);
+        let sim = SimConfig {
+            iters: 2,
+            ..SimConfig::default()
+        };
+        let lane = |byte_lane: bool| {
+            run(&Config::new(p).backend(backend), |ctx| {
+                nbody_sim_with(
+                    ctx,
+                    parts[ctx.pid()].clone(),
+                    cuts.clone(),
+                    n,
+                    &sim,
+                    byte_lane,
+                )
+                .bodies
+            })
+            .results
+        };
+        out.push(("nbody", lane(true) == lane(false)));
+    }
+
+    // Sample sort: splitter all-gather + bucket all-to-all.
+    {
+        use bsp_sort::sample_sort_with;
+        let lane = |byte_lane: bool| {
+            run(&Config::new(p).backend(backend), move |ctx| {
+                let me = ctx.pid() as u64;
+                let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(me * 2 + 7)).collect();
+                sample_sort_with(ctx, keys, byte_lane)
+            })
+            .results
+        };
+        out.push(("sort", lane(true) == lane(false)));
+    }
+
+    // Ocean: one ghost-ring exchange on the finest level.
+    {
+        use bsp_ocean::{exchange_ghosts_with, Hierarchy};
+        let n = 32;
+        let lane = |byte_lane: bool| {
+            run(&Config::new(p).backend(backend), move |ctx| {
+                let h = Hierarchy::new(ctx.pid(), p, n, 8);
+                let l = h.levels[0];
+                let mut f = l.zeros();
+                for i in 1..=l.rows {
+                    for j in 1..=l.cols {
+                        let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                        f[l.at(i, j)] = ((gi * n + gj) as f64 * 0.9173).cos();
+                    }
+                }
+                exchange_ghosts_with(ctx, &h, 0, &mut f, byte_lane);
+                f
+            })
+            .results
+        };
+        out.push(("ocean", lane(true) == lane(false)));
+    }
+
+    out
 }

@@ -1,9 +1,13 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|check] [--full]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|check] [--full]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
+//!
+//! `bench_message` sweeps variable-length message throughput (payload
+//! bytes/sec, byte-lane vs. 16-byte fragmentation, `p = 1..=8` × three
+//! message sizes on the shared backend) and writes `BENCH_message.json`.
 //!
 //! `check` runs the six applications under the BSP phase-discipline checker
 //! on every backend and model-checks the slab-mailbox protocol over seeded
@@ -78,6 +82,18 @@ fn main() {
             std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
             eprintln!("wrote BENCH_exchange.json ({} points)", points.len());
         }
+        "bench_message" => {
+            use bsp_harness::message_bench;
+            let steps = if full { 64 } else { 16 };
+            let procs: Vec<usize> = (1..=8).collect();
+            eprintln!(
+                "message throughput sweep (byte-lane vs fragmentation, {steps} base steps)..."
+            );
+            let points = message_bench::sweep_messages(&procs, steps);
+            let json = message_bench::to_json(&points);
+            std::fs::write("BENCH_message.json", &json).expect("write BENCH_message.json");
+            eprintln!("wrote BENCH_message.json ({} points)", points.len());
+        }
         "check" => {
             if !bsp_harness::check::run_check(full) {
                 std::process::exit(1);
@@ -98,7 +114,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|check] [--full]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|check] [--full]");
             std::process::exit(2);
         }
     }

@@ -1,7 +1,7 @@
 //! Bodies, bounding boxes, and the packet encodings used to move them.
 
 use crate::vec3::{v3, V3};
-use green_bsp::Packet;
+use green_bsp::{MsgWriter, Packet};
 
 /// A point mass with state.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -92,6 +92,43 @@ pub fn body_to_packets(b: &Body) -> [Packet; FIELDS] {
     std::array::from_fn(|f| Packet::tag_u32_f64(f as u32, b.id, vals[f]))
 }
 
+/// Bytes of the byte-lane body record: `[u32 id | 7 × f64 field]`.
+pub const BODY_BYTES: usize = 4 + FIELDS * 8;
+
+/// Append a body to a byte-lane message as one [`BODY_BYTES`]-byte record
+/// (vs. 7 × 16 packet bytes on the packet lane). Records never interleave:
+/// the byte lane delivers each message contiguously, so no per-field
+/// self-description is needed.
+pub fn write_body(w: &mut MsgWriter<'_>, b: &Body) {
+    w.put_u32(b.id);
+    for v in [b.pos.x, b.pos.y, b.pos.z, b.vel.x, b.vel.y, b.vel.z, b.mass] {
+        w.put_f64(v);
+    }
+}
+
+/// Decode a byte-lane payload of back-to-back [`write_body`] records.
+pub fn bodies_from_bytes(payload: &[u8]) -> Vec<Body> {
+    assert_eq!(
+        payload.len() % BODY_BYTES,
+        0,
+        "truncated body record: {} bytes",
+        payload.len()
+    );
+    payload
+        .chunks_exact(BODY_BYTES)
+        .map(|rec| {
+            let id = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let f = |i: usize| f64::from_le_bytes(rec[4 + i * 8..12 + i * 8].try_into().unwrap());
+            Body {
+                pos: v3(f(0), f(1), f(2)),
+                vel: v3(f(3), f(4), f(5)),
+                mass: f(6),
+                id,
+            }
+        })
+        .collect()
+}
+
 /// Accumulate body-field packets; call [`BodyAssembler::finish`] once the
 /// superstep's packets are drained.
 #[derive(Default)]
@@ -146,6 +183,40 @@ mod tests {
             asm.push(pkt);
         }
         assert_eq!(asm.finish(), vec![b]);
+    }
+
+    #[test]
+    fn body_byte_record_roundtrip() {
+        // The byte-lane record must carry the exact f64 bits of the packet
+        // encoding (both pass them through unchanged).
+        let bodies: Vec<Body> = (0..3)
+            .map(|i| Body {
+                pos: v3(0.1 + i as f64, -0.2, 0.3),
+                vel: v3(1.0, 2.0, -3.0 * i as f64),
+                mass: 0.015625,
+                id: 40 + i,
+            })
+            .collect();
+        let sent = bodies.clone();
+        let out = green_bsp::run(&green_bsp::Config::new(2), move |ctx| {
+            if ctx.pid() == 0 {
+                let mut w = ctx.msg_writer(1);
+                for b in &sent {
+                    write_body(&mut w, b);
+                }
+            }
+            ctx.sync();
+            let mut got = Vec::new();
+            while let Some((_src, payload)) = ctx.recv_bytes() {
+                got.extend(bodies_from_bytes(payload));
+            }
+            got
+        });
+        assert_eq!(out.results[1], bodies);
+        assert_eq!(
+            out.stats.h_bytes_total(),
+            (3 * BODY_BYTES + green_bsp::MSG_HDR) as u64
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::body::Aabb;
 use crate::octree::Octree;
 use crate::vec3::{v3, V3};
-use green_bsp::Packet;
+use green_bsp::{MsgWriter, Packet};
 
 /// A mass point received from (or destined for) a remote processor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,7 +45,29 @@ impl MassPoint {
             mass: m as f64,
         }
     }
+
+    /// Append to a byte-lane message as a [`MASS_POINT_BYTES`]-byte record
+    /// with the *same* `f32` quantization as [`MassPoint::to_packet`], so
+    /// the two lanes deliver bit-identical values.
+    pub fn write_to(self, w: &mut MsgWriter<'_>) {
+        w.put_f32(self.pos.x as f32);
+        w.put_f32(self.pos.y as f32);
+        w.put_f32(self.pos.z as f32);
+        w.put_f32(self.mass as f32);
+    }
+
+    /// Decode one [`MassPoint::write_to`] record.
+    pub fn from_bytes(rec: &[u8]) -> MassPoint {
+        let f = |i: usize| f32::from_le_bytes(rec[i * 4..i * 4 + 4].try_into().unwrap());
+        MassPoint {
+            pos: v3(f(0) as f64, f(1) as f64, f(2) as f64),
+            mass: f(3) as f64,
+        }
+    }
 }
+
+/// Bytes of the byte-lane essential-point record: 4 × `f32`.
+pub const MASS_POINT_BYTES: usize = 16;
 
 /// Extract the essential points of `tree` for a remote region `target`.
 pub fn essential_points(tree: &Octree<'_>, target: &Aabb, theta: f64) -> Vec<MassPoint> {
@@ -118,6 +140,27 @@ mod tests {
             mass: 0.0625,
         };
         assert_eq!(MassPoint::from_packet(mp.to_packet()), mp);
+    }
+
+    #[test]
+    fn byte_record_matches_packet_quantization() {
+        // A value that is NOT exactly representable in f32: both encodings
+        // must round it identically.
+        let mp = MassPoint {
+            pos: v3(0.1, -0.2, 1.0 / 3.0),
+            mass: 0.123456789,
+        };
+        let via_pkt = MassPoint::from_packet(mp.to_packet());
+        let rec = [
+            (mp.pos.x as f32).to_le_bytes(),
+            (mp.pos.y as f32).to_le_bytes(),
+            (mp.pos.z as f32).to_le_bytes(),
+            (mp.mass as f32).to_le_bytes(),
+        ]
+        .concat();
+        assert_eq!(rec.len(), MASS_POINT_BYTES);
+        assert_eq!(MassPoint::from_bytes(&rec), via_pkt);
+        assert_ne!(via_pkt, mp, "test should exercise actual quantization");
     }
 
     #[test]

@@ -84,12 +84,33 @@ const F_CNT: u32 = 6;
 /// Run the simulation. `bodies` is this processor's share of an ORB
 /// partition with cut tree `cuts` (see [`crate::orb::initial_partition`]);
 /// `global_n` is the total body count.
+///
+/// Ships body migration and the essential-point exchange on the zero-copy
+/// byte lane (one bulk message per destination instead of 7 packets per
+/// body / 1 packet per point); see [`nbody_sim_with`] for the legacy
+/// packet discipline. Both lanes produce bit-identical trajectories.
 pub fn nbody_sim(
+    ctx: &mut Ctx,
+    bodies: Vec<Body>,
+    cuts: OrbTree,
+    global_n: usize,
+    cfg: &SimConfig,
+) -> SimOut {
+    nbody_sim_with(ctx, bodies, cuts, global_n, cfg, true)
+}
+
+/// [`nbody_sim`] with an explicit transport lane for the migration and
+/// essential-point supersteps: `byte_lane = false` keeps the original
+/// one-packet-per-field / one-packet-per-point discipline, `true` packs
+/// each destination's traffic into one variable-length message. The
+/// superstep script, quantization, and results are identical either way.
+pub fn nbody_sim_with(
     ctx: &mut Ctx,
     mut bodies: Vec<Body>,
     mut cuts: OrbTree,
     global_n: usize,
     cfg: &SimConfig,
+    byte_lane: bool,
 ) -> SimOut {
     let p = ctx.nprocs();
     assert_eq!(cuts.nparts, p);
@@ -165,11 +186,16 @@ pub fn nbody_sim(
                 pts.entry(key).or_insert([0.0; 3])[axis as usize] = v;
                 *mask.entry(key).or_insert(0) |= 1 << axis;
             }
-            let sample: Vec<V3> = pts
+            // Order the pool by sample key, not HashMap iteration order, so
+            // the ORB cuts are a pure function of the samples (determinism
+            // across runs, backends, and transport lanes).
+            let mut keyed: Vec<(u32, V3)> = pts
                 .iter()
                 .filter(|(k, _)| mask[k] == 0b111)
-                .map(|(_, a)| v3(a[0], a[1], a[2]))
+                .map(|(&k, a)| (k, v3(a[0], a[1], a[2])))
                 .collect();
+            keyed.sort_unstable_by_key(|&(k, _)| k);
+            let sample: Vec<V3> = keyed.into_iter().map(|(_, v)| v).collect();
             let new_cuts = OrbTree::build(&sample, p);
             for dest in 0..p {
                 for (i, &(axis, coord)) in new_cuts.splits.iter().enumerate() {
@@ -197,28 +223,62 @@ pub fn nbody_sim(
 
         // ---- superstep 4: migrate strays to their ORB owners ----
         let mut kept = Vec::with_capacity(bodies.len());
-        for b in bodies.drain(..) {
-            let owner = cuts.owner(b.pos);
-            if owner == me {
-                kept.push(b);
-            } else {
-                migrated_out += 1;
-                for pkt in crate::body::body_to_packets(&b) {
-                    ctx.send_pkt(owner, pkt);
+        if byte_lane {
+            // One bulk message per destination: 60 bytes per body instead
+            // of 7 × 16 packet bytes, and no reassembly map on receipt.
+            let mut outgoing: Vec<Vec<Body>> = vec![Vec::new(); p];
+            for b in bodies.drain(..) {
+                let owner = cuts.owner(b.pos);
+                if owner == me {
+                    kept.push(b);
+                } else {
+                    migrated_out += 1;
+                    outgoing[owner].push(b);
+                }
+            }
+            for (dest, bs) in outgoing.iter().enumerate() {
+                if !bs.is_empty() {
+                    let mut w = ctx.msg_writer(dest);
+                    for b in bs {
+                        crate::body::write_body(&mut w, b);
+                    }
+                }
+            }
+        } else {
+            for b in bodies.drain(..) {
+                let owner = cuts.owner(b.pos);
+                if owner == me {
+                    kept.push(b);
+                } else {
+                    migrated_out += 1;
+                    for pkt in crate::body::body_to_packets(&b) {
+                        ctx.send_pkt(owner, pkt);
+                    }
                 }
             }
         }
         ctx.sync();
-        let mut asm = BodyAssembler::default();
-        let mut any = false;
-        while let Some(pkt) = ctx.get_pkt() {
-            asm.push(pkt);
-            any = true;
-        }
         bodies = kept;
-        if any {
-            bodies.extend(asm.finish());
-            bodies.sort_unstable_by_key(|b| b.id);
+        if byte_lane {
+            let mut arrived = Vec::new();
+            while let Some((_src, payload)) = ctx.recv_bytes() {
+                arrived.extend(crate::body::bodies_from_bytes(payload));
+            }
+            if !arrived.is_empty() {
+                bodies.extend(arrived);
+                bodies.sort_unstable_by_key(|b| b.id);
+            }
+        } else {
+            let mut asm = BodyAssembler::default();
+            let mut any = false;
+            while let Some(pkt) = ctx.get_pkt() {
+                asm.push(pkt);
+                any = true;
+            }
+            if any {
+                bodies.extend(asm.finish());
+                bodies.sort_unstable_by_key(|b| b.id);
+            }
         }
 
         // ---- superstep 5: essential-point exchange ----
@@ -226,16 +286,48 @@ pub fn nbody_sim(
         let boxes = cuts.boxes(universe);
         for dest in 0..p {
             if dest != me {
-                for mp in essential_points(&tree, &boxes[dest], cfg.theta) {
-                    ctx.send_pkt(dest, mp.to_packet());
+                let pts = essential_points(&tree, &boxes[dest], cfg.theta);
+                if byte_lane {
+                    if !pts.is_empty() {
+                        let mut w = ctx.msg_writer(dest);
+                        for mp in pts {
+                            mp.write_to(&mut w);
+                        }
+                    }
+                } else {
+                    for mp in pts {
+                        ctx.send_pkt(dest, mp.to_packet());
+                    }
                 }
             }
         }
         ctx.sync();
         let mut remote: Vec<MassPoint> = Vec::with_capacity(ctx.pkts_remaining());
-        while let Some(pkt) = ctx.get_pkt() {
-            remote.push(MassPoint::from_packet(pkt));
+        if byte_lane {
+            while let Some((_src, payload)) = ctx.recv_bytes() {
+                assert_eq!(payload.len() % crate::essential::MASS_POINT_BYTES, 0);
+                remote.extend(
+                    payload
+                        .chunks_exact(crate::essential::MASS_POINT_BYTES)
+                        .map(MassPoint::from_bytes),
+                );
+            }
+        } else {
+            while let Some(pkt) = ctx.get_pkt() {
+                remote.push(MassPoint::from_packet(pkt));
+            }
         }
+        // Remote points arrive in backend-dependent order; sort by value
+        // bits so the remote BH tree — and hence every force sum — is a
+        // pure function of the point multiset on both lanes.
+        remote.sort_unstable_by_key(|mp| {
+            (
+                mp.pos.x.to_bits(),
+                mp.pos.y.to_bits(),
+                mp.pos.z.to_bits(),
+                mp.mass.to_bits(),
+            )
+        });
         essential_recv += remote.len() as u64;
 
         // ---- superstep 6 (local): forces + leapfrog kick-drift ----
@@ -409,6 +501,48 @@ mod tests {
         let after = total_energy(&par, cfg.theta, cfg.eps);
         let drift = (after - before).abs() / before.abs();
         assert!(drift < 0.05, "energy drift {drift} ({before} -> {after})");
+    }
+
+    #[test]
+    fn lanes_produce_identical_trajectories() {
+        // The byte-lane and packet-lane simulations must agree bit for bit:
+        // same f32 essential-point quantization, same deterministic
+        // ordering of remote points and migrated bodies.
+        let n = 400;
+        let cfg = SimConfig {
+            iters: 3,
+            ..SimConfig::default()
+        };
+        let bodies = plummer(n, 17);
+        for p in [2usize, 4] {
+            let (parts, cuts) = initial_partition(&bodies, p);
+            let run_lane = |byte_lane: bool| {
+                run(&Config::new(p), |ctx| {
+                    nbody_sim_with(
+                        ctx,
+                        parts[ctx.pid()].clone(),
+                        cuts.clone(),
+                        n,
+                        &cfg,
+                        byte_lane,
+                    )
+                })
+            };
+            let bytes = run_lane(true);
+            let pkts = run_lane(false);
+            for (a, b) in bytes.results.iter().zip(&pkts.results) {
+                assert_eq!(a.bodies, b.bodies, "p={p}");
+                assert_eq!(a.essential_recv, b.essential_recv, "p={p}");
+                assert_eq!(a.migrated_out, b.migrated_out, "p={p}");
+            }
+            assert!(bytes.stats.h_bytes_total() > 0, "byte lane unused");
+            assert_eq!(pkts.stats.h_bytes_total(), 0);
+            // Bulk records beat 16-byte fragmentation on wire volume.
+            assert!(
+                bytes.stats.h_bytes_total() < 16 * (pkts.stats.h_total() - bytes.stats.h_total()),
+                "byte lane should move fewer wire bytes than the packets it replaced"
+            );
+        }
     }
 
     #[test]

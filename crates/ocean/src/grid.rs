@@ -147,41 +147,62 @@ fn ghost_pkt(side: u32, global_idx: usize, level: usize, v: f64) -> Packet {
 /// processor-grid neighbours (one superstep), then refresh the
 /// domain-boundary ghosts by Dirichlet reflection.
 ///
+/// Ships each boundary strip as one zero-copy byte-lane message (a whole
+/// row/column of `f64`s behind a 12-byte strip header) instead of one
+/// 16-byte packet per cell; see [`exchange_ghosts_with`] for the legacy
+/// per-cell packet discipline. Ghost placement is index-directed either
+/// way, so the two lanes fill the ring bit-identically.
+///
 /// The caller must not have other traffic in flight in this superstep.
 pub fn exchange_ghosts(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, field: &mut [f64]) {
+    exchange_ghosts_with(ctx, hier, lvl, field, true)
+}
+
+/// [`exchange_ghosts`] with an explicit transport lane: `byte_lane = false`
+/// sends every ghost cell as its own tagged 16-byte packet (the original
+/// discipline), `true` packs each strip into one variable-length message
+/// `[u32 side | u32 level | u32 start | f64 × len]`. Identical results.
+pub fn exchange_ghosts_with(
+    ctx: &mut Ctx,
+    hier: &Hierarchy,
+    lvl: usize,
+    field: &mut [f64],
+    byte_lane: bool,
+) {
     let l = hier.levels[lvl];
-    // Send edge rows/columns; the tag says where the *receiver* places them.
-    if let Some(up) = hier.neighbor(-1, 0) {
-        for j in 1..=l.cols {
-            ctx.send_pkt(
-                up,
-                ghost_pkt(PLACE_BOTTOM, l.c0 + j - 1, lvl, field[l.at(1, j)]),
-            );
+    // One edge strip per neighbour: (dest, placement side on the receiver,
+    // first global index along the side, the strip's field indices).
+    let send_strip = |ctx: &mut Ctx, dest: usize, side: u32, g0: usize, idxs: &[usize]| {
+        if byte_lane {
+            let mut w = ctx.msg_writer(dest);
+            w.put_u32(side);
+            w.put_u32(lvl as u32);
+            w.put_u32(g0 as u32);
+            for &ix in idxs {
+                w.put_f64(field[ix]);
+            }
+        } else {
+            for (k, &ix) in idxs.iter().enumerate() {
+                ctx.send_pkt(dest, ghost_pkt(side, g0 + k, lvl, field[ix]));
+            }
         }
+    };
+    // Send edge rows/columns; the side says where the *receiver* places them.
+    if let Some(up) = hier.neighbor(-1, 0) {
+        let idxs: Vec<usize> = (1..=l.cols).map(|j| l.at(1, j)).collect();
+        send_strip(ctx, up, PLACE_BOTTOM, l.c0, &idxs);
     }
     if let Some(down) = hier.neighbor(1, 0) {
-        for j in 1..=l.cols {
-            ctx.send_pkt(
-                down,
-                ghost_pkt(PLACE_TOP, l.c0 + j - 1, lvl, field[l.at(l.rows, j)]),
-            );
-        }
+        let idxs: Vec<usize> = (1..=l.cols).map(|j| l.at(l.rows, j)).collect();
+        send_strip(ctx, down, PLACE_TOP, l.c0, &idxs);
     }
     if let Some(left) = hier.neighbor(0, -1) {
-        for i in 1..=l.rows {
-            ctx.send_pkt(
-                left,
-                ghost_pkt(PLACE_RIGHT, l.r0 + i - 1, lvl, field[l.at(i, 1)]),
-            );
-        }
+        let idxs: Vec<usize> = (1..=l.rows).map(|i| l.at(i, 1)).collect();
+        send_strip(ctx, left, PLACE_RIGHT, l.r0, &idxs);
     }
     if let Some(right) = hier.neighbor(0, 1) {
-        for i in 1..=l.rows {
-            ctx.send_pkt(
-                right,
-                ghost_pkt(PLACE_LEFT, l.r0 + i - 1, lvl, field[l.at(i, l.cols)]),
-            );
-        }
+        let idxs: Vec<usize> = (1..=l.rows).map(|i| l.at(i, l.cols)).collect();
+        send_strip(ctx, right, PLACE_LEFT, l.r0, &idxs);
     }
     // Corners, needed by the bilinear prolongation: my corner interior cell
     // goes to the diagonal neighbour's opposite corner ghost.
@@ -193,25 +214,44 @@ pub fn exchange_ghosts(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, field: &mut 
     ];
     for (dr, dc, i, j, place) in corners {
         if let Some(diag) = hier.neighbor(dr, dc) {
-            ctx.send_pkt(diag, ghost_pkt(place, 0, lvl, field[l.at(i, j)]));
+            send_strip(ctx, diag, place, 0, &[l.at(i, j)]);
         }
     }
     ctx.sync();
-    while let Some(pkt) = ctx.get_pkt() {
-        let (tag, level, v) = pkt.as_tag_u32_f64();
-        debug_assert_eq!(level as usize, lvl, "ghost packet for wrong level");
-        let side = tag >> 28;
-        let g = (tag & 0x0FFF_FFFF) as usize;
-        match side {
-            PLACE_TOP => field[l.at(0, g - l.c0 + 1)] = v,
-            PLACE_BOTTOM => field[l.at(l.rows + 1, g - l.c0 + 1)] = v,
-            PLACE_LEFT => field[l.at(1 + g - l.r0, 0)] = v,
-            PLACE_RIGHT => field[l.at(1 + g - l.r0, l.cols + 1)] = v,
-            PLACE_TL => field[l.at(0, 0)] = v,
-            PLACE_TR => field[l.at(0, l.cols + 1)] = v,
-            PLACE_BL => field[l.at(l.rows + 1, 0)] = v,
-            PLACE_BR => field[l.at(l.rows + 1, l.cols + 1)] = v,
-            _ => unreachable!(),
+    // Index-directed placement: each incoming value names its ghost cell,
+    // so arrival order is irrelevant on both lanes.
+    let place = |field: &mut [f64], side: u32, g: usize, v: f64| match side {
+        PLACE_TOP => field[l.at(0, g - l.c0 + 1)] = v,
+        PLACE_BOTTOM => field[l.at(l.rows + 1, g - l.c0 + 1)] = v,
+        PLACE_LEFT => field[l.at(1 + g - l.r0, 0)] = v,
+        PLACE_RIGHT => field[l.at(1 + g - l.r0, l.cols + 1)] = v,
+        PLACE_TL => field[l.at(0, 0)] = v,
+        PLACE_TR => field[l.at(0, l.cols + 1)] = v,
+        PLACE_BL => field[l.at(l.rows + 1, 0)] = v,
+        PLACE_BR => field[l.at(l.rows + 1, l.cols + 1)] = v,
+        _ => unreachable!(),
+    };
+    if byte_lane {
+        while let Some((_src, payload)) = ctx.recv_bytes() {
+            let side = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+            let level = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+            debug_assert_eq!(level as usize, lvl, "ghost strip for wrong level");
+            let g0 = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+            // recv_bytes borrows ctx, so the strip is copied out before
+            // placement; strips are short (≤ one block side).
+            let vals: Vec<f64> = payload[12..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for (k, &v) in vals.iter().enumerate() {
+                place(field, side, g0 + k, v);
+            }
+        }
+    } else {
+        while let Some(pkt) = ctx.get_pkt() {
+            let (tag, level, v) = pkt.as_tag_u32_f64();
+            debug_assert_eq!(level as usize, lvl, "ghost packet for wrong level");
+            place(field, tag >> 28, (tag & 0x0FFF_FFFF) as usize, v);
         }
     }
     apply_boundary(hier, lvl, field);
@@ -402,6 +442,44 @@ mod tests {
                 "p={p}: ghost errors {:?}",
                 out.results
             );
+        }
+    }
+
+    #[test]
+    fn lanes_fill_identical_ghost_rings() {
+        // Byte-lane strips and per-cell packets must produce bit-identical
+        // fields (f64 bits pass through unchanged on both lanes).
+        let n = 32;
+        let fill = move |h: &Hierarchy| {
+            let l = h.levels[0];
+            let mut f = l.zeros();
+            for i in 1..=l.rows {
+                for j in 1..=l.cols {
+                    let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                    f[l.at(i, j)] = ((gi * n + gj) as f64 * 0.7318).sin();
+                }
+            }
+            f
+        };
+        for p in [1usize, 2, 4, 8] {
+            let bytes = run(&Config::new(p), move |ctx| {
+                let h = Hierarchy::new(ctx.pid(), p, n, 8);
+                let mut f = fill(&h);
+                exchange_ghosts_with(ctx, &h, 0, &mut f, true);
+                f
+            });
+            let pkts = run(&Config::new(p), move |ctx| {
+                let h = Hierarchy::new(ctx.pid(), p, n, 8);
+                let mut f = fill(&h);
+                exchange_ghosts_with(ctx, &h, 0, &mut f, false);
+                f
+            });
+            assert_eq!(bytes.results, pkts.results, "p={p}");
+            if p > 1 {
+                assert!(bytes.stats.h_bytes_total() > 0, "byte lane unused");
+                assert_eq!(bytes.stats.h_total(), 0, "no packets on the byte lane");
+                assert_eq!(pkts.stats.h_bytes_total(), 0);
+            }
         }
     }
 }

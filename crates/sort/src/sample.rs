@@ -22,7 +22,21 @@ pub const OVERSAMPLE: usize = 32;
 /// Sort the union of all processors' keys. Returns this processor's
 /// globally sorted slice (bucket `pid`: all its keys are ≥ every key on
 /// lower-numbered processors and ≤ every key on higher ones).
-pub fn sample_sort(ctx: &mut Ctx, mut keys: Vec<u64>) -> Vec<u64> {
+///
+/// Ships the sample pool and the bucket all-to-all on the zero-copy byte
+/// lane (one bulk message per destination per superstep); see
+/// [`sample_sort_with`] for the legacy one-packet-per-key discipline. Both
+/// lanes produce bit-identical output.
+pub fn sample_sort(ctx: &mut Ctx, keys: Vec<u64>) -> Vec<u64> {
+    sample_sort_with(ctx, keys, true)
+}
+
+/// [`sample_sort`] with an explicit transport lane: `byte_lane = false`
+/// routes every sample and key as its own 16-byte packet (the paper's
+/// fixed-size discipline), `true` packs each destination's values into one
+/// variable-length message. The superstep structure, splitters, and output
+/// are identical either way — only the exchange fabric differs.
+pub fn sample_sort_with(ctx: &mut Ctx, mut keys: Vec<u64>, byte_lane: bool) -> Vec<u64> {
     let p = ctx.nprocs();
     if p == 1 {
         keys.sort_unstable();
@@ -31,17 +45,31 @@ pub fn sample_sort(ctx: &mut Ctx, mut keys: Vec<u64>) -> Vec<u64> {
     keys.sort_unstable();
     ctx.charge((keys.len().max(1).ilog2() as u64) * keys.len() as u64);
 
-    // Superstep 1: all-gather regular samples. Each sample is sent with its
-    // owner's rank so every processor assembles the identical pool.
+    // Superstep 1: all-gather regular samples. The pool is assembled by
+    // slot index, so arrival order never matters: packets carry their slot
+    // explicitly, byte-lane messages derive it from the source pid and the
+    // sender's in-message order.
     let me = ctx.pid();
-    for s in 0..OVERSAMPLE {
-        let sample = if keys.is_empty() {
-            u64::MAX
+    let samples: Vec<u64> = (0..OVERSAMPLE)
+        .map(|s| {
+            if keys.is_empty() {
+                u64::MAX
+            } else {
+                keys[(s * keys.len()) / OVERSAMPLE]
+            }
+        })
+        .collect();
+    for dest in 0..p {
+        if dest == me {
+            continue;
+        }
+        if byte_lane {
+            let mut w = ctx.msg_writer(dest);
+            for &sample in &samples {
+                w.put_u64(sample);
+            }
         } else {
-            keys[(s * keys.len()) / OVERSAMPLE]
-        };
-        for dest in 0..p {
-            if dest != me {
+            for (s, &sample) in samples.iter().enumerate() {
                 ctx.send_pkt(dest, Packet::two_u64((me * OVERSAMPLE + s) as u64, sample));
             }
         }
@@ -50,36 +78,67 @@ pub fn sample_sort(ctx: &mut Ctx, mut keys: Vec<u64>) -> Vec<u64> {
     // values; the pool is assembled by slot index.)
     ctx.sync();
     let mut pool = vec![u64::MAX; p * OVERSAMPLE];
-    for s in 0..OVERSAMPLE {
-        pool[me * OVERSAMPLE + s] = if keys.is_empty() {
-            u64::MAX
-        } else {
-            keys[(s * keys.len()) / OVERSAMPLE]
-        };
-    }
-    while let Some(pkt) = ctx.get_pkt() {
-        let (slot, v) = pkt.as_two_u64();
-        pool[slot as usize] = v;
+    pool[me * OVERSAMPLE..(me + 1) * OVERSAMPLE].copy_from_slice(&samples);
+    if byte_lane {
+        while let Some((src, payload)) = ctx.recv_bytes() {
+            for (s, chunk) in payload.chunks_exact(8).enumerate() {
+                pool[src * OVERSAMPLE + s] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+        }
+    } else {
+        while let Some(pkt) = ctx.get_pkt() {
+            let (slot, v) = pkt.as_two_u64();
+            pool[slot as usize] = v;
+        }
     }
     pool.sort_unstable();
     let splitters: Vec<u64> = (1..p).map(|i| pool[i * OVERSAMPLE]).collect();
 
-    // Superstep 2: route keys to their buckets.
-    for &k in &keys {
-        let bucket = splitters.partition_point(|&s| s <= k);
-        if bucket == me {
-            continue; // keep local keys out of the network
+    // Superstep 2: route keys to their buckets (the all-to-all that
+    // dominates H). Receivers sort the merged bucket, so the exchange is
+    // order-insensitive and the two lanes agree bit for bit.
+    let mut mine: Vec<u64> = Vec::new();
+    if byte_lane {
+        let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for &k in &keys {
+            let bucket = splitters.partition_point(|&s| s <= k);
+            if bucket == me {
+                mine.push(k); // keep local keys out of the network
+            } else {
+                outgoing[bucket].push(k);
+            }
         }
-        ctx.send_pkt(bucket, Packet::two_u64(k, 0));
+        for (dest, vals) in outgoing.iter().enumerate() {
+            if !vals.is_empty() {
+                let mut w = ctx.msg_writer(dest);
+                for &k in vals {
+                    w.put_u64(k);
+                }
+            }
+        }
+    } else {
+        for &k in &keys {
+            let bucket = splitters.partition_point(|&s| s <= k);
+            if bucket == me {
+                mine.push(k);
+            } else {
+                ctx.send_pkt(bucket, Packet::two_u64(k, 0));
+            }
+        }
     }
-    let mut mine: Vec<u64> = keys
-        .iter()
-        .copied()
-        .filter(|&k| splitters.partition_point(|&s| s <= k) == me)
-        .collect();
     ctx.sync();
-    while let Some(pkt) = ctx.get_pkt() {
-        mine.push(pkt.as_two_u64().0);
+    if byte_lane {
+        while let Some((_src, payload)) = ctx.recv_bytes() {
+            mine.extend(
+                payload
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+            );
+        }
+    } else {
+        while let Some(pkt) = ctx.get_pkt() {
+            mine.push(pkt.as_two_u64().0);
+        }
     }
     mine.sort_unstable();
     ctx.charge((mine.len().max(1).ilog2() as u64) * mine.len() as u64);
@@ -176,6 +235,23 @@ mod tests {
             // 2 syncs (samples, routing) + final = 3, plus verify's cost if
             // called; here: exactly 3.
             assert_eq!(out.stats.s(), 3, "p={p}");
+        }
+    }
+
+    #[test]
+    fn lanes_produce_identical_buckets() {
+        // The byte-lane and packet-lane exchanges must agree bit for bit.
+        for p in [2usize, 4, 7] {
+            let bytes = run(&Config::new(p), |ctx| {
+                sample_sort_with(ctx, keys_for(ctx.pid(), 1500, 99), true)
+            });
+            let pkts = run(&Config::new(p), |ctx| {
+                sample_sort_with(ctx, keys_for(ctx.pid(), 1500, 99), false)
+            });
+            assert_eq!(bytes.results, pkts.results, "p={p}");
+            assert!(bytes.stats.h_bytes_total() > 0, "byte lane unused");
+            assert_eq!(bytes.stats.h_total(), 0, "no packets on the byte lane");
+            assert_eq!(pkts.stats.h_bytes_total(), 0);
         }
     }
 
