@@ -1,0 +1,62 @@
+//! Fault-tolerance overhead on the exchange hot path (DESIGN.md §10).
+//!
+//! Routes the same all-to-all pattern as `exchange_throughput` through
+//! four transport stacks and compares rates:
+//!
+//! - **bare** — the PR 1 fast path, no hardening;
+//! - **faulty_empty_plan** — a `FaultyBackend` wrapper whose plan contains
+//!   no events: injection bookkeeping on the path but never firing. This
+//!   stack must stay within noise of bare (the CI bound);
+//! - **hardened** — checksummed control frames, sequence numbers, and the
+//!   status/retransmit verify rounds, with no fault plan;
+//! - **hardened_empty_plan** — hardening plus the empty-plan wrapper.
+//!
+//! The hardened stacks pay one extra status round (global clean/dirty
+//! agreement — irreducible under barrier lockstep) plus one checksum pass
+//! per side; DESIGN.md §10 records the measured cost.
+
+use bsp_bench::quick_criterion;
+use bsp_harness::exchange::measure_exchange_cfg;
+use criterion::Criterion;
+use green_bsp::{BackendKind, Config, FaultPlan};
+
+const VOLUME: usize = 20_000; // packets per proc per superstep
+const STEPS: usize = 4;
+const P: usize = 4;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    for (name, backend) in [
+        ("shared", BackendKind::Shared),
+        ("msgpass", BackendKind::MsgPass),
+        ("tcpsim", BackendKind::TcpSim),
+    ] {
+        let stacks = [
+            ("bare", Config::new(P).backend(backend)),
+            (
+                "faulty_empty_plan",
+                Config::new(P).backend(backend).faults(FaultPlan::new(0)),
+            ),
+            ("hardened", Config::new(P).backend(backend).hardened()),
+            (
+                "hardened_empty_plan",
+                Config::new(P)
+                    .backend(backend)
+                    .faults(FaultPlan::new(0))
+                    .hardened(),
+            ),
+        ];
+        for (stack, cfg) in &stacks {
+            group.bench_function(format!("{name}/{stack}/p{P}"), |b| {
+                b.iter(|| std::hint::black_box(measure_exchange_cfg(name, cfg, P, VOLUME, STEPS)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

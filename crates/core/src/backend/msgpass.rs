@@ -10,15 +10,29 @@
 
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
+use crate::fault::{byte_hash, pkt_sum, BspError, TransportError, TransportErrorKind};
 use crate::stats::TransportCounters;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// One superstep's traffic from one process to one peer: the fixed-size
 /// packets and the byte-lane records, shipped together in a single channel
-/// send (one MPI message in the paper's terms).
+/// send (one MPI message in the paper's terms). The frame carries a
+/// sequence number (the sender's exchange count) and a content checksum;
+/// both are verified by the receiver when the transport is hardened.
+#[derive(Clone)]
 pub(crate) struct Batch {
     pub(crate) pkts: Vec<Packet>,
     pub(crate) bytes: Vec<u8>,
+    pub(crate) seq: u64,
+    pub(crate) checksum: u64,
+}
+
+/// Checksum over a batch's content: order-insensitive over the fixed-size
+/// packets (the BSP contract permits any arrival order) plus an
+/// order-sensitive hash of the byte-lane records (their record framing is
+/// positional).
+pub(crate) fn batch_checksum(pkts: &[Packet], bytes: &[u8]) -> u64 {
+    pkt_sum(pkts).wrapping_add(byte_hash(bytes))
 }
 
 /// Per-process endpoint of the message-passing transport.
@@ -33,13 +47,20 @@ pub(crate) struct MsgPassProc {
     senders: Vec<Option<Sender<Batch>>>,
     /// `receivers[src]` yields `src`'s superstep batches for this process.
     receivers: Vec<Option<Receiver<Batch>>>,
+    /// Verify sequence numbers and checksums on receipt. Off by default:
+    /// the default path moves `Vec`s without touching their contents, and
+    /// hashing every packet would not be free.
+    hardened: bool,
+    /// Number of exchanges completed (the sequence number stamped on
+    /// outgoing batches).
+    xseq: u64,
     counters: TransportCounters,
 }
 
 impl MsgPassProc {
     /// Create the full set of `nprocs` endpoints with a channel per ordered
     /// pair of distinct processes.
-    pub(crate) fn create_all(nprocs: usize) -> Vec<MsgPassProc> {
+    pub(crate) fn create_all(nprocs: usize, hardened: bool) -> Vec<MsgPassProc> {
         // channel[src][dest]
         let mut tx: Vec<Vec<Option<Sender<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
@@ -69,10 +90,24 @@ impl MsgPassProc {
                 out_bytes: vec![Vec::new(); nprocs],
                 senders,
                 receivers,
+                hardened,
+                xseq: 0,
                 counters: TransportCounters::default(),
             });
         }
         procs
+    }
+
+    /// Panic with a structured transport error (caught by [`crate::try_run`]
+    /// and surfaced as [`BspError::Transport`], never a bare `expect`).
+    fn fail(&self, peer: usize, step: usize, kind: TransportErrorKind, detail: String) -> ! {
+        std::panic::panic_any(BspError::Transport(TransportError {
+            pid: self.pid,
+            peer: Some(peer),
+            step,
+            kind,
+            detail,
+        }))
     }
 }
 
@@ -90,7 +125,7 @@ impl ProcTransport for MsgPassProc {
         self.out_bytes[dest].extend_from_slice(bytes);
     }
 
-    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         // Post all sends (a batch is sent even when empty: that emptiness is
         // what synchronizes the boundary, mirroring the 2p Isend/Irecv waits).
         for dest in 0..self.nprocs {
@@ -102,21 +137,36 @@ impl ProcTransport for MsgPassProc {
             // next superstep appends without reallocating.
             let volume = self.out[dest].len();
             let byte_volume = self.out_bytes[dest].len();
+            let checksum = if self.hardened {
+                batch_checksum(&self.out[dest], &self.out_bytes[dest])
+            } else {
+                0
+            };
             let batch = Batch {
                 pkts: std::mem::replace(&mut self.out[dest], Vec::with_capacity(volume)),
                 bytes: std::mem::replace(
                     &mut self.out_bytes[dest],
                     Vec::with_capacity(byte_volume),
                 ),
+                seq: self.xseq,
+                checksum,
             };
             self.counters.lock_acquisitions += 1; // channel send
             self.counters.pkts_moved += volume as u64;
             self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
-            self.senders[dest]
+            if self.senders[dest]
                 .as_ref()
                 .expect("peer channel")
                 .send(batch)
-                .expect("peer process hung up mid-superstep");
+                .is_err()
+            {
+                self.fail(
+                    dest,
+                    step,
+                    TransportErrorKind::ChannelClosed,
+                    format!("peer {dest} hung up mid-superstep (send)"),
+                );
+            }
         }
         // Self-delivery (`append` leaves the buffers' allocations in place).
         self.counters.pkts_moved += self.out[self.pid].len() as u64;
@@ -130,14 +180,46 @@ impl ProcTransport for MsgPassProc {
                 continue;
             }
             self.counters.lock_acquisitions += 1; // channel receive
-            let batch = self.receivers[src]
-                .as_ref()
-                .expect("peer channel")
-                .recv()
-                .expect("peer process hung up mid-superstep");
+            let batch = match self.receivers[src].as_ref().expect("peer channel").recv() {
+                Ok(b) => b,
+                Err(_) => self.fail(
+                    src,
+                    step,
+                    TransportErrorKind::ChannelClosed,
+                    format!("peer {src} hung up mid-superstep (recv)"),
+                ),
+            };
+            if self.hardened {
+                if batch.seq != self.xseq {
+                    self.fail(
+                        src,
+                        step,
+                        TransportErrorKind::SequenceGap,
+                        format!(
+                            "batch from peer {src} carries seq {} but this process is at \
+                             exchange {}",
+                            batch.seq, self.xseq
+                        ),
+                    );
+                }
+                let want = batch_checksum(&batch.pkts, &batch.bytes);
+                if want != batch.checksum {
+                    self.fail(
+                        src,
+                        step,
+                        TransportErrorKind::ChecksumMismatch,
+                        format!(
+                            "batch from peer {src} checksums to {:#018x} but was stamped \
+                             {:#018x}",
+                            want, batch.checksum
+                        ),
+                    );
+                }
+            }
             inbox.extend(batch.pkts);
             byte_inbox.extend_from_slice(&batch.bytes);
         }
+        self.xseq += 1;
     }
 
     fn finish(&mut self) {}

@@ -114,6 +114,13 @@ impl ProcTransport for NetSimProc {
             + (byte_inbox.len() - byte_before).div_ceil(PACKET_SIZE) as u64;
         self.st.slots[par].fetch_max(recvd, Ordering::AcqRel);
         self.st.barrier2.wait(pid);
+        if self.st.barrier2.is_poisoned() {
+            std::panic::panic_any(crate::fault::BspError::PeerFailed {
+                pid,
+                step,
+                detail: "a peer process panicked before the h-relation barrier".to_string(),
+            });
+        }
         let h = self.st.slots[par].load(Ordering::Acquire);
         self.st.barrier2.wait(pid);
         if pid == 0 {
@@ -127,5 +134,10 @@ impl ProcTransport for NetSimProc {
 
     fn counters(&self) -> crate::stats::TransportCounters {
         self.inner.counters()
+    }
+
+    fn poison(&mut self) {
+        self.inner.poison();
+        self.st.barrier2.poison();
     }
 }

@@ -18,6 +18,7 @@
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
 use crate::stats::TransportCounters;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 pub(crate) struct SeqState {
@@ -28,6 +29,9 @@ pub(crate) struct SeqState {
     byte_bufs: Vec<[Mutex<Vec<u8>>; 2]>,
     baton: Mutex<BatonState>,
     cv: Condvar,
+    /// Set when a process dies holding the baton; wakes every waiter so the
+    /// survivors fail with `PeerFailed` instead of waiting forever.
+    poisoned: AtomicBool,
 }
 
 struct BatonState {
@@ -49,14 +53,29 @@ impl SeqState {
                 done: vec![false; nprocs],
             }),
             cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
         })
     }
 
     fn wait_for_baton(&self, pid: usize) {
         let mut b = self.baton.lock().unwrap();
-        while b.current != pid {
+        while b.current != pid && !self.poisoned.load(Ordering::Acquire) {
             b = self.cv.wait(b).unwrap();
         }
+        drop(b);
+        if self.poisoned.load(Ordering::Acquire) {
+            std::panic::panic_any(crate::fault::BspError::PeerFailed {
+                pid,
+                step: 0,
+                detail: "a peer process panicked while holding the simulation baton".to_string(),
+            });
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _b = self.baton.lock().unwrap();
+        self.cv.notify_all();
     }
 
     /// Hand the baton to the next not-yet-finished process after `pid`
@@ -153,5 +172,9 @@ impl ProcTransport for SeqProc {
 
     fn counters(&self) -> TransportCounters {
         self.counters
+    }
+
+    fn poison(&mut self) {
+        self.st.poison();
     }
 }

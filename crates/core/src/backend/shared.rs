@@ -483,6 +483,16 @@ impl ProcTransport for SharedProc {
         debug_assert_eq!(step, self.cur_step);
         self.flush_all();
         self.st.barrier.wait(self.pid);
+        if self.st.barrier.is_poisoned() {
+            // A peer died; the barrier released us without the all-arrived
+            // guarantee, so the inboxes are unusable. Surface a structured
+            // error instead of computing on garbage or deadlocking.
+            std::panic::panic_any(crate::fault::BspError::PeerFailed {
+                pid: self.pid,
+                step,
+                detail: "a peer process panicked before reaching the superstep barrier".to_string(),
+            });
+        }
         self.drain_own(step, inbox, byte_inbox);
         self.cur_step = step + 1;
     }
@@ -493,6 +503,10 @@ impl ProcTransport for SharedProc {
 
     fn counters(&self) -> TransportCounters {
         self.counters
+    }
+
+    fn poison(&mut self) {
+        self.st.barrier.poison();
     }
 }
 

@@ -15,10 +15,12 @@
 
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
-use super::msgpass::Batch;
+use super::msgpass::{batch_checksum, Batch};
+use crate::fault::{BspError, FaultTolerance, TransportError, TransportErrorKind};
 use crate::stats::TransportCounters;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Precomputed pairing schedule: `schedule[round][pid]` is `pid`'s partner in
 /// that round (equal to `pid` itself for a bye).
@@ -60,6 +62,35 @@ impl Schedule {
     }
 }
 
+/// Receiver's verdict on a delivered batch, sent back on the ack pipe when
+/// the transport is hardened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Ack {
+    /// Frame verified; the conversation advances.
+    Ok,
+    /// Sequence or checksum verification failed; retransmit.
+    Resend,
+}
+
+/// Bounded exponential backoff before retransmission `attempt` (1-based):
+/// 1 ms, 2 ms, 4 ms, ... capped at 32 ms.
+pub(crate) fn backoff_delay(attempt: u32) -> Duration {
+    Duration::from_millis(1u64 << attempt.saturating_sub(1).min(5))
+}
+
+/// Verify a received batch against the receiver's exchange count. The
+/// receiver half of the ack/retry state machine, factored out so it can be
+/// unit-tested without threads (in-process pipes never corrupt on their own).
+pub(crate) fn verify_batch(batch: &Batch, expect_seq: u64) -> Result<(), TransportErrorKind> {
+    if batch.seq != expect_seq {
+        return Err(TransportErrorKind::SequenceGap);
+    }
+    if batch_checksum(&batch.pkts, &batch.bytes) != batch.checksum {
+        return Err(TransportErrorKind::ChecksumMismatch);
+    }
+    Ok(())
+}
+
 /// Per-process endpoint of the staged total-exchange transport.
 pub(crate) struct TcpSimProc {
     pid: usize,
@@ -72,19 +103,39 @@ pub(crate) struct TcpSimProc {
     /// standing in for the TCP connection.
     senders: Vec<Option<SyncSender<Batch>>>,
     receivers: Vec<Option<Receiver<Batch>>>,
+    /// Reverse pipes carrying the receiver's [`Ack`] verdict back to the
+    /// sender. Only used when `hardened`.
+    ack_senders: Vec<Option<Sender<Ack>>>,
+    ack_receivers: Vec<Option<Receiver<Ack>>>,
+    /// Verify frames and run the ack/retry protocol. Off by default.
+    hardened: bool,
+    /// Retransmissions allowed per transfer before giving up.
+    max_retries: u32,
+    /// How long a blocking pipe read may stall before the transfer is
+    /// declared dead (the per-superstep delivery timeout).
+    timeout: Duration,
+    /// Exchanges completed — the sequence number stamped on outgoing batches.
+    xseq: u64,
     counters: TransportCounters,
 }
 
 impl TcpSimProc {
     /// Create the `nprocs` endpoints with a bounded (capacity-1) pipe per
     /// ordered pair — a sender that races ahead blocks, like a TCP socket
-    /// with a full window.
-    pub(crate) fn create_all(nprocs: usize) -> Vec<TcpSimProc> {
+    /// with a full window. With `tol` set, frames are verified on receipt
+    /// and retransmitted on a negative ack (bounded exponential backoff).
+    pub(crate) fn create_all(nprocs: usize, tol: Option<&FaultTolerance>) -> Vec<TcpSimProc> {
         let schedule = Arc::new(Schedule::round_robin(nprocs));
         let mut tx: Vec<Vec<Option<SyncSender<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
         let mut rx: Vec<Vec<Option<Receiver<Batch>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        let mut ack_tx: Vec<Vec<Option<Sender<Ack>>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| None).collect())
+            .collect();
+        let mut ack_rx: Vec<Vec<Option<Receiver<Ack>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
             .collect();
         for src in 0..nprocs {
@@ -93,9 +144,22 @@ impl TcpSimProc {
                     let (s, r) = sync_channel(1);
                     tx[src][dest] = Some(s);
                     rx[src][dest] = Some(r);
+                    // Ack pipe runs opposite the data: dest -> src.
+                    let (s, r) = channel();
+                    ack_tx[dest][src] = Some(s);
+                    ack_rx[dest][src] = Some(r);
                 }
             }
         }
+        let hardened = tol.is_some();
+        let max_retries = tol.map(|t| t.max_retries).unwrap_or(0);
+        // The superstep deadline is the *detection* threshold (the guarded
+        // layer counts a blown deadline as a straggler); the pipe timeout
+        // here is a liveness backstop against a dead peer, so it gets a
+        // floor well above any tolerated straggler.
+        let timeout = tol
+            .and_then(|t| t.superstep_deadline)
+            .map_or(Duration::from_secs(5), |d| d.max(Duration::from_secs(1)));
         (0..nprocs)
             .map(|pid| TcpSimProc {
                 pid,
@@ -104,9 +168,172 @@ impl TcpSimProc {
                 schedule: Arc::clone(&schedule),
                 senders: std::mem::take(&mut tx[pid]),
                 receivers: (0..nprocs).map(|src| rx[src][pid].take()).collect(),
+                ack_senders: std::mem::take(&mut ack_tx[pid]),
+                ack_receivers: (0..nprocs).map(|src| ack_rx[src][pid].take()).collect(),
+                hardened,
+                max_retries,
+                timeout,
+                xseq: 0,
                 counters: TransportCounters::default(),
             })
             .collect()
+    }
+
+    /// Panic with a structured transport error (caught by [`crate::try_run`]
+    /// and surfaced as [`BspError::Transport`]).
+    fn fail(&self, peer: usize, step: usize, kind: TransportErrorKind, detail: String) -> ! {
+        std::panic::panic_any(BspError::Transport(TransportError {
+            pid: self.pid,
+            peer: Some(peer),
+            step,
+            kind,
+            detail,
+        }))
+    }
+
+    /// Sender half of a staged transfer: ship `batch`, and when hardened wait
+    /// for the partner's ack, retransmitting with bounded exponential backoff
+    /// until acked or the retry budget is spent.
+    fn transmit(&mut self, partner: usize, step: usize, batch: Batch) {
+        let keep = if self.hardened {
+            Some(batch.clone())
+        } else {
+            None
+        };
+        if self.senders[partner].as_ref().unwrap().send(batch).is_err() {
+            self.fail(
+                partner,
+                step,
+                TransportErrorKind::ChannelClosed,
+                format!("partner {partner} hung up (send)"),
+            );
+        }
+        let Some(keep) = keep else { return };
+        let mut attempt = 0u32;
+        loop {
+            match self.ack_receivers[partner]
+                .as_ref()
+                .unwrap()
+                .recv_timeout(self.timeout)
+            {
+                Ok(Ack::Ok) => return,
+                Ok(Ack::Resend) => {
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        self.fail(
+                            partner,
+                            step,
+                            TransportErrorKind::RetryExhausted,
+                            format!(
+                                "partner {partner} rejected the frame {attempt} time(s); \
+                                 retry budget ({}) spent",
+                                self.max_retries
+                            ),
+                        );
+                    }
+                    std::thread::sleep(backoff_delay(attempt));
+                    if self.senders[partner]
+                        .as_ref()
+                        .unwrap()
+                        .send(keep.clone())
+                        .is_err()
+                    {
+                        self.fail(
+                            partner,
+                            step,
+                            TransportErrorKind::ChannelClosed,
+                            format!("partner {partner} hung up (resend)"),
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => self.fail(
+                    partner,
+                    step,
+                    TransportErrorKind::DeliveryTimeout,
+                    format!(
+                        "no ack from partner {partner} within {:?} (delivery timeout)",
+                        self.timeout
+                    ),
+                ),
+                Err(RecvTimeoutError::Disconnected) => self.fail(
+                    partner,
+                    step,
+                    TransportErrorKind::ChannelClosed,
+                    format!("partner {partner} hung up (ack)"),
+                ),
+            }
+        }
+    }
+
+    /// Receiver half: read one batch from `partner`, and when hardened verify
+    /// it, nacking for retransmission until it verifies or the retry budget
+    /// is spent.
+    fn receive(&mut self, partner: usize, step: usize) -> Batch {
+        let mut attempt = 0u32;
+        loop {
+            let got = if self.hardened {
+                match self.receivers[partner]
+                    .as_ref()
+                    .unwrap()
+                    .recv_timeout(self.timeout)
+                {
+                    Ok(b) => b,
+                    Err(RecvTimeoutError::Timeout) => self.fail(
+                        partner,
+                        step,
+                        TransportErrorKind::DeliveryTimeout,
+                        format!(
+                            "no frame from partner {partner} within {:?} (delivery timeout)",
+                            self.timeout
+                        ),
+                    ),
+                    Err(RecvTimeoutError::Disconnected) => self.fail(
+                        partner,
+                        step,
+                        TransportErrorKind::ChannelClosed,
+                        format!("partner {partner} hung up (recv)"),
+                    ),
+                }
+            } else {
+                match self.receivers[partner].as_ref().unwrap().recv() {
+                    Ok(b) => b,
+                    Err(_) => self.fail(
+                        partner,
+                        step,
+                        TransportErrorKind::ChannelClosed,
+                        format!("partner {partner} hung up (recv)"),
+                    ),
+                }
+            };
+            if !self.hardened {
+                return got;
+            }
+            match verify_batch(&got, self.xseq) {
+                Ok(()) => {
+                    let _ = self.ack_senders[partner].as_ref().unwrap().send(Ack::Ok);
+                    return got;
+                }
+                Err(kind) => {
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        self.fail(
+                            partner,
+                            step,
+                            kind,
+                            format!(
+                                "frame from partner {partner} failed verification \
+                                 {attempt} time(s); retry budget ({}) spent",
+                                self.max_retries
+                            ),
+                        );
+                    }
+                    let _ = self.ack_senders[partner]
+                        .as_ref()
+                        .unwrap()
+                        .send(Ack::Resend);
+                }
+            }
+        }
     }
 }
 
@@ -124,7 +351,7 @@ impl ProcTransport for TcpSimProc {
         self.out_bytes[dest].extend_from_slice(bytes);
     }
 
-    fn exchange(&mut self, _step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
+    fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         // Self-delivery first (`append` keeps the buffers' allocations).
         self.counters.pkts_moved += self.out[self.pid].len() as u64;
         self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
@@ -133,7 +360,8 @@ impl ProcTransport for TcpSimProc {
         // Staged conversation: in each round talk to exactly one partner.
         // Lower pid transmits first; the partner reads the pipe before
         // replying — the scheduling that avoids blocking-TCP deadlock.
-        for round in &self.schedule.rounds {
+        let schedule = Arc::clone(&self.schedule);
+        for round in &schedule.rounds {
             let partner = round[self.pid];
             if partner == self.pid {
                 continue; // bye
@@ -142,44 +370,38 @@ impl ProcTransport for TcpSimProc {
             // the outgoing allocations travel to the partner.
             let volume = self.out[partner].len();
             let byte_volume = self.out_bytes[partner].len();
+            let pkts = std::mem::replace(&mut self.out[partner], Vec::with_capacity(volume));
+            let bytes = std::mem::replace(
+                &mut self.out_bytes[partner],
+                Vec::with_capacity(byte_volume),
+            );
+            let checksum = if self.hardened {
+                batch_checksum(&pkts, &bytes)
+            } else {
+                0
+            };
             let batch = Batch {
-                pkts: std::mem::replace(&mut self.out[partner], Vec::with_capacity(volume)),
-                bytes: std::mem::replace(
-                    &mut self.out_bytes[partner],
-                    Vec::with_capacity(byte_volume),
-                ),
+                pkts,
+                bytes,
+                seq: self.xseq,
+                checksum,
             };
             self.counters.lock_acquisitions += 2; // pipe send + recv
             self.counters.pkts_moved += volume as u64;
             self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
             if self.pid < partner {
-                self.senders[partner]
-                    .as_ref()
-                    .unwrap()
-                    .send(batch)
-                    .expect("partner hung up");
-                let got = self.receivers[partner]
-                    .as_ref()
-                    .unwrap()
-                    .recv()
-                    .expect("partner hung up");
+                self.transmit(partner, step, batch);
+                let got = self.receive(partner, step);
                 inbox.extend(got.pkts);
                 byte_inbox.extend_from_slice(&got.bytes);
             } else {
-                let got = self.receivers[partner]
-                    .as_ref()
-                    .unwrap()
-                    .recv()
-                    .expect("partner hung up");
+                let got = self.receive(partner, step);
                 inbox.extend(got.pkts);
                 byte_inbox.extend_from_slice(&got.bytes);
-                self.senders[partner]
-                    .as_ref()
-                    .unwrap()
-                    .send(batch)
-                    .expect("partner hung up");
+                self.transmit(partner, step, batch);
             }
         }
+        self.xseq += 1;
     }
 
     fn finish(&mut self) {}
@@ -255,5 +477,102 @@ mod tests {
     fn p1_schedule_is_empty() {
         assert!(Schedule::round_robin(1).rounds.is_empty());
         assert!(Schedule::round_robin(0).rounds.is_empty());
+    }
+
+    fn sample_batch(seq: u64) -> Batch {
+        let pkts = vec![Packet([7u8; PACKET_SIZE]), Packet([9u8; PACKET_SIZE])];
+        let bytes = vec![1u8, 2, 3, 4, 5];
+        let checksum = batch_checksum(&pkts, &bytes);
+        Batch {
+            pkts,
+            bytes,
+            seq,
+            checksum,
+        }
+    }
+
+    #[test]
+    fn verify_batch_accepts_clean_frames() {
+        assert_eq!(verify_batch(&sample_batch(3), 3), Ok(()));
+    }
+
+    #[test]
+    fn verify_batch_flags_sequence_gap_before_checksum() {
+        // A replayed (duplicated) frame from a previous superstep carries a
+        // stale seq even though its content checksum is internally valid.
+        assert_eq!(
+            verify_batch(&sample_batch(2), 3),
+            Err(TransportErrorKind::SequenceGap)
+        );
+    }
+
+    #[test]
+    fn verify_batch_flags_corruption() {
+        let mut b = sample_batch(0);
+        b.bytes[2] ^= 0x40;
+        assert_eq!(
+            verify_batch(&b, 0),
+            Err(TransportErrorKind::ChecksumMismatch)
+        );
+        let mut b = sample_batch(0);
+        b.pkts[1].0[0] ^= 0x01;
+        assert_eq!(
+            verify_batch(&b, 0),
+            Err(TransportErrorKind::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_bounded() {
+        assert_eq!(backoff_delay(1), Duration::from_millis(1));
+        assert_eq!(backoff_delay(2), Duration::from_millis(2));
+        assert_eq!(backoff_delay(3), Duration::from_millis(4));
+        // Capped: arbitrarily late attempts never sleep more than 32 ms.
+        assert_eq!(backoff_delay(30), Duration::from_millis(32));
+    }
+
+    /// Drive the sender/receiver halves of the ack/retry state machine across
+    /// real pipes with an interposer that corrupts the first transmission:
+    /// the receiver nacks, the sender retransmits, and the retry delivers the
+    /// original content.
+    #[test]
+    fn nack_triggers_retransmission_and_recovers() {
+        let tol = FaultTolerance::default();
+        let mut procs = TcpSimProc::create_all(2, Some(&tol));
+        let mut p1 = procs.pop().unwrap();
+        let mut p0 = procs.pop().unwrap();
+        // Corrupt the pipe 0 -> 1 for the first frame only: steal proc 1's
+        // receiver, flip a byte, and relay through a fresh pipe.
+        let clean_rx = p1.receivers[0].take().unwrap();
+        let (relay_tx, relay_rx) = sync_channel::<Batch>(1);
+        p1.receivers[0] = Some(relay_rx);
+        let relay = std::thread::spawn(move || {
+            let mut first = true;
+            while let Ok(mut b) = clean_rx.recv() {
+                if first && !b.bytes.is_empty() {
+                    b.bytes[0] ^= 0xFF; // bit rot in flight
+                    first = false;
+                }
+                if relay_tx.send(b).is_err() {
+                    break;
+                }
+            }
+        });
+        let t0 = std::thread::spawn(move || {
+            let mut inbox = Vec::new();
+            let mut bytes = Vec::new();
+            p0.send(1, Packet([42u8; PACKET_SIZE]));
+            p0.send_bytes(1, &[10, 20, 30]);
+            p0.exchange(0, &mut inbox, &mut bytes);
+        });
+        let mut inbox = Vec::new();
+        let mut bytes = Vec::new();
+        p1.exchange(0, &mut inbox, &mut bytes);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].0[0], 42);
+        assert_eq!(bytes, vec![10, 20, 30]);
+        t0.join().unwrap();
+        drop(p1); // closes the relay's outbound pipe
+        relay.join().unwrap();
     }
 }

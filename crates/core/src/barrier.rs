@@ -9,7 +9,7 @@
 //! ablation bench.
 
 use crate::pad::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Number of busy spins before a spinning barrier starts yielding the CPU.
@@ -32,9 +32,20 @@ fn spin_wait(spins: &mut u32) {
 pub trait Barrier: Send + Sync {
     /// Block until all `p` participants have called `wait` for the current
     /// generation. `pid` identifies the caller in `0..p`.
+    ///
+    /// If the barrier has been [`poison`ed](Barrier::poison) — because a
+    /// participant died and will never arrive — `wait` returns promptly
+    /// *without* the usual all-arrived guarantee. Callers that care must
+    /// check [`is_poisoned`](Barrier::is_poisoned) after every crossing.
     fn wait(&self, pid: usize);
     /// Number of participants.
     fn parties(&self) -> usize;
+    /// Mark the barrier as dead: a participant has panicked and will never
+    /// arrive again. All current and future `wait` calls return promptly
+    /// instead of deadlocking.
+    fn poison(&self);
+    /// Whether [`poison`](Barrier::poison) has been called.
+    fn is_poisoned(&self) -> bool;
 }
 
 /// Which barrier implementation a backend should use.
@@ -70,6 +81,7 @@ pub struct CentralBarrier {
     parties: usize,
     state: Mutex<(usize, u64)>, // (arrived, generation)
     cv: Condvar,
+    poisoned: AtomicBool,
 }
 
 impl CentralBarrier {
@@ -80,12 +92,16 @@ impl CentralBarrier {
             parties: p,
             state: Mutex::new((0, 0)),
             cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
         }
     }
 }
 
 impl Barrier for CentralBarrier {
     fn wait(&self, _pid: usize) {
+        if self.poisoned.load(Ordering::Acquire) {
+            return;
+        }
         let mut st = self.state.lock().unwrap();
         st.0 += 1;
         if st.0 == self.parties {
@@ -94,7 +110,7 @@ impl Barrier for CentralBarrier {
             self.cv.notify_all();
         } else {
             let gen = st.1;
-            while st.1 == gen {
+            while st.1 == gen && !self.poisoned.load(Ordering::Acquire) {
                 st = self.cv.wait(st).unwrap();
             }
         }
@@ -102,6 +118,18 @@ impl Barrier for CentralBarrier {
 
     fn parties(&self) -> usize {
         self.parties
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // Take the lock so the store can't race between a waiter's predicate
+        // check and its cv.wait, then wake everyone currently parked.
+        let _st = self.state.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 
@@ -116,6 +144,7 @@ type PaddedAtomic = CachePadded<AtomicU64>;
 /// the barrier is reusable without re-initialization.
 pub struct FlagBarrier {
     flags: Vec<PaddedAtomic>,
+    poisoned: AtomicBool,
 }
 
 impl FlagBarrier {
@@ -126,6 +155,7 @@ impl FlagBarrier {
             flags: (0..p)
                 .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
                 .collect(),
+            poisoned: AtomicBool::new(false),
         }
     }
 }
@@ -143,6 +173,9 @@ impl Barrier for FlagBarrier {
             for f in &self.flags[1..] {
                 let mut spins = 0;
                 while f.0.load(Ordering::Acquire) < gen {
+                    if self.poisoned.load(Ordering::Acquire) {
+                        return;
+                    }
                     spin_wait(&mut spins);
                 }
             }
@@ -153,6 +186,9 @@ impl Barrier for FlagBarrier {
             self.flags[pid].0.store(gen, Ordering::Release);
             let mut spins = 0;
             while self.flags[0].0.load(Ordering::Acquire) < gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return;
+                }
                 spin_wait(&mut spins);
             }
         }
@@ -160,6 +196,14 @@ impl Barrier for FlagBarrier {
 
     fn parties(&self) -> usize {
         self.flags.len()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 
@@ -173,6 +217,7 @@ pub struct TreeBarrier {
     arrive: Vec<PaddedAtomic>, // per-node arrival counts (children + self)
     release: PaddedAtomic,     // generation counter
     gen: Vec<PaddedAtomic>,    // per-proc local generation (avoids &mut self)
+    poisoned: AtomicBool,
 }
 
 impl TreeBarrier {
@@ -188,6 +233,7 @@ impl TreeBarrier {
             gen: (0..p)
                 .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
                 .collect(),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -210,6 +256,9 @@ impl Barrier for TreeBarrier {
         for c in [l, r].into_iter().flatten() {
             let mut spins = 0;
             while self.arrive[c].0.load(Ordering::Acquire) < my_gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return;
+                }
                 spin_wait(&mut spins);
             }
         }
@@ -221,6 +270,9 @@ impl Barrier for TreeBarrier {
             self.arrive[pid].0.store(my_gen, Ordering::Release);
             let mut spins = 0;
             while self.release.0.load(Ordering::Acquire) < my_gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return;
+                }
                 spin_wait(&mut spins);
             }
         }
@@ -228,6 +280,14 @@ impl Barrier for TreeBarrier {
 
     fn parties(&self) -> usize {
         self.parties
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 
@@ -242,6 +302,7 @@ pub struct DisseminationBarrier {
     /// flags[round][pid]: monotone generation counters.
     flags: Vec<Vec<PaddedAtomic>>,
     gen: Vec<PaddedAtomic>,
+    poisoned: AtomicBool,
 }
 
 impl DisseminationBarrier {
@@ -262,6 +323,7 @@ impl DisseminationBarrier {
             gen: (0..p)
                 .map(|_| PaddedAtomic::new(AtomicU64::new(0)))
                 .collect(),
+            poisoned: AtomicBool::new(false),
         }
     }
 }
@@ -280,6 +342,9 @@ impl Barrier for DisseminationBarrier {
             self.flags[k][to].0.store(my_gen, Ordering::Release);
             let mut spins = 0;
             while self.flags[k][pid].0.load(Ordering::Acquire) < my_gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return;
+                }
                 spin_wait(&mut spins);
             }
         }
@@ -287,6 +352,14 @@ impl Barrier for DisseminationBarrier {
 
     fn parties(&self) -> usize {
         self.parties
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 
@@ -404,6 +477,36 @@ mod tests {
         ] {
             let b = kind.build(4);
             assert_eq!(b.parties(), 4);
+        }
+    }
+
+    /// A participant that never arrives must not deadlock the others once the
+    /// barrier is poisoned: all waiters return promptly and observe the flag.
+    #[test]
+    fn poison_releases_stuck_waiters() {
+        for kind in [
+            BarrierKind::Central,
+            BarrierKind::Flag,
+            BarrierKind::Tree,
+            BarrierKind::Dissemination,
+        ] {
+            let p = 4;
+            let b: Arc<dyn Barrier> = Arc::from(kind.build(p));
+            std::thread::scope(|s| {
+                // Procs 0..3 wait; proc 3 never arrives and poisons instead.
+                for pid in 0..p - 1 {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        b.wait(pid);
+                        assert!(b.is_poisoned(), "{kind:?} waiter released unpoisoned");
+                    });
+                }
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    b.poison();
+                });
+            });
         }
     }
 

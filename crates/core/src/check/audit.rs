@@ -254,6 +254,12 @@ impl ProcTransport for Box<dyn ProcTransport> {
     fn counters(&self) -> TransportCounters {
         (**self).counters()
     }
+    fn poison(&mut self) {
+        (**self).poison()
+    }
+    fn fault_counters(&self) -> crate::fault::FaultCounters {
+        (**self).fault_counters()
+    }
 }
 
 /// The checking layer around a backend transport: counts every packet each
@@ -369,6 +375,14 @@ impl<B: ProcTransport> ProcTransport for CheckedBackend<B> {
 
     fn counters(&self) -> TransportCounters {
         self.inner.counters()
+    }
+
+    fn poison(&mut self) {
+        self.inner.poison()
+    }
+
+    fn fault_counters(&self) -> crate::fault::FaultCounters {
+        self.inner.fault_counters()
     }
 }
 

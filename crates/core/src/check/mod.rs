@@ -74,6 +74,11 @@ pub enum CheckKind {
     /// fragment, or length mismatch). The receiver cannot tell fragments
     /// from raw packets, so decode results are undefined.
     MessageFraming,
+    /// A fault plan injected at least one recoverable fault but the
+    /// hardened transport detected none of them: the detection machinery
+    /// (checksums, sequence numbers, count verification) is not observing
+    /// the lane the fault landed on.
+    FaultUndetected,
 }
 
 impl fmt::Display for CheckKind {
@@ -89,6 +94,7 @@ impl fmt::Display for CheckKind {
             CheckKind::DeliveryMismatch => "delivery-mismatch",
             CheckKind::PhaseDiscipline => "phase-discipline",
             CheckKind::MessageFraming => "message-framing",
+            CheckKind::FaultUndetected => "fault-undetected",
         };
         f.write_str(s)
     }

@@ -11,6 +11,7 @@ use crate::check::{
     report, CheckCtx, CheckKind, CheckReport, CollectiveEvent, CollectiveKind, DrmaEvent, DrmaOp,
     TrackedPkt, LANE_BYTES, LANE_MSG, LANE_RAW,
 };
+use crate::fault::FaultCounters;
 use crate::packet::Packet;
 use crate::stats::{LocalStep, TransportCounters};
 use std::panic::Location;
@@ -65,6 +66,30 @@ pub(crate) trait ProcTransport: Send {
     fn counters(&self) -> TransportCounters {
         TransportCounters::default()
     }
+
+    /// Mark shared synchronization state (barriers, batons) failed so peers
+    /// blocked in an exchange wake and fail with
+    /// [`crate::BspError::PeerFailed`] instead of deadlocking. Called by the
+    /// runner when this process panics; the default has nothing to poison
+    /// (channel-based backends propagate failure by dropping endpoints).
+    fn poison(&mut self) {}
+
+    /// Fault-machinery counters (injected/detected/retried). Non-zero only
+    /// on hardened or fault-injected runs.
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+}
+
+/// Per-process checkpoint plumbing, present only when the run has a
+/// [`crate::CheckpointPolicy`].
+pub(crate) struct CkptState {
+    pub(crate) every: usize,
+    pub(crate) store: Arc<crate::fault::CheckpointStore>,
+    pub(crate) pid: usize,
+    /// Snapshot to resume from after a rollback; consumed by
+    /// [`Ctx::restore_checkpoint`].
+    pub(crate) restored: Option<Vec<u8>>,
 }
 
 /// The BSP process context handed to the user function by [`crate::run`].
@@ -107,6 +132,9 @@ pub struct Ctx {
     /// Per-process checker state; `None` on unchecked runs, so the hot path
     /// pays one predictable branch per operation.
     pub(crate) check: Option<Box<CheckCtx>>,
+    /// Checkpoint plumbing; `None` unless the run has a
+    /// [`crate::CheckpointPolicy`].
+    pub(crate) ckpt: Option<Box<CkptState>>,
 }
 
 /// In-place serializer for one byte-lane message, created by
@@ -195,6 +223,7 @@ impl Ctx {
             next_msg_id: 0,
             in_msg_send: false,
             check: None,
+            ckpt: None,
         }
     }
 
@@ -499,6 +528,36 @@ impl Ctx {
                 op,
             });
         }
+    }
+
+    /// True when a checkpoint-rollback policy is active and the current
+    /// superstep is on the policy's cadence: the app should call
+    /// [`Ctx::save_checkpoint`] with its serialized state. Always `false`
+    /// without a policy, so apps can call it unconditionally.
+    #[inline]
+    pub fn checkpoint_due(&self) -> bool {
+        match &self.ckpt {
+            Some(c) => c.every > 0 && self.step.is_multiple_of(c.every),
+            None => false,
+        }
+    }
+
+    /// Register `state` as this proc's snapshot for the current superstep.
+    /// On a detected fault the runner rolls every proc back to the newest
+    /// superstep at which *all* procs saved a snapshot. No-op without a
+    /// checkpoint policy.
+    pub fn save_checkpoint(&mut self, state: &[u8]) {
+        if let Some(c) = &self.ckpt {
+            c.store.save(c.pid, self.step, state.to_vec());
+        }
+    }
+
+    /// After a rollback, the snapshot this proc saved at the rollback point;
+    /// `None` on a fresh (non-rollback) incarnation or when no consistent
+    /// snapshot existed (the app then restarts from scratch). Consumes the
+    /// blob, so call it once at the top of the program.
+    pub fn restore_checkpoint(&mut self) -> Option<Vec<u8>> {
+        self.ckpt.as_mut().and_then(|c| c.restored.take())
     }
 
     /// Fresh message id for the variable-length message layer.

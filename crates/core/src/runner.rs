@@ -10,8 +10,13 @@ use crate::backend::BackendKind;
 use crate::barrier::BarrierKind;
 use crate::check::audit::CheckedBackend;
 use crate::check::{self, CheckCtx, CheckKind, CheckReport, CheckShared, ProcTrace};
-use crate::context::{Ctx, ProcTransport};
+use crate::context::{CkptState, Ctx, ProcTransport};
+use crate::fault::{
+    BspError, CheckpointStore, FaultCounters, FaultPlan, FaultState, FaultTolerance, FaultyBackend,
+    GuardedBackend, RoundMeta,
+};
 use crate::stats::RunStats;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +42,17 @@ pub struct Config {
     /// slab phase-discipline audit. Diagnostics land in
     /// [`RunStats::check_reports`].
     pub check: bool,
+    /// Deterministic fault-injection plan: a [`FaultyBackend`] wrapper is
+    /// interposed on every process and replays the plan's events at
+    /// exchange boundaries (see [`crate::fault`]).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Fault-tolerance settings. When set, the transport stack is hardened:
+    /// a self-healing [`GuardedBackend`] wrapper checksums and retransmits
+    /// exchanges, msgpass/tcpsim verify frame sequence numbers and
+    /// checksums, tcpsim runs its ack/retry protocol, and (with a
+    /// [`crate::CheckpointPolicy`]) the runner rolls all processes back to
+    /// the last consistent checkpoint on an unrecovered failure.
+    pub tolerance: Option<FaultTolerance>,
 }
 
 impl Config {
@@ -50,6 +66,8 @@ impl Config {
             chunk: DEFAULT_CHUNK,
             slab_cap: DEFAULT_SLAB_CAP,
             check: false,
+            fault_plan: None,
+            tolerance: None,
         }
     }
 
@@ -83,6 +101,26 @@ impl Config {
         self.check = true;
         self
     }
+
+    /// Inject faults from a deterministic [`FaultPlan`] (see [`crate::fault`]).
+    /// Pair with [`Config::tolerant`] (or [`Config::hardened`]) if the run
+    /// is expected to survive them.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Harden the transport stack with explicit [`FaultTolerance`] settings.
+    pub fn tolerant(mut self, tol: FaultTolerance) -> Self {
+        self.tolerance = Some(tol);
+        self
+    }
+
+    /// Harden the transport stack with default [`FaultTolerance`] settings
+    /// (checksummed self-healing exchanges, 4 retries, no checkpointing).
+    pub fn hardened(self) -> Self {
+        self.tolerant(FaultTolerance::default())
+    }
 }
 
 /// Results of a BSP run: one value per process plus merged statistics.
@@ -96,9 +134,14 @@ pub struct RunOutput<R> {
     pub wall: Duration,
 }
 
-fn build_transports(cfg: &Config, check: Option<&Arc<CheckShared>>) -> Vec<Box<dyn ProcTransport>> {
+fn build_transports(
+    cfg: &Config,
+    check: Option<&Arc<CheckShared>>,
+    fstate: Option<&Arc<FaultState>>,
+) -> Vec<Box<dyn ProcTransport>> {
     let p = cfg.nprocs;
     let audit = check.map(|c| Arc::clone(&c.audit));
+    let tol = cfg.tolerance.as_ref();
     let bare: Vec<Box<dyn ProcTransport>> = match cfg.backend {
         BackendKind::Shared => {
             let st = SharedState::with_audit(p, cfg.barrier.build(p), cfg.slab_cap, audit);
@@ -108,11 +151,11 @@ fn build_transports(cfg: &Config, check: Option<&Arc<CheckShared>>) -> Vec<Box<d
                 })
                 .collect()
         }
-        BackendKind::MsgPass => MsgPassProc::create_all(p)
+        BackendKind::MsgPass => MsgPassProc::create_all(p, tol.is_some())
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
-        BackendKind::TcpSim => TcpSimProc::create_all(p)
+        BackendKind::TcpSim => TcpSimProc::create_all(p, tol)
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
@@ -136,11 +179,45 @@ fn build_transports(cfg: &Config, check: Option<&Arc<CheckShared>>) -> Vec<Box<d
                 .collect()
         }
     };
+    // Stack, innermost first: bare backend → fault injector → self-healing
+    // guard → conservation checker. The injector sits *under* the guard so
+    // the guard's checksums see (and heal) the injected damage; the checker
+    // sits on top so a checked run verifies the post-recovery delivery.
+    // Unhardened, fault-free configs take the exact pre-existing fast path
+    // (no wrappers at all).
+    let mut stack = bare;
+    if let (Some(plan), Some(state)) = (cfg.fault_plan.as_ref(), fstate) {
+        stack = stack
+            .into_iter()
+            .enumerate()
+            .map(|(pid, t)| {
+                // One RoundMeta per process, shared with the guard above (if
+                // any) so the injector knows which protocol round is live.
+                let meta = RoundMeta::new();
+                let faulty =
+                    FaultyBackend::new(t, pid, Arc::clone(plan), Arc::clone(state), meta.clone());
+                let out: Box<dyn ProcTransport> = match tol {
+                    Some(tol) => Box::new(GuardedBackend::new(faulty, pid, p, tol, meta)),
+                    None => Box::new(faulty),
+                };
+                out
+            })
+            .collect();
+    } else if let Some(tol) = tol {
+        stack = stack
+            .into_iter()
+            .enumerate()
+            .map(|(pid, t)| {
+                let meta = RoundMeta::new();
+                Box::new(GuardedBackend::new(t, pid, p, tol, meta)) as Box<dyn ProcTransport>
+            })
+            .collect();
+    }
     match check {
-        None => bare,
+        None => stack,
         // Checked run: interpose the conservation-checking wrapper between
         // the context and every backend endpoint.
-        Some(shared) => bare
+        Some(shared) => stack
             .into_iter()
             .enumerate()
             .map(|(pid, t)| {
@@ -148,6 +225,29 @@ fn build_transports(cfg: &Config, check: Option<&Arc<CheckShared>>) -> Vec<Box<d
                     as Box<dyn ProcTransport>
             })
             .collect(),
+    }
+}
+
+/// Convert a caught panic payload into a structured [`BspError`]. Transports
+/// panic with `BspError` payloads (via `panic_any`); anything else is an
+/// application panic whose message we preserve verbatim.
+fn payload_to_error(pid: usize, payload: Box<dyn std::any::Any + Send>) -> BspError {
+    match payload.downcast::<BspError>() {
+        Ok(e) => *e,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            BspError::ProcPanicked {
+                pid,
+                step: 0,
+                payload: msg,
+            }
+        }
     }
 }
 
@@ -188,20 +288,143 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
+    match try_run(cfg, f) {
+        Ok(out) => out,
+        Err(e) => panic!("BSP process panicked: {e}"),
+    }
+}
+
+/// Run `f` as a BSP program, returning a structured [`BspError`] instead of
+/// panicking when a process fails.
+///
+/// A worker panic is caught, its payload preserved (transport failures
+/// arrive as [`BspError::Transport`] / [`BspError::PeerFailed`]; application
+/// panics as [`BspError::ProcPanicked`] carrying the panic message), and the
+/// surviving processes are released by poisoning the backend's barrier so
+/// the run ends promptly rather than deadlocking.
+///
+/// With a [`crate::CheckpointPolicy`] configured (via
+/// [`Config::tolerant`]), a failed run is rolled back to the last
+/// checkpoint consistent across all processes and re-executed, up to
+/// [`FaultTolerance::max_rollbacks`] times; [`RunStats::faults`] records
+/// the rollbacks and total recovery time.
+pub fn try_run<F, R>(cfg: &Config, f: F) -> Result<RunOutput<R>, BspError>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
     assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
+    // Fired-event state is shared across rollback incarnations so a
+    // transient fault injected before the rollback does not re-fire after it.
+    let fstate = cfg
+        .fault_plan
+        .as_ref()
+        .map(|p| Arc::new(FaultState::new(p.events.len())));
+    let policy = cfg.tolerance.as_ref().and_then(|t| t.checkpoint);
+    let ckpt_store = policy.map(|_| Arc::new(CheckpointStore::new(cfg.nprocs)));
+    let every = policy.map(|c| c.every_supersteps).unwrap_or(0);
+    let max_rollbacks = cfg.tolerance.as_ref().map(|t| t.max_rollbacks).unwrap_or(0);
+    let mut rolled_back = 0u64;
+    let mut carried = FaultCounters::default();
+    let mut recover_from: Option<Instant> = None;
+    let mut restored: Vec<Option<Vec<u8>>> = (0..cfg.nprocs).map(|_| None).collect();
+    loop {
+        let ckpt = ckpt_store.as_ref().map(|s| (every, s));
+        match run_once(
+            cfg,
+            &f,
+            fstate.as_ref(),
+            ckpt,
+            std::mem::take(&mut restored),
+        ) {
+            Ok(mut out) => {
+                out.stats.faults.add(&carried);
+                out.stats.faults.rolled_back += rolled_back;
+                if let Some(t0) = recover_from {
+                    out.stats.faults.recovery_ms += t0.elapsed().as_millis() as u64;
+                }
+                return Ok(out);
+            }
+            Err((err, fc)) => {
+                // Keep the failed incarnation's counters: its detections and
+                // retries are part of the run's fault history.
+                carried.add(&fc);
+                if let Some(store) = ckpt_store
+                    .as_ref()
+                    .filter(|_| rolled_back < u64::from(max_rollbacks))
+                {
+                    recover_from.get_or_insert_with(Instant::now);
+                    rolled_back += 1;
+                    restored = (0..cfg.nprocs).map(|_| None).collect();
+                    if let Some(cs) = store.consistent_step() {
+                        // Roll every process back to the newest superstep all
+                        // of them snapshotted; later snapshots are discarded.
+                        store.prune_above(cs);
+                        for (pid, slot) in restored.iter_mut().enumerate() {
+                            *slot = store.blob(pid, cs);
+                        }
+                    }
+                    // No consistent cut yet: re-run from scratch (restored
+                    // stays all-None). Deterministic apps still converge to
+                    // bit-identical output.
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+    }
+}
+
+type ProcResult<R> = (
+    R,
+    Vec<crate::stats::LocalStep>,
+    crate::stats::TransportCounters,
+    Option<Box<ProcTrace>>,
+);
+
+/// One incarnation of a run: spawn, execute, join, merge. A process failure
+/// yields the primary error plus the fault counters gathered before death.
+fn run_once<F, R>(
+    cfg: &Config,
+    f: &F,
+    fstate: Option<&Arc<FaultState>>,
+    ckpt: Option<(usize, &Arc<CheckpointStore>)>,
+    mut restored: Vec<Option<Vec<u8>>>,
+) -> Result<RunOutput<R>, (BspError, FaultCounters)>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
     let shared = cfg.check.then(|| CheckShared::new(cfg.nprocs));
-    let transports = build_transports(cfg, shared.as_ref());
+    let transports = build_transports(cfg, shared.as_ref(), fstate);
     let start = Instant::now();
     let nprocs = cfg.nprocs;
-    let f = &f;
 
-    type ProcResult<R> = (
-        R,
-        Vec<crate::stats::LocalStep>,
-        crate::stats::TransportCounters,
-        Option<Box<ProcTrace>>,
-    );
     let mut per_proc: Vec<Option<ProcResult<R>>> = (0..nprocs).map(|_| None).collect();
+    let mut faults = FaultCounters::default();
+    // The primary error: prefer the root cause over collateral. A panicking
+    // proc's peers report `PeerFailed` (poisoned barrier) or a hung-up
+    // channel (`Transport(ChannelClosed)`); genuine transport faults
+    // (checksum, retry exhaustion) outrank those but not an app panic.
+    fn error_rank(e: &BspError) -> u8 {
+        match e {
+            BspError::ProcPanicked { .. } => 3,
+            BspError::Transport(te) => match te.kind {
+                crate::fault::TransportErrorKind::ChannelClosed => 1,
+                _ => 2,
+            },
+            BspError::PeerFailed { .. } => 0,
+        }
+    }
+    let mut fail: Option<BspError> = None;
+    let note_failure = |err: BspError, fail: &mut Option<BspError>| {
+        if fail
+            .as_ref()
+            .is_none_or(|cur| error_rank(&err) > error_rank(cur))
+        {
+            *fail = Some(err);
+        }
+    };
 
     std::thread::scope(|s| {
         let handles: Vec<_> = transports
@@ -209,24 +432,62 @@ where
             .enumerate()
             .map(|(pid, transport)| {
                 let shared = shared.clone();
+                let blob = restored[pid].take();
                 s.spawn(move || {
                     let mut ctx = Ctx::new(pid, nprocs, transport);
                     if let Some(shared) = shared {
                         ctx.check = Some(Box::new(CheckCtx::new(shared)));
                     }
-                    ctx.begin();
-                    let r = f(&mut ctx);
-                    ctx.finalize();
-                    let counters = ctx.transport.counters();
-                    let trace = ctx.check.take().map(|c| Box::new(c.trace));
-                    (r, ctx.log, counters, trace)
+                    if let Some((every, store)) = &ckpt {
+                        ctx.ckpt = Some(Box::new(CkptState {
+                            every: *every,
+                            store: Arc::clone(store),
+                            pid,
+                            restored: blob,
+                        }));
+                    }
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        ctx.begin();
+                        f(&mut ctx)
+                    }));
+                    match r {
+                        Ok(r) => {
+                            ctx.finalize();
+                            let counters = ctx.transport.counters();
+                            let fc = ctx.transport.fault_counters();
+                            let trace = ctx.check.take().map(|c| Box::new(c.trace));
+                            Ok(((r, ctx.log, counters, trace), fc))
+                        }
+                        Err(payload) => {
+                            // Release peers parked at the superstep barrier;
+                            // they fail with `PeerFailed` instead of hanging.
+                            ctx.transport.poison();
+                            let fc = ctx.transport.fault_counters();
+                            Err((payload_to_error(pid, payload), fc))
+                        }
+                    }
                 })
             })
             .collect();
         for (pid, h) in handles.into_iter().enumerate() {
-            per_proc[pid] = Some(h.join().expect("BSP process panicked"));
+            match h.join() {
+                Ok(Ok((res, fc))) => {
+                    faults.add(&fc);
+                    per_proc[pid] = Some(res);
+                }
+                Ok(Err((err, fc))) => {
+                    faults.add(&fc);
+                    note_failure(err, &mut fail);
+                }
+                // The thread died outside the catch (a bug in the runtime
+                // itself, not the program); preserve the payload regardless.
+                Err(payload) => note_failure(payload_to_error(pid, payload), &mut fail),
+            }
         }
     });
+    if let Some(err) = fail {
+        return Err((err, faults));
+    }
 
     let wall = start.elapsed();
     let mut results = Vec::with_capacity(nprocs);
@@ -291,10 +552,26 @@ where
         RunStats::merge(nprocs, logs)
     };
     stats.transport = transport;
+    stats.faults = faults;
     if let Some(shared) = &shared {
         stats.check_reports = check::analyze(&traces, &shared.sink);
     }
     stats.check_reports.extend(undelivered_reports);
+    // Close the loop between the injector and the checker: a plan that
+    // injected faults none of which any hardening layer noticed means the
+    // fault landed on a lane the detection machinery is not observing.
+    if cfg.fault_plan.is_some() && stats.faults.injected > 0 && stats.faults.detected == 0 {
+        stats.check_reports.push(CheckReport {
+            kind: CheckKind::FaultUndetected,
+            pid: 0,
+            step: 0,
+            related_step: None,
+            detail: format!(
+                "{} fault(s) were injected but no hardening layer detected any of them",
+                stats.faults.injected
+            ),
+        });
+    }
     if stats.undelivered_pkts > 0 {
         eprintln!(
             "green-bsp warning: {} packet(s) sent after the last sync were never delivered",
@@ -307,11 +584,11 @@ where
             stats.undelivered_bytes
         );
     }
-    RunOutput {
+    Ok(RunOutput {
         results,
         stats,
         wall,
-    }
+    })
 }
 
 #[cfg(test)]

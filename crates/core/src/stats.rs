@@ -135,6 +135,10 @@ pub struct RunStats {
     /// Undelivered-send reports are filed on every run; the full set of
     /// checks runs under [`crate::Config::checked`]. Empty means clean.
     pub check_reports: Vec<CheckReport>,
+    /// Fault-injection and recovery totals, merged over all processes and
+    /// all rollback incarnations (see [`crate::fault`]). All-zero unless a
+    /// [`crate::FaultPlan`] or [`crate::FaultTolerance`] was configured.
+    pub faults: crate::fault::FaultCounters,
 }
 
 impl RunStats {
@@ -269,6 +273,7 @@ impl RunStats {
             undelivered_pkts,
             undelivered_bytes,
             check_reports: Vec::new(),
+            faults: crate::fault::FaultCounters::default(),
         }
     }
 }

@@ -7,7 +7,7 @@ use bsp_graph::{build_locals, geometric_graph, msp_run, mst_run, partition_kd, s
 use bsp_matmul::{cannon_run, skewed_blocks, Mat};
 use bsp_nbody::{initial_partition, nbody_sim, plummer, SimConfig};
 use bsp_ocean::{ocean_run, CycleMode, MgParams, OceanConfig};
-use green_bsp::{run, BackendKind, Config, RunStats};
+use green_bsp::{run, try_run, BackendKind, BspError, Config, RunStats};
 use std::time::Duration;
 
 /// The six applications of §3, in the paper's presentation order.
@@ -230,6 +230,99 @@ pub fn execute_cfg(app: App, wl: &Workload, cfg: &Config) -> (RunStats, Duration
         }
         _ => unreachable!("workload does not match app"),
     }
+}
+
+/// Mix one 64-bit value into a running digest (order-sensitive).
+fn mix(acc: u64, bits: u64) -> u64 {
+    (acc.rotate_left(21) ^ bits).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Like [`execute_cfg`], but fault-aware: runs under [`green_bsp::try_run`]
+/// (so injected panics and transport failures come back as structured
+/// [`BspError`]s) and reduces each process's application result to a 64-bit
+/// digest over the full output bits — positions, distance labels, matrix
+/// entries — so the fault sweep can demand bit-identical recovery, not just
+/// a matching scalar.
+pub fn try_execute_digest(
+    app: App,
+    wl: &Workload,
+    cfg: &Config,
+) -> Result<(Vec<u64>, RunStats), BspError> {
+    let p = cfg.nprocs;
+    let out = match (app, wl) {
+        (App::Ocean, Workload::Ocean(ocfg)) => try_run(cfg, |ctx| {
+            let r = ocean_run(ctx, ocfg);
+            mix(r.kinetic_energy.to_bits(), r.psi_integral.to_bits())
+        })?,
+        (App::Nbody, Workload::Nbody(bodies)) => {
+            let (parts, cuts) = initial_partition(bodies, p);
+            let sim = SimConfig::default();
+            let n = bodies.len();
+            try_run(cfg, |ctx| {
+                let mut r = nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, &sim);
+                // Migration order is transport-dependent; the digest must
+                // only see the (id-keyed) physical state.
+                r.bodies.sort_by_key(|b| b.id);
+                let mut d = 0u64;
+                for b in &r.bodies {
+                    d = mix(d, u64::from(b.id));
+                    for v in [b.pos.x, b.pos.y, b.pos.z, b.vel.x, b.vel.y, b.vel.z, b.mass] {
+                        d = mix(d, v.to_bits());
+                    }
+                }
+                d
+            })?
+        }
+        (App::Mst, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            try_run(cfg, |ctx| {
+                let r = mst_run(ctx, &locals[ctx.pid()], &owner);
+                mix(r.total_weight.to_bits(), r.total_edges)
+            })?
+        }
+        (App::Sp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            try_run(cfg, |ctx| {
+                sp_run(ctx, &locals[ctx.pid()], 0, bsp_graph::DEFAULT_WORK_FACTOR)
+                    .dist
+                    .iter()
+                    .fold(0u64, |d, &x| mix(d, x.to_bits()))
+            })?
+        }
+        (App::Msp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            let sources: Vec<u32> = (0..MSP_SOURCES)
+                .map(|i| ((i * g.n) / MSP_SOURCES) as u32)
+                .collect();
+            try_run(cfg, |ctx| {
+                msp_run(
+                    ctx,
+                    &locals[ctx.pid()],
+                    &sources,
+                    bsp_graph::DEFAULT_WORK_FACTOR,
+                )
+                .dist
+                .iter()
+                .flatten()
+                .fold(0u64, |d, &x| mix(d, x.to_bits()))
+            })?
+        }
+        (App::Matmult, Workload::Mat(a, b)) => {
+            let blocks = skewed_blocks(a, b, p);
+            try_run(cfg, |ctx| {
+                let (ab, bb) = blocks[ctx.pid()].clone();
+                cannon_run(ctx, ab, bb)
+                    .data
+                    .iter()
+                    .fold(0u64, |d, &x| mix(d, x.to_bits()))
+            })?
+        }
+        _ => unreachable!("workload does not match app"),
+    };
+    Ok((out.results, out.stats))
 }
 
 #[cfg(test)]

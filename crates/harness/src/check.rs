@@ -56,14 +56,28 @@ pub fn run_check(full: bool) -> bool {
         for backend in BACKENDS {
             let cfg = Config::new(p).backend(backend).checked();
             let (stats, wall) = execute_cfg(app, &wl, &cfg);
+            // A checked, unfaulted run must also show zero fault activity —
+            // nonzero counters here mean phantom injection or detection.
+            if !stats.faults.is_zero() {
+                clean = false;
+                eprintln!(
+                    "  {:8} {:8?} size {:>6}: PHANTOM FAULT ACTIVITY {:?}",
+                    app.name(),
+                    backend,
+                    size,
+                    stats.faults
+                );
+            }
             if stats.check_reports.is_empty() {
                 eprintln!(
-                    "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?})",
+                    "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?}, faults {}/{})",
                     app.name(),
                     backend,
                     size,
                     stats.s(),
-                    wall
+                    wall,
+                    stats.faults.injected,
+                    stats.faults.detected
                 );
             } else {
                 clean = false;

@@ -59,13 +59,26 @@ pub fn measure_exchange(
     volume: usize,
     steps: usize,
 ) -> ExchangePoint {
-    let cfg = Config::new(p).backend(backend);
+    measure_exchange_cfg(label, &Config::new(p).backend(backend), p, volume, steps)
+}
+
+/// Like [`measure_exchange`] but with a caller-built [`Config`], so the
+/// fault-overhead bench can route the same pattern through the bare,
+/// hardened, and hardened-plus-empty-fault-plan transport stacks
+/// (DESIGN.md §10) and compare rates.
+pub fn measure_exchange_cfg(
+    label: &str,
+    cfg: &Config,
+    p: usize,
+    volume: usize,
+    steps: usize,
+) -> ExchangePoint {
     // One untimed warmup run: brings the allocator, page cache, and CPU to
     // steady state so the timed run measures the fabric, not cold-start
     // artifacts (the criterion bench warms up the same way).
-    run_pattern(&cfg, volume, 2.min(steps));
+    run_pattern(cfg, volume, 2.min(steps));
     let start = Instant::now();
-    let out = run_pattern(&cfg, volume, steps);
+    let out = run_pattern(cfg, volume, steps);
     let secs = start.elapsed().as_secs_f64();
     let total_pkts: u64 = out.results.iter().sum();
     ExchangePoint {

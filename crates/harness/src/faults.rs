@@ -1,0 +1,311 @@
+//! `report faults` — fault-injection sweep over the six paper applications
+//! (DESIGN.md §10).
+//!
+//! Four sweeps, all of which must hold for the run to pass:
+//!
+//! 1. **Fault-free hardened**: checksums, sequence numbers and ack/retry
+//!    enabled with no fault plan must be invisible — bit-identical digests,
+//!    all-zero fault counters (no false detections or recoveries).
+//! 2. **Recoverable classes**: every app × backend × recoverable fault
+//!    class (drop, duplicate, reorder, corrupt, delay, straggler) completes
+//!    with a digest bit-identical to the fault-free run, and the counters
+//!    prove the fault was injected *and* detected.
+//! 3. **Unrecoverable classes**: an injected proc panic surfaces as
+//!    [`BspError::ProcPanicked`] and a persistent corruption exhausts the
+//!    retry budget into `Transport(RetryExhausted)` — structured failures,
+//!    never hangs.
+//! 4. **Checkpoint rollback**: a transient panic under a checkpoint policy
+//!    rolls back and still converges to the bit-identical digest.
+
+use crate::apps::{prepare, try_execute_digest, App};
+use green_bsp::{
+    BackendKind, BspError, CheckpointPolicy, Config, FaultEvent, FaultKind, FaultPlan,
+    FaultTolerance, NetSimParams, TransportErrorKind,
+};
+use std::time::Duration;
+
+/// Backends the fault sweep covers — all five library implementations.
+fn backends() -> [BackendKind; 5] {
+    [
+        BackendKind::Shared,
+        BackendKind::MsgPass,
+        BackendKind::TcpSim,
+        BackendKind::SeqSim,
+        BackendKind::NetSim(NetSimParams {
+            g_us: 0.01,
+            l_us: 1.0,
+            time_scale: 1.0,
+        }),
+    ]
+}
+
+/// Problem size per app (the smallest that still exercises every superstep
+/// pattern; fault runs pay for reference + faulted executions per cell).
+fn fault_size(app: App, full: bool) -> usize {
+    if full {
+        return app.quick_sizes()[0];
+    }
+    match app {
+        App::Ocean => 34,
+        App::Nbody => 500,
+        App::Matmult => 48,
+        _ => 400,
+    }
+}
+
+/// Straggler detection threshold: well above a healthy data round at these
+/// sizes, well below the injected 80ms straggler sleep.
+const STRAGGLER_DEADLINE: Duration = Duration::from_millis(30);
+
+/// Run the fault sweep; returns `true` when everything holds.
+pub fn run_faults(full: bool) -> bool {
+    // Injected faults panic by design (that is how the transport layers
+    // unwind); without this filter every expected failure spews a backtrace
+    // and the sweep's actual verdict drowns. Real application panics (plain
+    // string payloads) still print. Left installed: this process exits
+    // right after the sweep.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info.payload().downcast_ref::<BspError>().is_some()
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected fault"))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with("injected fault"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    let mut clean = true;
+    let p = 4;
+
+    eprintln!("== fault-free hardened sweep (p = {p}) ==");
+    for app in App::ALL {
+        let wl = prepare(app, fault_size(app, full));
+        for backend in backends() {
+            let bare = match try_execute_digest(app, &wl, &Config::new(p).backend(backend)) {
+                Ok((digest, _)) => digest,
+                Err(e) => {
+                    clean = false;
+                    eprintln!("  {:8} {:8?}: bare run FAILED: {e}", app.name(), backend);
+                    continue;
+                }
+            };
+            match try_execute_digest(app, &wl, &Config::new(p).backend(backend).hardened()) {
+                Ok((digest, stats)) => {
+                    let identical = digest == bare;
+                    let silent = stats.faults.is_zero();
+                    if identical && silent {
+                        eprintln!("  {:8} {:8?}: invisible", app.name(), backend);
+                    } else {
+                        clean = false;
+                        eprintln!(
+                            "  {:8} {:8?}: identical={identical} counters={:?}",
+                            app.name(),
+                            backend,
+                            stats.faults
+                        );
+                    }
+                }
+                Err(e) => {
+                    clean = false;
+                    eprintln!(
+                        "  {:8} {:8?}: hardened run FAILED: {e}",
+                        app.name(),
+                        backend
+                    );
+                }
+            }
+        }
+    }
+
+    eprintln!("== recoverable-class sweep (p = {p}, 1 event at step 1) ==");
+    for app in App::ALL {
+        let wl = prepare(app, fault_size(app, full));
+        for backend in backends() {
+            let bare = match try_execute_digest(app, &wl, &Config::new(p).backend(backend)) {
+                Ok((digest, _)) => digest,
+                Err(e) => {
+                    clean = false;
+                    eprintln!("  {:8} {:8?}: bare run FAILED: {e}", app.name(), backend);
+                    continue;
+                }
+            };
+            let mut healed = Vec::new();
+            for kind in FaultKind::RECOVERABLE {
+                let plan = FaultPlan::new(0xFA17).with(FaultEvent {
+                    pid: 1,
+                    step: 1,
+                    dest: 2,
+                    kind,
+                });
+                let tol = FaultTolerance {
+                    superstep_deadline: (kind == FaultKind::Straggler)
+                        .then_some(STRAGGLER_DEADLINE),
+                    ..FaultTolerance::default()
+                };
+                let cfg = Config::new(p).backend(backend).faults(plan).tolerant(tol);
+                match try_execute_digest(app, &wl, &cfg) {
+                    Ok((digest, stats)) => {
+                        let f = &stats.faults;
+                        if digest == bare && f.injected >= 1 && f.detected >= 1 {
+                            healed.push(kind);
+                        } else {
+                            clean = false;
+                            eprintln!(
+                                "  {:8} {:8?} {kind:?}: identical={} counters={f:?}",
+                                app.name(),
+                                backend,
+                                digest == bare
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        clean = false;
+                        eprintln!("  {:8} {:8?} {kind:?}: FAILED: {e}", app.name(), backend);
+                    }
+                }
+            }
+            if healed.len() == FaultKind::RECOVERABLE.len() {
+                eprintln!(
+                    "  {:8} {:8?}: all {} classes healed bitwise",
+                    app.name(),
+                    backend,
+                    healed.len()
+                );
+            }
+        }
+    }
+
+    eprintln!("== unrecoverable-class sweep (p = {p}, app sp) ==");
+    {
+        let app = App::Sp;
+        let wl = prepare(app, fault_size(app, full));
+        for backend in backends() {
+            let panic_plan = FaultPlan::new(1).with(FaultEvent {
+                pid: 1,
+                step: 1,
+                dest: 0,
+                kind: FaultKind::Panic,
+            });
+            match try_execute_digest(
+                app,
+                &wl,
+                &Config::new(p).backend(backend).faults(panic_plan),
+            ) {
+                Err(BspError::ProcPanicked { pid: 1, .. }) => {
+                    eprintln!("  panic    {backend:8?}: structured ProcPanicked");
+                }
+                Err(e) => {
+                    clean = false;
+                    eprintln!("  panic    {backend:8?}: WRONG ERROR: {e}");
+                }
+                Ok(_) => {
+                    clean = false;
+                    eprintln!("  panic    {backend:8?}: run SUCCEEDED past an injected panic");
+                }
+            }
+
+            let corrupt_plan = FaultPlan::new(2)
+                .with(FaultEvent {
+                    pid: 1,
+                    step: 1,
+                    dest: 2,
+                    kind: FaultKind::Corrupt,
+                })
+                .persistent();
+            let tol = FaultTolerance {
+                max_retries: 2,
+                ..FaultTolerance::default()
+            };
+            let cfg = Config::new(p)
+                .backend(backend)
+                .faults(corrupt_plan)
+                .tolerant(tol);
+            match try_execute_digest(app, &wl, &cfg) {
+                Err(BspError::Transport(te))
+                    if matches!(te.kind, TransportErrorKind::RetryExhausted) =>
+                {
+                    eprintln!("  persist  {backend:8?}: clean RetryExhausted");
+                }
+                Err(e) => {
+                    clean = false;
+                    eprintln!("  persist  {backend:8?}: WRONG ERROR: {e}");
+                }
+                Ok(_) => {
+                    clean = false;
+                    eprintln!("  persist  {backend:8?}: run SUCCEEDED past persistent corruption");
+                }
+            }
+        }
+    }
+
+    eprintln!("== checkpoint-rollback sweep (p = {p}, transient panic at step 2) ==");
+    for app in [App::Nbody, App::Ocean] {
+        let wl = prepare(app, fault_size(app, full));
+        for backend in [
+            BackendKind::Shared,
+            BackendKind::MsgPass,
+            BackendKind::TcpSim,
+        ] {
+            let bare = match try_execute_digest(app, &wl, &Config::new(p).backend(backend)) {
+                Ok((digest, _)) => digest,
+                Err(e) => {
+                    clean = false;
+                    eprintln!("  {:8} {:8?}: bare run FAILED: {e}", app.name(), backend);
+                    continue;
+                }
+            };
+            let plan = FaultPlan::new(3).with(FaultEvent {
+                pid: 1,
+                step: 2,
+                dest: 0,
+                kind: FaultKind::Panic,
+            });
+            let tol = FaultTolerance {
+                checkpoint: Some(CheckpointPolicy {
+                    every_supersteps: 2,
+                }),
+                ..FaultTolerance::default()
+            };
+            let cfg = Config::new(p).backend(backend).faults(plan).tolerant(tol);
+            match try_execute_digest(app, &wl, &cfg) {
+                Ok((digest, stats)) => {
+                    let f = &stats.faults;
+                    if digest == bare && f.rolled_back >= 1 {
+                        eprintln!(
+                            "  {:8} {:8?}: recovered bitwise ({} rollback(s), {}ms)",
+                            app.name(),
+                            backend,
+                            f.rolled_back,
+                            f.recovery_ms
+                        );
+                    } else {
+                        clean = false;
+                        eprintln!(
+                            "  {:8} {:8?}: identical={} counters={f:?}",
+                            app.name(),
+                            backend,
+                            digest == bare
+                        );
+                    }
+                }
+                Err(e) => {
+                    clean = false;
+                    eprintln!("  {:8} {:8?}: rollback FAILED: {e}", app.name(), backend);
+                }
+            }
+        }
+    }
+
+    if clean {
+        eprintln!("faults: all clean");
+    } else {
+        eprintln!("faults: FAILURES (see above)");
+    }
+    clean
+}

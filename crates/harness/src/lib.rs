@@ -14,10 +14,11 @@
 pub mod apps;
 pub mod check;
 pub mod exchange;
+pub mod faults;
 pub mod measure;
 pub mod message_bench;
 pub mod paper;
 pub mod tables;
 
-pub use apps::{execute, execute_cfg, prepare, App, Workload};
+pub use apps::{execute, execute_cfg, prepare, try_execute_digest, App, Workload};
 pub use measure::{measure, sweep, Measurement, Sweep};

@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|check] [--full]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|check|faults] [--full]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -12,6 +12,12 @@
 //! `check` runs the six applications under the BSP phase-discipline checker
 //! on every backend and model-checks the slab-mailbox protocol over seeded
 //! adversarial interleavings; exits non-zero on any diagnostic.
+//!
+//! `faults` runs the fault-injection sweep (DESIGN.md §10): every app ×
+//! backend × recoverable fault class must heal to a bit-identical digest,
+//! unrecoverable classes must fail with structured errors, and
+//! checkpoint-rollback must recover a transient panic; exits non-zero on
+//! any violation.
 //!
 //! Default sizes are reduced for quick runs; `--full` sweeps the paper's
 //! complete problem sizes (several minutes).
@@ -99,6 +105,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "faults" => {
+            if !bsp_harness::faults::run_faults(full) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             tables::fig2_1();
             let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
@@ -114,7 +125,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|check] [--full]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|check|faults] [--full]");
             std::process::exit(2);
         }
     }

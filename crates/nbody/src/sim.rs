@@ -119,7 +119,30 @@ pub fn nbody_sim_with(
     let mut migrated_out = 0u64;
     let mut repartitions = 0u32;
 
-    for iter in 0..cfg.iters {
+    // Checkpoint-rollback hooks (DESIGN.md §10): resume from the last
+    // consistent iteration snapshot after a detected fault.
+    let mut start_iter = 0usize;
+    if let Some(blob) = ctx.restore_checkpoint() {
+        let st = decode_ckpt(&blob);
+        start_iter = st.iter;
+        bodies = st.bodies;
+        cuts = st.cuts;
+        essential_recv = st.essential_recv;
+        migrated_out = st.migrated_out;
+        repartitions = st.repartitions;
+    }
+
+    for iter in start_iter..cfg.iters {
+        if ctx.checkpoint_due() {
+            ctx.save_checkpoint(&encode_ckpt(
+                iter,
+                &bodies,
+                &cuts,
+                essential_recv,
+                migrated_out,
+                repartitions,
+            ));
+        }
         // ---- superstep 1: bbox + load all-gather ----
         let mut local = Aabb::EMPTY;
         for b in &bodies {
@@ -369,6 +392,81 @@ pub fn nbody_sim_with(
         essential_recv,
         migrated_out,
         repartitions,
+    }
+}
+
+/// Decoded checkpoint state (see [`encode_ckpt`]).
+struct CkptState {
+    iter: usize,
+    bodies: Vec<Body>,
+    cuts: OrbTree,
+    essential_recv: u64,
+    migrated_out: u64,
+    repartitions: u32,
+}
+
+/// Serialize the per-processor simulation state (iteration index, local
+/// bodies, current ORB cuts, counters) for checkpoint rollback.
+fn encode_ckpt(
+    iter: usize,
+    bodies: &[Body],
+    cuts: &OrbTree,
+    essential_recv: u64,
+    migrated_out: u64,
+    repartitions: u32,
+) -> Vec<u8> {
+    let mut v = Vec::with_capacity(48 + 16 * cuts.splits.len() + 60 * bodies.len());
+    for w in [
+        iter as u64,
+        essential_recv,
+        migrated_out,
+        u64::from(repartitions),
+        cuts.nparts as u64,
+        cuts.splits.len() as u64,
+    ] {
+        v.extend_from_slice(&w.to_le_bytes());
+    }
+    for &(axis, coord) in &cuts.splits {
+        v.extend_from_slice(&u64::from(axis).to_le_bytes());
+        v.extend_from_slice(&coord.to_bits().to_le_bytes());
+    }
+    for b in bodies {
+        v.extend_from_slice(&u64::from(b.id).to_le_bytes());
+        for x in [b.pos.x, b.pos.y, b.pos.z, b.vel.x, b.vel.y, b.vel.z, b.mass] {
+            v.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    v
+}
+
+fn decode_ckpt(b: &[u8]) -> CkptState {
+    let word = |i: usize| u64::from_le_bytes(b[8 * i..8 * i + 8].try_into().unwrap());
+    let f = |i: usize| f64::from_bits(word(i));
+    let nsplits = word(5) as usize;
+    let splits = (0..nsplits)
+        .map(|k| (word(6 + 2 * k) as u8, f(7 + 2 * k)))
+        .collect();
+    let mut bodies = Vec::new();
+    let mut i = 6 + 2 * nsplits;
+    while 8 * i < b.len() {
+        bodies.push(Body {
+            id: word(i) as u32,
+            pos: v3(f(i + 1), f(i + 2), f(i + 3)),
+            vel: v3(f(i + 4), f(i + 5), f(i + 6)),
+            mass: f(i + 7),
+        });
+        i += 8;
+    }
+    CkptState {
+        iter: word(0) as usize,
+        bodies,
+        cuts: OrbTree {
+            nparts: word(4) as usize,
+            splits,
+        },
+        essential_recv: word(1),
+        migrated_out: word(2),
+        repartitions: word(3) as u32,
     }
 }
 

@@ -90,7 +90,22 @@ pub fn ocean_run(ctx: &mut Ctx, cfg: &OceanConfig) -> OceanOut {
     apply_boundary(&hier, 0, &mut ws.u[0]);
     apply_boundary(&hier, 0, &mut zeta);
 
-    for _ in 0..cfg.steps {
+    // Checkpoint-rollback hooks (DESIGN.md §10): after a detected fault the
+    // runner re-enters with the last consistent snapshot, and the run
+    // resumes from that time step instead of from rest.
+    let mut start_step = 0usize;
+    if let Some(blob) = ctx.restore_checkpoint() {
+        let (s, cy, psi, z) = decode_ckpt(&blob);
+        start_step = s;
+        cycles = cy;
+        ws.u[0].copy_from_slice(&psi);
+        zeta.copy_from_slice(&z);
+    }
+
+    for step in start_step..cfg.steps {
+        if ctx.checkpoint_due() {
+            ctx.save_checkpoint(&encode_ckpt(step, cycles, &ws.u[0], &zeta));
+        }
         // Fresh ghosts for the advection stencils.
         exchange_ghosts(ctx, &hier, 0, &mut ws.u[0]);
         exchange_ghosts(ctx, &hier, 0, &mut zeta);
@@ -134,6 +149,32 @@ pub fn ocean_run(ctx: &mut Ctx, cfg: &OceanConfig) -> OceanOut {
         cycles,
         psi_block: (l.r0, l.c0, l.rows, l.cols, block),
     }
+}
+
+/// Serialize the per-processor time-stepping state (time step index, cycle
+/// count, ψ and ζ including ghosts) for checkpoint rollback.
+fn encode_ckpt(step: usize, cycles: u64, psi: &[f64], zeta: &[f64]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(24 + 8 * (psi.len() + zeta.len()));
+    v.extend_from_slice(&(step as u64).to_le_bytes());
+    v.extend_from_slice(&cycles.to_le_bytes());
+    v.extend_from_slice(&(psi.len() as u64).to_le_bytes());
+    for x in psi.iter().chain(zeta) {
+        v.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    v
+}
+
+fn decode_ckpt(b: &[u8]) -> (usize, u64, Vec<f64>, Vec<f64>) {
+    let word = |i: usize| u64::from_le_bytes(b[8 * i..8 * i + 8].try_into().unwrap());
+    let step = word(0) as usize;
+    let cycles = word(1);
+    let npsi = word(2) as usize;
+    let all: Vec<f64> = b[24..]
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    let (psi, zeta) = all.split_at(npsi);
+    (step, cycles, psi.to_vec(), zeta.to_vec())
 }
 
 /// Assemble the per-processor ψ blocks of a run into the full `n × n` grid.
