@@ -1,0 +1,72 @@
+//! Launch-path bench for the persistent executor (DESIGN.md §11): what a
+//! single-superstep job pays to start on the cold spawn-per-run path
+//! (`run_unpooled`: p thread spawns plus a transport build per call)
+//! versus a warm pinned pool (parked-worker dispatch plus an arena lease),
+//! and how many jobs per second eight concurrent submitters can push
+//! through one pool.
+
+use bsp_bench::quick_criterion;
+use criterion::Criterion;
+use green_bsp::{run_unpooled, Config, Ctx, Runtime};
+
+/// One empty superstep: launch and teardown dominate by construction.
+fn touch(ctx: &mut Ctx) -> u64 {
+    ctx.sync();
+    ctx.pid() as u64
+}
+
+fn benches(c: &mut Criterion) {
+    let p = 4;
+    let cfg = Config::new(p);
+    let mut group = c.benchmark_group("runtime_launch");
+
+    group.bench_function(format!("cold_spawn_per_run/p{p}"), |b| {
+        b.iter(|| {
+            let out = run_unpooled(&cfg, touch).expect("cold run failed");
+            std::hint::black_box(out.results);
+        });
+    });
+
+    let rt = Runtime::new();
+    rt.prewarm(&cfg);
+    group.bench_function(format!("warm_pool/p{p}"), |b| {
+        b.iter(|| {
+            let out = rt.try_run(&cfg, touch).expect("warm run failed");
+            std::hint::black_box(out.results);
+        });
+    });
+
+    // Jobs/sec under concurrent submission: 8 submitter threads each
+    // drive a submit/join loop against the same pool; one iteration is
+    // 8 × 4 = 32 completed jobs.
+    let tp_cfg = Config::new(2);
+    rt.prewarm(&tp_cfg);
+    group.bench_function("concurrent_submit/8x4_jobs", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..4 {
+                            let out = rt
+                                .submit(&tp_cfg, |ctx| {
+                                    ctx.sync();
+                                    ctx.pid() as u64
+                                })
+                                .join()
+                                .expect("submitted job failed");
+                            std::hint::black_box(out.results);
+                        }
+                    });
+                }
+            });
+        });
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

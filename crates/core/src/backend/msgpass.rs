@@ -227,4 +227,26 @@ impl ProcTransport for MsgPassProc {
     fn counters(&self) -> TransportCounters {
         self.counters
     }
+
+    fn reset(&mut self) -> bool {
+        for buf in &mut self.out {
+            buf.clear();
+        }
+        for buf in &mut self.out_bytes {
+            buf.clear();
+        }
+        // A clean run consumes every batch it posted (the empty batch *is*
+        // the synchronization); anything still queued means the job ended
+        // mid-protocol — rebuild instead of reuse.
+        for rx in self.receivers.iter().flatten() {
+            if rx.try_recv().is_ok() {
+                return false;
+            }
+        }
+        // `xseq` deliberately keeps counting across jobs: it is a monotone
+        // generation tag, and every endpoint of the group completed the same
+        // number of exchanges, so the peers stay aligned.
+        self.counters = TransportCounters::default();
+        true
+    }
 }

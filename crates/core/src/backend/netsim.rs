@@ -140,4 +140,19 @@ impl ProcTransport for NetSimProc {
         self.inner.poison();
         self.st.barrier2.poison();
     }
+
+    fn reset(&mut self) -> bool {
+        if self.st.barrier2.is_poisoned() || !self.inner.reset() {
+            return false;
+        }
+        self.sent_this_step = 0;
+        // A clean run leaves both parity cells at zero (pid 0 clears each
+        // after its second barrier); clear defensively anyway — no job is
+        // running on this state during an arena reset.
+        if self.inner.pid == 0 {
+            self.st.slots[0].store(0, Ordering::Relaxed);
+            self.st.slots[1].store(0, Ordering::Relaxed);
+        }
+        true
+    }
 }

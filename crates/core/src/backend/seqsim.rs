@@ -177,4 +177,31 @@ impl ProcTransport for SeqProc {
     fn poison(&mut self) {
         self.st.poison();
     }
+
+    fn reset(&mut self) -> bool {
+        // Poisoning is permanent; a group that ever failed is rebuilt.
+        if self.st.poisoned.load(Ordering::Acquire) {
+            return false;
+        }
+        for buf in &mut self.out {
+            buf.clear();
+        }
+        for buf in &mut self.out_bytes {
+            buf.clear();
+        }
+        // Each endpoint clears its own inbound phase buffers; a full sweep
+        // over the group covers the whole shared state.
+        for phase in 0..2 {
+            self.st.bufs[self.pid][phase].lock().unwrap().clear();
+            self.st.byte_bufs[self.pid][phase].lock().unwrap().clear();
+        }
+        let mut b = self.st.baton.lock().unwrap();
+        b.done[self.pid] = false;
+        if self.pid == 0 {
+            b.current = 0;
+        }
+        drop(b);
+        self.counters = TransportCounters::default();
+        true
+    }
 }

@@ -330,6 +330,31 @@ impl ByteMailbox {
     }
 }
 
+impl Mailbox {
+    /// Arena reset between jobs (owner only, outside any exchange): make
+    /// every packet deposited after the job's last drain unreachable by
+    /// rewinding the cursor — the generation tag of this slab. The slab
+    /// keeps its pages and capacity; nothing is zeroed or reallocated, and
+    /// the overflow lock is only touched if a stale deposit actually spilled.
+    pub(crate) fn reset(&self) {
+        if self.cursor.0.swap(0, Ordering::Relaxed) > self.cap.load(Ordering::Relaxed) {
+            self.overflow.lock().unwrap().clear();
+        }
+    }
+}
+
+impl ByteMailbox {
+    /// Arena reset between jobs; see [`Mailbox::reset`]. Also clears the
+    /// straddle marker so the next phase starts with a whole slab.
+    pub(crate) fn reset(&self) {
+        let total = self.cursor.0.swap(0, Ordering::Relaxed);
+        let straddle = self.straddle.swap(usize::MAX, Ordering::Relaxed);
+        if total > self.cap.load(Ordering::Relaxed) || straddle != usize::MAX {
+            self.overflow.lock().unwrap().clear();
+        }
+    }
+}
+
 /// Global state shared by all processes: the double-buffered mailboxes and
 /// the barrier.
 pub(crate) struct SharedState {
@@ -507,6 +532,32 @@ impl ProcTransport for SharedProc {
 
     fn poison(&mut self) {
         self.st.barrier.poison();
+    }
+
+    fn reset(&mut self) -> bool {
+        // A poisoned barrier is permanently failed (one-way flag); the whole
+        // group must be rebuilt, never reused.
+        if self.st.barrier.is_poisoned() {
+            return false;
+        }
+        for buf in &mut self.stage {
+            buf.clear();
+        }
+        // Each endpoint rewinds its *own* mailboxes (both phases): packets
+        // sent after a job's last sync can still have been flushed into a
+        // slab by the chunk threshold, and a leased slice must never observe
+        // a prior job's packets.
+        for mb in &self.st.mailboxes[self.pid] {
+            mb.reset();
+        }
+        for mb in &self.st.byte_mailboxes[self.pid] {
+            mb.reset();
+        }
+        self.cur_step = 0;
+        // Counters are per-run quantities (tests assert exact totals), not
+        // per-endpoint lifetime totals.
+        self.counters = TransportCounters::default();
+        true
     }
 }
 

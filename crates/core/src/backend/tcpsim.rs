@@ -409,6 +409,31 @@ impl ProcTransport for TcpSimProc {
     fn counters(&self) -> TransportCounters {
         self.counters
     }
+
+    fn reset(&mut self) -> bool {
+        for buf in &mut self.out {
+            buf.clear();
+        }
+        for buf in &mut self.out_bytes {
+            buf.clear();
+        }
+        // A clean run leaves every data and ack pipe drained; anything
+        // pending means the job ended mid-conversation — rebuild.
+        for rx in self.receivers.iter().flatten() {
+            if rx.try_recv().is_ok() {
+                return false;
+            }
+        }
+        for rx in self.ack_receivers.iter().flatten() {
+            if rx.try_recv().is_ok() {
+                return false;
+            }
+        }
+        // `xseq` keeps counting across jobs (monotone generation tag; the
+        // whole group completed the same number of exchanges).
+        self.counters = TransportCounters::default();
+        true
+    }
 }
 
 #[cfg(test)]

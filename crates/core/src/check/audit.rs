@@ -260,6 +260,13 @@ impl ProcTransport for Box<dyn ProcTransport> {
     fn fault_counters(&self) -> crate::fault::FaultCounters {
         (**self).fault_counters()
     }
+    // Must forward (not inherit the rebuild-only default): `Ctx` holds its
+    // transport as a `Box<dyn ProcTransport>`, and this impl shadows the
+    // inner type's methods — without this, the arena would silently never
+    // reuse any backend.
+    fn reset(&mut self) -> bool {
+        (**self).reset()
+    }
 }
 
 /// The checking layer around a backend transport: counts every packet each

@@ -79,6 +79,20 @@ pub(crate) trait ProcTransport: Send {
     fn fault_counters(&self) -> FaultCounters {
         FaultCounters::default()
     }
+
+    /// Restore this endpoint to its launch state so a later job can reuse
+    /// it (see [`crate::exec`]): clear staging buffers *keeping their
+    /// capacity*, rewind the superstep counter, zero the hot-path counters.
+    /// Every endpoint of a process group resets itself; because each one
+    /// clears its own inbound state, a full sweep covers the whole shared
+    /// fabric. Returns `false` when the endpoint cannot be safely reused
+    /// (poisoned barrier or baton, data still pending in a channel) — the
+    /// caller must then drop the whole group and rebuild. The default is
+    /// `false`: wrapper transports (fault, guard, checker) and any future
+    /// backend are rebuild-only until they opt in.
+    fn reset(&mut self) -> bool {
+        false
+    }
 }
 
 /// Per-process checkpoint plumbing, present only when the run has a
@@ -231,6 +245,37 @@ impl Ctx {
     pub(crate) fn begin(&mut self) {
         self.transport.on_start();
         self.step_start = Instant::now();
+    }
+
+    /// Rewind this context (and its transport) to the state a fresh
+    /// [`Ctx::new`] would produce, keeping every buffer's capacity, so the
+    /// executor's arena ([`crate::exec`]) can lease it to the next job with
+    /// zero heap allocation. Returns `false` when the transport refuses
+    /// (poisoned or mid-protocol); the caller drops the context instead.
+    pub(crate) fn reset_for_reuse(&mut self) -> bool {
+        if !self.transport.reset() {
+            return false;
+        }
+        self.inbox.clear();
+        self.spare.clear();
+        self.inbox_pos = 0;
+        for buf in &mut self.byte_out {
+            buf.clear();
+        }
+        self.byte_inbox.clear();
+        self.byte_spare.clear();
+        self.byte_pos = 0;
+        self.step = 0;
+        self.sent_this_step = 0;
+        self.sent_bytes_this_step = 0;
+        self.work_units = 0;
+        self.step_start = Instant::now();
+        self.log.clear();
+        self.next_msg_id = 0;
+        self.in_msg_send = false;
+        self.check = None;
+        self.ckpt = None;
+        true
     }
 
     /// Close the final (partial) superstep. The paper counts this superstep

@@ -74,6 +74,7 @@ pub mod collectives;
 pub mod context;
 pub mod cost;
 pub mod drma;
+pub mod exec;
 pub mod fault;
 pub mod machine;
 pub mod message;
@@ -87,11 +88,12 @@ pub use barrier::BarrierKind;
 pub use check::{CheckKind, CheckReport, CollectiveKind, TrackedPkt};
 pub use context::{Ctx, MsgWriter, MSG_HDR};
 pub use cost::{predict, predict_from_stats, Prediction};
+pub use exec::{global, JobHandle, Runtime};
 pub use fault::{
     BspError, CheckpointPolicy, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultTolerance,
     TransportError, TransportErrorKind,
 };
 pub use machine::{Machine, CENJU, PAPER_MACHINES, PC_LAN, SGI};
 pub use packet::{Packet, PACKET_SIZE};
-pub use runner::{run, try_run, Config, RunOutput};
+pub use runner::{run, run_unpooled, try_run, Config, RunOutput};
 pub use stats::{LocalStep, RunStats, StepStats};

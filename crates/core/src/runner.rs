@@ -11,6 +11,7 @@ use crate::barrier::BarrierKind;
 use crate::check::audit::CheckedBackend;
 use crate::check::{self, CheckCtx, CheckKind, CheckReport, CheckShared, ProcTrace};
 use crate::context::{CkptState, Ctx, ProcTransport};
+use crate::exec;
 use crate::fault::{
     BspError, CheckpointStore, FaultCounters, FaultPlan, FaultState, FaultTolerance, FaultyBackend,
     GuardedBackend, RoundMeta,
@@ -231,7 +232,7 @@ fn build_transports(
 /// Convert a caught panic payload into a structured [`BspError`]. Transports
 /// panic with `BspError` payloads (via `panic_any`); anything else is an
 /// application panic whose message we preserve verbatim.
-fn payload_to_error(pid: usize, payload: Box<dyn std::any::Any + Send>) -> BspError {
+pub(crate) fn payload_to_error(pid: usize, payload: Box<dyn std::any::Any + Send>) -> BspError {
     match payload.downcast::<BspError>() {
         Ok(e) => *e,
         Err(payload) => {
@@ -314,6 +315,46 @@ where
     R: Send,
 {
     assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
+    // Route through the process-wide worker pool — unless this thread *is*
+    // a pool worker (a BSP process launching a nested run), in which case
+    // leasing pool slots could deadlock against the parent job's own slice;
+    // nested runs take the spawn-per-run path instead.
+    if exec::on_worker_thread() {
+        run_pipeline(None, cfg, &f)
+    } else {
+        run_pipeline(Some(exec::global()), cfg, &f)
+    }
+}
+
+/// Run `f` with the original spawn-per-run strategy: `p` freshly spawned
+/// OS threads and a freshly built transport fabric, no pool, no arena.
+///
+/// This is the cold-start baseline the `runtime_launch` bench compares the
+/// persistent executor against; it is also useful when a caller wants a run
+/// that shares no state whatsoever with the rest of the process.
+pub fn run_unpooled<F, R>(cfg: &Config, f: F) -> Result<RunOutput<R>, BspError>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
+    run_pipeline(None, cfg, &f)
+}
+
+/// The full job pipeline: fault-state setup, the checkpoint-rollback loop,
+/// and per-incarnation execution via [`run_once`]. With a runtime, process
+/// slots run on its worker pool and plain-config transports are leased
+/// from / released to its arena; without one, every incarnation spawns
+/// fresh threads.
+pub(crate) fn run_pipeline<R>(
+    rt: Option<&exec::Runtime>,
+    cfg: &Config,
+    f: &(dyn Fn(&mut Ctx) -> R + Sync),
+) -> Result<RunOutput<R>, BspError>
+where
+    R: Send,
+{
+    assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
     // Fired-event state is shared across rollback incarnations so a
     // transient fault injected before the rollback does not re-fire after it.
     let fstate = cfg
@@ -331,8 +372,9 @@ where
     loop {
         let ckpt = ckpt_store.as_ref().map(|s| (every, s));
         match run_once(
+            rt,
             cfg,
-            &f,
+            f,
             fstate.as_ref(),
             ckpt,
             std::mem::take(&mut restored),
@@ -382,23 +424,196 @@ type ProcResult<R> = (
     Option<Box<ProcTrace>>,
 );
 
-/// One incarnation of a run: spawn, execute, join, merge. A process failure
-/// yields the primary error plus the fault counters gathered before death.
-fn run_once<F, R>(
+/// A successful process slot: its results plus the timing endpoints the
+/// setup/teardown split needs and the context itself, shipped back so the
+/// transport set can be released to the arena.
+struct SlotOk<R> {
+    res: ProcResult<R>,
+    fc: FaultCounters,
+    ctx: Ctx,
+    entered: Instant,
+    finished: Instant,
+}
+
+enum SlotOutcome<R> {
+    /// Boxed: a `Ctx` rides along, and the Fail arm should stay small.
+    Done(Box<SlotOk<R>>),
+    Fail {
+        err: BspError,
+        fc: FaultCounters,
+    },
+}
+
+/// The body of one process slot, identical on the pooled and the
+/// spawn-per-run path: attach per-run checker/checkpoint state, run the
+/// user function, and package the outcome.
+///
+/// `entered` is stamped at pickup, *before* `Ctx::begin` — so a seqsim
+/// process parked waiting for the baton charges that wait to the run, not
+/// to launch setup — and `finished` after `finalize`, so
+/// `max(finished)..collect` is pure teardown.
+fn slot_body<R>(
+    pid: usize,
+    mut ctx: Ctx,
+    f: &(dyn Fn(&mut Ctx) -> R + Sync),
+    shared: Option<Arc<CheckShared>>,
+    ckpt: Option<(usize, Arc<CheckpointStore>)>,
+    blob: Option<Vec<u8>>,
+) -> SlotOutcome<R> {
+    let entered = Instant::now();
+    if let Some(shared) = shared {
+        ctx.check = Some(Box::new(CheckCtx::new(shared)));
+    }
+    if let Some((every, store)) = ckpt {
+        ctx.ckpt = Some(Box::new(CkptState {
+            every,
+            store,
+            pid,
+            restored: blob,
+        }));
+    }
+    // `finalize` runs inside the catch: a poisoned-peer panic during the
+    // final drain must not escape onto a pool worker's stack. Its payload
+    // still reaches the caller via `payload_to_error`, exactly as when the
+    // slot ran on a dedicated thread.
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        ctx.begin();
+        let r = f(&mut ctx);
+        ctx.finalize();
+        r
+    }));
+    match r {
+        Ok(r) => {
+            let finished = Instant::now();
+            let counters = ctx.transport.counters();
+            let fc = ctx.transport.fault_counters();
+            let trace = ctx.check.take().map(|c| Box::new(c.trace));
+            let log = std::mem::take(&mut ctx.log);
+            SlotOutcome::Done(Box::new(SlotOk {
+                res: (r, log, counters, trace),
+                fc,
+                ctx,
+                entered,
+                finished,
+            }))
+        }
+        Err(payload) => {
+            // Release peers parked at the superstep barrier; they fail
+            // with `PeerFailed` instead of hanging.
+            ctx.transport.poison();
+            let fc = ctx.transport.fault_counters();
+            SlotOutcome::Fail {
+                err: payload_to_error(pid, payload),
+                fc,
+            }
+        }
+    }
+}
+
+/// One incarnation of a run: lease or build the transport fabric, execute
+/// every process slot (on the runtime's worker pool when one is given,
+/// otherwise on freshly spawned scoped threads), join, merge. A process
+/// failure yields the primary error plus the fault counters gathered
+/// before death.
+fn run_once<R>(
+    rt: Option<&exec::Runtime>,
     cfg: &Config,
-    f: &F,
+    f: &(dyn Fn(&mut Ctx) -> R + Sync),
     fstate: Option<&Arc<FaultState>>,
     ckpt: Option<(usize, &Arc<CheckpointStore>)>,
     mut restored: Vec<Option<Vec<u8>>>,
 ) -> Result<RunOutput<R>, (BspError, FaultCounters)>
 where
-    F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    let shared = cfg.check.then(|| CheckShared::new(cfg.nprocs));
-    let transports = build_transports(cfg, shared.as_ref(), fstate);
+    // The clock opens at admission: `wall` covers transport lease or
+    // construction (reported separately as `RunStats::setup`), the
+    // supersteps, and result collection (`RunStats::teardown`).
     let start = Instant::now();
     let nprocs = cfg.nprocs;
+    let shared = cfg.check.then(|| CheckShared::new(nprocs));
+    // Warm path: pop a reset transport set from the runtime's arena (plain
+    // configs only). Cold path: build the fabric from scratch.
+    let ctxs: Vec<Ctx> = match rt.and_then(|rt| rt.lease(cfg)) {
+        Some(set) => set,
+        None => build_transports(cfg, shared.as_ref(), fstate)
+            .into_iter()
+            .enumerate()
+            .map(|(pid, t)| Ctx::new(pid, nprocs, t))
+            .collect(),
+    };
+    let ckpt_owned = ckpt.map(|(every, store)| (every, Arc::clone(store)));
+
+    let outcomes: Vec<SlotOutcome<R>> = match rt {
+        // Pooled: one lifetime-erased task per slot, all dispatched
+        // atomically to the pool; the board blocks until the last slot
+        // reports, which is what makes the lifetime erasure sound.
+        Some(rt) => {
+            let board = exec::Board::new(nprocs);
+            let tasks: Vec<exec::Task> = ctxs
+                .into_iter()
+                .enumerate()
+                .map(|(pid, ctx)| {
+                    debug_assert_eq!(ctx.pid(), pid, "arena set out of pid order");
+                    let shared = shared.clone();
+                    let ckpt = ckpt_owned.clone();
+                    let blob = restored[pid].take();
+                    let board = Arc::clone(&board);
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        // The outer catch guarantees the board slot is
+                        // always filled, even if the runner itself bugs
+                        // out, so the submitting thread can never hang.
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            slot_body(pid, ctx, f, shared, ckpt, blob)
+                        }))
+                        .unwrap_or_else(|payload| SlotOutcome::Fail {
+                            err: payload_to_error(pid, payload),
+                            fc: FaultCounters::default(),
+                        });
+                        board.fill(pid, out);
+                    });
+                    // SAFETY: `board.wait_take()` below returns only after
+                    // every task has filled its slot, i.e. run to
+                    // completion; the borrows the tasks capture (`f`,
+                    // `shared`, `board`) all outlive that point.
+                    unsafe { exec::erase_task(task) }
+                })
+                .collect();
+            rt.execute(tasks);
+            board
+                .wait_take()
+                .into_iter()
+                .map(|o| o.expect("pool task finished without filling its board slot"))
+                .collect()
+        }
+        // Unpooled: the original spawn-per-run strategy.
+        None => std::thread::scope(|s| {
+            let handles: Vec<_> = ctxs
+                .into_iter()
+                .enumerate()
+                .map(|(pid, ctx)| {
+                    let shared = shared.clone();
+                    let ckpt = ckpt_owned.clone();
+                    let blob = restored[pid].take();
+                    s.spawn(move || slot_body(pid, ctx, f, shared, ckpt, blob))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(pid, h)| match h.join() {
+                    Ok(out) => out,
+                    // The thread died outside slot_body's catch (a bug in
+                    // the runtime itself, not the program); preserve the
+                    // payload regardless.
+                    Err(payload) => SlotOutcome::Fail {
+                        err: payload_to_error(pid, payload),
+                        fc: FaultCounters::default(),
+                    },
+                })
+                .collect()
+        }),
+    };
 
     let mut per_proc: Vec<Option<ProcResult<R>>> = (0..nprocs).map(|_| None).collect();
     let mut faults = FaultCounters::default();
@@ -425,71 +640,38 @@ where
             *fail = Some(err);
         }
     };
-
-    std::thread::scope(|s| {
-        let handles: Vec<_> = transports
-            .into_iter()
-            .enumerate()
-            .map(|(pid, transport)| {
-                let shared = shared.clone();
-                let blob = restored[pid].take();
-                s.spawn(move || {
-                    let mut ctx = Ctx::new(pid, nprocs, transport);
-                    if let Some(shared) = shared {
-                        ctx.check = Some(Box::new(CheckCtx::new(shared)));
-                    }
-                    if let Some((every, store)) = &ckpt {
-                        ctx.ckpt = Some(Box::new(CkptState {
-                            every: *every,
-                            store: Arc::clone(store),
-                            pid,
-                            restored: blob,
-                        }));
-                    }
-                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        ctx.begin();
-                        f(&mut ctx)
-                    }));
-                    match r {
-                        Ok(r) => {
-                            ctx.finalize();
-                            let counters = ctx.transport.counters();
-                            let fc = ctx.transport.fault_counters();
-                            let trace = ctx.check.take().map(|c| Box::new(c.trace));
-                            Ok(((r, ctx.log, counters, trace), fc))
-                        }
-                        Err(payload) => {
-                            // Release peers parked at the superstep barrier;
-                            // they fail with `PeerFailed` instead of hanging.
-                            ctx.transport.poison();
-                            let fc = ctx.transport.fault_counters();
-                            Err((payload_to_error(pid, payload), fc))
-                        }
-                    }
-                })
-            })
-            .collect();
-        for (pid, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(Ok((res, fc))) => {
-                    faults.add(&fc);
-                    per_proc[pid] = Some(res);
-                }
-                Ok(Err((err, fc))) => {
-                    faults.add(&fc);
-                    note_failure(err, &mut fail);
-                }
-                // The thread died outside the catch (a bug in the runtime
-                // itself, not the program); preserve the payload regardless.
-                Err(payload) => note_failure(payload_to_error(pid, payload), &mut fail),
+    let mut last_entered: Option<Instant> = None;
+    let mut last_finished: Option<Instant> = None;
+    let mut reusable: Vec<Ctx> = Vec::with_capacity(nprocs);
+    for (pid, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            SlotOutcome::Done(ok) => {
+                let ok = *ok;
+                faults.add(&ok.fc);
+                last_entered = Some(last_entered.map_or(ok.entered, |t| t.max(ok.entered)));
+                last_finished = Some(last_finished.map_or(ok.finished, |t| t.max(ok.finished)));
+                reusable.push(ok.ctx);
+                per_proc[pid] = Some(ok.res);
+            }
+            SlotOutcome::Fail { err, fc } => {
+                faults.add(&fc);
+                note_failure(err, &mut fail);
             }
         }
-    });
+    }
     if let Some(err) = fail {
+        // A failed run never reaches the arena: any endpoint may be
+        // poisoned or mid-protocol, so its whole set is dropped here.
         return Err((err, faults));
     }
 
-    let wall = start.elapsed();
+    let end = Instant::now();
+    let wall = end.duration_since(start);
+    // Clean run: hand the transport set back to the arena (reset happens
+    // inside `release`, so the *next* lease is a pure pop).
+    if let Some(rt) = rt {
+        rt.release(cfg, reusable);
+    }
     let mut results = Vec::with_capacity(nprocs);
     let mut logs = Vec::with_capacity(nprocs);
     let mut transport = Vec::with_capacity(nprocs);
@@ -553,6 +735,15 @@ where
     };
     stats.transport = transport;
     stats.faults = faults;
+    // Launch/teardown split: the slowest slot's pickup bounds setup, its
+    // finish bounds teardown. (`duration_since` saturates to zero, so a
+    // clock oddity can't panic here.)
+    stats.setup = last_entered
+        .map(|t| t.duration_since(start))
+        .unwrap_or_default();
+    stats.teardown = last_finished
+        .map(|t| end.duration_since(t))
+        .unwrap_or_default();
     if let Some(shared) = &shared {
         stats.check_reports = check::analyze(&traces, &shared.sink);
     }

@@ -139,6 +139,17 @@ pub struct RunStats {
     /// all rollback incarnations (see [`crate::fault`]). All-zero unless a
     /// [`crate::FaultPlan`] or [`crate::FaultTolerance`] was configured.
     pub faults: crate::fault::FaultCounters,
+    /// Launch overhead: time from job admission until the *last* process
+    /// slot started executing the user function — worker wake-up (or
+    /// spawn, on the cold path) plus transport lease or construction. Kept
+    /// out of the per-superstep compute columns so cost-model validation
+    /// (`T = W + gH + LS`) no longer absorbs launch cost into superstep 0.
+    /// Zero for hand-built stats.
+    pub setup: Duration,
+    /// Teardown overhead: time from the last process slot finishing
+    /// `finalize` until the run's results were collected and merged.
+    /// `wall ≈ setup + compute-and-exchange + teardown`.
+    pub teardown: Duration,
 }
 
 impl RunStats {
@@ -274,7 +285,19 @@ impl RunStats {
             undelivered_bytes,
             check_reports: Vec::new(),
             faults: crate::fault::FaultCounters::default(),
+            setup: Duration::ZERO,
+            teardown: Duration::ZERO,
         }
+    }
+
+    /// Launch overhead in milliseconds (see [`RunStats::setup`]).
+    pub fn setup_ms(&self) -> f64 {
+        self.setup.as_secs_f64() * 1e3
+    }
+
+    /// Teardown overhead in milliseconds (see [`RunStats::teardown`]).
+    pub fn teardown_ms(&self) -> f64 {
+        self.teardown.as_secs_f64() * 1e3
     }
 }
 

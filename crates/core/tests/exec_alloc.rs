@@ -1,0 +1,72 @@
+//! Proof of the §11 zero-allocation claim: once a transport set is parked
+//! in the runtime's arena, a warm lease/release cycle touches the heap
+//! zero times — it is a hash probe, a `Vec::pop`, per-endpoint cursor
+//! resets, and a push back into retained capacity.
+//!
+//! This file is its own test binary on purpose: `#[global_allocator]` is
+//! process-wide, and a single `#[test]` keeps the counter free of
+//! interference from parallel tests.
+
+use green_bsp::{Config, Runtime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter side effect does not touch the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_lease_release_cycle_allocates_nothing() {
+    let rt = Runtime::new();
+    let cfg = Config::new(4);
+    // Cold run builds the transport set and parks it in the arena; one
+    // extra cycle settles any lazy one-time state before counting.
+    rt.prewarm(&cfg);
+    assert!(rt.debug_lease_cycle(&cfg), "arena did not retain the set");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..32 {
+        assert!(
+            rt.debug_lease_cycle(&cfg),
+            "warm cycle {i} missed the arena"
+        );
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "warm lease/release path allocated {delta} time(s) over 32 cycles"
+    );
+    rt.shutdown();
+}

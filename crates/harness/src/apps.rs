@@ -7,7 +7,7 @@ use bsp_graph::{build_locals, geometric_graph, msp_run, mst_run, partition_kd, s
 use bsp_matmul::{cannon_run, skewed_blocks, Mat};
 use bsp_nbody::{initial_partition, nbody_sim, plummer, SimConfig};
 use bsp_ocean::{ocean_run, CycleMode, MgParams, OceanConfig};
-use green_bsp::{run, try_run, BackendKind, BspError, Config, RunStats};
+use green_bsp::{run, try_run, BackendKind, BspError, Config, JobHandle, RunStats, Runtime};
 use std::time::Duration;
 
 /// The six applications of §3, in the paper's presentation order.
@@ -323,6 +323,92 @@ pub fn try_execute_digest(
         _ => unreachable!("workload does not match app"),
     };
     Ok((out.results, out.stats))
+}
+
+/// Like [`try_execute_digest`], but submitted to a persistent [`Runtime`]
+/// via [`Runtime::submit`] so a sweep can keep several (app, backend)
+/// cells in flight on one worker pool. The closure owns clones of the
+/// partitioned inputs (submission outlives the caller's borrows); the
+/// digest math is identical to [`try_execute_digest`], so results from the
+/// two paths are directly comparable.
+pub fn submit_digest(rt: &Runtime, app: App, wl: &Workload, cfg: &Config) -> JobHandle<u64> {
+    let p = cfg.nprocs;
+    match (app, wl) {
+        (App::Ocean, Workload::Ocean(ocfg)) => {
+            let ocfg = *ocfg;
+            rt.submit(cfg, move |ctx| {
+                let r = ocean_run(ctx, &ocfg);
+                mix(r.kinetic_energy.to_bits(), r.psi_integral.to_bits())
+            })
+        }
+        (App::Nbody, Workload::Nbody(bodies)) => {
+            let (parts, cuts) = initial_partition(bodies, p);
+            let sim = SimConfig::default();
+            let n = bodies.len();
+            rt.submit(cfg, move |ctx| {
+                let mut r = nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, &sim);
+                // Migration order is transport-dependent; the digest must
+                // only see the (id-keyed) physical state.
+                r.bodies.sort_by_key(|b| b.id);
+                let mut d = 0u64;
+                for b in &r.bodies {
+                    d = mix(d, u64::from(b.id));
+                    for v in [b.pos.x, b.pos.y, b.pos.z, b.vel.x, b.vel.y, b.vel.z, b.mass] {
+                        d = mix(d, v.to_bits());
+                    }
+                }
+                d
+            })
+        }
+        (App::Mst, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            rt.submit(cfg, move |ctx| {
+                let r = mst_run(ctx, &locals[ctx.pid()], &owner);
+                mix(r.total_weight.to_bits(), r.total_edges)
+            })
+        }
+        (App::Sp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            rt.submit(cfg, move |ctx| {
+                sp_run(ctx, &locals[ctx.pid()], 0, bsp_graph::DEFAULT_WORK_FACTOR)
+                    .dist
+                    .iter()
+                    .fold(0u64, |d, &x| mix(d, x.to_bits()))
+            })
+        }
+        (App::Msp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            let sources: Vec<u32> = (0..MSP_SOURCES)
+                .map(|i| ((i * g.n) / MSP_SOURCES) as u32)
+                .collect();
+            rt.submit(cfg, move |ctx| {
+                msp_run(
+                    ctx,
+                    &locals[ctx.pid()],
+                    &sources,
+                    bsp_graph::DEFAULT_WORK_FACTOR,
+                )
+                .dist
+                .iter()
+                .flatten()
+                .fold(0u64, |d, &x| mix(d, x.to_bits()))
+            })
+        }
+        (App::Matmult, Workload::Mat(a, b)) => {
+            let blocks = skewed_blocks(a, b, p);
+            rt.submit(cfg, move |ctx| {
+                let (ab, bb) = blocks[ctx.pid()].clone();
+                cannon_run(ctx, ab, bb)
+                    .data
+                    .iter()
+                    .fold(0u64, |d, &x| mix(d, x.to_bits()))
+            })
+        }
+        _ => unreachable!("workload does not match app"),
+    }
 }
 
 #[cfg(test)]

@@ -13,17 +13,23 @@
 //! seeded-interleaving model checker explores adversarial schedules of the
 //! mailbox reserve/deposit/swap protocol and the barrier flags.
 
-use crate::apps::{execute_cfg, prepare, App, SEED};
+use crate::apps::{prepare, submit_digest, App, SEED};
 use green_bsp::check::interleave::{self, Fault, ModelConfig};
-use green_bsp::{run, BackendKind, Config};
+use green_bsp::{global, run, BackendKind, Config, JobHandle};
+use std::collections::VecDeque;
 
-/// Backends the checker sweep covers.
-const BACKENDS: [BackendKind; 4] = [
-    BackendKind::Shared,
-    BackendKind::MsgPass,
-    BackendKind::TcpSim,
-    BackendKind::SeqSim,
-];
+/// Submitted sweep cells kept in flight at once (DESIGN.md §11): enough to
+/// overlap one job's merge/teardown with the next ones' compute, small
+/// enough that `WINDOW × p` runnable threads do not thrash the host.
+const WINDOW: usize = 4;
+
+/// Backends the checker sweep covers: the deterministic four from the
+/// canonical [`crate::ALL_BACKENDS`] list. NetSim is excluded — it shares
+/// the shared-memory delivery path and only adds modelled delays, which
+/// the checker does not observe.
+fn checked_backends() -> impl Iterator<Item = BackendKind> {
+    crate::ALL_BACKENDS[..4].iter().map(|&(_, b)| b)
+}
 
 /// Problem size per app for the checked sweep. Checked runs pay for
 /// tracking, so these are the smallest sizes that still exercise every
@@ -45,7 +51,14 @@ pub fn run_check(full: bool) -> bool {
     let mut clean = true;
     let p = 4;
 
-    eprintln!("== checked application sweep (p = {p}) ==");
+    // The checked cells are independent jobs, so they go through
+    // `Runtime::submit` on the process-global pool with a small sliding
+    // window instead of running strictly one after another; each cell's
+    // diagnostics are inspected as its handle completes, in submission
+    // order.
+    eprintln!("== checked application sweep (p = {p}, {WINDOW} jobs in flight) ==");
+    let rt = global();
+    let mut pending: VecDeque<CheckedCell> = VecDeque::new();
     for app in App::ALL {
         let size = if full {
             app.quick_sizes()[0]
@@ -53,50 +66,20 @@ pub fn run_check(full: bool) -> bool {
             check_size(app)
         };
         let wl = prepare(app, size);
-        for backend in BACKENDS {
+        for backend in checked_backends() {
             let cfg = Config::new(p).backend(backend).checked();
-            let (stats, wall) = execute_cfg(app, &wl, &cfg);
-            // A checked, unfaulted run must also show zero fault activity —
-            // nonzero counters here mean phantom injection or detection.
-            if !stats.faults.is_zero() {
-                clean = false;
-                eprintln!(
-                    "  {:8} {:8?} size {:>6}: PHANTOM FAULT ACTIVITY {:?}",
-                    app.name(),
-                    backend,
-                    size,
-                    stats.faults
-                );
-            }
-            if stats.check_reports.is_empty() {
-                eprintln!(
-                    "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?}, faults {}/{})",
-                    app.name(),
-                    backend,
-                    size,
-                    stats.s(),
-                    wall,
-                    stats.faults.injected,
-                    stats.faults.detected
-                );
-            } else {
-                clean = false;
-                eprintln!(
-                    "  {:8} {:8?} size {:>6}: {} DIAGNOSTIC(S)",
-                    app.name(),
-                    backend,
-                    size,
-                    stats.check_reports.len()
-                );
-                for r in &stats.check_reports {
-                    eprintln!("    {r}");
-                }
+            pending.push_back((app, size, backend, submit_digest(rt, app, &wl, &cfg)));
+            if pending.len() >= WINDOW {
+                clean &= join_checked_cell(pending.pop_front().expect("window is non-empty"));
             }
         }
     }
+    while let Some(cell) = pending.pop_front() {
+        clean &= join_checked_cell(cell);
+    }
 
     eprintln!("== lane agreement sweep (byte lane vs packets, p = {p}) ==");
-    for backend in BACKENDS {
+    for backend in checked_backends() {
         for (name, ok) in lane_agreement(p, backend) {
             if ok {
                 eprintln!("  {:8} {:8?}: bit-identical", name, backend);
@@ -166,6 +149,66 @@ pub fn run_check(full: bool) -> bool {
         eprintln!("checker: FAILURES (see above)");
     }
     clean
+}
+
+/// One in-flight checked sweep cell: `(app, size, backend, handle)`.
+type CheckedCell = (App, usize, BackendKind, JobHandle<u64>);
+
+/// Join one submitted checked cell and report its diagnostics; returns
+/// `false` when the cell fails (phantom fault counters, checker
+/// diagnostics, or a run error).
+fn join_checked_cell((app, size, backend, handle): CheckedCell) -> bool {
+    let out = match handle.join() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!(
+                "  {:8} {:8?} size {:>6}: run FAILED: {e}",
+                app.name(),
+                backend,
+                size
+            );
+            return false;
+        }
+    };
+    let stats = &out.stats;
+    let mut ok = true;
+    // A checked, unfaulted run must also show zero fault activity —
+    // nonzero counters here mean phantom injection or detection.
+    if !stats.faults.is_zero() {
+        ok = false;
+        eprintln!(
+            "  {:8} {:8?} size {:>6}: PHANTOM FAULT ACTIVITY {:?}",
+            app.name(),
+            backend,
+            size,
+            stats.faults
+        );
+    }
+    if stats.check_reports.is_empty() {
+        eprintln!(
+            "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?}, faults {}/{})",
+            app.name(),
+            backend,
+            size,
+            stats.s(),
+            out.wall,
+            stats.faults.injected,
+            stats.faults.detected
+        );
+    } else {
+        ok = false;
+        eprintln!(
+            "  {:8} {:8?} size {:>6}: {} DIAGNOSTIC(S)",
+            app.name(),
+            backend,
+            size,
+            stats.check_reports.len()
+        );
+        for r in &stats.check_reports {
+            eprintln!("    {r}");
+        }
+    }
+    ok
 }
 
 /// Run each byte-lane-converted app on `backend` with both transport lanes

@@ -9,7 +9,7 @@
 //! mailbox redesign targets. The `report bench_exchange` subcommand sweeps
 //! `p = 1..=8` on every backend and emits `BENCH_exchange.json`.
 
-use green_bsp::{run, BackendKind, Config, NetSimParams, Packet};
+use green_bsp::{run, BackendKind, Config, Packet};
 use std::time::Instant;
 
 /// One measured throughput point.
@@ -31,23 +31,11 @@ pub struct ExchangePoint {
     pub pkts_per_sec: f64,
 }
 
-/// The backends swept by the throughput bench. NetSim runs with zeroed
-/// `g`/`L` so it measures its bookkeeping overhead, not injected delays.
+/// The backends swept by the throughput bench: the canonical
+/// [`crate::ALL_BACKENDS`] list (NetSim with zeroed `g`/`L` so it measures
+/// its bookkeeping overhead, not injected delays).
 pub fn backends() -> Vec<(&'static str, BackendKind)> {
-    vec![
-        ("shared", BackendKind::Shared),
-        ("msgpass", BackendKind::MsgPass),
-        ("tcpsim", BackendKind::TcpSim),
-        ("seqsim", BackendKind::SeqSim),
-        (
-            "netsim",
-            BackendKind::NetSim(NetSimParams {
-                g_us: 0.0,
-                l_us: 0.0,
-                time_scale: 0.0,
-            }),
-        ),
-    ]
+    crate::ALL_BACKENDS.to_vec()
 }
 
 /// Route `steps` supersteps of an all-to-all pattern at `volume` packets per

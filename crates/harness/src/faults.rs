@@ -17,26 +17,79 @@
 //! 4. **Checkpoint rollback**: a transient panic under a checkpoint policy
 //!    rolls back and still converges to the bit-identical digest.
 
-use crate::apps::{prepare, try_execute_digest, App};
+use crate::apps::{prepare, submit_digest, try_execute_digest, App, Workload};
 use green_bsp::{
-    BackendKind, BspError, CheckpointPolicy, Config, FaultEvent, FaultKind, FaultPlan,
-    FaultTolerance, NetSimParams, TransportErrorKind,
+    global, BackendKind, BspError, CheckpointPolicy, Config, FaultEvent, FaultKind, FaultPlan,
+    FaultTolerance, JobHandle, TransportErrorKind,
 };
+use std::collections::VecDeque;
 use std::time::Duration;
 
-/// Backends the fault sweep covers — all five library implementations.
-fn backends() -> [BackendKind; 5] {
-    [
-        BackendKind::Shared,
-        BackendKind::MsgPass,
-        BackendKind::TcpSim,
-        BackendKind::SeqSim,
-        BackendKind::NetSim(NetSimParams {
-            g_us: 0.01,
-            l_us: 1.0,
-            time_scale: 1.0,
-        }),
-    ]
+/// Backends the fault sweep covers — all five library implementations,
+/// from the canonical [`crate::ALL_BACKENDS`] list (NetSim at zero modelled
+/// delay; `FaultKind::Delay` injection is independent of the delay model).
+fn backends() -> impl Iterator<Item = BackendKind> {
+    crate::ALL_BACKENDS.iter().map(|&(_, b)| b)
+}
+
+/// Submitted cells kept in flight at once for the fault-free phases (same
+/// rationale as the checker sweep's window). Fault-injected cells stay
+/// serial: the straggler class detects via a wall-clock deadline, and
+/// co-scheduled jobs could push a healthy data round past it.
+const WINDOW: usize = 4;
+
+/// One in-flight digest cell: `(app index, backend index, handle)`.
+type DigestCell = (usize, usize, JobHandle<u64>);
+
+/// Join one submitted bare-reference cell into the `refs` table.
+fn settle_bare(refs: &mut [Vec<Option<Vec<u64>>>], clean: &mut bool, (ai, bi, handle): DigestCell) {
+    match handle.join() {
+        Ok(out) => refs[ai][bi] = Some(out.results),
+        Err(e) => {
+            *clean = false;
+            eprintln!(
+                "  {:8} {:8?}: bare run FAILED: {e}",
+                App::ALL[ai].name(),
+                crate::ALL_BACKENDS[bi].1
+            );
+        }
+    }
+}
+
+/// Join one submitted hardened cell: identical digest to the bare
+/// reference, all-zero fault counters.
+fn settle_hardened(refs: &[Vec<Option<Vec<u64>>>], clean: &mut bool, (ai, bi, handle): DigestCell) {
+    let app = App::ALL[ai];
+    let backend = crate::ALL_BACKENDS[bi].1;
+    // A missing reference was already reported by `settle_bare`.
+    let Some(bare) = refs[ai][bi].as_ref() else {
+        return;
+    };
+    match handle.join() {
+        Ok(out) => {
+            let identical = &out.results == bare;
+            let silent = out.stats.faults.is_zero();
+            if identical && silent {
+                eprintln!("  {:8} {:8?}: invisible", app.name(), backend);
+            } else {
+                *clean = false;
+                eprintln!(
+                    "  {:8} {:8?}: identical={identical} counters={:?}",
+                    app.name(),
+                    backend,
+                    out.stats.faults
+                );
+            }
+        }
+        Err(e) => {
+            *clean = false;
+            eprintln!(
+                "  {:8} {:8?}: hardened run FAILED: {e}",
+                app.name(),
+                backend
+            );
+        }
+    }
 }
 
 /// Problem size per app (the smallest that still exercises every superstep
@@ -82,58 +135,66 @@ pub fn run_faults(full: bool) -> bool {
 
     let mut clean = true;
     let p = 4;
+    let rt = global();
 
-    eprintln!("== fault-free hardened sweep (p = {p}) ==");
-    for app in App::ALL {
-        let wl = prepare(app, fault_size(app, full));
-        for backend in backends() {
-            let bare = match try_execute_digest(app, &wl, &Config::new(p).backend(backend)) {
-                Ok((digest, _)) => digest,
-                Err(e) => {
-                    clean = false;
-                    eprintln!("  {:8} {:8?}: bare run FAILED: {e}", app.name(), backend);
-                    continue;
-                }
-            };
-            match try_execute_digest(app, &wl, &Config::new(p).backend(backend).hardened()) {
-                Ok((digest, stats)) => {
-                    let identical = digest == bare;
-                    let silent = stats.faults.is_zero();
-                    if identical && silent {
-                        eprintln!("  {:8} {:8?}: invisible", app.name(), backend);
-                    } else {
-                        clean = false;
-                        eprintln!(
-                            "  {:8} {:8?}: identical={identical} counters={:?}",
-                            app.name(),
-                            backend,
-                            stats.faults
-                        );
-                    }
-                }
-                Err(e) => {
-                    clean = false;
-                    eprintln!(
-                        "  {:8} {:8?}: hardened run FAILED: {e}",
-                        app.name(),
-                        backend
-                    );
-                }
+    // Workloads prepared once and shared by every sweep below (the sweeps
+    // previously re-prepared identical workloads from the same seed).
+    let workloads: Vec<Workload> = App::ALL
+        .iter()
+        .map(|&app| prepare(app, fault_size(app, full)))
+        .collect();
+
+    // Bare reference digests for every (app, backend) cell, computed as
+    // concurrent jobs on the persistent runtime. Both digest sweeps below
+    // compare against this table, so the references are paid for once.
+    eprintln!("== bare reference digests (p = {p}, {WINDOW} jobs in flight) ==");
+    let mut refs: Vec<Vec<Option<Vec<u64>>>> =
+        vec![vec![None; crate::ALL_BACKENDS.len()]; App::ALL.len()];
+    let mut pending: VecDeque<DigestCell> = VecDeque::new();
+    for (ai, &app) in App::ALL.iter().enumerate() {
+        for (bi, &(_, backend)) in crate::ALL_BACKENDS.iter().enumerate() {
+            let cfg = Config::new(p).backend(backend);
+            pending.push_back((ai, bi, submit_digest(rt, app, &workloads[ai], &cfg)));
+            if pending.len() >= WINDOW {
+                settle_bare(
+                    &mut refs,
+                    &mut clean,
+                    pending.pop_front().expect("non-empty"),
+                );
             }
         }
     }
+    while let Some(cell) = pending.pop_front() {
+        settle_bare(&mut refs, &mut clean, cell);
+    }
+    eprintln!(
+        "  {} cells referenced (arena {} hits / {} misses)",
+        App::ALL.len() * crate::ALL_BACKENDS.len(),
+        rt.arena_hits(),
+        rt.arena_misses()
+    );
 
-    eprintln!("== recoverable-class sweep (p = {p}, 1 event at step 1) ==");
-    for app in App::ALL {
-        let wl = prepare(app, fault_size(app, full));
-        for backend in backends() {
-            let bare = match try_execute_digest(app, &wl, &Config::new(p).backend(backend)) {
-                Ok((digest, _)) => digest,
-                Err(e) => {
-                    clean = false;
-                    eprintln!("  {:8} {:8?}: bare run FAILED: {e}", app.name(), backend);
-                    continue;
-                }
+    eprintln!("== fault-free hardened sweep (p = {p}, {WINDOW} jobs in flight) ==");
+    for (ai, &app) in App::ALL.iter().enumerate() {
+        for (bi, &(_, backend)) in crate::ALL_BACKENDS.iter().enumerate() {
+            let cfg = Config::new(p).backend(backend).hardened();
+            pending.push_back((ai, bi, submit_digest(rt, app, &workloads[ai], &cfg)));
+            if pending.len() >= WINDOW {
+                settle_hardened(&refs, &mut clean, pending.pop_front().expect("non-empty"));
+            }
+        }
+    }
+    while let Some(cell) = pending.pop_front() {
+        settle_hardened(&refs, &mut clean, cell);
+    }
+
+    eprintln!("== recoverable-class sweep (p = {p}, 1 event at step 1, serial) ==");
+    for (ai, &app) in App::ALL.iter().enumerate() {
+        let wl = &workloads[ai];
+        for (bi, &(_, backend)) in crate::ALL_BACKENDS.iter().enumerate() {
+            // Bare failure already reported while building the table.
+            let Some(bare) = refs[ai][bi].as_ref() else {
+                continue;
             };
             let mut healed = Vec::new();
             for kind in FaultKind::RECOVERABLE {
@@ -149,10 +210,10 @@ pub fn run_faults(full: bool) -> bool {
                     ..FaultTolerance::default()
                 };
                 let cfg = Config::new(p).backend(backend).faults(plan).tolerant(tol);
-                match try_execute_digest(app, &wl, &cfg) {
+                match try_execute_digest(app, wl, &cfg) {
                     Ok((digest, stats)) => {
                         let f = &stats.faults;
-                        if digest == bare && f.injected >= 1 && f.detected >= 1 {
+                        if &digest == bare && f.injected >= 1 && f.detected >= 1 {
                             healed.push(kind);
                         } else {
                             clean = false;
@@ -160,7 +221,7 @@ pub fn run_faults(full: bool) -> bool {
                                 "  {:8} {:8?} {kind:?}: identical={} counters={f:?}",
                                 app.name(),
                                 backend,
-                                digest == bare
+                                &digest == bare
                             );
                         }
                     }
@@ -184,7 +245,10 @@ pub fn run_faults(full: bool) -> bool {
     eprintln!("== unrecoverable-class sweep (p = {p}, app sp) ==");
     {
         let app = App::Sp;
-        let wl = prepare(app, fault_size(app, full));
+        let wl = &workloads[App::ALL
+            .iter()
+            .position(|&a| a == app)
+            .expect("app is in App::ALL")];
         for backend in backends() {
             let panic_plan = FaultPlan::new(1).with(FaultEvent {
                 pid: 1,
@@ -192,11 +256,7 @@ pub fn run_faults(full: bool) -> bool {
                 dest: 0,
                 kind: FaultKind::Panic,
             });
-            match try_execute_digest(
-                app,
-                &wl,
-                &Config::new(p).backend(backend).faults(panic_plan),
-            ) {
+            match try_execute_digest(app, wl, &Config::new(p).backend(backend).faults(panic_plan)) {
                 Err(BspError::ProcPanicked { pid: 1, .. }) => {
                     eprintln!("  panic    {backend:8?}: structured ProcPanicked");
                 }
@@ -226,7 +286,7 @@ pub fn run_faults(full: bool) -> bool {
                 .backend(backend)
                 .faults(corrupt_plan)
                 .tolerant(tol);
-            match try_execute_digest(app, &wl, &cfg) {
+            match try_execute_digest(app, wl, &cfg) {
                 Err(BspError::Transport(te))
                     if matches!(te.kind, TransportErrorKind::RetryExhausted) =>
                 {
@@ -246,19 +306,16 @@ pub fn run_faults(full: bool) -> bool {
 
     eprintln!("== checkpoint-rollback sweep (p = {p}, transient panic at step 2) ==");
     for app in [App::Nbody, App::Ocean] {
-        let wl = prepare(app, fault_size(app, full));
-        for backend in [
-            BackendKind::Shared,
-            BackendKind::MsgPass,
-            BackendKind::TcpSim,
-        ] {
-            let bare = match try_execute_digest(app, &wl, &Config::new(p).backend(backend)) {
-                Ok((digest, _)) => digest,
-                Err(e) => {
-                    clean = false;
-                    eprintln!("  {:8} {:8?}: bare run FAILED: {e}", app.name(), backend);
-                    continue;
-                }
+        let ai = App::ALL
+            .iter()
+            .position(|&a| a == app)
+            .expect("app is in App::ALL");
+        let wl = &workloads[ai];
+        // The deterministic first three backends (shared, msgpass, tcpsim);
+        // references come from the table built up front.
+        for (bi, &(_, backend)) in crate::ALL_BACKENDS[..3].iter().enumerate() {
+            let Some(bare) = refs[ai][bi].as_ref() else {
+                continue;
             };
             let plan = FaultPlan::new(3).with(FaultEvent {
                 pid: 1,
@@ -273,10 +330,10 @@ pub fn run_faults(full: bool) -> bool {
                 ..FaultTolerance::default()
             };
             let cfg = Config::new(p).backend(backend).faults(plan).tolerant(tol);
-            match try_execute_digest(app, &wl, &cfg) {
+            match try_execute_digest(app, wl, &cfg) {
                 Ok((digest, stats)) => {
                     let f = &stats.faults;
-                    if digest == bare && f.rolled_back >= 1 {
+                    if &digest == bare && f.rolled_back >= 1 {
                         eprintln!(
                             "  {:8} {:8?}: recovered bitwise ({} rollback(s), {}ms)",
                             app.name(),
@@ -290,7 +347,7 @@ pub fn run_faults(full: bool) -> bool {
                             "  {:8} {:8?}: identical={} counters={f:?}",
                             app.name(),
                             backend,
-                            digest == bare
+                            &digest == bare
                         );
                     }
                 }

@@ -18,7 +18,31 @@ pub mod faults;
 pub mod measure;
 pub mod message_bench;
 pub mod paper;
+pub mod runtime_bench;
 pub mod tables;
 
-pub use apps::{execute, execute_cfg, prepare, try_execute_digest, App, Workload};
+pub use apps::{execute, execute_cfg, prepare, submit_digest, try_execute_digest, App, Workload};
 pub use measure::{measure, sweep, Measurement, Sweep};
+
+use green_bsp::{BackendKind, NetSimParams};
+
+/// The canonical backend sweep, used by every harness sweep (`report
+/// check` / `report faults` / `report bench_exchange` / the launch bench).
+/// Order matters: the first four are the deterministic transports; NetSim
+/// sits last with zeroed `g`/`L`/`time_scale` so sweeps measure its
+/// bookkeeping, not injected model delays (sweeps that want real delays
+/// build their own `NetSimParams`).
+pub const ALL_BACKENDS: [(&str, BackendKind); 5] = [
+    ("shared", BackendKind::Shared),
+    ("msgpass", BackendKind::MsgPass),
+    ("tcpsim", BackendKind::TcpSim),
+    ("seqsim", BackendKind::SeqSim),
+    (
+        "netsim",
+        BackendKind::NetSim(NetSimParams {
+            g_us: 0.0,
+            l_us: 0.0,
+            time_scale: 0.0,
+        }),
+    ),
+];

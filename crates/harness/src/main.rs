@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|check|faults] [--full]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|check|faults] [--full]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -8,6 +8,11 @@
 //! `bench_message` sweeps variable-length message throughput (payload
 //! bytes/sec, byte-lane vs. 16-byte fragmentation, `p = 1..=8` × three
 //! message sizes on the shared backend) and writes `BENCH_message.json`.
+//!
+//! `bench_runtime` measures the persistent executor's launch path
+//! (DESIGN.md §11): cold spawn-per-run vs warm pooled launches at `p = 4`
+//! on every backend, plus concurrent-submit throughput, and writes
+//! `BENCH_runtime.json`.
 //!
 //! `check` runs the six applications under the BSP phase-discipline checker
 //! on every backend and model-checks the slab-mailbox protocol over seeded
@@ -100,6 +105,22 @@ fn main() {
             std::fs::write("BENCH_message.json", &json).expect("write BENCH_message.json");
             eprintln!("wrote BENCH_message.json ({} points)", points.len());
         }
+        "bench_runtime" => {
+            use bsp_harness::runtime_bench;
+            let (cold, warm, per_sub) = if full {
+                (400, 4000, 200)
+            } else {
+                (150, 1500, 50)
+            };
+            eprintln!("runtime launch bench (cold {cold} / warm {warm} iters, 8 submitters)...");
+            let bench = runtime_bench::sweep_runtime(cold, warm, per_sub);
+            let json = runtime_bench::to_json(&bench);
+            std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+            eprintln!(
+                "wrote BENCH_runtime.json (warm speedup {:.1}x, {:.0} jobs/s)",
+                bench.warm_speedup_shared, bench.jobs_per_sec
+            );
+        }
         "check" => {
             if !bsp_harness::check::run_check(full) {
                 std::process::exit(1);
@@ -125,7 +146,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|check|faults] [--full]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|check|faults] [--full]");
             std::process::exit(2);
         }
     }

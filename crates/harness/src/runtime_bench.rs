@@ -1,0 +1,233 @@
+//! `report bench_runtime` — launch-path cost of the persistent executor.
+//!
+//! Two measurements, both at a single empty superstep so the launch path
+//! dominates (DESIGN.md §11):
+//!
+//! 1. **Cold vs warm launch latency**: `run_unpooled` spawns `p` OS
+//!    threads and builds the transport set on every call (the pre-§11
+//!    behaviour), while a prewarmed [`Runtime`] dispatches onto parked
+//!    workers and leases the transport set from the arena. The per-launch
+//!    mean of each mode is reported for every backend at `p = 4`, plus the
+//!    cold/warm ratio on the shared backend — the headline number.
+//! 2. **Concurrent job throughput**: 8 submitter threads drive
+//!    [`Runtime::submit`] against one shared pool and we report jobs/sec,
+//!    along with the arena hit/miss counters proving the warm path reused
+//!    transport sets instead of rebuilding them.
+//!
+//! `report bench_runtime` writes the whole document to
+//! `BENCH_runtime.json`.
+
+use green_bsp::{run_unpooled, Config, Ctx, Runtime};
+use std::time::Instant;
+
+/// One measured launch-latency point.
+#[derive(Clone, Debug)]
+pub struct LaunchPoint {
+    /// `"cold"` (spawn-per-run) or `"warm"` (pooled + arena lease).
+    pub mode: &'static str,
+    /// Backend label from [`crate::ALL_BACKENDS`].
+    pub backend: String,
+    /// Processor count of each launched job.
+    pub nprocs: usize,
+    /// Timed launches.
+    pub iters: usize,
+    /// Wall-clock seconds for all `iters` launches.
+    pub secs: f64,
+    /// Mean microseconds per launch.
+    pub mean_us: f64,
+}
+
+/// Aggregate result of the runtime bench.
+#[derive(Clone, Debug)]
+pub struct RuntimeBench {
+    /// Cold and warm points, every backend at `p = 4`.
+    pub launch: Vec<LaunchPoint>,
+    /// Cold mean / warm mean on the shared backend (the acceptance ratio).
+    pub warm_speedup_shared: f64,
+    /// Submitter threads in the throughput phase.
+    pub submitters: usize,
+    /// Total jobs pushed through [`Runtime::submit`].
+    pub jobs: usize,
+    /// Wall-clock seconds for the throughput phase.
+    pub throughput_secs: f64,
+    /// Completed jobs per second.
+    pub jobs_per_sec: f64,
+    /// Arena lease hits over the whole bench (warm loops + throughput).
+    pub arena_hits: u64,
+    /// Arena lease misses (cold builds) over the whole bench.
+    pub arena_misses: u64,
+    /// Workers the pool grew to.
+    pub workers: usize,
+}
+
+/// The one-superstep job body: a bare barrier, no compute, no traffic.
+fn touch(ctx: &mut Ctx) -> u64 {
+    ctx.sync();
+    ctx.pid() as u64
+}
+
+/// Time `iters` launches of `f` and fold them into a [`LaunchPoint`].
+fn time_launches(
+    mode: &'static str,
+    backend: &str,
+    p: usize,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> LaunchPoint {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    LaunchPoint {
+        mode,
+        backend: backend.to_string(),
+        nprocs: p,
+        iters,
+        secs,
+        mean_us: secs * 1e6 / iters.max(1) as f64,
+    }
+}
+
+/// Run the full bench. `cold_iters`/`warm_iters` are launches per backend
+/// per mode; `jobs_per_submitter` scales the 8-thread throughput phase.
+pub fn sweep_runtime(
+    cold_iters: usize,
+    warm_iters: usize,
+    jobs_per_submitter: usize,
+) -> RuntimeBench {
+    let p = 4;
+    // A private runtime (not the process-global one) so the arena counters
+    // reported below belong to this bench alone.
+    let rt = Runtime::new();
+    let mut launch = Vec::new();
+    let mut shared_means = (0.0f64, 0.0f64);
+
+    for (label, backend) in crate::ALL_BACKENDS {
+        let cfg = Config::new(p).backend(backend);
+
+        let cold = time_launches("cold", label, p, cold_iters, || {
+            run_unpooled(&cfg, touch).expect("cold launch failed");
+        });
+        eprintln!(
+            "  cold {:8} p={p}  {:>9.1} us/launch",
+            cold.backend, cold.mean_us
+        );
+
+        // One untimed warm-up run parks the transport set in the arena, so
+        // the timed loop measures the steady-state (lease, run, release)
+        // path with zero allocation.
+        rt.prewarm(&cfg);
+        let warm = time_launches("warm", label, p, warm_iters, || {
+            rt.try_run(&cfg, touch).expect("warm launch failed");
+        });
+        eprintln!(
+            "  warm {:8} p={p}  {:>9.1} us/launch  ({:.1}x)",
+            warm.backend,
+            warm.mean_us,
+            cold.mean_us / warm.mean_us.max(1e-12)
+        );
+
+        if label == "shared" {
+            shared_means = (cold.mean_us, warm.mean_us);
+        }
+        launch.push(cold);
+        launch.push(warm);
+    }
+
+    // Throughput: 8 submitters, each a submit/join loop on the shared pool.
+    let submitters = 8;
+    let tp_cfg = Config::new(2);
+    rt.prewarm(&tp_cfg);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..submitters {
+            s.spawn(|| {
+                for _ in 0..jobs_per_submitter {
+                    rt.submit(&tp_cfg, |ctx| {
+                        ctx.sync();
+                        ctx.pid() as u64
+                    })
+                    .join()
+                    .expect("submitted job failed");
+                }
+            });
+        }
+    });
+    let throughput_secs = start.elapsed().as_secs_f64();
+    let jobs = submitters * jobs_per_submitter;
+    eprintln!(
+        "  throughput: {jobs} jobs / {submitters} submitters in {throughput_secs:.3}s  \
+         ({:.0} jobs/s)",
+        jobs as f64 / throughput_secs.max(1e-12)
+    );
+
+    let bench = RuntimeBench {
+        warm_speedup_shared: shared_means.0 / shared_means.1.max(1e-12),
+        launch,
+        submitters,
+        jobs,
+        throughput_secs,
+        jobs_per_sec: jobs as f64 / throughput_secs.max(1e-12),
+        arena_hits: rt.arena_hits(),
+        arena_misses: rt.arena_misses(),
+        workers: rt.workers(),
+    };
+    rt.shutdown();
+    bench
+}
+
+/// Serialize the bench as the `BENCH_runtime.json` document.
+pub fn to_json(b: &RuntimeBench) -> String {
+    let mut s = String::from("{\n  \"bench\": \"runtime_launch\",\n");
+    s.push_str("  \"launch\": [\n");
+    for (i, pt) in b.launch.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"backend\": \"{}\", \"p\": {}, \"iters\": {}, \
+             \"secs\": {:.6}, \"mean_us\": {:.3}}}{}\n",
+            pt.mode,
+            pt.backend,
+            pt.nprocs,
+            pt.iters,
+            pt.secs,
+            pt.mean_us,
+            if i + 1 < b.launch.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"warm_speedup_shared\": {:.2},\n",
+        b.warm_speedup_shared
+    ));
+    s.push_str(&format!(
+        "  \"throughput\": {{\"submitters\": {}, \"jobs\": {}, \"secs\": {:.6}, \
+         \"jobs_per_sec\": {:.1}}},\n",
+        b.submitters, b.jobs, b.throughput_secs, b.jobs_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"arena\": {{\"hits\": {}, \"misses\": {}}},\n  \"workers\": {}\n}}\n",
+        b.arena_hits, b.arena_misses, b.workers
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_sane_points_and_json() {
+        let b = sweep_runtime(2, 4, 2);
+        // 5 backends x (cold, warm).
+        assert_eq!(b.launch.len(), 10);
+        assert!(b.launch.iter().all(|pt| pt.mean_us > 0.0));
+        assert_eq!(b.jobs, 16);
+        // Warm loops leased from the arena: the prewarm run is the miss,
+        // every timed launch after it must hit.
+        assert!(b.arena_hits >= b.launch.len() as u64 / 2);
+        let j = to_json(&b);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"warm_speedup_shared\""));
+        assert!(j.contains("\"jobs_per_sec\""));
+    }
+}
