@@ -42,6 +42,7 @@ fn benches(c: &mut Criterion) {
             let params = NetSimParams {
                 g_us: 0.5,
                 l_us: 500.0,
+                l_neigh_us: 0.0,
                 time_scale: 1.0,
             };
             b.iter(|| {

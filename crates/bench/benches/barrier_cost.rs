@@ -1,0 +1,71 @@
+//! Satellite of the relaxed-synchronization work (DESIGN.md §12): the
+//! cost of one boundary under the three synchronization shapes —
+//!
+//! * `full` — the p-wide rendezvous (`Ctx::sync`);
+//! * `pairwise` — a neighborhood barrier over a ring sync graph
+//!   (`Ctx::sync_neigh`), degree 2 regardless of p;
+//! * `split_phase` — `sync_begin`/`sync_end` with no overlapped work,
+//!   isolating the protocol overhead of splitting.
+//!
+//! The empty-superstep workload makes the boundary cost the whole
+//! measurement, so `full` vs `pairwise` is the `L` vs `L_neigh` gap the
+//! tentpole claims, and `split_phase` must track `full` closely.
+
+use bsp_bench::quick_criterion;
+use criterion::Criterion;
+use green_bsp::{run, Config};
+
+/// Ring sync graph: each proc synchronizes with its two ring neighbors.
+fn ring(p: usize) -> Vec<(usize, usize)> {
+    (0..p).map(|i| (i, (i + 1) % p)).collect()
+}
+
+fn full_boundaries(p: usize, reps: usize) {
+    let out = run(&Config::new(p), move |ctx| {
+        for _ in 0..reps {
+            ctx.sync();
+        }
+    });
+    std::hint::black_box(out.stats.s());
+}
+
+fn pairwise_boundaries(p: usize, reps: usize) {
+    let out = run(&Config::new(p).sync_graph(&ring(p)), move |ctx| {
+        for _ in 0..reps {
+            ctx.sync_neigh();
+        }
+    });
+    std::hint::black_box(out.stats.s());
+}
+
+fn split_phase_boundaries(p: usize, reps: usize) {
+    let out = run(&Config::new(p), move |ctx| {
+        for _ in 0..reps {
+            ctx.sync_begin();
+            ctx.sync_end();
+        }
+    });
+    std::hint::black_box(out.stats.s());
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_cost");
+    for p in [2usize, 4, 8, 16] {
+        group.bench_function(format!("full/p{p}"), |b| {
+            b.iter(|| full_boundaries(p, 50));
+        });
+        group.bench_function(format!("pairwise/p{p}"), |b| {
+            b.iter(|| pairwise_boundaries(p, 50));
+        });
+        group.bench_function(format!("split_phase/p{p}"), |b| {
+            b.iter(|| split_phase_boundaries(p, 50));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -48,6 +48,11 @@ pub struct NetSimParams {
     pub g_us: f64,
     /// Latency: microseconds per superstep.
     pub l_us: f64,
+    /// Latency charged at a *neighborhood* boundary (see
+    /// [`crate::SyncMode::Neighborhood`]). `0.0` means "derive it": a
+    /// pairwise rendezvous costs roughly `L · (1 + max_degree) / p`, the
+    /// fraction of the full barrier's fan-in a processor actually waits on.
+    pub l_neigh_us: f64,
     /// Multiplier applied to the injected delay (use `< 1.0` to fast-forward
     /// an emulation, `1.0` for real-time).
     pub time_scale: f64,
@@ -60,6 +65,7 @@ impl NetSimParams {
         NetSimParams {
             g_us,
             l_us,
+            l_neigh_us: 0.0,
             time_scale: 1.0,
         }
     }
@@ -67,6 +73,12 @@ impl NetSimParams {
     /// Scale the injected delays by `scale`.
     pub fn scaled(mut self, scale: f64) -> Self {
         self.time_scale = scale;
+        self
+    }
+
+    /// Set the latency charged at neighborhood boundaries explicitly.
+    pub fn neigh_latency(mut self, l_neigh_us: f64) -> Self {
+        self.l_neigh_us = l_neigh_us;
         self
     }
 }

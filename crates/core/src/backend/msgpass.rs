@@ -8,11 +8,31 @@
 //! peer has reached it (each peer's buffer for this superstep, possibly
 //! empty, must arrive). Channels stand in for MPI `Isend`/`Irecv` pairs.
 
+//! ## Relaxed boundaries (DESIGN.md §12)
+//!
+//! A *neighborhood* boundary exchanges batches only along the registered
+//! sync graph's edges: each process posts one (possibly empty) batch to
+//! every neighbor and waits for one from each — the empty batch still *is*
+//! the synchronization, just pairwise instead of all-to-all. Non-neighbor
+//! channels are untouched; since sync modes are congruent across processes
+//! (every process declares the same mode at the same boundary), both ends
+//! of every channel agree on which boundaries use it, and the monotone
+//! `xseq` stays aligned. Traffic to a non-neighbor in a superstep adjacent
+//! to a neighborhood boundary is a [`TransportErrorKind::GraphViolation`] —
+//! the same discipline every backend enforces, even though per-message
+//! channels would make it safe here.
+//!
+//! A *split-phase* boundary posts all sends at `exchange_begin` and defers
+//! only the receives to `exchange`, so the caller's overlap window runs
+//! while peers' batches are in flight.
+
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
 use crate::fault::{byte_hash, pkt_sum, BspError, TransportError, TransportErrorKind};
+use crate::relax::{SyncGraph, SyncMode};
 use crate::stats::TransportCounters;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 /// One superstep's traffic from one process to one peer: the fixed-size
 /// packets and the byte-lane records, shipped together in a single channel
@@ -54,13 +74,27 @@ pub(crate) struct MsgPassProc {
     /// Number of exchanges completed (the sequence number stamped on
     /// outgoing batches).
     xseq: u64,
+    /// Registered sync graph (None = neighborhood boundaries unavailable).
+    graph: Option<Arc<SyncGraph>>,
+    /// Sync mode latched for the next boundary (consumed there).
+    mode: SyncMode,
+    /// Mode of the previous boundary (adjacent-boundary graph discipline).
+    prev_mode: SyncMode,
+    /// Mode captured at `exchange_begin` for the in-flight split boundary.
+    begun_mode: SyncMode,
+    /// Sends already posted by `exchange_begin`; `exchange` only receives.
+    begun: bool,
     counters: TransportCounters,
 }
 
 impl MsgPassProc {
     /// Create the full set of `nprocs` endpoints with a channel per ordered
     /// pair of distinct processes.
-    pub(crate) fn create_all(nprocs: usize, hardened: bool) -> Vec<MsgPassProc> {
+    pub(crate) fn create_all(
+        nprocs: usize,
+        hardened: bool,
+        graph: Option<Arc<SyncGraph>>,
+    ) -> Vec<MsgPassProc> {
         // channel[src][dest]
         let mut tx: Vec<Vec<Option<Sender<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
@@ -92,6 +126,11 @@ impl MsgPassProc {
                 receivers,
                 hardened,
                 xseq: 0,
+                graph: graph.clone(),
+                mode: SyncMode::Full,
+                prev_mode: SyncMode::Full,
+                begun_mode: SyncMode::Full,
+                begun: false,
                 counters: TransportCounters::default(),
             });
         }
@@ -109,6 +148,98 @@ impl MsgPassProc {
             detail,
         }))
     }
+
+    /// Adjacent-boundary graph discipline: when the boundary closing this
+    /// superstep — or the one that opened it — is a neighborhood boundary,
+    /// every destination with staged traffic must be a graph neighbor or
+    /// this process itself. The per-superstep output buffers are exactly the
+    /// record of who was sent to.
+    fn check_graph(&self, mode: SyncMode, step: usize) {
+        if mode != SyncMode::Neighborhood && self.prev_mode != SyncMode::Neighborhood {
+            return;
+        }
+        let graph = self
+            .graph
+            .as_ref()
+            .expect("neighborhood boundary implies a registered sync graph");
+        for dest in 0..self.nprocs {
+            let sent = !self.out[dest].is_empty() || !self.out_bytes[dest].is_empty();
+            if sent && dest != self.pid && !graph.is_neighbor(self.pid, dest) {
+                self.fail(
+                    dest,
+                    step,
+                    TransportErrorKind::GraphViolation,
+                    format!(
+                        "superstep {} is adjacent to a neighborhood boundary but proc {} \
+                         sent traffic to proc {}, which is not a sync-graph neighbor",
+                        step, self.pid, dest
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Post one (possibly empty) batch to `dest`. The batch synchronizes the
+    /// pair even when empty.
+    fn post_batch(&mut self, dest: usize, step: usize) {
+        // The outgoing batch surrenders its allocations to the receiver;
+        // pre-size the replacements from this superstep's volume so the
+        // next superstep appends without reallocating.
+        let volume = self.out[dest].len();
+        let byte_volume = self.out_bytes[dest].len();
+        let checksum = if self.hardened {
+            batch_checksum(&self.out[dest], &self.out_bytes[dest])
+        } else {
+            0
+        };
+        let batch = Batch {
+            pkts: std::mem::replace(&mut self.out[dest], Vec::with_capacity(volume)),
+            bytes: std::mem::replace(&mut self.out_bytes[dest], Vec::with_capacity(byte_volume)),
+            seq: self.xseq,
+            checksum,
+        };
+        self.counters.lock_acquisitions += 1; // channel send
+        self.counters.pkts_moved += volume as u64;
+        self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
+        if self.senders[dest]
+            .as_ref()
+            .expect("peer channel")
+            .send(batch)
+            .is_err()
+        {
+            self.fail(
+                dest,
+                step,
+                TransportErrorKind::ChannelClosed,
+                format!("peer {dest} hung up mid-superstep (send)"),
+            );
+        }
+    }
+
+    /// Post all sends for a boundary in `mode`: one batch per peer (full) or
+    /// per graph neighbor (neighborhood).
+    fn post_all(&mut self, mode: SyncMode, step: usize) {
+        match mode {
+            SyncMode::Full => {
+                for dest in 0..self.nprocs {
+                    if dest != self.pid {
+                        self.post_batch(dest, step);
+                    }
+                }
+            }
+            SyncMode::Neighborhood => {
+                let neighbors: Vec<usize> = self
+                    .graph
+                    .as_ref()
+                    .expect("checked in check_graph")
+                    .neighbors(self.pid)
+                    .to_vec();
+                for dest in neighbors {
+                    self.post_batch(dest, step);
+                }
+            }
+        }
+    }
 }
 
 impl ProcTransport for MsgPassProc {
@@ -125,60 +256,55 @@ impl ProcTransport for MsgPassProc {
         self.out_bytes[dest].extend_from_slice(bytes);
     }
 
+    fn exchange_begin(&mut self, step: usize) {
+        debug_assert!(!self.begun, "exchange_begin without a matching exchange");
+        let mode = std::mem::take(&mut self.mode);
+        self.check_graph(mode, step);
+        // Post all sends now (a batch is sent even when empty: that
+        // emptiness is what synchronizes the boundary, mirroring the 2p
+        // Isend/Irecv waits); the receives wait until `exchange`, so the
+        // caller's overlap window runs while peers' batches are in flight.
+        self.post_all(mode, step);
+        self.begun_mode = mode;
+        self.begun = true;
+    }
+
+    fn set_sync_mode(&mut self, mode: SyncMode) {
+        assert!(
+            mode == SyncMode::Full || self.graph.is_some(),
+            "neighborhood synchronization requires Config::sync_graph"
+        );
+        self.mode = mode;
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
-        // Post all sends (a batch is sent even when empty: that emptiness is
-        // what synchronizes the boundary, mirroring the 2p Isend/Irecv waits).
-        for dest in 0..self.nprocs {
-            if dest == self.pid {
-                continue;
-            }
-            // The outgoing batch surrenders its allocations to the receiver;
-            // pre-size the replacements from this superstep's volume so the
-            // next superstep appends without reallocating.
-            let volume = self.out[dest].len();
-            let byte_volume = self.out_bytes[dest].len();
-            let checksum = if self.hardened {
-                batch_checksum(&self.out[dest], &self.out_bytes[dest])
-            } else {
-                0
-            };
-            let batch = Batch {
-                pkts: std::mem::replace(&mut self.out[dest], Vec::with_capacity(volume)),
-                bytes: std::mem::replace(
-                    &mut self.out_bytes[dest],
-                    Vec::with_capacity(byte_volume),
-                ),
-                seq: self.xseq,
-                checksum,
-            };
-            self.counters.lock_acquisitions += 1; // channel send
-            self.counters.pkts_moved += volume as u64;
-            self.counters.bytes_moved += (volume * PACKET_SIZE) as u64;
-            if self.senders[dest]
-                .as_ref()
-                .expect("peer channel")
-                .send(batch)
-                .is_err()
-            {
-                self.fail(
-                    dest,
-                    step,
-                    TransportErrorKind::ChannelClosed,
-                    format!("peer {dest} hung up mid-superstep (send)"),
-                );
-            }
-        }
+        let mode = if self.begun {
+            self.begun = false;
+            self.begun_mode
+        } else {
+            let mode = std::mem::take(&mut self.mode);
+            self.check_graph(mode, step);
+            self.post_all(mode, step);
+            mode
+        };
         // Self-delivery (`append` leaves the buffers' allocations in place).
         self.counters.pkts_moved += self.out[self.pid].len() as u64;
         self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
         inbox.append(&mut self.out[self.pid]);
         byte_inbox.append(&mut self.out_bytes[self.pid]);
-        // Wait for one batch from every peer, in pid order (deterministic
+        // Wait for one batch from every peer — every other process (full) or
+        // every graph neighbor (neighborhood) — in pid order (deterministic
         // inbox layout; the BSP contract lets packets arrive in any order).
-        for src in 0..self.nprocs {
-            if src == self.pid {
-                continue;
-            }
+        let sources: Vec<usize> = match mode {
+            SyncMode::Full => (0..self.nprocs).filter(|&s| s != self.pid).collect(),
+            SyncMode::Neighborhood => self
+                .graph
+                .as_ref()
+                .expect("checked in check_graph")
+                .neighbors(self.pid)
+                .to_vec(),
+        };
+        for src in sources {
             self.counters.lock_acquisitions += 1; // channel receive
             let batch = match self.receivers[src].as_ref().expect("peer channel").recv() {
                 Ok(b) => b,
@@ -220,6 +346,7 @@ impl ProcTransport for MsgPassProc {
             byte_inbox.extend_from_slice(&batch.bytes);
         }
         self.xseq += 1;
+        self.prev_mode = mode;
     }
 
     fn finish(&mut self) {}
@@ -229,12 +356,20 @@ impl ProcTransport for MsgPassProc {
     }
 
     fn reset(&mut self) -> bool {
+        // A job that ended between `exchange_begin` and `exchange` left
+        // batches in flight — rebuild instead of reuse.
+        if self.begun {
+            return false;
+        }
         for buf in &mut self.out {
             buf.clear();
         }
         for buf in &mut self.out_bytes {
             buf.clear();
         }
+        self.mode = SyncMode::Full;
+        self.prev_mode = SyncMode::Full;
+        self.begun_mode = SyncMode::Full;
         // A clean run consumes every batch it posted (the empty batch *is*
         // the synchronization); anything still queued means the job ended
         // mid-protocol — rebuild instead of reuse.

@@ -15,6 +15,7 @@ use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
 use super::shared::{SharedProc, SharedState};
 use super::NetSimParams;
+use crate::relax::SyncMode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +43,18 @@ pub(crate) struct NetSimProc {
     st: Arc<NetSimState>,
     params: NetSimParams,
     sent_this_step: u64,
+    /// Latency charged at a neighborhood boundary: `params.l_neigh_us` if
+    /// set, else `l_us · (1 + max_degree) / p` — the fraction of the full
+    /// barrier's fan-in a pairwise rendezvous actually pays for.
+    l_neigh_us: f64,
+    /// The sync mode of the boundary currently being crossed. Latched from
+    /// [`ProcTransport::set_sync_mode`] (one boundary only, like the inner
+    /// `SharedProc`) so the injected delay charges `L_neigh` instead of `L`
+    /// on neighborhood boundaries.
+    mode: SyncMode,
+    /// Mode latched at `exchange_begin` for the matching `exchange`.
+    begun_mode: SyncMode,
+    begun: bool,
 }
 
 impl NetSimProc {
@@ -52,11 +65,26 @@ impl NetSimProc {
         chunk: usize,
         params: NetSimParams,
     ) -> Self {
+        let l_neigh_us = if params.l_neigh_us > 0.0 {
+            params.l_neigh_us
+        } else {
+            let p = shared.nprocs().max(1);
+            let deg = shared
+                .relax
+                .as_ref()
+                .map(|rx| rx.graph.max_degree())
+                .unwrap_or(0);
+            params.l_us * (1.0 + deg as f64) / p as f64
+        };
         NetSimProc {
             inner: SharedProc::new(shared, pid, chunk),
             st,
             params,
             sent_this_step: 0,
+            l_neigh_us,
+            mode: SyncMode::Full,
+            begun_mode: SyncMode::Full,
+            begun: false,
         }
     }
 }
@@ -96,6 +124,30 @@ impl ProcTransport for NetSimProc {
         self.inner.send_bytes(dest, bytes);
     }
 
+    fn exchange_begin(&mut self, step: usize) {
+        // Contribute the send count now: the h cell must be fed before this
+        // process's rendezvous arrival, and no sends are legal between
+        // `sync_begin` and `sync_end`. (`exchange` re-contributes a
+        // harmless zero via fetch_max.)
+        let par = step & 1;
+        self.st.slots[par].fetch_max(self.sent_this_step, Ordering::AcqRel);
+        self.sent_this_step = 0;
+        self.begun_mode = std::mem::take(&mut self.mode);
+        self.begun = true;
+        self.inner.set_sync_mode(self.begun_mode);
+        self.inner.exchange_begin(step);
+    }
+
+    fn set_sync_mode(&mut self, mode: SyncMode) {
+        // Latch locally for the delay charge; forwarded to the inner
+        // `SharedProc` at the boundary itself so both latches stay in step.
+        self.mode = mode;
+    }
+
+    fn set_eager(&mut self, on: bool) {
+        self.inner.set_eager(on);
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         let par = step & 1;
         let pid = self.inner.pid;
@@ -106,6 +158,14 @@ impl ProcTransport for NetSimProc {
         // Contribute our send count before the inner barrier...
         self.st.slots[par].fetch_max(self.sent_this_step, Ordering::AcqRel);
         self.sent_this_step = 0;
+        let mode = if self.begun {
+            self.begun = false;
+            self.begun_mode
+        } else {
+            let mode = std::mem::take(&mut self.mode);
+            self.inner.set_sync_mode(mode);
+            mode
+        };
         self.inner.exchange(step, inbox, byte_inbox);
         // ...and our receive count before the second barrier. (recv counts
         // are only known after delivery, so h is finalized here.) Byte-lane
@@ -126,7 +186,14 @@ impl ProcTransport for NetSimProc {
         if pid == 0 {
             self.st.slots[par].store(0, Ordering::Release);
         }
-        let delay_us = self.params.time_scale * (self.params.g_us * h as f64 + self.params.l_us);
+        // A neighborhood boundary pays the (smaller) pairwise-rendezvous
+        // latency; the h term is unchanged — relaxed synchronization spares
+        // the barrier, not the traffic.
+        let l_us = match mode {
+            SyncMode::Full => self.params.l_us,
+            SyncMode::Neighborhood => self.l_neigh_us,
+        };
+        let delay_us = self.params.time_scale * (self.params.g_us * h as f64 + l_us);
         precise_delay(delay_us);
     }
 
@@ -146,6 +213,11 @@ impl ProcTransport for NetSimProc {
             return false;
         }
         self.sent_this_step = 0;
+        // The inner reset declines mid-split, so `begun` is always false
+        // here; clear the mode latches for symmetry with SharedProc.
+        self.mode = SyncMode::Full;
+        self.begun_mode = SyncMode::Full;
+        self.begun = false;
         // A clean run leaves both parity cells at zero (pid 0 clears each
         // after its second barrier); clear defensively anyway — no job is
         // running on this state during an arena reset.

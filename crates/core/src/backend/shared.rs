@@ -24,12 +24,29 @@
 //! write to that phase by at least one barrier, and the barrier provides the
 //! happens-before edge that makes the relaxed cursor arithmetic and the raw
 //! cell writes visible. See DESIGN.md, "Transport hot path".
+//!
+//! ## Relaxed boundaries (DESIGN.md §12)
+//!
+//! A neighborhood boundary replaces the p-wide barrier with a pairwise
+//! rendezvous over the registered sync graph: flush → signal own out-edges
+//! → wait own in-edges → drain. The per-edge Release/Acquire flag carries
+//! the same happens-before the barrier used to provide, but only along
+//! declared edges — which is why every superstep *adjacent* to a
+//! neighborhood boundary (the one it ends and the one it begins) may only
+//! send to graph neighbors or self; the boundary panics with
+//! [`TransportErrorKind::GraphViolation`] otherwise. Split-phase boundaries
+//! move the flush + arrival announcement into `exchange_begin` and keep
+//! only the blocking wait + drain in `exchange`; eager mode deposits at
+//! send time, which the phase discipline already tolerates (mid-step chunk
+//! flushes have always deposited early).
 
 use super::super::barrier::Barrier;
 use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
 use crate::check::audit::PhaseAudit;
+use crate::fault::{BspError, TransportError, TransportErrorKind};
 use crate::pad::CachePadded;
+use crate::relax::{NeighborSync, SyncGraph, SyncMode};
 use crate::stats::TransportCounters;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -369,12 +386,21 @@ pub(crate) struct SharedState {
     /// Shadow-state phase-discipline validator; attached on checked runs
     /// only, so the unchecked hot path pays one predictable branch.
     pub(crate) audit: Option<Arc<PhaseAudit>>,
+    /// Neighborhood-rendezvous state; present iff the run registered a
+    /// sync graph ([`crate::Config::sync_graph`]).
+    pub(crate) relax: Option<RelaxShared>,
+}
+
+/// The sync graph plus its per-edge rendezvous flags.
+pub(crate) struct RelaxShared {
+    pub(crate) graph: Arc<SyncGraph>,
+    pub(crate) neigh: NeighborSync,
 }
 
 impl SharedState {
     #[cfg(test)]
     pub(crate) fn new(nprocs: usize, barrier: Box<dyn Barrier>, slab_cap: usize) -> Arc<Self> {
-        Self::with_audit(nprocs, barrier, slab_cap, None)
+        Self::with_audit(nprocs, barrier, slab_cap, None, None)
     }
 
     pub(crate) fn with_audit(
@@ -382,6 +408,7 @@ impl SharedState {
         barrier: Box<dyn Barrier>,
         slab_cap: usize,
         audit: Option<Arc<PhaseAudit>>,
+        graph: Option<Arc<SyncGraph>>,
     ) -> Arc<Self> {
         let cap = slab_cap.max(1);
         let byte_cap = cap.saturating_mul(PACKET_SIZE);
@@ -394,7 +421,15 @@ impl SharedState {
                 .collect(),
             barrier,
             audit,
+            relax: graph.map(|graph| RelaxShared {
+                neigh: NeighborSync::new(nprocs),
+                graph,
+            }),
         })
+    }
+
+    pub(crate) fn nprocs(&self) -> usize {
+        self.mailboxes.len()
     }
 }
 
@@ -407,6 +442,28 @@ pub(crate) struct SharedProc {
     chunk: usize,
     /// Superstep currently executing (so `send` knows the target phase).
     cur_step: usize,
+    /// Sync mode latched for the next boundary (consumed there).
+    mode: SyncMode,
+    /// Mode of the boundary that ended the previous superstep: the graph
+    /// discipline covers both supersteps adjacent to a neighborhood
+    /// boundary (module docs).
+    prev_mode: SyncMode,
+    /// Mode captured at `exchange_begin` for the in-flight split boundary.
+    begun_mode: SyncMode,
+    /// An `exchange_begin` ran for `cur_step`; `exchange` completes it.
+    begun: bool,
+    /// Eager delivery: deposit sends into destination slabs immediately.
+    eager: bool,
+    /// Monotone neighborhood-rendezvous generation. Advances in lockstep
+    /// across procs (sync-mode congruence) and survives arena reuse, like
+    /// msgpass's `xseq` — the shared flags are never rewound.
+    neigh_gen: u64,
+    /// Destinations this superstep sent traffic to (graph-violation check).
+    sent_dests: Vec<bool>,
+    /// Deferred neighborhood wakes (see [`NeighborSync::signal`]): handed
+    /// to every signal/wait and flushed on finish/reset so no neighbor is
+    /// left sleeping against the park timeout.
+    pending_wakes: Vec<std::thread::Thread>,
     counters: TransportCounters,
 }
 
@@ -419,6 +476,14 @@ impl SharedProc {
             stage: vec![Vec::new(); n],
             chunk: chunk.max(1),
             cur_step: 0,
+            mode: SyncMode::Full,
+            prev_mode: SyncMode::Full,
+            begun_mode: SyncMode::Full,
+            begun: false,
+            eager: false,
+            neigh_gen: 0,
+            sent_dests: vec![false; n],
+            pending_wakes: Vec::new(),
             counters: TransportCounters::default(),
         }
     }
@@ -467,21 +532,58 @@ impl SharedProc {
             self.flush_dest(dest);
         }
     }
+
+    /// Enforce the graph discipline at a boundary: when this boundary or
+    /// the one before it is a neighborhood rendezvous, every destination
+    /// with traffic this superstep must be a graph neighbor (or self) —
+    /// the pairwise flags provide no happens-before edge to anyone else.
+    fn check_graph(&self, mode: SyncMode, step: usize) {
+        if mode == SyncMode::Neighborhood && self.st.relax.is_none() {
+            panic!(
+                "neighborhood sync requested but no sync graph was registered (Config::sync_graph)"
+            );
+        }
+        if mode != SyncMode::Neighborhood && self.prev_mode != SyncMode::Neighborhood {
+            return;
+        }
+        let rx = self
+            .st
+            .relax
+            .as_ref()
+            .expect("prev neighborhood boundary implies a graph");
+        for dest in 0..self.sent_dests.len() {
+            if self.sent_dests[dest] && dest != self.pid && !rx.graph.is_neighbor(self.pid, dest) {
+                std::panic::panic_any(BspError::Transport(TransportError {
+                    pid: self.pid,
+                    peer: Some(dest),
+                    step,
+                    kind: TransportErrorKind::GraphViolation,
+                    detail: format!(
+                        "superstep {} is adjacent to a neighborhood boundary but proc {} \
+                         sent traffic to proc {}, which is not a sync-graph neighbor",
+                        step, self.pid, dest
+                    ),
+                }));
+            }
+        }
+    }
 }
 
 impl ProcTransport for SharedProc {
     fn send(&mut self, dest: usize, pkt: Packet) {
+        self.sent_dests[dest] = true;
         self.stage[dest].push(pkt);
-        if self.stage[dest].len() >= self.chunk {
+        if self.eager || self.stage[dest].len() >= self.chunk {
             self.flush_dest(dest);
         }
     }
 
     fn send_batch(&mut self, dest: usize, pkts: &[Packet]) {
+        self.sent_dests[dest] = true;
         // Small batches ride the staging buffer (better reservation
-        // amortization); large ones go straight to the slab, skipping the
-        // per-packet staging copy entirely.
-        if self.stage[dest].len() + pkts.len() < self.chunk {
+        // amortization); large ones — and every eager batch — go straight
+        // to the slab, skipping the per-packet staging copy entirely.
+        if !self.eager && self.stage[dest].len() + pkts.len() < self.chunk {
             self.stage[dest].extend_from_slice(pkts);
         } else {
             self.flush_dest(dest);
@@ -494,9 +596,11 @@ impl ProcTransport for SharedProc {
     }
 
     fn send_bytes(&mut self, dest: usize, bytes: &[u8]) {
-        // The context hands over a whole superstep's records per destination,
-        // so this is one reservation + one memcpy straight into the
-        // destination's byte slab — no per-message staging.
+        // The context hands over a whole superstep's records per destination
+        // (or, in eager mode, one completed record at a time), so this is
+        // one reservation + one memcpy straight into the destination's byte
+        // slab — no per-message staging.
+        self.sent_dests[dest] = true;
         let phase = self.write_phase();
         if let Some(a) = &self.st.audit {
             a.on_push(self.pid, dest, phase, self.cur_step);
@@ -504,26 +608,120 @@ impl ProcTransport for SharedProc {
         self.st.byte_mailboxes[dest][phase].push(bytes, &mut self.counters);
     }
 
+    fn exchange_begin(&mut self, step: usize) {
+        debug_assert_eq!(step, self.cur_step);
+        debug_assert!(!self.begun, "exchange_begin without a completing exchange");
+        let mode = std::mem::take(&mut self.mode);
+        self.flush_all();
+        self.check_graph(mode, step);
+        match mode {
+            SyncMode::Full => self.st.barrier.arrive(self.pid),
+            SyncMode::Neighborhood => {
+                self.neigh_gen += 1;
+                let rx = self.st.relax.as_ref().expect("checked in check_graph");
+                rx.neigh.signal(
+                    self.pid,
+                    rx.graph.neighbors(self.pid),
+                    self.neigh_gen,
+                    &mut self.pending_wakes,
+                );
+            }
+        }
+        self.begun_mode = mode;
+        self.begun = true;
+    }
+
+    fn set_sync_mode(&mut self, mode: SyncMode) {
+        assert!(
+            mode == SyncMode::Full || self.st.relax.is_some(),
+            "neighborhood sync requested but no sync graph was registered (Config::sync_graph)"
+        );
+        self.mode = mode;
+    }
+
+    fn set_eager(&mut self, on: bool) {
+        self.eager = on;
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         debug_assert_eq!(step, self.cur_step);
-        self.flush_all();
-        self.st.barrier.wait(self.pid);
-        if self.st.barrier.is_poisoned() {
-            // A peer died; the barrier released us without the all-arrived
-            // guarantee, so the inboxes are unusable. Surface a structured
-            // error instead of computing on garbage or deadlocking.
+        let mode;
+        let ok = if self.begun {
+            // Second half of a split boundary: the flush and the arrival
+            // announcement already happened in exchange_begin.
+            self.begun = false;
+            mode = self.begun_mode;
+            match mode {
+                SyncMode::Full => {
+                    self.st.barrier.complete(self.pid);
+                    !self.st.barrier.is_poisoned()
+                }
+                SyncMode::Neighborhood => {
+                    let rx = self.st.relax.as_ref().expect("begun in neighborhood mode");
+                    rx.neigh.wait(
+                        self.pid,
+                        rx.graph.neighbors(self.pid),
+                        self.neigh_gen,
+                        &mut self.pending_wakes,
+                    )
+                }
+            }
+        } else {
+            mode = std::mem::take(&mut self.mode);
+            self.flush_all();
+            self.check_graph(mode, step);
+            match mode {
+                SyncMode::Full => {
+                    self.st.barrier.wait(self.pid);
+                    !self.st.barrier.is_poisoned()
+                }
+                SyncMode::Neighborhood => {
+                    // Pairwise rendezvous: signal own out-edges, wait own
+                    // in-edges. Release/Acquire on the per-edge flags gives
+                    // neighbors the same happens-before the barrier did.
+                    self.neigh_gen += 1;
+                    let rx = self.st.relax.as_ref().expect("checked in check_graph");
+                    rx.neigh.signal(
+                        self.pid,
+                        rx.graph.neighbors(self.pid),
+                        self.neigh_gen,
+                        &mut self.pending_wakes,
+                    );
+                    rx.neigh.wait(
+                        self.pid,
+                        rx.graph.neighbors(self.pid),
+                        self.neigh_gen,
+                        &mut self.pending_wakes,
+                    )
+                }
+            }
+        };
+        if !ok {
+            // A peer died; the rendezvous released us without the
+            // all-arrived guarantee, so the inboxes are unusable. Surface a
+            // structured error instead of computing on garbage or
+            // deadlocking.
             std::panic::panic_any(crate::fault::BspError::PeerFailed {
                 pid: self.pid,
                 step,
-                detail: "a peer process panicked before reaching the superstep barrier".to_string(),
+                detail: "a peer process panicked before reaching the superstep boundary"
+                    .to_string(),
             });
         }
         self.drain_own(step, inbox, byte_inbox);
+        self.prev_mode = mode;
+        self.sent_dests.iter_mut().for_each(|d| *d = false);
         self.cur_step = step + 1;
     }
 
     fn finish(&mut self) {
-        // Superstep alignment is the program's contract; nothing to do.
+        // Superstep alignment is the program's contract; the only cleanup
+        // is delivering wakes deferred at the final boundary — this
+        // processor will never signal again, so a neighbor parked on the
+        // last crossing would otherwise ride out the park timeout.
+        if let Some(rx) = &self.st.relax {
+            rx.neigh.flush(&mut self.pending_wakes);
+        }
     }
 
     fn counters(&self) -> TransportCounters {
@@ -532,13 +730,26 @@ impl ProcTransport for SharedProc {
 
     fn poison(&mut self) {
         self.st.barrier.poison();
+        if let Some(rx) = &self.st.relax {
+            rx.neigh.poison();
+        }
     }
 
     fn reset(&mut self) -> bool {
         // A poisoned barrier is permanently failed (one-way flag); the whole
-        // group must be rebuilt, never reused.
-        if self.st.barrier.is_poisoned() {
+        // group must be rebuilt, never reused. A proc parked mid-split
+        // (exchange_begin without its exchange) is mid-protocol: peers may
+        // still drain against its arrival, so decline reuse.
+        if self.st.barrier.is_poisoned() || self.begun {
             return false;
+        }
+        if let Some(rx) = &self.st.relax {
+            if rx.neigh.is_poisoned() {
+                return false;
+            }
+            // Normally emptied by finish(); flush defensively so a leased
+            // transport never carries wakes into the next job.
+            rx.neigh.flush(&mut self.pending_wakes);
         }
         for buf in &mut self.stage {
             buf.clear();
@@ -554,6 +765,15 @@ impl ProcTransport for SharedProc {
             mb.reset();
         }
         self.cur_step = 0;
+        self.mode = SyncMode::Full;
+        self.prev_mode = SyncMode::Full;
+        self.begun_mode = SyncMode::Full;
+        self.eager = false;
+        self.sent_dests.iter_mut().for_each(|d| *d = false);
+        // `neigh_gen` is deliberately NOT rewound: the shared per-edge
+        // flags are monotone across the arena's lifetime (like msgpass's
+        // xseq), so a reused endpoint must keep counting from where the
+        // fabric is.
         // Counters are per-run quantities (tests assert exact totals), not
         // per-endpoint lifetime totals.
         self.counters = TransportCounters::default();

@@ -17,6 +17,7 @@ use super::super::context::ProcTransport;
 use super::super::packet::{Packet, PACKET_SIZE};
 use super::msgpass::{batch_checksum, Batch};
 use crate::fault::{BspError, FaultTolerance, TransportError, TransportErrorKind};
+use crate::relax::{SyncGraph, SyncMode};
 use crate::stats::TransportCounters;
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
@@ -116,6 +117,12 @@ pub(crate) struct TcpSimProc {
     timeout: Duration,
     /// Exchanges completed — the sequence number stamped on outgoing batches.
     xseq: u64,
+    /// Registered sync graph (None = neighborhood boundaries unavailable).
+    graph: Option<Arc<SyncGraph>>,
+    /// Sync mode latched for the next boundary (consumed there).
+    mode: SyncMode,
+    /// Mode of the previous boundary (adjacent-boundary graph discipline).
+    prev_mode: SyncMode,
     counters: TransportCounters,
 }
 
@@ -124,7 +131,11 @@ impl TcpSimProc {
     /// ordered pair — a sender that races ahead blocks, like a TCP socket
     /// with a full window. With `tol` set, frames are verified on receipt
     /// and retransmitted on a negative ack (bounded exponential backoff).
-    pub(crate) fn create_all(nprocs: usize, tol: Option<&FaultTolerance>) -> Vec<TcpSimProc> {
+    pub(crate) fn create_all(
+        nprocs: usize,
+        tol: Option<&FaultTolerance>,
+        graph: Option<Arc<SyncGraph>>,
+    ) -> Vec<TcpSimProc> {
         let schedule = Arc::new(Schedule::round_robin(nprocs));
         let mut tx: Vec<Vec<Option<SyncSender<Batch>>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| None).collect())
@@ -174,9 +185,40 @@ impl TcpSimProc {
                 max_retries,
                 timeout,
                 xseq: 0,
+                graph: graph.clone(),
+                mode: SyncMode::Full,
+                prev_mode: SyncMode::Full,
                 counters: TransportCounters::default(),
             })
             .collect()
+    }
+
+    /// Adjacent-boundary graph discipline (see the shared backend): staged
+    /// traffic to a non-neighbor is illegal when this boundary or the
+    /// previous one is a neighborhood boundary.
+    fn check_graph(&self, mode: SyncMode, step: usize) {
+        if mode != SyncMode::Neighborhood && self.prev_mode != SyncMode::Neighborhood {
+            return;
+        }
+        let graph = self
+            .graph
+            .as_ref()
+            .expect("neighborhood boundary implies a registered sync graph");
+        for dest in 0..self.out.len() {
+            let sent = !self.out[dest].is_empty() || !self.out_bytes[dest].is_empty();
+            if sent && dest != self.pid && !graph.is_neighbor(self.pid, dest) {
+                self.fail(
+                    dest,
+                    step,
+                    TransportErrorKind::GraphViolation,
+                    format!(
+                        "superstep {} is adjacent to a neighborhood boundary but proc {} \
+                         sent traffic to proc {}, which is not a sync-graph neighbor",
+                        step, self.pid, dest
+                    ),
+                );
+            }
+        }
     }
 
     /// Panic with a structured transport error (caught by [`crate::try_run`]
@@ -351,7 +393,17 @@ impl ProcTransport for TcpSimProc {
         self.out_bytes[dest].extend_from_slice(bytes);
     }
 
+    fn set_sync_mode(&mut self, mode: SyncMode) {
+        assert!(
+            mode == SyncMode::Full || self.graph.is_some(),
+            "neighborhood synchronization requires Config::sync_graph"
+        );
+        self.mode = mode;
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
+        let mode = std::mem::take(&mut self.mode);
+        self.check_graph(mode, step);
         // Self-delivery first (`append` keeps the buffers' allocations).
         self.counters.pkts_moved += self.out[self.pid].len() as u64;
         self.counters.bytes_moved += (self.out[self.pid].len() * PACKET_SIZE) as u64;
@@ -360,11 +412,26 @@ impl ProcTransport for TcpSimProc {
         // Staged conversation: in each round talk to exactly one partner.
         // Lower pid transmits first; the partner reads the pipe before
         // replying — the scheduling that avoids blocking-TCP deadlock.
+        //
+        // A neighborhood boundary runs the same schedule but skips every
+        // round whose partner is not a sync-graph neighbor: mode congruence
+        // means both ends of a pairing agree on whether their round runs,
+        // so the matching stays deadlock-free and only the graph's edges
+        // rendezvous (the conversation, even empty, is the pairwise sync).
         let schedule = Arc::clone(&self.schedule);
         for round in &schedule.rounds {
             let partner = round[self.pid];
             if partner == self.pid {
                 continue; // bye
+            }
+            if mode == SyncMode::Neighborhood
+                && !self
+                    .graph
+                    .as_ref()
+                    .expect("checked in check_graph")
+                    .is_neighbor(self.pid, partner)
+            {
+                continue; // relaxed boundary: no rendezvous with non-neighbors
             }
             // Pre-size the replacement buffers from this superstep's volume;
             // the outgoing allocations travel to the partner.
@@ -402,6 +469,7 @@ impl ProcTransport for TcpSimProc {
             }
         }
         self.xseq += 1;
+        self.prev_mode = mode;
     }
 
     fn finish(&mut self) {}
@@ -431,6 +499,8 @@ impl ProcTransport for TcpSimProc {
         }
         // `xseq` keeps counting across jobs (monotone generation tag; the
         // whole group completed the same number of exchanges).
+        self.mode = SyncMode::Full;
+        self.prev_mode = SyncMode::Full;
         self.counters = TransportCounters::default();
         true
     }
@@ -563,7 +633,7 @@ mod tests {
     #[test]
     fn nack_triggers_retransmission_and_recovers() {
         let tol = FaultTolerance::default();
-        let mut procs = TcpSimProc::create_all(2, Some(&tol));
+        let mut procs = TcpSimProc::create_all(2, Some(&tol), None);
         let mut p1 = procs.pop().unwrap();
         let mut p0 = procs.pop().unwrap();
         // Corrupt the pipe 0 -> 1 for the first frame only: steal proc 1's

@@ -19,7 +19,7 @@ use std::sync::{Condvar, Mutex};
 const SPIN_LIMIT: u32 = 128;
 
 #[inline]
-fn spin_wait(spins: &mut u32) {
+pub(crate) fn spin_wait(spins: &mut u32) {
     if *spins < SPIN_LIMIT {
         std::hint::spin_loop();
         *spins += 1;
@@ -38,6 +38,24 @@ pub trait Barrier: Send + Sync {
     /// *without* the usual all-arrived guarantee. Callers that care must
     /// check [`is_poisoned`](Barrier::is_poisoned) after every crossing.
     fn wait(&self, pid: usize);
+    /// Split-phase arrival: announce this participant has reached the
+    /// barrier *without* blocking for the others, so the caller can keep
+    /// computing on local data and block later in
+    /// [`complete`](Barrier::complete). `arrive` + `complete` is
+    /// observationally equivalent to one [`wait`](Barrier::wait), and the
+    /// two styles may be mixed across participants in the same crossing.
+    /// At most one arrival may be outstanding per participant.
+    ///
+    /// The default is a no-op (all the work happens in `complete`), which
+    /// is always correct — it simply forfeits the overlap.
+    fn arrive(&self, _pid: usize) {}
+    /// Second half of a split-phase crossing: block until every
+    /// participant has arrived at the generation this participant
+    /// [`arrive`](Barrier::arrive)d at. Defaults to a full
+    /// [`wait`](Barrier::wait), matching the no-op default `arrive`.
+    fn complete(&self, pid: usize) {
+        self.wait(pid);
+    }
     /// Number of participants.
     fn parties(&self) -> usize;
     /// Mark the barrier as dead: a participant has panicked and will never
@@ -82,6 +100,10 @@ pub struct CentralBarrier {
     state: Mutex<(usize, u64)>, // (arrived, generation)
     cv: Condvar,
     poisoned: AtomicBool,
+    /// Per-participant generation recorded at [`arrive`](Barrier::arrive)
+    /// time, so [`complete`](Barrier::complete) knows which generation to
+    /// wait out. Only touched by its own pid between arrive and complete.
+    arrive_gen: Vec<CachePadded<AtomicU64>>,
 }
 
 impl CentralBarrier {
@@ -93,6 +115,9 @@ impl CentralBarrier {
             state: Mutex::new((0, 0)),
             cv: Condvar::new(),
             poisoned: AtomicBool::new(false),
+            arrive_gen: (0..p)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 }
@@ -113,6 +138,34 @@ impl Barrier for CentralBarrier {
             while st.1 == gen && !self.poisoned.load(Ordering::Acquire) {
                 st = self.cv.wait(st).unwrap();
             }
+        }
+    }
+
+    fn arrive(&self, pid: usize) {
+        if self.poisoned.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        // Record the generation being completed *before* a possible
+        // advance: if we are the last arriver, complete() sees st.1 has
+        // already moved past it and returns without blocking.
+        self.arrive_gen[pid].0.store(st.1, Ordering::Relaxed);
+        st.0 += 1;
+        if st.0 == self.parties {
+            st.0 = 0;
+            st.1 = st.1.wrapping_add(1);
+            self.cv.notify_all();
+        }
+    }
+
+    fn complete(&self, pid: usize) {
+        if self.poisoned.load(Ordering::Acquire) {
+            return;
+        }
+        let gen = self.arrive_gen[pid].0.load(Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        while st.1 == gen && !self.poisoned.load(Ordering::Acquire) {
+            st = self.cv.wait(st).unwrap();
         }
     }
 
@@ -184,6 +237,35 @@ impl Barrier for FlagBarrier {
         } else {
             let gen = self.flags[pid].0.load(Ordering::Relaxed) + 1;
             self.flags[pid].0.store(gen, Ordering::Release);
+            let mut spins = 0;
+            while self.flags[0].0.load(Ordering::Acquire) < gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return;
+                }
+                spin_wait(&mut spins);
+            }
+        }
+    }
+
+    fn arrive(&self, pid: usize) {
+        // The coordinator's "arrival" is inseparable from its wait-for-all
+        // loop, so it overlaps nothing; everyone else raises their flag now
+        // and spins on flag 0 only in complete().
+        if self.flags.len() > 1 && pid != 0 {
+            let gen = self.flags[pid].0.load(Ordering::Relaxed) + 1;
+            self.flags[pid].0.store(gen, Ordering::Release);
+        }
+    }
+
+    fn complete(&self, pid: usize) {
+        let p = self.flags.len();
+        if p == 1 {
+            return;
+        }
+        if pid == 0 {
+            self.wait(0); // the full coordinator sequence
+        } else {
+            let gen = self.flags[pid].0.load(Ordering::Relaxed);
             let mut spins = 0;
             while self.flags[0].0.load(Ordering::Acquire) < gen {
                 if self.poisoned.load(Ordering::Acquire) {
@@ -508,6 +590,65 @@ mod tests {
                 });
             });
         }
+    }
+
+    /// Split-phase crossings must be observationally equivalent to plain
+    /// waits, including when the two styles are mixed in one crossing:
+    /// after complete(), every participant has reached the generation.
+    fn split_phase_stress(barrier: Arc<dyn Barrier>, p: usize, gens: usize) {
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..p).map(|_| AtomicUsize::new(0)).collect());
+        std::thread::scope(|s| {
+            for pid in 0..p {
+                let b = Arc::clone(&barrier);
+                let c = Arc::clone(&counters);
+                s.spawn(move || {
+                    for g in 0..gens {
+                        c[pid].store(g, Ordering::SeqCst);
+                        if (pid + g) % 2 == 0 {
+                            b.arrive(pid);
+                            // Overlap window: local-only work goes here.
+                            b.complete(pid);
+                        } else {
+                            b.wait(pid);
+                        }
+                        for other in c.iter() {
+                            let o = other.load(Ordering::SeqCst);
+                            assert!(o == g || o == g + 1, "gen skew: {} vs {}", o, g);
+                        }
+                        b.wait(pid);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn split_phase_matches_wait_on_all_kinds() {
+        for kind in [
+            BarrierKind::Central,
+            BarrierKind::Flag,
+            BarrierKind::Tree,
+            BarrierKind::Dissemination,
+        ] {
+            for p in [1, 2, 3, 8] {
+                split_phase_stress(Arc::from(kind.build(p)), p, 60);
+            }
+        }
+    }
+
+    /// The last arriver advances the generation inside arrive(); its own
+    /// complete() must then return without blocking (the overlap window is
+    /// free for whoever arrives last).
+    #[test]
+    fn last_arriver_completes_without_blocking() {
+        let b = CentralBarrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| b.wait(0));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            b.arrive(1); // releases pid 0
+            b.complete(1); // must not deadlock waiting on an old generation
+        });
     }
 
     #[test]

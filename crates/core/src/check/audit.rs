@@ -248,6 +248,19 @@ impl ProcTransport for Box<dyn ProcTransport> {
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         (**self).exchange(step, inbox, byte_inbox)
     }
+    // The relaxed-synchronization hooks must forward explicitly: this impl
+    // shadows the inner type's methods, and the trait defaults are no-ops —
+    // without these, split-phase, neighborhood, and eager requests from
+    // `Ctx` would silently never reach any backend.
+    fn exchange_begin(&mut self, step: usize) {
+        (**self).exchange_begin(step)
+    }
+    fn set_sync_mode(&mut self, mode: crate::relax::SyncMode) {
+        (**self).set_sync_mode(mode)
+    }
+    fn set_eager(&mut self, on: bool) {
+        (**self).set_eager(on)
+    }
     fn finish(&mut self) {
         (**self).finish()
     }
@@ -282,10 +295,25 @@ pub(crate) struct CheckedBackend<B: ProcTransport> {
     /// Byte-lane bytes sent per destination during the current superstep.
     sent_bytes_to: Vec<u64>,
     step: usize,
+    /// The run's sync graph, for the graph-violation check. The checker
+    /// records the program's declared sync modes but the inner backend
+    /// always runs full boundaries (see `set_sync_mode`), so this wrapper
+    /// must re-derive the discipline the relaxed fast path would enforce.
+    graph: Option<Arc<crate::relax::SyncGraph>>,
+    /// Mode the program declared for the next boundary.
+    mode: crate::relax::SyncMode,
+    /// Mode declared for the previous boundary (adjacent-boundary rule).
+    prev_mode: crate::relax::SyncMode,
 }
 
 impl<B: ProcTransport> CheckedBackend<B> {
-    pub(crate) fn new(inner: B, shared: Arc<CheckShared>, pid: usize, nprocs: usize) -> Self {
+    pub(crate) fn new(
+        inner: B,
+        shared: Arc<CheckShared>,
+        pid: usize,
+        nprocs: usize,
+        graph: Option<Arc<crate::relax::SyncGraph>>,
+    ) -> Self {
         CheckedBackend {
             inner,
             shared,
@@ -293,6 +321,44 @@ impl<B: ProcTransport> CheckedBackend<B> {
             sent_to: vec![0; nprocs],
             sent_bytes_to: vec![0; nprocs],
             step: 0,
+            graph,
+            mode: crate::relax::SyncMode::Full,
+            prev_mode: crate::relax::SyncMode::Full,
+        }
+    }
+
+    /// File a [`CheckKind::GraphViolatingSend`] for every destination this
+    /// superstep sent to that the adjacent-boundary discipline forbids.
+    /// Diagnostic, not fatal: the inner backend ran a full boundary, so the
+    /// run's results are still well-defined — but the same program on an
+    /// unchecked relaxed run would race or panic.
+    fn check_graph(&self, mode: crate::relax::SyncMode, step: usize) {
+        use crate::relax::SyncMode;
+        if mode != SyncMode::Neighborhood && self.prev_mode != SyncMode::Neighborhood {
+            return;
+        }
+        let Some(graph) = self.graph.as_ref() else {
+            return; // the backend's own assert already rejects this config
+        };
+        for dest in 0..self.sent_to.len() {
+            let sent = self.sent_to[dest] > 0 || self.sent_bytes_to[dest] > 0;
+            if sent && dest != self.pid && !graph.is_neighbor(self.pid, dest) {
+                report(
+                    &self.shared.sink,
+                    CheckReport {
+                        kind: CheckKind::GraphViolatingSend,
+                        pid: self.pid,
+                        step,
+                        related_step: None,
+                        detail: format!(
+                            "superstep {} is adjacent to a neighborhood boundary but proc {} \
+                             sent {} packet(s) and {} byte-lane byte(s) to proc {}, which is \
+                             not a sync-graph neighbor",
+                            step, self.pid, self.sent_to[dest], self.sent_bytes_to[dest], dest
+                        ),
+                    },
+                );
+            }
         }
     }
 }
@@ -317,9 +383,39 @@ impl<B: ProcTransport> ProcTransport for CheckedBackend<B> {
         self.inner.send_bytes(dest, bytes);
     }
 
+    fn exchange_begin(&mut self, _step: usize) {
+        // Deliberately NOT forwarded: the conservation ledger must publish
+        // this superstep's counts before the boundary rendezvous, and that
+        // happens in `exchange`. Collapsing the split boundary into one
+        // full exchange at `sync_end` is semantically a legal (stronger)
+        // implementation of split-phase sync.
+    }
+
+    fn set_sync_mode(&mut self, mode: crate::relax::SyncMode) {
+        // Record the program's declared mode for the graph check, but never
+        // forward `Neighborhood`: the inner backend runs every boundary at
+        // full strength, so the conservation ledger's cross-process
+        // happens-before argument (publish before the boundary, read after
+        // it) keeps holding unchanged under checking.
+        assert!(
+            mode == crate::relax::SyncMode::Full || self.graph.is_some(),
+            "neighborhood synchronization requires Config::sync_graph"
+        );
+        self.mode = mode;
+    }
+
+    fn set_eager(&mut self, on: bool) {
+        // Forwarded: eager delivery changes *when* deposits happen, not the
+        // boundary protocol, so the checked run exercises the real path.
+        self.inner.set_eager(on)
+    }
+
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>) {
         debug_assert_eq!(step, self.step, "transport driven out of order");
         let phase = step & 1;
+        let mode = std::mem::take(&mut self.mode);
+        self.check_graph(mode, step);
+        self.prev_mode = mode;
         // Publish this superstep's per-destination counts before entering
         // the boundary synchronization, so every peer's counts are visible
         // to the destination when its inner exchange returns.

@@ -79,6 +79,12 @@ pub enum CheckKind {
     /// (checksums, sequence numbers, count verification) is not observing
     /// the lane the fault landed on.
     FaultUndetected,
+    /// A superstep adjacent to a neighborhood boundary sent traffic to a
+    /// process outside the registered sync graph. Without an intervening
+    /// full barrier there is no happens-before edge ordering that traffic
+    /// against the destination's slab maintenance, so the send is illegal
+    /// even if it happens to arrive (see DESIGN.md §12).
+    GraphViolatingSend,
 }
 
 impl fmt::Display for CheckKind {
@@ -95,6 +101,7 @@ impl fmt::Display for CheckKind {
             CheckKind::PhaseDiscipline => "phase-discipline",
             CheckKind::MessageFraming => "message-framing",
             CheckKind::FaultUndetected => "fault-undetected",
+            CheckKind::GraphViolatingSend => "graph-violating-send",
         };
         f.write_str(s)
     }

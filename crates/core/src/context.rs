@@ -13,11 +13,12 @@ use crate::check::{
 };
 use crate::fault::FaultCounters;
 use crate::packet::Packet;
+use crate::relax::SyncMode;
 use crate::stats::{LocalStep, TransportCounters};
 use std::panic::Location;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Length of a byte-lane record header: `[u32 src LE | u32 len LE]`,
 /// followed by `len` payload bytes. Records are packed densely in the lane
@@ -46,14 +47,43 @@ pub(crate) trait ProcTransport: Send {
     /// Queue a buffer of byte-lane records (complete `[src|len|payload]`
     /// frames, already packed back to back) for `dest`. [`Ctx::sync`] calls
     /// this at most once per destination per superstep with the whole
-    /// superstep's staged traffic, so a backend pays one reservation or one
-    /// buffer append per destination, never one per message.
+    /// superstep's staged traffic; eager mode ([`Ctx::set_eager`]) instead
+    /// calls it once per *record* as each message is finished. Either way a
+    /// backend must append — repeated calls for one destination in one
+    /// superstep accumulate.
     fn send_bytes(&mut self, dest: usize, bytes: &[u8]);
+
+    /// First half of a split-phase boundary for superstep `step`: flush
+    /// queued traffic and *announce* arrival at the rendezvous without
+    /// blocking for peers, so the caller can overlap local compute before
+    /// [`exchange`](ProcTransport::exchange) completes the crossing. After
+    /// `exchange_begin`, no further sends may arrive until the matching
+    /// `exchange`. The default is a no-op — `exchange` alone is always a
+    /// correct (if overlap-free) implementation of the pair.
+    fn exchange_begin(&mut self, _step: usize) {}
+
+    /// Select the synchronization discipline for the *next* exchange only;
+    /// the mode reverts to [`SyncMode::Full`] once that exchange completes.
+    /// [`SyncMode::Neighborhood`] requires a sync graph registered at
+    /// construction ([`crate::Config::sync_graph`]); backends without one
+    /// panic. The default ignores the request, which is semantically safe:
+    /// a full barrier strictly strengthens a neighborhood rendezvous.
+    fn set_sync_mode(&mut self, _mode: SyncMode) {}
+
+    /// Toggle eager per-destination delivery: when on, sends may be pushed
+    /// into the destination's standby buffers while the superstep is still
+    /// computing instead of being staged locally until the boundary. Sticky
+    /// until toggled again. Purely an optimization hint — delivery timing
+    /// (readable in superstep `s + 1`) is unchanged, so the default no-op
+    /// is correct.
+    fn set_eager(&mut self, _on: bool) {}
 
     /// Complete superstep `step` (0-based): flush queued packets, perform the
     /// global synchronization, and append the packets addressed to this
     /// process during `step` to `inbox` (and the byte-lane records to
-    /// `byte_inbox`).
+    /// `byte_inbox`). When an [`exchange_begin`](ProcTransport::exchange_begin)
+    /// for the same step already ran, this is the second half of the
+    /// split-phase pair and must not re-flush.
     fn exchange(&mut self, step: usize, inbox: &mut Vec<Packet>, byte_inbox: &mut Vec<u8>);
 
     /// The user function returned. Transports that serialize execution use
@@ -138,6 +168,19 @@ pub struct Ctx {
     sent_bytes_this_step: u64,
     work_units: u64,
     step_start: Instant,
+    /// True between [`Ctx::sync_begin`] and [`Ctx::sync_end`]: sends are
+    /// forbidden in the overlap window (the exchange is already in flight).
+    in_split: bool,
+    /// Eager per-destination delivery ([`Ctx::set_eager`]): byte-lane
+    /// records flush to the transport as each message completes instead of
+    /// being staged until the boundary.
+    eager: bool,
+    /// Compute time accumulated up to `sync_begin`, completed by the
+    /// overlap window's time at `sync_end`.
+    pending_compute: Duration,
+    /// Time spent inside `exchange_begin`, added to the boundary's
+    /// `sync_wait` at `sync_end`.
+    pending_wait: Duration,
     pub(crate) log: Vec<LocalStep>,
     next_msg_id: u16,
     /// True while the legacy fragmentation layer is emitting its packets, so
@@ -160,6 +203,9 @@ pub struct MsgWriter<'a> {
     /// Offset of this record's header in `buf`.
     start: usize,
     sent_bytes: &'a mut u64,
+    /// Eager delivery ([`Ctx::set_eager`]): flush this record straight to
+    /// the transport when the writer drops, leaving nothing staged.
+    eager: Option<(&'a mut Box<dyn ProcTransport>, usize)>,
 }
 
 impl MsgWriter<'_> {
@@ -212,6 +258,14 @@ impl Drop for MsgWriter<'_> {
         assert!(len <= u32::MAX as usize, "message too large: {} bytes", len);
         self.buf[self.start + 4..self.start + MSG_HDR].copy_from_slice(&(len as u32).to_le_bytes());
         *self.sent_bytes += (MSG_HDR + len) as u64;
+        if let Some((transport, dest)) = self.eager.as_mut() {
+            // Eager delivery: the record is complete, hand it to the
+            // transport now and unstage it. Delivery timing is unchanged —
+            // the bytes become readable at `dest` only after the next
+            // boundary — but the boundary itself has nothing left to move.
+            transport.send_bytes(*dest, &self.buf[self.start..]);
+            self.buf.truncate(self.start);
+        }
     }
 }
 
@@ -233,6 +287,10 @@ impl Ctx {
             sent_bytes_this_step: 0,
             work_units: 0,
             step_start: Instant::now(),
+            in_split: false,
+            eager: false,
+            pending_compute: Duration::ZERO,
+            pending_wait: Duration::ZERO,
             log: Vec::new(),
             next_msg_id: 0,
             in_msg_send: false,
@@ -270,6 +328,10 @@ impl Ctx {
         self.sent_bytes_this_step = 0;
         self.work_units = 0;
         self.step_start = Instant::now();
+        self.in_split = false;
+        self.eager = false;
+        self.pending_compute = Duration::ZERO;
+        self.pending_wait = Duration::ZERO;
         self.log.clear();
         self.next_msg_id = 0;
         self.in_msg_send = false;
@@ -282,6 +344,11 @@ impl Ctx {
     /// in `S` (e.g. the 1-processor matrix multiplication has `S = 1` with no
     /// synchronizations at all).
     pub(crate) fn finalize(&mut self) {
+        assert!(
+            !self.in_split,
+            "proc {} returned between sync_begin and sync_end",
+            self.pid
+        );
         let compute = self.step_start.elapsed();
         // Packets sent after the last sync have no delivery boundary left.
         // They are recorded in this final LocalStep and surfaced as
@@ -294,6 +361,7 @@ impl Ctx {
             recv_bytes: 0,
             compute,
             work_units: self.work_units,
+            sync_wait: Duration::ZERO,
         });
         self.transport.finish();
     }
@@ -322,6 +390,7 @@ impl Ctx {
     #[track_caller]
     pub fn send_pkt(&mut self, dest: usize, pkt: Packet) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        assert!(!self.in_split, "send_pkt between sync_begin and sync_end");
         self.sent_this_step += 1;
         if let Some(c) = &mut self.check {
             c.record_send(self.step, dest, Location::caller(), 1);
@@ -339,6 +408,7 @@ impl Ctx {
     #[track_caller]
     pub fn send_pkts(&mut self, dest: usize, pkts: &[Packet]) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        assert!(!self.in_split, "send_pkts between sync_begin and sync_end");
         self.sent_this_step += pkts.len() as u64;
         if let Some(c) = &mut self.check {
             c.record_send(self.step, dest, Location::caller(), pkts.len() as u64);
@@ -358,6 +428,7 @@ impl Ctx {
     #[inline]
     pub fn send_bytes(&mut self, dest: usize, payload: &[u8]) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        assert!(!self.in_split, "send_bytes between sync_begin and sync_end");
         assert!(
             payload.len() <= u32::MAX as usize,
             "message too large: {} bytes",
@@ -367,10 +438,19 @@ impl Ctx {
         if let Some(c) = &mut self.check {
             c.record_lane(self.step, LANE_BYTES);
         }
+        let pid = self.pid;
         let buf = &mut self.byte_out[dest];
-        buf.extend_from_slice(&(self.pid as u32).to_le_bytes());
+        let start = buf.len();
+        buf.extend_from_slice(&(pid as u32).to_le_bytes());
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(payload);
+        if self.eager {
+            // Eager delivery: hand the completed record to the transport
+            // now and unstage it (see MsgWriter::drop).
+            self.transport
+                .send_bytes(dest, &self.byte_out[dest][start..]);
+            self.byte_out[dest].truncate(start);
+        }
     }
 
     /// Open one byte-lane message to `dest` for in-place serialization:
@@ -380,17 +460,29 @@ impl Ctx {
     /// [`Ctx::send_bytes`], without the intermediate allocation and copy.
     pub fn msg_writer(&mut self, dest: usize) -> MsgWriter<'_> {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
+        assert!(!self.in_split, "msg_writer between sync_begin and sync_end");
         if let Some(c) = &mut self.check {
             c.record_lane(self.step, LANE_BYTES);
         }
-        let buf = &mut self.byte_out[dest];
+        let pid = self.pid;
+        let eager = self.eager;
+        // Split borrow: the writer holds the staging buffer and (in eager
+        // mode) the transport; the two fields never alias.
+        let Ctx {
+            byte_out,
+            transport,
+            sent_bytes_this_step,
+            ..
+        } = self;
+        let buf = &mut byte_out[dest];
         let start = buf.len();
-        buf.extend_from_slice(&(self.pid as u32).to_le_bytes());
+        buf.extend_from_slice(&(pid as u32).to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
         MsgWriter {
             buf,
             start,
-            sent_bytes: &mut self.sent_bytes_this_step,
+            sent_bytes: sent_bytes_this_step,
+            eager: eager.then_some((transport, dest)),
         }
     }
 
@@ -468,7 +560,14 @@ impl Ctx {
     /// Barrier-synchronize all processes and deliver the packets sent during
     /// the superstep that just ended (the paper's `bspSynch`). Unread packets
     /// from the previous superstep are discarded.
+    ///
+    /// Semantically this is [`Ctx::sync_begin`] immediately followed by
+    /// [`Ctx::sync_end`] — a split-phase boundary with an empty overlap
+    /// window — but the bulk path stays fused so unconverted programs pay
+    /// exactly what they always did (one `exchange`, no extra rendezvous
+    /// traffic).
     pub fn sync(&mut self) {
+        assert!(!self.in_split, "sync between sync_begin and sync_end");
         let compute = self.step_start.elapsed();
         let sent = self.sent_this_step;
         let sent_bytes = self.sent_bytes_this_step;
@@ -490,8 +589,97 @@ impl Ctx {
         std::mem::swap(&mut self.byte_inbox, &mut self.byte_spare);
         self.byte_inbox.clear();
         self.byte_pos = 0;
+        let boundary = Instant::now();
         self.transport
             .exchange(self.step, &mut self.inbox, &mut self.byte_inbox);
+        let sync_wait = boundary.elapsed();
+        self.close_step(sent, sent_bytes, compute, sync_wait);
+    }
+
+    /// First half of a split-phase boundary: flush this superstep's sends
+    /// and announce arrival at the rendezvous *without* blocking for peers.
+    /// Between `sync_begin` and [`Ctx::sync_end`] the process may keep
+    /// computing on local data — including reading the *current*
+    /// superstep's delivered packets, which stay valid until `sync_end` —
+    /// but must not send ([`Ctx::send_pkt`] and friends panic).
+    pub fn sync_begin(&mut self) {
+        assert!(!self.in_split, "sync_begin called twice without sync_end");
+        self.in_split = true;
+        self.pending_compute = self.step_start.elapsed();
+        for dest in 0..self.nprocs {
+            if !self.byte_out[dest].is_empty() {
+                self.transport.send_bytes(dest, &self.byte_out[dest]);
+                self.byte_out[dest].clear();
+            }
+        }
+        let boundary = Instant::now();
+        self.transport.exchange_begin(self.step);
+        self.pending_wait = boundary.elapsed();
+        // Reopen the clock: the overlap window is local computation and
+        // belongs to the superstep being closed.
+        self.step_start = Instant::now();
+    }
+
+    /// Second half of a split-phase boundary: block until every peer has
+    /// arrived, then deliver the packets sent during the superstep that
+    /// just ended. Must follow a [`Ctx::sync_begin`]; `sync_begin` +
+    /// `sync_end` is observationally equivalent to one [`Ctx::sync`].
+    pub fn sync_end(&mut self) {
+        assert!(self.in_split, "sync_end without sync_begin");
+        self.in_split = false;
+        let compute = self.pending_compute + self.step_start.elapsed();
+        let sent = self.sent_this_step;
+        let sent_bytes = self.sent_bytes_this_step;
+        // The inbox swap happens here, not at sync_begin, so the previous
+        // superstep's deliveries stay readable through the overlap window.
+        std::mem::swap(&mut self.inbox, &mut self.spare);
+        self.inbox.clear();
+        self.inbox_pos = 0;
+        std::mem::swap(&mut self.byte_inbox, &mut self.byte_spare);
+        self.byte_inbox.clear();
+        self.byte_pos = 0;
+        let boundary = Instant::now();
+        self.transport
+            .exchange(self.step, &mut self.inbox, &mut self.byte_inbox);
+        let sync_wait = self.pending_wait + boundary.elapsed();
+        self.pending_wait = Duration::ZERO;
+        self.close_step(sent, sent_bytes, compute, sync_wait);
+    }
+
+    /// [`Ctx::sync`] over the registered sync graph
+    /// ([`crate::Config::sync_graph`]): the boundary is a pairwise
+    /// rendezvous with this process's neighbors instead of the p-wide
+    /// barrier. Every process must take the same boundary kind at the same
+    /// superstep (sync-mode congruence); traffic to a non-neighbor is a
+    /// contract violation (panic unchecked, diagnostic under
+    /// [`crate::Config::checked`]).
+    pub fn sync_neigh(&mut self) {
+        self.transport.set_sync_mode(SyncMode::Neighborhood);
+        self.sync();
+    }
+
+    /// Split-phase [`Ctx::sync_neigh`]: announce arrival to neighbors now,
+    /// complete the pairwise rendezvous at the matching [`Ctx::sync_end`].
+    pub fn sync_neigh_begin(&mut self) {
+        self.transport.set_sync_mode(SyncMode::Neighborhood);
+        self.sync_begin();
+    }
+
+    /// Toggle eager per-destination delivery for subsequent sends: each
+    /// byte-lane message flushes to the transport the moment it is
+    /// complete, and backends that support it deposit packets directly
+    /// into the destination's standby buffers, so the boundary only
+    /// publishes cursors instead of moving bytes. Sticky until toggled
+    /// again; results are bit-identical either way.
+    pub fn set_eager(&mut self, on: bool) {
+        assert!(!self.in_split, "set_eager between sync_begin and sync_end");
+        self.eager = on;
+        self.transport.set_eager(on);
+    }
+
+    /// Shared tail of every boundary flavor: log the superstep, advance
+    /// counters and the checker epoch, reopen the compute clock.
+    fn close_step(&mut self, sent: u64, sent_bytes: u64, compute: Duration, sync_wait: Duration) {
         self.log.push(LocalStep {
             sent,
             recv: self.inbox.len() as u64,
@@ -499,6 +687,7 @@ impl Ctx {
             recv_bytes: self.byte_inbox.len() as u64,
             compute,
             work_units: self.work_units,
+            sync_wait,
         });
         self.step += 1;
         self.sent_this_step = 0;

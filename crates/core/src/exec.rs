@@ -217,23 +217,31 @@ struct CoordState {
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 struct ArenaKey {
     backend: u8,
-    net_bits: [u64; 3],
+    net_bits: [u64; 4],
     nprocs: usize,
     barrier: u8,
     chunk: usize,
     slab_cap: usize,
+    /// Canonical hash of the registered sync graph (0 = none): a leased set
+    /// must carry the same neighborhood topology the config asks for.
+    graph_hash: u64,
 }
 
 impl ArenaKey {
     fn of(cfg: &Config) -> ArenaKey {
         let (backend, net_bits) = match cfg.backend {
-            BackendKind::Shared => (0, [0; 3]),
-            BackendKind::MsgPass => (1, [0; 3]),
-            BackendKind::TcpSim => (2, [0; 3]),
-            BackendKind::SeqSim => (3, [0; 3]),
+            BackendKind::Shared => (0, [0; 4]),
+            BackendKind::MsgPass => (1, [0; 4]),
+            BackendKind::TcpSim => (2, [0; 4]),
+            BackendKind::SeqSim => (3, [0; 4]),
             BackendKind::NetSim(p) => (
                 4,
-                [p.g_us.to_bits(), p.l_us.to_bits(), p.time_scale.to_bits()],
+                [
+                    p.g_us.to_bits(),
+                    p.l_us.to_bits(),
+                    p.l_neigh_us.to_bits(),
+                    p.time_scale.to_bits(),
+                ],
             ),
         };
         let barrier = match cfg.barrier {
@@ -249,6 +257,7 @@ impl ArenaKey {
             barrier,
             chunk: cfg.chunk,
             slab_cap: cfg.slab_cap,
+            graph_hash: cfg.sync_graph.as_ref().map_or(0, |g| g.edge_hash()),
         }
     }
 }

@@ -106,6 +106,11 @@ pub enum TransportErrorKind {
     /// The retransmit budget was exhausted without reaching a verified
     /// superstep.
     RetryExhausted,
+    /// A superstep adjacent to a neighborhood boundary sent traffic to a
+    /// processor outside the registered sync graph: the pairwise rendezvous
+    /// provides no happens-before edge for that delivery, so the send is a
+    /// contract violation (see DESIGN.md §12).
+    GraphViolation,
 }
 
 /// A structured transport failure: which proc saw it, against which peer,
@@ -786,6 +791,19 @@ impl<B: ProcTransport> ProcTransport for FaultyBackend<B> {
         }
     }
 
+    // `exchange_begin` deliberately keeps the no-op default: injection
+    // happens inside `exchange`, and collapsing a split boundary into one
+    // full exchange is a legal (stronger) implementation — the injected
+    // events still land at the same app superstep.
+
+    fn set_sync_mode(&mut self, mode: crate::relax::SyncMode) {
+        self.inner.set_sync_mode(mode);
+    }
+
+    fn set_eager(&mut self, on: bool) {
+        self.inner.set_eager(on);
+    }
+
     fn finish(&mut self) {
         self.inner.finish();
     }
@@ -1170,6 +1188,23 @@ impl<B: ProcTransport> ProcTransport for GuardedBackend<B> {
             self.out_bytes[d].clear();
         }
         self.step += 1;
+    }
+
+    // The self-healing protocol runs *global lockstep rounds*: every process
+    // sends a CTRL frame to every peer each data round, and recovery rounds
+    // assume all p processes participate. A neighborhood boundary would
+    // break both (non-neighbors exchange nothing), so a hardened run GATES
+    // `Neighborhood` down to `Full`: the program keeps its relaxed structure
+    // and stays correct — full barriers are strictly stronger — it just
+    // does not get the relaxed speedup while hardened. `exchange_begin`
+    // likewise keeps the no-op default: the guard's ack/retry conversation
+    // cannot be split across a begin/end pair.
+    fn set_sync_mode(&mut self, _mode: crate::relax::SyncMode) {}
+
+    fn set_eager(&mut self, _on: bool) {
+        // Not forwarded either: the guard buffers all sends itself (the
+        // checksummed frames are built at the boundary), so the inner
+        // backend never sees mid-step traffic to deliver eagerly.
     }
 
     fn finish(&mut self) {

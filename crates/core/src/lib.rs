@@ -80,6 +80,7 @@ pub mod machine;
 pub mod message;
 pub mod packet;
 pub mod pad;
+pub mod relax;
 pub mod runner;
 pub mod stats;
 
@@ -95,5 +96,6 @@ pub use fault::{
 };
 pub use machine::{Machine, CENJU, PAPER_MACHINES, PC_LAN, SGI};
 pub use packet::{Packet, PACKET_SIZE};
+pub use relax::{NeighborSync, SyncGraph, SyncMode};
 pub use runner::{run, run_unpooled, try_run, Config, RunOutput};
 pub use stats::{LocalStep, RunStats, StepStats};

@@ -16,6 +16,7 @@ use crate::fault::{
     BspError, CheckpointStore, FaultCounters, FaultPlan, FaultState, FaultTolerance, FaultyBackend,
     GuardedBackend, RoundMeta,
 };
+use crate::relax::SyncGraph;
 use crate::stats::RunStats;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -47,6 +48,13 @@ pub struct Config {
     /// interposed on every process and replays the plan's events at
     /// exchange boundaries (see [`crate::fault`]).
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Static synchronization graph enabling neighborhood barriers
+    /// ([`crate::SyncMode::Neighborhood`], see DESIGN.md §12): a superstep
+    /// that calls [`Ctx::sync_neigh`] synchronizes pairwise with its graph
+    /// neighbors instead of crossing the `p`-wide barrier. `None` (the
+    /// default) means neighborhood boundaries are unavailable and
+    /// `sync_neigh` panics.
+    pub sync_graph: Option<Arc<SyncGraph>>,
     /// Fault-tolerance settings. When set, the transport stack is hardened:
     /// a self-healing [`GuardedBackend`] wrapper checksums and retransmits
     /// exchanges, msgpass/tcpsim verify frame sequence numbers and
@@ -67,6 +75,7 @@ impl Config {
             chunk: DEFAULT_CHUNK,
             slab_cap: DEFAULT_SLAB_CAP,
             check: false,
+            sync_graph: None,
             fault_plan: None,
             tolerance: None,
         }
@@ -100,6 +109,20 @@ impl Config {
     /// Enable the BSP checker for this run (see [`crate::check`]).
     pub fn checked(mut self) -> Self {
         self.check = true;
+        self
+    }
+
+    /// Register a static synchronization graph, enabling neighborhood
+    /// boundaries ([`Ctx::sync_neigh`]). Edges are undirected and
+    /// symmetrized; self-edges are dropped (a process never waits on
+    /// itself). Panics if an endpoint is `>= nprocs`.
+    ///
+    /// The graph disciplines traffic: a superstep *adjacent* to a
+    /// neighborhood boundary (the one it closes, or the one immediately
+    /// after it) may only send to graph neighbors and itself — violations
+    /// fail the run with [`crate::TransportErrorKind::GraphViolation`].
+    pub fn sync_graph(mut self, edges: &[(usize, usize)]) -> Self {
+        self.sync_graph = Some(Arc::new(SyncGraph::new(self.nprocs, edges)));
         self
     }
 
@@ -145,27 +168,39 @@ fn build_transports(
     let tol = cfg.tolerance.as_ref();
     let bare: Vec<Box<dyn ProcTransport>> = match cfg.backend {
         BackendKind::Shared => {
-            let st = SharedState::with_audit(p, cfg.barrier.build(p), cfg.slab_cap, audit);
+            let st = SharedState::with_audit(
+                p,
+                cfg.barrier.build(p),
+                cfg.slab_cap,
+                audit,
+                cfg.sync_graph.clone(),
+            );
             (0..p)
                 .map(|pid| {
                     Box::new(SharedProc::new(st.clone(), pid, cfg.chunk)) as Box<dyn ProcTransport>
                 })
                 .collect()
         }
-        BackendKind::MsgPass => MsgPassProc::create_all(p, tol.is_some())
+        BackendKind::MsgPass => MsgPassProc::create_all(p, tol.is_some(), cfg.sync_graph.clone())
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
-        BackendKind::TcpSim => TcpSimProc::create_all(p, tol)
+        BackendKind::TcpSim => TcpSimProc::create_all(p, tol, cfg.sync_graph.clone())
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
-        BackendKind::SeqSim => SeqProc::create_all(p)
+        BackendKind::SeqSim => SeqProc::create_all(p, cfg.sync_graph.clone())
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn ProcTransport>)
             .collect(),
         BackendKind::NetSim(params) => {
-            let shared = SharedState::with_audit(p, cfg.barrier.build(p), cfg.slab_cap, audit);
+            let shared = SharedState::with_audit(
+                p,
+                cfg.barrier.build(p),
+                cfg.slab_cap,
+                audit,
+                cfg.sync_graph.clone(),
+            );
             let ns = NetSimState::new(cfg.barrier.build(p));
             (0..p)
                 .map(|pid| {
@@ -222,8 +257,13 @@ fn build_transports(
             .into_iter()
             .enumerate()
             .map(|(pid, t)| {
-                Box::new(CheckedBackend::new(t, Arc::clone(shared), pid, p))
-                    as Box<dyn ProcTransport>
+                Box::new(CheckedBackend::new(
+                    t,
+                    Arc::clone(shared),
+                    pid,
+                    p,
+                    cfg.sync_graph.clone(),
+                )) as Box<dyn ProcTransport>
             })
             .collect(),
     }
@@ -796,6 +836,7 @@ mod tests {
             Config::new(p).backend(BackendKind::NetSim(crate::backend::NetSimParams {
                 g_us: 0.1,
                 l_us: 1.0,
+                l_neigh_us: 0.0,
                 time_scale: 1.0,
             })),
         ];

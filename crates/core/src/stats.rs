@@ -26,11 +26,17 @@ pub struct LocalStep {
     /// Byte-lane bytes delivered to this process at the end of the
     /// superstep.
     pub recv_bytes: u64,
-    /// Wall-clock local computation (superstep entry to `sync` entry).
+    /// Wall-clock local computation (superstep entry to `sync` entry, plus
+    /// the overlap window of a split-phase boundary).
     pub compute: Duration,
     /// Abstract work units charged via [`crate::Ctx::charge`]. Deterministic
     /// alternative to wall time, used by tests.
     pub work_units: u64,
+    /// Wall-clock time spent inside the superstep boundary itself — the
+    /// rendezvous plus the transport's flush and drain — split out of
+    /// `compute`. Relaxed synchronization (neighborhood barriers, eager
+    /// delivery, split-phase overlap) exists to shrink exactly this number.
+    pub sync_wait: Duration,
 }
 
 /// What one process's transport did on the communication hot path over a
@@ -120,6 +126,9 @@ pub struct RunStats {
     pub steps: Vec<StepStats>,
     /// Per-process totals of local computation (for total-work accounting).
     pub per_proc_compute: Vec<Duration>,
+    /// Per-process totals of time parked in superstep boundaries
+    /// (rendezvous + flush + drain), excluded from `per_proc_compute`.
+    pub per_proc_sync_wait: Vec<Duration>,
     /// Per-process totals of charged work units.
     pub per_proc_work_units: Vec<u64>,
     /// Per-process transport hot-path counters (empty for hand-built stats).
@@ -196,6 +205,28 @@ impl RunStats {
         self.per_proc_work_units.iter().sum()
     }
 
+    /// Total time parked in superstep boundaries over all processors, in
+    /// milliseconds: the observable cost relaxed synchronization removes.
+    pub fn sync_wait_ms(&self) -> f64 {
+        self.per_proc_sync_wait
+            .iter()
+            .sum::<Duration>()
+            .as_secs_f64()
+            * 1e3
+    }
+
+    /// Largest per-process boundary-wait total, in milliseconds (the
+    /// critical-path analogue of [`RunStats::sync_wait_ms`]).
+    pub fn max_sync_wait_ms(&self) -> f64 {
+        self.per_proc_sync_wait
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64()
+            * 1e3
+    }
+
     /// Total packets routed over the whole run.
     pub fn total_pkts(&self) -> u64 {
         self.steps.iter().map(|s| s.total_pkts).sum()
@@ -249,6 +280,7 @@ impl RunStats {
         let nsteps = logs[0].len();
         let mut steps = vec![StepStats::default(); nsteps];
         let mut per_proc_compute = vec![Duration::ZERO; nprocs];
+        let mut per_proc_sync_wait = vec![Duration::ZERO; nprocs];
         let mut per_proc_work_units = vec![0u64; nprocs];
         // The last LocalStep is the partial superstep after the final sync:
         // packets recorded as sent there have no delivery boundary left.
@@ -272,6 +304,7 @@ impl RunStats {
                 st.w_units = st.w_units.max(ls.work_units);
                 st.work_units_sum += ls.work_units;
                 per_proc_compute[pid] += ls.compute;
+                per_proc_sync_wait[pid] += ls.sync_wait;
                 per_proc_work_units[pid] += ls.work_units;
             }
         }
@@ -279,6 +312,7 @@ impl RunStats {
             nprocs,
             steps,
             per_proc_compute,
+            per_proc_sync_wait,
             per_proc_work_units,
             transport: Vec::new(),
             undelivered_pkts,
@@ -378,6 +412,25 @@ mod tests {
         assert_eq!(rs.s(), 2);
         assert_eq!(rs.steps[0].max_sent, 5);
         assert_eq!(rs.steps[1].max_recv, 5);
+    }
+
+    #[test]
+    fn sync_wait_is_split_out_of_compute() {
+        let a = LocalStep {
+            compute: Duration::from_millis(10),
+            sync_wait: Duration::from_millis(4),
+            ..LocalStep::default()
+        };
+        let b = LocalStep {
+            sync_wait: Duration::from_millis(1),
+            ..LocalStep::default()
+        };
+        let rs = RunStats::merge(2, vec![vec![a], vec![b]]);
+        assert_eq!(rs.per_proc_sync_wait[0], Duration::from_millis(4));
+        assert!((rs.sync_wait_ms() - 5.0).abs() < 1e-9);
+        assert!((rs.max_sync_wait_ms() - 4.0).abs() < 1e-9);
+        // Boundary time never leaks into the work accounting.
+        assert_eq!(rs.total_work(), Duration::from_millis(10));
     }
 
     #[test]

@@ -16,6 +16,7 @@ const BACKENDS: [BackendKind; 5] = [
     BackendKind::NetSim(NetSimParams {
         g_us: 0.0,
         l_us: 0.0,
+        l_neigh_us: 0.0,
         time_scale: 0.0,
     }),
 ];

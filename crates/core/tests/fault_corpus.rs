@@ -30,6 +30,7 @@ fn all_backends() -> [BackendKind; 5] {
         BackendKind::NetSim(NetSimParams {
             g_us: 0.01,
             l_us: 1.0,
+            l_neigh_us: 0.0,
             time_scale: 1.0,
         }),
     ]

@@ -260,6 +260,7 @@ proptest! {
         let netsim = BackendKind::NetSim(green_bsp::NetSimParams {
             g_us: 0.01,
             l_us: 1.0,
+            l_neigh_us: 0.0,
             time_scale: 1.0,
         });
         let reference = run_lane(BackendKind::Shared, false);

@@ -1,0 +1,299 @@
+//! Cross-backend × cross-mode equivalence: random app-shaped traffic
+//! driven through relaxed synchronization (neighborhood barriers,
+//! split-phase boundaries, eager delivery — DESIGN.md §12) must be
+//! bit-identical to the same traffic under bulk synchronization, on every
+//! backend. "Bit-identical" covers the delivered payload multisets *and*
+//! the packet/byte ledgers (per-superstep `total_pkts`, `h`,
+//! `total_bytes`).
+//!
+//! Plans are generated so the adjacent-boundary rule holds by
+//! construction: a superstep adjacent to a neighborhood boundary sends
+//! only along sync-graph edges (or to self); supersteps sandwiched by
+//! full barriers may send anywhere. Random graphs include isolated
+//! processors (the empty-neighborhood case), and the edge lists carry
+//! self-edges, which `SyncGraph` must drop.
+
+use green_bsp::{run, BackendKind, Config, NetSimParams, Packet};
+use proptest::prelude::*;
+
+/// A random relaxed-synchronization program.
+#[derive(Debug, Clone)]
+struct RelaxPlan {
+    nprocs: usize,
+    /// Sync-graph edges, possibly with self-edges and duplicates.
+    edges: Vec<(usize, usize)>,
+    /// Per superstep: close with a neighborhood barrier?
+    neigh: Vec<bool>,
+    /// Per superstep: use the split-phase form of the boundary?
+    split: Vec<bool>,
+    /// Per superstep: request eager per-destination delivery?
+    eager: Vec<bool>,
+    /// `sends[step][src][dest]` packet count (pre-masking).
+    sends: Vec<Vec<Vec<u8>>>,
+}
+
+impl RelaxPlan {
+    fn neighbors(&self, pid: usize) -> Vec<usize> {
+        let mut n: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == pid && b != pid {
+                    Some(b)
+                } else if b == pid && a != pid {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        n.sort_unstable();
+        n.dedup();
+        n
+    }
+
+    /// The legal destinations for `src` in superstep `step`: everything
+    /// when both adjacent boundaries are full, neighbors ∪ {self}
+    /// otherwise (the adjacent-boundary rule).
+    fn legal(&self, step: usize, src: usize, dest: usize) -> bool {
+        let adjacent_relaxed = self.neigh[step] || (step > 0 && self.neigh[step - 1]);
+        if !adjacent_relaxed || dest == src {
+            true
+        } else {
+            self.neighbors(src).contains(&dest)
+        }
+    }
+}
+
+fn relax_plan() -> impl Strategy<Value = RelaxPlan> {
+    (2usize..=5).prop_flat_map(|p| {
+        let edges = prop::collection::vec((0..p, 0..p), 0..=p * 2);
+        let steps = 1usize..=4;
+        (Just(p), edges, steps).prop_flat_map(|(p, edges, s)| {
+            let flags = || prop::collection::vec(any::<bool>(), s);
+            let step = prop::collection::vec(prop::collection::vec(0u8..6, p), p);
+            let sends = prop::collection::vec(step, s);
+            (Just(p), Just(edges), flags(), flags(), flags(), sends).prop_map(
+                |(nprocs, edges, neigh, split, eager, sends)| RelaxPlan {
+                    nprocs,
+                    edges,
+                    neigh,
+                    split,
+                    eager,
+                    sends,
+                },
+            )
+        })
+    })
+}
+
+/// Per-proc, per-step sorted payload multisets.
+type StepMultisets = Vec<Vec<Vec<u64>>>;
+/// Per-step ledger rows `(total_pkts, h, total_bytes, h_bytes)`.
+type LedgerRows = Vec<(u64, u64, u64, u64)>;
+
+/// Execute the plan. `relaxed = false` forces every boundary to a fused
+/// full barrier with no eager delivery — the bulk-synchronous reference.
+fn execute(plan: &RelaxPlan, backend: BackendKind, relaxed: bool) -> (StepMultisets, LedgerRows) {
+    let cfg = Config::new(plan.nprocs)
+        .backend(backend)
+        .sync_graph(&plan.edges);
+    let plan = plan.clone();
+    let out = run(&cfg, move |ctx| {
+        let me = ctx.pid();
+        let mut log = Vec::new();
+        for step in 0..plan.sends.len() {
+            if relaxed {
+                ctx.set_eager(plan.eager[step]);
+            }
+            for (dest, &count) in plan.sends[step][me].iter().enumerate() {
+                if !plan.legal(step, me, dest) {
+                    continue;
+                }
+                for k in 0..count {
+                    let tag = ((step as u64) << 32)
+                        | ((me as u64) << 24)
+                        | ((dest as u64) << 16)
+                        | k as u64;
+                    ctx.send_pkt(dest, Packet::two_u64(tag, tag.wrapping_mul(0x9E37)));
+                }
+                // A variable-length message per pair with traffic, so the
+                // byte lane crosses relaxed boundaries too.
+                if count > 0 {
+                    let mut w = ctx.msg_writer(dest);
+                    w.put_u32(step as u32);
+                    w.put_u32(me as u32);
+                    w.put_u32(count as u32);
+                }
+            }
+            match (relaxed && plan.neigh[step], relaxed && plan.split[step]) {
+                (true, true) => {
+                    ctx.sync_neigh_begin();
+                    ctx.sync_end();
+                }
+                (true, false) => ctx.sync_neigh(),
+                (false, true) => {
+                    ctx.sync_begin();
+                    ctx.sync_end();
+                }
+                (false, false) => ctx.sync(),
+            }
+            let mut got: Vec<u64> = Vec::new();
+            while let Some(pkt) = ctx.get_pkt() {
+                let (tag, chk) = pkt.as_two_u64();
+                assert_eq!(chk, tag.wrapping_mul(0x9E37), "payload corrupted");
+                got.push(tag);
+            }
+            while let Some((src, payload)) = ctx.recv_bytes() {
+                let s = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+                let from = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+                let count = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+                assert_eq!(from as usize, src, "byte-lane source mismatch");
+                got.push(u64::MAX - ((s as u64) << 32 | (src as u64) << 16 | count as u64));
+            }
+            got.sort_unstable();
+            log.push(got);
+        }
+        log
+    });
+    let ledger = out
+        .stats
+        .steps
+        .iter()
+        .map(|s| (s.total_pkts, s.h(), s.total_bytes, s.h_bytes()))
+        .collect();
+    (out.results, ledger)
+}
+
+fn netsim() -> BackendKind {
+    BackendKind::NetSim(NetSimParams {
+        g_us: 0.01,
+        l_us: 2.0,
+        l_neigh_us: 0.0,
+        time_scale: 1.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Relaxed modes never change what arrives or what the ledgers say,
+    /// on any backend: everything equals the bulk-synchronous run of the
+    /// same program on the shared backend.
+    #[test]
+    fn relaxed_equals_bulk_on_every_backend(plan in relax_plan()) {
+        let reference = execute(&plan, BackendKind::Shared, false);
+        for backend in [
+            BackendKind::Shared,
+            BackendKind::MsgPass,
+            BackendKind::TcpSim,
+            BackendKind::SeqSim,
+            netsim(),
+        ] {
+            let bulk = execute(&plan, backend, false);
+            prop_assert_eq!(&reference, &bulk, "bulk on {:?} diverged", backend);
+            let relaxed = execute(&plan, backend, true);
+            prop_assert_eq!(&reference, &relaxed, "relaxed on {:?} diverged", backend);
+        }
+    }
+}
+
+/// A send to a non-neighbor in a superstep adjacent to a neighborhood
+/// boundary must fail fast with `GraphViolation` — on every backend, both
+/// when the offending boundary is the relaxed one and when the *previous*
+/// boundary was relaxed.
+#[test]
+fn graph_violating_send_fails_fast() {
+    use green_bsp::{try_run, BspError, TransportErrorKind};
+    for backend in [
+        BackendKind::Shared,
+        BackendKind::MsgPass,
+        BackendKind::TcpSim,
+        BackendKind::SeqSim,
+        netsim(),
+    ] {
+        for after in [false, true] {
+            let cfg = Config::new(3).backend(backend).sync_graph(&[(0, 1)]);
+            let res = try_run(&cfg, move |ctx| {
+                if after {
+                    // Boundary 0 is relaxed; the superstep after it sends
+                    // off-graph (prev_mode makes this illegal).
+                    ctx.sync_neigh();
+                    if ctx.pid() == 0 {
+                        ctx.send_pkt(2, Packet::ZERO);
+                    }
+                    ctx.sync();
+                } else {
+                    // The offending superstep closes with the relaxed
+                    // boundary itself.
+                    if ctx.pid() == 0 {
+                        ctx.send_pkt(2, Packet::ZERO);
+                    }
+                    ctx.sync_neigh();
+                }
+                while ctx.get_pkt().is_some() {}
+            });
+            match res {
+                Err(BspError::Transport(t)) => assert_eq!(
+                    t.kind,
+                    TransportErrorKind::GraphViolation,
+                    "{backend:?} after={after}: wrong kind ({})",
+                    t.detail
+                ),
+                Err(e) => panic!("{backend:?} after={after}: unexpected error {e}"),
+                Ok(_) => panic!("{backend:?} after={after}: violation not caught"),
+            }
+        }
+    }
+}
+
+/// The empty-neighborhood and self-edge corners, deterministically: an
+/// isolated processor (no edges at all) crosses neighborhood boundaries
+/// alone, and self-edges in the declared graph are dropped but self-sends
+/// still deliver.
+#[test]
+fn isolated_proc_and_self_edges() {
+    let plan = RelaxPlan {
+        nprocs: 4,
+        // 0-1 is a real edge; (2,2) and (3,3) are self-edges (dropped):
+        // processors 2 and 3 are isolated.
+        edges: vec![(0, 1), (2, 2), (3, 3), (0, 1)],
+        neigh: vec![true, true, false],
+        split: vec![false, true, false],
+        eager: vec![true, false, true],
+        // Step 0/1 (relaxed-adjacent): 0↔1 traffic plus self-sends on the
+        // isolated processors. Step 2 is full-sandwiched on entry only —
+        // step 1 is relaxed, so sends stay on-graph there too.
+        sends: vec![
+            vec![
+                vec![2, 3, 0, 0],
+                vec![1, 1, 0, 0],
+                vec![0, 0, 4, 0],
+                vec![0, 0, 0, 2],
+            ],
+            vec![
+                vec![0, 2, 0, 0],
+                vec![3, 0, 0, 0],
+                vec![0, 0, 1, 0],
+                vec![0, 0, 0, 0],
+            ],
+            vec![
+                vec![0, 1, 0, 0],
+                vec![2, 0, 0, 0],
+                vec![0, 0, 2, 0],
+                vec![0, 0, 0, 1],
+            ],
+        ],
+    };
+    let reference = execute(&plan, BackendKind::Shared, false);
+    for backend in [
+        BackendKind::Shared,
+        BackendKind::MsgPass,
+        BackendKind::TcpSim,
+        BackendKind::SeqSim,
+        netsim(),
+    ] {
+        let relaxed = execute(&plan, backend, true);
+        assert_eq!(reference, relaxed, "{backend:?} diverged");
+    }
+}

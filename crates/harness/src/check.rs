@@ -48,6 +48,15 @@ pub const SCHEDULES: usize = 1000;
 
 /// Run the full checker suite; returns `true` when everything is clean.
 pub fn run_check(full: bool) -> bool {
+    run_check_opts(full, false)
+}
+
+/// [`run_check`] with the relaxed-synchronization sweep toggled on
+/// (`report check --sync-modes`): every converted app runs bulk-synchronous
+/// and relaxed (neighborhood barriers, split-phase boundaries) under the
+/// checker, demanding bit-identical results and zero diagnostics either
+/// way — the checker must have no relaxed-mode false positives.
+pub fn run_check_opts(full: bool, sync_modes: bool) -> bool {
     let mut clean = true;
     let p = 4;
 
@@ -90,6 +99,30 @@ pub fn run_check(full: bool) -> bool {
         }
     }
 
+    if sync_modes {
+        eprintln!("== sync-mode agreement sweep (bulk vs relaxed, checked, p = {p}) ==");
+        for backend in checked_backends() {
+            for (name, ok, reports) in sync_mode_agreement(p, backend) {
+                if ok && reports == 0 {
+                    eprintln!("  {:8} {:8?}: bit-identical, no diagnostics", name, backend);
+                } else {
+                    clean = false;
+                    eprintln!(
+                        "  {:8} {:8?}: {}{}",
+                        name,
+                        backend,
+                        if ok { "" } else { "MODES DISAGREE " },
+                        if reports > 0 {
+                            format!("{reports} RELAXED-MODE DIAGNOSTIC(S)")
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+            }
+        }
+    }
+
     eprintln!("== interleaving model check ({SCHEDULES} schedules per config) ==");
     for cfg in [
         ModelConfig::default(), // overflow path exercised
@@ -100,6 +133,13 @@ pub fn run_check(full: bool) -> bool {
         ModelConfig {
             threads: 4,
             supersteps: 4,
+            ..ModelConfig::default()
+        },
+        // The relaxed protocol: per-edge sense-reversing flags instead of
+        // the central barrier (DESIGN.md §12).
+        ModelConfig {
+            threads: 4,
+            neighborhood: true,
             ..ModelConfig::default()
         },
     ] {
@@ -122,11 +162,21 @@ pub fn run_check(full: bool) -> bool {
         }
     }
     // Detection-power canary: the fault-injected protocol must be caught,
-    // otherwise a clean pass above proves nothing.
-    for fault in [Fault::SkipBarrier, Fault::WrongPhase] {
+    // otherwise a clean pass above proves nothing. PrematureDrain and
+    // GraphViolatingSend are the relaxed-mode canaries and run under the
+    // neighborhood-barrier model.
+    for fault in [
+        Fault::SkipBarrier,
+        Fault::WrongPhase,
+        Fault::PrematureDrain,
+        Fault::GraphViolatingSend,
+    ] {
+        let neighborhood = matches!(fault, Fault::PrematureDrain | Fault::GraphViolatingSend);
         let out = interleave::explore(
             ModelConfig {
                 fault,
+                neighborhood,
+                threads: if neighborhood { 4 } else { 3 },
                 ..ModelConfig::default()
             },
             SCHEDULES,
@@ -186,12 +236,13 @@ fn join_checked_cell((app, size, backend, handle): CheckedCell) -> bool {
     }
     if stats.check_reports.is_empty() {
         eprintln!(
-            "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?}, faults {}/{})",
+            "  {:8} {:8?} size {:>6}: clean ({} supersteps, {:.1?}, sync-wait {:.1}ms, faults {}/{})",
             app.name(),
             backend,
             size,
             stats.s(),
             out.wall,
+            stats.sync_wait_ms(),
             stats.faults.injected,
             stats.faults.detected
         );
@@ -209,6 +260,71 @@ fn join_checked_cell((app, size, backend, handle): CheckedCell) -> bool {
         }
     }
     ok
+}
+
+/// Run the relaxed-synchronization-converted apps on `backend` under the
+/// checker, bulk-synchronous vs relaxed, and compare results bit for bit.
+/// Returns `(app, agree, relaxed-run diagnostics)` per app. The checked
+/// relaxed run proves the checker raises no false positives on a correct
+/// relaxed program (graph-violating sends would surface as
+/// `graph-violating-send` reports).
+fn sync_mode_agreement(p: usize, backend: BackendKind) -> Vec<(&'static str, bool, usize)> {
+    let mut out = Vec::new();
+
+    // Ocean: two multigrid V-cycles, every eligible boundary relaxed over
+    // the ghost graph.
+    {
+        use bsp_ocean::grid::{apply_boundary, ghost_graph};
+        use bsp_ocean::{solve, CycleMode, Hierarchy, MgParams, MgWorkspace};
+        let n = 32;
+        let mode = |relaxed: bool| {
+            let mut cfg = Config::new(p).backend(backend).checked();
+            if relaxed {
+                cfg = cfg.sync_graph(&ghost_graph(p));
+            }
+            let res = run(&cfg, move |ctx| {
+                let hier = Hierarchy::new(ctx.pid(), p, n, 8);
+                let mut ws = MgWorkspace::new(&hier);
+                let l = hier.levels[0];
+                for i in 1..=l.rows {
+                    for j in 1..=l.cols {
+                        let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                        ws.f[0][l.at(i, j)] = ((gi * 13 + gj * 7) % 11) as f64 - 5.0;
+                    }
+                }
+                apply_boundary(&hier, 0, &mut ws.u[0]);
+                let prm = MgParams {
+                    relaxed,
+                    mode: CycleMode::Fixed(2),
+                    ..MgParams::default()
+                };
+                solve(ctx, &hier, &mut ws, &prm);
+                ws.u[0].clone()
+            });
+            (res.results, res.stats.check_reports.len())
+        };
+        let (bulk, bulk_reports) = mode(false);
+        let (relaxed, relaxed_reports) = mode(true);
+        out.push(("ocean", bulk == relaxed, bulk_reports + relaxed_reports));
+    }
+
+    // Sample sort: fused vs split-phase boundaries.
+    {
+        use bsp_sort::sample_sort_mode;
+        let mode = |split: bool| {
+            let res = run(&Config::new(p).backend(backend).checked(), move |ctx| {
+                let me = ctx.pid() as u64;
+                let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(me * 2 + 7)).collect();
+                sample_sort_mode(ctx, keys, true, split)
+            });
+            (res.results, res.stats.check_reports.len())
+        };
+        let (fused, fused_reports) = mode(false);
+        let (split, split_reports) = mode(true);
+        out.push(("sort", fused == split, fused_reports + split_reports));
+    }
+
+    out
 }
 
 /// Run each byte-lane-converted app on `backend` with both transport lanes

@@ -1,7 +1,7 @@
 //! `report faults` — fault-injection sweep over the six paper applications
 //! (DESIGN.md §10).
 //!
-//! Four sweeps, all of which must hold for the run to pass:
+//! Five sweeps, all of which must hold for the run to pass:
 //!
 //! 1. **Fault-free hardened**: checksums, sequence numbers and ack/retry
 //!    enabled with no fault plan must be invisible — bit-identical digests,
@@ -10,11 +10,16 @@
 //!    class (drop, duplicate, reorder, corrupt, delay, straggler) completes
 //!    with a digest bit-identical to the fault-free run, and the counters
 //!    prove the fault was injected *and* detected.
-//! 3. **Unrecoverable classes**: an injected proc panic surfaces as
+//! 3. **Relaxed-mode recoverable classes**: the relaxed-converted ocean
+//!    multigrid (neighborhood boundaries over the ghost graph) heals every
+//!    recoverable class bit-identically. Hardening gates Neighborhood
+//!    boundaries down to Full internally (DESIGN.md §12) — this sweep
+//!    proves the relaxed program *structure* composes with recovery.
+//! 4. **Unrecoverable classes**: an injected proc panic surfaces as
 //!    [`BspError::ProcPanicked`] and a persistent corruption exhausts the
 //!    retry budget into `Transport(RetryExhausted)` — structured failures,
 //!    never hangs.
-//! 4. **Checkpoint rollback**: a transient panic under a checkpoint policy
+//! 5. **Checkpoint rollback**: a transient panic under a checkpoint policy
 //!    rolls back and still converges to the bit-identical digest.
 
 use crate::apps::{prepare, submit_digest, try_execute_digest, App, Workload};
@@ -238,6 +243,101 @@ pub fn run_faults(full: bool) -> bool {
                     backend,
                     healed.len()
                 );
+            }
+        }
+    }
+
+    eprintln!(
+        "== relaxed-mode recoverable sweep (p = {p}, ocean multigrid over ghost graph, shared) =="
+    );
+    {
+        use bsp_ocean::grid::{apply_boundary, ghost_graph};
+        use bsp_ocean::{solve, CycleMode, Hierarchy, MgParams, MgWorkspace};
+        let n = 32;
+        // The relaxed-converted ocean multigrid (neighborhood boundaries on
+        // every eligible ghost exchange), digested to one FNV word per
+        // processor.
+        let digest = |cfg: &Config, relaxed: bool| {
+            green_bsp::try_run(cfg, move |ctx| {
+                let hier = Hierarchy::new(ctx.pid(), p, n, 8);
+                let mut ws = MgWorkspace::new(&hier);
+                let l = hier.levels[0];
+                for i in 1..=l.rows {
+                    for j in 1..=l.cols {
+                        let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                        ws.f[0][l.at(i, j)] = ((gi * 13 + gj * 7) % 11) as f64 - 5.0;
+                    }
+                }
+                apply_boundary(&hier, 0, &mut ws.u[0]);
+                let prm = MgParams {
+                    relaxed,
+                    mode: CycleMode::Fixed(2),
+                    ..MgParams::default()
+                };
+                solve(ctx, &hier, &mut ws, &prm);
+                ws.u[0].iter().fold(0xcbf2_9ce4_8422_2325u64, |h, v| {
+                    (h ^ v.to_bits()).wrapping_mul(0x0000_0100_0000_01b3)
+                })
+            })
+        };
+        let bulk = digest(&Config::new(p), false);
+        let bare = digest(&Config::new(p).sync_graph(&ghost_graph(p)), true);
+        match (&bulk, &bare) {
+            (Ok(b), Ok(r)) if b.results == r.results => {
+                // Per-class cells: the tolerant run hardens the exchange,
+                // which gates Neighborhood down to Full (DESIGN.md §12) —
+                // the relaxed program structure must still heal bitwise.
+                for kind in FaultKind::RECOVERABLE {
+                    let plan = FaultPlan::new(0x51AC).with(FaultEvent {
+                        pid: 1,
+                        step: 1,
+                        dest: 2,
+                        kind,
+                    });
+                    let tol = FaultTolerance {
+                        superstep_deadline: (kind == FaultKind::Straggler)
+                            .then_some(STRAGGLER_DEADLINE),
+                        ..FaultTolerance::default()
+                    };
+                    let cfg = Config::new(p)
+                        .sync_graph(&ghost_graph(p))
+                        .faults(plan)
+                        .tolerant(tol);
+                    match digest(&cfg, true) {
+                        Ok(out) => {
+                            let f = &out.stats.faults;
+                            if out.results == r.results && f.injected >= 1 && f.detected >= 1 {
+                                eprintln!("  relaxed  {kind:?}: healed bitwise (gated to Full)");
+                            } else {
+                                clean = false;
+                                eprintln!(
+                                    "  relaxed  {kind:?}: identical={} counters={f:?}",
+                                    out.results == r.results
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            clean = false;
+                            eprintln!("  relaxed  {kind:?}: FAILED: {e}");
+                        }
+                    }
+                }
+            }
+            (Ok(b), Ok(r)) => {
+                clean = false;
+                eprintln!(
+                    "  relaxed baseline DIVERGED from bulk: {:?} vs {:?}",
+                    b.results, r.results
+                );
+            }
+            (b, r) => {
+                clean = false;
+                if let Err(e) = b {
+                    eprintln!("  bulk baseline FAILED: {e}");
+                }
+                if let Err(e) = r {
+                    eprintln!("  relaxed baseline FAILED: {e}");
+                }
             }
         }
     }

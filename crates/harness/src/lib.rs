@@ -19,6 +19,7 @@ pub mod measure;
 pub mod message_bench;
 pub mod paper;
 pub mod runtime_bench;
+pub mod sync_bench;
 pub mod tables;
 
 pub use apps::{execute, execute_cfg, prepare, submit_digest, try_execute_digest, App, Workload};
@@ -42,6 +43,7 @@ pub const ALL_BACKENDS: [(&str, BackendKind); 5] = [
         BackendKind::NetSim(NetSimParams {
             g_us: 0.0,
             l_us: 0.0,
+            l_neigh_us: 0.0,
             time_scale: 0.0,
         }),
     ),

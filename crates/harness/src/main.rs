@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|check|faults] [--full]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults] [--full] [--sync-modes]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -14,9 +14,17 @@
 //! on every backend, plus concurrent-submit throughput, and writes
 //! `BENCH_runtime.json`.
 //!
+//! `bench_sync` measures the relaxed-synchronization machinery (DESIGN.md
+//! §12): barrier-cost curves (full vs pairwise vs split-phase by `p`), the
+//! end-to-end ocean ghost-exchange speedup at shared `p = 8` (neighborhood
+//! vs full barriers), split-phase vs fused sample sort, and the checker-on
+//! overhead of a relaxed run. Writes `BENCH_sync.json`.
+//!
 //! `check` runs the six applications under the BSP phase-discipline checker
 //! on every backend and model-checks the slab-mailbox protocol over seeded
 //! adversarial interleavings; exits non-zero on any diagnostic.
+//! `--sync-modes` adds a bulk-vs-relaxed agreement sweep (checked, every
+//! backend) on the relaxed-converted apps.
 //!
 //! `faults` runs the fault-injection sweep (DESIGN.md §10): every app ×
 //! backend × recoverable fault class must heal to a bit-identical digest,
@@ -51,6 +59,7 @@ fn sweep_app(app: App, full: bool) -> Sweep {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let sync_modes = args.iter().any(|a| a == "--sync-modes");
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -121,8 +130,19 @@ fn main() {
                 bench.warm_speedup_shared, bench.jobs_per_sec
             );
         }
+        "bench_sync" => {
+            use bsp_harness::sync_bench;
+            eprintln!("relaxed-synchronization bench (barrier curves, ocean, sort, checker)...");
+            let bench = sync_bench::sweep_sync(full);
+            let json = sync_bench::to_json(&bench);
+            std::fs::write("BENCH_sync.json", &json).expect("write BENCH_sync.json");
+            eprintln!(
+                "wrote BENCH_sync.json (ocean neigh speedup {:.2}x, sort split ratio {:.2}x)",
+                bench.ocean_speedup, bench.sort_ratio
+            );
+        }
         "check" => {
-            if !bsp_harness::check::run_check(full) {
+            if !bsp_harness::check::run_check_opts(full, sync_modes) {
                 std::process::exit(1);
             }
         }
@@ -146,7 +166,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|check|faults] [--full]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults] [--full] [--sync-modes]");
             std::process::exit(2);
         }
     }

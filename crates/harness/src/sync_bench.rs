@@ -1,0 +1,663 @@
+//! `report bench_sync` — cost and payoff of relaxed synchronization
+//! (DESIGN.md §12).
+//!
+//! Four measurements, all on the shared backend:
+//!
+//! 1. **Barrier-cost curves**: microseconds per boundary for the three
+//!    synchronization shapes — `full` (`Ctx::sync`, the p-wide
+//!    rendezvous), `pairwise` (`Ctx::sync_neigh` over a ring sync graph,
+//!    degree 2), and `split_phase` (`sync_begin`/`sync_end`, no overlap) —
+//!    at `p = 2, 4, 8, 16` over empty supersteps, so the boundary is the
+//!    whole measurement.
+//! 2. **End-to-end ocean ghost exchange** at `p = 8`: a periodic 5-point
+//!    Jacobi loop over the ocean processor grid, bulk-synchronous (1-ring
+//!    exchange + p-wide barrier every step, the paper's discipline) vs
+//!    relaxed (k-deep halo + split-phase *neighborhood* boundary every k
+//!    steps — the deferred rendezvous DESIGN.md §12 admits), bit-identical
+//!    by construction and by assertion. The headline
+//!    `ocean_speedup = full / neigh` is the tentpole's acceptance number.
+//!    A per-step like-for-like control (the Dirichlet
+//!    [`exchange_ghosts_overlap`] loop, full vs neighborhood) is reported
+//!    alongside it.
+//! 3. **Split-phase sample sort**: fused vs split-phase
+//!    [`sample_sort_mode`](bsp_sort::sample_sort_mode) (local sort
+//!    overlapped with the bucket all-to-all); `sort_ratio = fused / split`
+//!    must not drop below ~1 ("no slower").
+//! 4. **Checker-on overhead**: the relaxed ocean loop re-run under
+//!    [`Config::checked`], reported as `checked / unchecked` — the price
+//!    of auditing a relaxed program.
+//!
+//! `report bench_sync` writes the whole document to `BENCH_sync.json`.
+
+use bsp_ocean::{exchange_ghosts_mode, exchange_ghosts_overlap, ghost_graph, Hierarchy};
+use bsp_sort::sample_sort_mode;
+use green_bsp::{run, Config};
+use std::time::Instant;
+
+/// One point on the barrier-cost curves.
+#[derive(Clone, Debug)]
+pub struct BarrierPoint {
+    /// `"full"`, `"pairwise"` or `"split_phase"`.
+    pub shape: &'static str,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Boundaries crossed in the timed run.
+    pub boundaries: usize,
+    /// Mean microseconds per boundary (best of the trial runs).
+    pub mean_us: f64,
+}
+
+/// Aggregate result of the sync bench.
+#[derive(Clone, Debug)]
+pub struct SyncBench {
+    /// Barrier-cost curves, three shapes × p ∈ {2, 4, 8, 16}.
+    pub barrier: Vec<BarrierPoint>,
+    /// Ocean processor count (the acceptance cell is `p = 8`).
+    pub ocean_p: usize,
+    /// Finest interior grid size.
+    pub ocean_n: usize,
+    /// Jacobi steps per timed run.
+    pub ocean_reps: usize,
+    /// Halo depth of the relaxed (k-step) discipline.
+    pub ocean_halo_k: usize,
+    /// Best bulk-synchronous wall time (1-ring exchange + p-wide barrier
+    /// every step — the paper's program), seconds.
+    pub ocean_full_secs: f64,
+    /// Best relaxed wall time (k-deep halo + split neighborhood boundary
+    /// every k steps), seconds.
+    pub ocean_neigh_secs: f64,
+    /// `ocean_full_secs / ocean_neigh_secs` — the headline speedup.
+    pub ocean_speedup: f64,
+    /// Like-for-like control: per-step Dirichlet loop, full fused vs
+    /// neighborhood split, seconds.
+    pub ocean_step_full_secs: f64,
+    pub ocean_step_neigh_secs: f64,
+    /// `ocean_step_full_secs / ocean_step_neigh_secs`. On a host with
+    /// fewer cores than processors this sits near 1: a per-step stencil is
+    /// in lockstep with its neighbors either way, so every discipline pays
+    /// the same one-deschedule-per-step floor — the headline win comes
+    /// from crossing fewer boundaries, which only the pairwise rendezvous
+    /// admits.
+    pub ocean_step_speedup: f64,
+    /// Keys per processor in the sort runs.
+    pub sort_keys: usize,
+    /// Sort processor count.
+    pub sort_p: usize,
+    /// Best fused (bulk-synchronous) sort wall time, seconds.
+    pub sort_fused_secs: f64,
+    /// Best split-phase sort wall time, seconds.
+    pub sort_split_secs: f64,
+    /// `sort_fused_secs / sort_split_secs` — ≥ ~1 means split is no slower.
+    pub sort_ratio: f64,
+    /// Best unchecked relaxed-ocean wall time, seconds.
+    pub checker_off_secs: f64,
+    /// Best checked relaxed-ocean wall time, seconds.
+    pub checker_on_secs: f64,
+    /// `checker_on_secs / checker_off_secs`.
+    pub checker_overhead: f64,
+}
+
+/// Ring sync graph (degree 2) for the pairwise curve.
+fn ring(p: usize) -> Vec<(usize, usize)> {
+    (0..p).map(|i| (i, (i + 1) % p)).collect()
+}
+
+/// Best-of-`trials` wall time of `f`, in seconds.
+fn best_of(trials: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn barrier_curves(reps: usize, trials: usize) -> Vec<BarrierPoint> {
+    let mut pts = Vec::new();
+    for p in [2usize, 4, 8, 16] {
+        let cell = |shape: &'static str, secs: f64| BarrierPoint {
+            shape,
+            nprocs: p,
+            boundaries: reps,
+            mean_us: secs * 1e6 / reps as f64,
+        };
+        let full = best_of(trials, || {
+            run(&Config::new(p), move |ctx| {
+                for _ in 0..reps {
+                    ctx.sync();
+                }
+            });
+        });
+        let pairwise = best_of(trials, || {
+            run(&Config::new(p).sync_graph(&ring(p)), move |ctx| {
+                for _ in 0..reps {
+                    ctx.sync_neigh();
+                }
+            });
+        });
+        let split = best_of(trials, || {
+            run(&Config::new(p), move |ctx| {
+                for _ in 0..reps {
+                    ctx.sync_begin();
+                    ctx.sync_end();
+                }
+            });
+        });
+        for (shape, secs) in [
+            ("full", full),
+            ("pairwise", pairwise),
+            ("split_phase", split),
+        ] {
+            let pt = cell(shape, secs);
+            eprintln!(
+                "  barrier {:11} p={p:<2}  {:>8.2} us/boundary",
+                shape, pt.mean_us
+            );
+            pts.push(pt);
+        }
+    }
+    pts
+}
+
+/// The end-to-end ocean loop: seed the interior, then `reps` rounds of
+/// ghost exchange followed by a 5-point Jacobi relax over the owned block.
+/// Every round reads the ghost ring its exchange just filled, so the
+/// exchanges are load-bearing, not decorative.
+///
+/// `relaxed = false` is the paper's bulk-synchronous discipline: the fused
+/// exchange closes with the p-wide barrier, then the whole block is swept.
+/// `relaxed = true` is the converted program of DESIGN.md §12: the run
+/// carries [`ghost_graph`] and each exchange is
+/// [`exchange_ghosts_overlap`] closed with a *neighborhood* boundary, with
+/// the sweep split so the interior points (which never read the ghost
+/// ring) relax inside the split-phase window and only the ghost-adjacent
+/// border points wait for the rendezvous. Cell for cell the arithmetic and
+/// the values read are identical, so the two modes fold bit-identically.
+fn ocean_loop(p: usize, n: usize, reps: usize, relaxed: bool, checked: bool) -> f64 {
+    let mut cfg = Config::new(p);
+    if relaxed {
+        cfg = cfg.sync_graph(&ghost_graph(p));
+    }
+    if checked {
+        cfg = cfg.checked();
+    }
+    let out = run(&cfg, move |ctx| {
+        let h = Hierarchy::new(ctx.pid(), p, n, 8);
+        let l = h.levels[0];
+        let mut u = l.zeros();
+        let mut next = l.zeros();
+        for i in 1..=l.rows {
+            for j in 1..=l.cols {
+                let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                u[l.at(i, j)] = ((gi * n + gj) as f64 * 0.7318).sin();
+            }
+        }
+        let relax_at = |next: &mut [f64], u: &[f64], i: usize, j: usize| {
+            next[l.at(i, j)] = 0.25
+                * (u[l.at(i - 1, j)] + u[l.at(i + 1, j)] + u[l.at(i, j - 1)] + u[l.at(i, j + 1)]);
+        };
+        for _ in 0..reps {
+            if relaxed {
+                // Exchange u's ghosts behind the interior sweep: interior
+                // points read no ghost cell, so they relax while the
+                // neighborhood boundary is still open.
+                exchange_ghosts_overlap(ctx, &h, 0, &mut u, true, true, |u| {
+                    let u = &*u;
+                    for i in 2..l.rows {
+                        for j in 2..l.cols {
+                            relax_at(&mut next, u, i, j);
+                        }
+                    }
+                });
+                // Ghosts are in place; finish the border ring.
+                for j in 1..=l.cols {
+                    relax_at(&mut next, &u, 1, j);
+                    if l.rows > 1 {
+                        relax_at(&mut next, &u, l.rows, j);
+                    }
+                }
+                for i in 2..l.rows {
+                    relax_at(&mut next, &u, i, 1);
+                    if l.cols > 1 {
+                        relax_at(&mut next, &u, i, l.cols);
+                    }
+                }
+            } else {
+                exchange_ghosts_mode(ctx, &h, 0, &mut u, true, false);
+                for i in 1..=l.rows {
+                    for j in 1..=l.cols {
+                        relax_at(&mut next, &u, i, j);
+                    }
+                }
+            }
+            std::mem::swap(&mut u, &mut next);
+        }
+        // Fold the field so the loop cannot be optimized away and so both
+        // modes can be spot-checked for agreement.
+        u.iter().sum::<f64>()
+    });
+    out.results.iter().sum()
+}
+
+/// Torus 8-neighborhood sync graph of the `pr × pc` processor grid
+/// (periodic wrap both ways): exactly the destinations of the k-deep halo
+/// exchange in [`ocean_torus_loop`]. Wrap can alias a neighbor onto the
+/// processor itself (`pr == 1`); [`SyncGraph`](green_bsp::SyncGraph) drops
+/// such self-edges, matching the transports' local-delivery rule.
+fn torus_graph(pr: usize, pc: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for r in 0..pr as i64 {
+        for c in 0..pc as i64 {
+            for dr in [-1i64, 0, 1] {
+                for dc in [-1i64, 0, 1] {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let nr = (r + dr).rem_euclid(pr as i64) as usize;
+                    let nc = (c + dc).rem_euclid(pc as i64) as usize;
+                    edges.push((r as usize * pc + c as usize, nr * pc + nc));
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// The headline end-to-end loop: a periodic (torus) 5-point Jacobi sweep
+/// over the ocean's processor grid, `reps` steps.
+///
+/// `k = 1, relaxed = false` is the paper's bulk-synchronous discipline:
+/// every step exchanges a 1-deep ghost ring and closes with the p-wide
+/// barrier. `relaxed = true` is the program the three weakenings of
+/// DESIGN.md §12 admit: a `k`-deep halo is exchanged every `k` steps over
+/// the torus 8-neighborhood sync graph, the boundary is a *neighborhood*
+/// rendezvous, and it is *split* around the first step's interior sweep
+/// (those cells read no halo). Between exchanges each step relaxes a halo
+/// region that shrinks by one ring, so every cell of every step sees
+/// exactly the values the per-step program would have shown it — the two
+/// disciplines fold bit-identically (asserted by the sweep before timing)
+/// while the relaxed one crosses `1/k` as many boundaries, each pairwise
+/// instead of p-wide. This deferred rendezvous is what neighborhood
+/// barriers buy on a barrier-dominated stencil: the p-wide rendezvous
+/// cannot be amortized (it orders everybody), the pairwise one can.
+fn ocean_torus_loop(
+    p: usize,
+    n: usize,
+    reps: usize,
+    k: usize,
+    relaxed: bool,
+    checked: bool,
+) -> f64 {
+    assert!(k >= 1 && reps.is_multiple_of(k));
+    assert!(
+        relaxed || k == 1,
+        "the bulk-synchronous baseline exchanges every step"
+    );
+    let probe = Hierarchy::new(0, p, n, 8);
+    let (pr, pc) = (probe.pr, probe.pc);
+    let mut cfg = Config::new(p);
+    if relaxed {
+        cfg = cfg.sync_graph(&torus_graph(pr, pc));
+    }
+    if checked {
+        cfg = cfg.checked();
+    }
+    let out = run(&cfg, move |ctx| {
+        let h = Hierarchy::new(ctx.pid(), p, n, 8);
+        let l = h.levels[0];
+        let (rows, cols) = (l.rows as isize, l.cols as isize);
+        let kk = k as isize;
+        assert!(kk <= rows && kk <= cols, "halo deeper than the block");
+        let w = (l.cols + 2 * k) as isize;
+        let idx = move |i: isize, j: isize| ((i + kk) * w + (j + kk)) as usize;
+        let mut u = vec![0.0f64; (l.rows + 2 * k) * (l.cols + 2 * k)];
+        let mut next = u.clone();
+        for i in 0..rows {
+            for j in 0..cols {
+                let (gi, gj) = (l.r0 as isize + i, l.c0 as isize + j);
+                u[idx(i, j)] = ((gi * n as isize + gj) as f64 * 0.7318).sin();
+            }
+        }
+        // The eight halo strips: my block rectangle shipped toward
+        // `(dr, dc)`, and where the receiver places it (his opposite
+        // halo). `dir` indexes this table on both sides.
+        let pid_of = |dr: i64, dc: i64| {
+            let nr = (h.my_r as i64 + dr).rem_euclid(pr as i64) as usize;
+            let nc = (h.my_c as i64 + dc).rem_euclid(pc as i64) as usize;
+            nr * pc + nc
+        };
+        type Rect = (isize, isize, isize, isize); // (i0, i1, j0, j1)
+        let strips: Vec<(usize, Rect, Rect)> = [
+            (-1i64, 0i64),
+            (1, 0),
+            (0, -1),
+            (0, 1),
+            (-1, -1),
+            (-1, 1),
+            (1, -1),
+            (1, 1),
+        ]
+        .iter()
+        .map(|&(dr, dc)| {
+            let span = |d: i64, len: isize| match d {
+                -1 => (0, kk),
+                1 => (len - kk, len),
+                _ => (0, len),
+            };
+            let halo = |d: i64, len: isize| match d {
+                // My `-1` strip lands below the receiver's block, etc.
+                -1 => (len, len + kk),
+                1 => (-kk, 0),
+                _ => (0, len),
+            };
+            let (si, sj) = (span(dr, rows), span(dc, cols));
+            let (hi, hj) = (halo(dr, rows), halo(dc, cols));
+            (
+                pid_of(dr, dc),
+                (si.0, si.1, sj.0, sj.1),
+                (hi.0, hi.1, hj.0, hj.1),
+            )
+        })
+        .collect();
+        let sweep = |next: &mut [f64], u: &[f64], i0: isize, i1: isize, j0: isize, j1: isize| {
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    next[idx(i, j)] = 0.25
+                        * (u[idx(i - 1, j)]
+                            + u[idx(i + 1, j)]
+                            + u[idx(i, j - 1)]
+                            + u[idx(i, j + 1)]);
+                }
+            }
+        };
+        for _ in 0..reps / k {
+            for (dir, (dest, (i0, i1, j0, j1), _)) in strips.iter().enumerate() {
+                let mut msg = ctx.msg_writer(*dest);
+                msg.put_u32(dir as u32);
+                for i in *i0..*i1 {
+                    for j in *j0..*j1 {
+                        msg.put_f64(u[idx(i, j)]);
+                    }
+                }
+            }
+            if relaxed {
+                ctx.sync_neigh_begin();
+                // Step 1's interior cells read no halo: relax them while
+                // the neighborhood boundary is still open.
+                sweep(&mut next, &u, 1, rows - 1, 1, cols - 1);
+                ctx.sync_end();
+            } else {
+                ctx.sync();
+            }
+            while let Some((_src, payload)) = ctx.recv_bytes() {
+                let dir = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+                let (_, _, (i0, i1, j0, j1)) = strips[dir];
+                let mut vals = payload[4..].chunks_exact(8);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        let v = f64::from_le_bytes(vals.next().unwrap().try_into().unwrap());
+                        u[idx(i, j)] = v;
+                    }
+                }
+            }
+            // Step 1 over the widest region, minus the part already done
+            // inside the split window; steps 2..k over regions shrinking
+            // one ring per step, purely local.
+            let e = kk - 1;
+            if relaxed {
+                for i in -e..rows + e {
+                    if (1..rows - 1).contains(&i) {
+                        sweep(&mut next, &u, i, i + 1, -e, 1);
+                        sweep(&mut next, &u, i, i + 1, cols - 1, cols + e);
+                    } else {
+                        sweep(&mut next, &u, i, i + 1, -e, cols + e);
+                    }
+                }
+            } else {
+                sweep(&mut next, &u, 0, rows, 0, cols);
+            }
+            std::mem::swap(&mut u, &mut next);
+            for s in 2..=kk {
+                let e = kk - s;
+                sweep(&mut next, &u, -e, rows + e, -e, cols + e);
+                std::mem::swap(&mut u, &mut next);
+            }
+        }
+        // Fold the owned block (halo cells are redundant copies).
+        let mut acc = 0.0;
+        for i in 0..rows {
+            for j in 0..cols {
+                acc += u[idx(i, j)];
+            }
+        }
+        acc
+    });
+    out.results.iter().sum()
+}
+
+/// Deterministic per-processor key block for the sort runs.
+fn keys_for(pid: usize, n: usize) -> Vec<u64> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64 ^ (pid as u64) << 17;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+/// Run the full bench. `full` scales the problem sizes up.
+pub fn sweep_sync(full: bool) -> SyncBench {
+    let (b_reps, trials) = if full { (1000, 5) } else { (300, 3) };
+    eprintln!("== barrier-cost curves ({b_reps} boundaries/run) ==");
+    let barrier = barrier_curves(b_reps, trials);
+
+    let (ocean_p, ocean_n, halo_k) = (8, 32, 8);
+    let ocean_reps = if full { 3200 } else { 800 };
+    eprintln!("== ocean ghost exchange (p = {ocean_p}, n = {ocean_n}, {ocean_reps} steps, k = {halo_k}) ==");
+    // Agreement spot-checks before timing: every discipline must fold to
+    // the same sum (bit-identical fields ⇒ identical sums).
+    let d_bulk = ocean_torus_loop(ocean_p, ocean_n, 8, 1, false, false);
+    let d_kstep = ocean_torus_loop(ocean_p, ocean_n, 8, halo_k, true, false);
+    assert_eq!(
+        d_bulk.to_bits(),
+        d_kstep.to_bits(),
+        "k-step relaxed torus loop diverged from the bulk-synchronous loop"
+    );
+    let digest_full = ocean_loop(ocean_p, ocean_n, 8, false, false);
+    let digest_neigh = ocean_loop(ocean_p, ocean_n, 8, true, false);
+    assert_eq!(
+        digest_full.to_bits(),
+        digest_neigh.to_bits(),
+        "neighborhood ocean loop diverged from full-barrier loop"
+    );
+    let ocean_full_secs = best_of(trials, || {
+        ocean_torus_loop(ocean_p, ocean_n, ocean_reps, 1, false, false);
+    });
+    eprintln!(
+        "  bulk (1-ring, full barrier / step)   {:>8.3} s",
+        ocean_full_secs
+    );
+    let ocean_neigh_secs = best_of(trials, || {
+        ocean_torus_loop(ocean_p, ocean_n, ocean_reps, halo_k, true, false);
+    });
+    let ocean_speedup = ocean_full_secs / ocean_neigh_secs.max(1e-12);
+    eprintln!(
+        "  relaxed ({halo_k}-ring, neigh split / {halo_k} steps) {:>8.3} s  ({ocean_speedup:.2}x)",
+        ocean_neigh_secs
+    );
+    let ocean_step_full_secs = best_of(trials, || {
+        ocean_loop(ocean_p, ocean_n, ocean_reps / 2, false, false);
+    });
+    let ocean_step_neigh_secs = best_of(trials, || {
+        ocean_loop(ocean_p, ocean_n, ocean_reps / 2, true, false);
+    });
+    let ocean_step_speedup = ocean_step_full_secs / ocean_step_neigh_secs.max(1e-12);
+    eprintln!(
+        "  per-step control: full {:>7.3} s vs neigh {:>7.3} s  ({ocean_step_speedup:.2}x)",
+        ocean_step_full_secs, ocean_step_neigh_secs
+    );
+
+    // Big enough that the ratio measures the discipline, not scheduler
+    // noise on a millisecond run; extra trials for the same reason.
+    let (sort_p, sort_keys) = (8, if full { 1 << 17 } else { 1 << 15 });
+    let sort_trials = trials + 2;
+    eprintln!("== sample sort (p = {sort_p}, {sort_keys} keys/proc) ==");
+    let sort_run = |split: bool| {
+        let out = run(&Config::new(sort_p), move |ctx| {
+            let keys = keys_for(ctx.pid(), sort_keys);
+            sample_sort_mode(ctx, keys, true, split).len() as u64
+        });
+        assert_eq!(
+            out.results.iter().sum::<u64>() as usize,
+            sort_p * sort_keys,
+            "sort dropped keys"
+        );
+    };
+    let sort_fused_secs = best_of(sort_trials, || sort_run(false));
+    eprintln!("  fused         {:>8.3} s", sort_fused_secs);
+    let sort_split_secs = best_of(sort_trials, || sort_run(true));
+    let sort_ratio = sort_fused_secs / sort_split_secs.max(1e-12);
+    eprintln!(
+        "  split-phase   {:>8.3} s  ({sort_ratio:.2}x)",
+        sort_split_secs
+    );
+
+    let chk_reps = ocean_reps / 4;
+    eprintln!("== checker-on overhead (relaxed ocean, {chk_reps} steps) ==");
+    let checker_off_secs = best_of(trials, || {
+        ocean_torus_loop(ocean_p, ocean_n, chk_reps, halo_k, true, false);
+    });
+    let checker_on_secs = best_of(trials, || {
+        ocean_torus_loop(ocean_p, ocean_n, chk_reps, halo_k, true, true);
+    });
+    let checker_overhead = checker_on_secs / checker_off_secs.max(1e-12);
+    eprintln!(
+        "  unchecked {:>8.3} s   checked {:>8.3} s   ({checker_overhead:.2}x)",
+        checker_off_secs, checker_on_secs
+    );
+
+    SyncBench {
+        barrier,
+        ocean_p,
+        ocean_n,
+        ocean_reps,
+        ocean_halo_k: halo_k,
+        ocean_full_secs,
+        ocean_neigh_secs,
+        ocean_speedup,
+        ocean_step_full_secs,
+        ocean_step_neigh_secs,
+        ocean_step_speedup,
+        sort_keys,
+        sort_p,
+        sort_fused_secs,
+        sort_split_secs,
+        sort_ratio,
+        checker_off_secs,
+        checker_on_secs,
+        checker_overhead,
+    }
+}
+
+/// Serialize the bench as the `BENCH_sync.json` document.
+pub fn to_json(b: &SyncBench) -> String {
+    let mut s = String::from("{\n  \"bench\": \"sync_modes\",\n");
+    s.push_str("  \"barrier_cost\": [\n");
+    for (i, pt) in b.barrier.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"p\": {}, \"boundaries\": {}, \"mean_us\": {:.3}}}{}\n",
+            pt.shape,
+            pt.nprocs,
+            pt.boundaries,
+            pt.mean_us,
+            if i + 1 < b.barrier.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"ocean_ghost_exchange\": {{\"p\": {}, \"n\": {}, \"reps\": {}, \"halo_k\": {}, \
+         \"full_secs\": {:.6}, \"neigh_secs\": {:.6}, \"speedup\": {:.3}, \
+         \"per_step_full_secs\": {:.6}, \"per_step_neigh_secs\": {:.6}, \
+         \"per_step_speedup\": {:.3}}},\n",
+        b.ocean_p,
+        b.ocean_n,
+        b.ocean_reps,
+        b.ocean_halo_k,
+        b.ocean_full_secs,
+        b.ocean_neigh_secs,
+        b.ocean_speedup,
+        b.ocean_step_full_secs,
+        b.ocean_step_neigh_secs,
+        b.ocean_step_speedup
+    ));
+    s.push_str(&format!(
+        "  \"sample_sort\": {{\"p\": {}, \"keys_per_proc\": {}, \
+         \"fused_secs\": {:.6}, \"split_secs\": {:.6}, \"fused_over_split\": {:.3}}},\n",
+        b.sort_p, b.sort_keys, b.sort_fused_secs, b.sort_split_secs, b.sort_ratio
+    ));
+    s.push_str(&format!(
+        "  \"checker\": {{\"off_secs\": {:.6}, \"on_secs\": {:.6}, \"overhead\": {:.3}}}\n}}\n",
+        b.checker_off_secs, b.checker_on_secs, b.checker_overhead
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_kstep_discipline_is_bit_identical() {
+        let bulk = ocean_torus_loop(4, 32, 8, 1, false, false);
+        let kstep = ocean_torus_loop(4, 32, 8, 4, true, false);
+        assert_eq!(bulk.to_bits(), kstep.to_bits());
+        let checked = ocean_torus_loop(4, 32, 8, 4, true, true);
+        assert_eq!(bulk.to_bits(), checked.to_bits());
+    }
+
+    #[test]
+    fn ocean_loop_modes_agree_and_json_is_wellformed() {
+        let f = ocean_loop(4, 32, 4, false, false);
+        let n = ocean_loop(4, 32, 4, true, false);
+        assert_eq!(f.to_bits(), n.to_bits());
+        // Checked relaxed run agrees too (inner reference runs full).
+        let c = ocean_loop(4, 32, 4, true, true);
+        assert_eq!(f.to_bits(), c.to_bits());
+
+        let b = SyncBench {
+            barrier: vec![BarrierPoint {
+                shape: "full",
+                nprocs: 2,
+                boundaries: 10,
+                mean_us: 1.5,
+            }],
+            ocean_p: 4,
+            ocean_n: 32,
+            ocean_reps: 4,
+            ocean_halo_k: 4,
+            ocean_full_secs: 0.2,
+            ocean_neigh_secs: 0.1,
+            ocean_speedup: 2.0,
+            ocean_step_full_secs: 0.2,
+            ocean_step_neigh_secs: 0.2,
+            ocean_step_speedup: 1.0,
+            sort_keys: 1024,
+            sort_p: 4,
+            sort_fused_secs: 0.1,
+            sort_split_secs: 0.1,
+            sort_ratio: 1.0,
+            checker_off_secs: 0.1,
+            checker_on_secs: 0.2,
+            checker_overhead: 2.0,
+        };
+        let j = to_json(&b);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"ocean_ghost_exchange\""));
+        assert!(j.contains("\"sample_sort\""));
+        assert!(j.contains("\"checker\""));
+    }
+}

@@ -14,8 +14,8 @@
 //! observation that "the number of supersteps actually decreases with
 //! increasing problem size".
 
-use crate::grid::{apply_boundary, exchange_ghosts, Hierarchy};
-use crate::multigrid::{solve, MgParams, MgWorkspace};
+use crate::grid::{apply_boundary, exchange_ghosts_mode, Hierarchy};
+use crate::multigrid::{solve, CycleMode, MgParams, MgWorkspace};
 use crate::stencil::{kinetic_energy_local, vorticity_step};
 use green_bsp::{collectives, Ctx};
 
@@ -106,9 +106,14 @@ pub fn ocean_run(ctx: &mut Ctx, cfg: &OceanConfig) -> OceanOut {
         if ctx.checkpoint_due() {
             ctx.save_checkpoint(&encode_ckpt(step, cycles, &ws.u[0], &zeta));
         }
-        // Fresh ghosts for the advection stencils.
-        exchange_ghosts(ctx, &hier, 0, &mut ws.u[0]);
-        exchange_ghosts(ctx, &hier, 0, &mut zeta);
+        // Fresh ghosts for the advection stencils. With cfg.mg.relaxed
+        // these close on neighborhood barriers — except the ζ exchange in
+        // adaptive mode, whose next superstep is the solver's opening
+        // all-reduce (adjacent-boundary rule, DESIGN.md §12).
+        let relax = cfg.mg.relaxed;
+        let zeta_relax = relax && matches!(cfg.mg.mode, CycleMode::Fixed(_));
+        exchange_ghosts_mode(ctx, &hier, 0, &mut ws.u[0], true, relax);
+        exchange_ghosts_mode(ctx, &hier, 0, &mut zeta, true, zeta_relax);
         vorticity_step(
             &l,
             &ws.u[0],
@@ -231,6 +236,42 @@ mod tests {
             assert_eq!(psi1, psip, "bitwise ψ divergence at p={p}");
             assert_eq!(outs1[0].cycles, outsp[0].cycles);
             assert!((outs1[0].kinetic_energy - outsp[0].kinetic_energy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn relaxed_run_is_bit_identical() {
+        // The whole driver — time stepping, multigrid solves, coarse
+        // gathers, diagnostics — produces bitwise-identical output when
+        // every eligible ghost exchange runs on a neighborhood barrier.
+        let n = 32;
+        let mk = |relaxed: bool| OceanConfig {
+            steps: 3,
+            mg: MgParams {
+                relaxed,
+                ..MgParams::default()
+            },
+            ..OceanConfig::new(n)
+        };
+        for p in [2usize, 4, 8] {
+            let full = run(&Config::new(p), {
+                let cfg = mk(false);
+                move |ctx| ocean_run(ctx, &cfg)
+            });
+            let relaxed = run(&Config::new(p).sync_graph(&crate::grid::ghost_graph(p)), {
+                let cfg = mk(true);
+                move |ctx| ocean_run(ctx, &cfg)
+            });
+            assert_eq!(
+                assemble_psi(&full.results, n),
+                assemble_psi(&relaxed.results, n),
+                "ψ divergence at p={p}"
+            );
+            assert_eq!(
+                full.results[0].kinetic_energy.to_bits(),
+                relaxed.results[0].kinetic_energy.to_bits(),
+                "energy divergence at p={p}"
+            );
         }
     }
 

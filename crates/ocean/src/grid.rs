@@ -128,6 +128,34 @@ impl Hierarchy {
     }
 }
 
+/// The ghost exchange's communication pattern as sync-graph edges: the
+/// 8-neighborhood (edge and corner neighbours) of the `pr × pc` processor
+/// grid. Pass to [`green_bsp::Config::sync_graph`] so
+/// [`exchange_ghosts_mode`] can run on neighborhood barriers instead of
+/// the p-wide rendezvous (DESIGN.md §12).
+pub fn ghost_graph(p: usize) -> Vec<(usize, usize)> {
+    let (pr, pc) = proc_grid(p);
+    let mut edges = Vec::new();
+    for r in 0..pr {
+        for c in 0..pc {
+            let pid = r * pc + c;
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    let (nr, nc) = (r as isize + dr, c as isize + dc);
+                    if nr < 0 || nc < 0 || nr >= pr as isize || nc >= pc as isize {
+                        continue;
+                    }
+                    let nb = nr as usize * pc + nc as usize;
+                    if nb > pid {
+                        edges.push((pid, nb));
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
 // Ghost placement sides, from the receiver's perspective.
 const PLACE_TOP: u32 = 0;
 const PLACE_BOTTOM: u32 = 1;
@@ -169,6 +197,75 @@ pub fn exchange_ghosts_with(
     field: &mut [f64],
     byte_lane: bool,
 ) {
+    exchange_ghosts_mode(ctx, hier, lvl, field, byte_lane, false)
+}
+
+/// [`exchange_ghosts_with`] with an explicit barrier mode: `neigh = true`
+/// closes the superstep with [`Ctx::sync_neigh`], so only sync-graph
+/// neighbours rendezvous (the run's [`green_bsp::Config`] must carry
+/// [`ghost_graph`]). All traffic of a ghost exchange goes to grid
+/// neighbours, so the relaxed boundary is always legal here — but the
+/// *next* superstep's sends are bound by the adjacent-boundary rule of
+/// DESIGN.md §12: callers must use `neigh = false` for the exchange
+/// immediately preceding any global collective (e.g. the coarse-grid
+/// gather or a reduction).
+pub fn exchange_ghosts_mode(
+    ctx: &mut Ctx,
+    hier: &Hierarchy,
+    lvl: usize,
+    field: &mut [f64],
+    byte_lane: bool,
+    neigh: bool,
+) {
+    ghost_send(ctx, hier, lvl, field, byte_lane);
+    if neigh {
+        ctx.sync_neigh();
+    } else {
+        ctx.sync();
+    }
+    ghost_drain(ctx, hier, lvl, field, byte_lane);
+    apply_boundary(hier, lvl, field);
+}
+
+/// [`exchange_ghosts_mode`] with the exchange split around a compute body:
+/// boundary strips are posted, the superstep boundary is *begun*
+/// ([`Ctx::sync_begin`] / [`Ctx::sync_neigh_begin`]), `body` runs while the
+/// exchange drains, and only then does [`Ctx::sync_end`] block for the
+/// (neighborhood) rendezvous before ghosts are placed.
+///
+/// `body` receives the field being exchanged; the strips were already
+/// captured at post time and ghosts are placed after `body` returns, so the
+/// body may read or write any cell — but for bit-identity with the fused
+/// exchange it should only touch cells whose update does not read the ghost
+/// ring (e.g. the interior points of a 5-point relaxation, leaving the
+/// ghost-adjacent border cells for after the call). This is the
+/// latency-hiding composition of DESIGN.md §12: split-phase × neighborhood,
+/// where the body's compute gives graph neighbours time to arrive so the
+/// closing wait resolves without descheduling.
+pub fn exchange_ghosts_overlap<F: FnOnce(&mut [f64])>(
+    ctx: &mut Ctx,
+    hier: &Hierarchy,
+    lvl: usize,
+    field: &mut [f64],
+    byte_lane: bool,
+    neigh: bool,
+    body: F,
+) {
+    ghost_send(ctx, hier, lvl, field, byte_lane);
+    if neigh {
+        ctx.sync_neigh_begin();
+    } else {
+        ctx.sync_begin();
+    }
+    body(field);
+    ctx.sync_end();
+    ghost_drain(ctx, hier, lvl, field, byte_lane);
+    apply_boundary(hier, lvl, field);
+}
+
+/// Post this block's boundary strips (edges + corners) to the grid
+/// neighbours. First half of [`exchange_ghosts_mode`].
+fn ghost_send(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, field: &[f64], byte_lane: bool) {
     let l = hier.levels[lvl];
     // One edge strip per neighbour: (dest, placement side on the receiver,
     // first global index along the side, the strip's field indices).
@@ -217,7 +314,13 @@ pub fn exchange_ghosts_with(
             send_strip(ctx, diag, place, 0, &[l.at(i, j)]);
         }
     }
-    ctx.sync();
+}
+
+/// Place the received ghost strips into `field`'s ghost ring. Second half
+/// of [`exchange_ghosts_mode`]; the superstep boundary must already have
+/// been crossed.
+fn ghost_drain(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, field: &mut [f64], byte_lane: bool) {
+    let l = hier.levels[lvl];
     // Index-directed placement: each incoming value names its ghost cell,
     // so arrival order is irrelevant on both lanes.
     let place = |field: &mut [f64], side: u32, g: usize, v: f64| match side {
@@ -254,7 +357,6 @@ pub fn exchange_ghosts_with(
             place(field, tag >> 28, (tag & 0x0FFF_FFFF) as usize, v);
         }
     }
-    apply_boundary(hier, lvl, field);
 }
 
 /// Dirichlet reflection on the physical domain boundary:
@@ -479,6 +581,68 @@ mod tests {
                 assert!(bytes.stats.h_bytes_total() > 0, "byte lane unused");
                 assert_eq!(bytes.stats.h_total(), 0, "no packets on the byte lane");
                 assert_eq!(pkts.stats.h_bytes_total(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_graph_edges_are_mutual_grid_neighbors() {
+        for p in [2usize, 4, 8, 16] {
+            let edges = ghost_graph(p);
+            let (pr, pc) = proc_grid(p);
+            for &(a, b) in &edges {
+                assert!(a < b && b < p, "p={p}: malformed edge ({a},{b})");
+                let (ar, ac) = (a / pc, a % pc);
+                let (br, bc) = (b / pc, b % pc);
+                assert!(
+                    ar.abs_diff(br) <= 1 && ac.abs_diff(bc) <= 1,
+                    "p={p}: ({a},{b}) not grid-adjacent on {pr}x{pc}"
+                );
+            }
+            // Every processor with a grid neighbour appears in some edge.
+            if p > 1 {
+                for pid in 0..p {
+                    assert!(
+                        edges.iter().any(|&(a, b)| a == pid || b == pid),
+                        "p={p}: pid {pid} isolated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_barrier_fills_identical_ghost_rings() {
+        // A ghost exchange closed with a neighborhood barrier over
+        // ghost_graph(p) must fill the ring bit-identically to the full
+        // barrier, on both transport lanes.
+        let n = 32;
+        let fill = move |h: &Hierarchy| {
+            let l = h.levels[0];
+            let mut f = l.zeros();
+            for i in 1..=l.rows {
+                for j in 1..=l.cols {
+                    let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                    f[l.at(i, j)] = ((gi * n + gj) as f64 * 0.7318).sin();
+                }
+            }
+            f
+        };
+        for p in [2usize, 4, 8] {
+            for byte_lane in [false, true] {
+                let full = run(&Config::new(p), move |ctx| {
+                    let h = Hierarchy::new(ctx.pid(), p, n, 8);
+                    let mut f = fill(&h);
+                    exchange_ghosts_mode(ctx, &h, 0, &mut f, byte_lane, false);
+                    f
+                });
+                let relaxed = run(&Config::new(p).sync_graph(&ghost_graph(p)), move |ctx| {
+                    let h = Hierarchy::new(ctx.pid(), p, n, 8);
+                    let mut f = fill(&h);
+                    exchange_ghosts_mode(ctx, &h, 0, &mut f, byte_lane, true);
+                    f
+                });
+                assert_eq!(full.results, relaxed.results, "p={p} byte_lane={byte_lane}");
             }
         }
     }

@@ -18,5 +18,8 @@ pub mod multigrid;
 pub mod stencil;
 
 pub use eddy::{assemble_psi, ocean_run, OceanConfig, OceanOut};
-pub use grid::{exchange_ghosts, exchange_ghosts_with, Hierarchy, Level};
+pub use grid::{
+    exchange_ghosts, exchange_ghosts_mode, exchange_ghosts_overlap, exchange_ghosts_with,
+    ghost_graph, Hierarchy, Level,
+};
 pub use multigrid::{solve, CycleMode, MgParams, MgWorkspace};

@@ -8,7 +8,7 @@
 //! exchange`; restriction and prolongation are local (aligned partition),
 //! with one extra exchange after the coarse correction is added.
 
-use crate::grid::{exchange_ghosts, Hierarchy};
+use crate::grid::{exchange_ghosts_mode, Hierarchy};
 use crate::stencil::{prolong_add, rb_half_sweep, residual, residual_norm2_local, restrict_to};
 use green_bsp::{collectives, Ctx, Packet};
 
@@ -23,6 +23,13 @@ pub struct MgParams {
     pub coarse_iters: usize,
     /// Cycle policy.
     pub mode: CycleMode,
+    /// Close ghost-exchange supersteps with neighborhood barriers
+    /// (DESIGN.md §12). Requires the run's `Config` to carry
+    /// [`crate::grid::ghost_graph`]. Boundaries adjacent to global traffic
+    /// — the coarse-grid gather/scatter and the exit of each V-cycle —
+    /// stay full barriers so the adjacent-boundary rule holds; results
+    /// are bit-identical either way.
+    pub relaxed: bool,
 }
 
 /// How many V-cycles a solve runs.
@@ -48,6 +55,7 @@ impl Default for MgParams {
             nu2: 1,
             coarse_iters: 48,
             mode: CycleMode::Fixed(3),
+            relaxed: false,
         }
     }
 }
@@ -73,13 +81,29 @@ impl MgWorkspace {
     }
 }
 
+/// Ghost exchange on the byte lane, relaxed or full.
+fn xg(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, u: &mut [f64], neigh: bool) {
+    exchange_ghosts_mode(ctx, hier, lvl, u, true, neigh)
+}
+
 /// One relaxation sweep (red, exchange, black, exchange) on `lvl`.
-fn sweep(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, u: &mut [f64], f: &[f64]) {
+/// `exit_full` forces the sweep's final boundary to a full barrier —
+/// required when the *next* superstep carries non-neighbor traffic
+/// (the coarse gather, an all-reduce).
+fn sweep(
+    ctx: &mut Ctx,
+    hier: &Hierarchy,
+    lvl: usize,
+    u: &mut [f64],
+    f: &[f64],
+    relax: bool,
+    exit_full: bool,
+) {
     let l = &hier.levels[lvl];
     rb_half_sweep(l, u, f, 0);
-    exchange_ghosts(ctx, hier, lvl, u);
+    xg(ctx, hier, lvl, u, relax);
     rb_half_sweep(l, u, f, 1);
-    exchange_ghosts(ctx, hier, lvl, u);
+    xg(ctx, hier, lvl, u, relax && !exit_full);
     ctx.charge((l.rows * l.cols) as u64);
 }
 
@@ -92,6 +116,7 @@ fn coarse_solve(
     u: &mut [f64],
     f: &[f64],
     iters: usize,
+    relax: bool,
 ) {
     let l = hier.levels[lvl];
     let n = l.n;
@@ -159,23 +184,39 @@ fn coarse_solve(
         let (gi, gj) = ((g as usize) / n, (g as usize) % n);
         u[l.at(gi - l.r0 + 1, gj - l.c0 + 1)] = v;
     }
-    exchange_ghosts(ctx, hier, lvl, u);
+    // The gather and scatter boundaries above stay full (global traffic);
+    // this trailing exchange carries grid-neighbor traffic only and sits
+    // between two neighbor-only supersteps, so it may relax.
+    xg(ctx, hier, lvl, u, relax);
 }
 
 /// One V-cycle rooted at `lvl`. `ws.u[lvl]` and `ws.f[lvl]` must be set
 /// with fresh `u` ghosts; on return `u` is improved with fresh ghosts.
 pub fn v_cycle(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, ws: &mut MgWorkspace, prm: &MgParams) {
     assert!(prm.nu2 >= 1, "nu2 = 0 would leave stale ghosts on exit");
+    let relax = prm.relaxed;
     let last = hier.levels.len() - 1;
     if lvl == last {
         let (u, f) = (&mut ws.u[lvl], &ws.f[lvl]);
-        coarse_solve(ctx, hier, lvl, u, f, prm.coarse_iters);
+        coarse_solve(ctx, hier, lvl, u, f, prm.coarse_iters, relax);
         return;
     }
-    for _ in 0..prm.nu1 {
+    for k in 0..prm.nu1 {
         let (head, tail) = ws.u.split_at_mut(lvl + 1);
         let _ = tail;
-        sweep(ctx, hier, lvl, &mut head[lvl], &ws.f[lvl]);
+        // The boundary right before the coarse gather must be full: the
+        // gather sends to processor 0, which is not a grid neighbor of
+        // most blocks (adjacent-boundary rule, DESIGN.md §12).
+        let before_gather = k + 1 == prm.nu1 && lvl + 1 == last;
+        sweep(
+            ctx,
+            hier,
+            lvl,
+            &mut head[lvl],
+            &ws.f[lvl],
+            relax,
+            before_gather,
+        );
     }
     {
         let l = &hier.levels[lvl];
@@ -193,10 +234,21 @@ pub fn v_cycle(ctx: &mut Ctx, hier: &Hierarchy, lvl: usize, ws: &mut MgWorkspace
         prolong_add(&coarse, &fine, &hi[0], &mut lo[lvl]);
         ctx.charge((fine.rows * fine.cols) as u64); // prolongation
     }
-    exchange_ghosts(ctx, hier, lvl, &mut ws.u[lvl]);
-    for _ in 0..prm.nu2 {
+    xg(ctx, hier, lvl, &mut ws.u[lvl], relax);
+    for k in 0..prm.nu2 {
         let (head, _) = ws.u.split_at_mut(lvl + 1);
-        sweep(ctx, hier, lvl, &mut head[lvl], &ws.f[lvl]);
+        // The cycle's very last boundary (level 0) stays full so callers
+        // may follow with global traffic (residual all-reduce, gathers).
+        let cycle_exit = k + 1 == prm.nu2 && lvl == 0;
+        sweep(
+            ctx,
+            hier,
+            lvl,
+            &mut head[lvl],
+            &ws.f[lvl],
+            relax,
+            cycle_exit,
+        );
     }
 }
 
@@ -391,6 +443,67 @@ mod tests {
         for p in [2usize, 4, 8] {
             let sp = solution(p);
             assert_eq!(s1, sp, "bitwise divergence at p={p}");
+        }
+    }
+
+    #[test]
+    fn relaxed_solve_is_bit_identical() {
+        // Neighborhood barriers change synchronization, never arithmetic:
+        // the relaxed solver must reproduce the full-barrier solution
+        // bitwise, in both cycle modes.
+        let n = 32;
+        let solution = |p: usize, relaxed: bool, mode: CycleMode| -> Vec<f64> {
+            let mut cfg = Config::new(p);
+            if relaxed {
+                cfg = cfg.sync_graph(&crate::grid::ghost_graph(p));
+            }
+            let out = run(&cfg, move |ctx| {
+                let hier = Hierarchy::new(ctx.pid(), p, n, 8);
+                let mut ws = MgWorkspace::new(&hier);
+                let l = hier.levels[0];
+                for i in 1..=l.rows {
+                    for j in 1..=l.cols {
+                        let (gi, gj) = (l.r0 + i - 1, l.c0 + j - 1);
+                        ws.f[0][l.at(i, j)] = ((gi * 13 + gj * 7) % 11) as f64 - 5.0;
+                    }
+                }
+                apply_boundary(&hier, 0, &mut ws.u[0]);
+                let prm = MgParams {
+                    relaxed,
+                    mode,
+                    ..MgParams::default()
+                };
+                solve(ctx, &hier, &mut ws, &prm);
+                let mut vals = Vec::new();
+                for i in 1..=l.rows {
+                    for j in 1..=l.cols {
+                        vals.push(((l.r0 + i - 1) * n + l.c0 + j - 1, ws.u[0][l.at(i, j)]));
+                    }
+                }
+                vals
+            });
+            let mut full = vec![0.0; n * n];
+            for r in out.results {
+                for (g, v) in r {
+                    full[g] = v;
+                }
+            }
+            full
+        };
+        for mode in [
+            CycleMode::Fixed(2),
+            CycleMode::Adaptive {
+                rel_tol: 1e-8,
+                max: 20,
+            },
+        ] {
+            for p in [2usize, 4, 8] {
+                assert_eq!(
+                    solution(p, false, mode),
+                    solution(p, true, mode),
+                    "relaxed/full divergence at p={p} mode={mode:?}"
+                );
+            }
         }
     }
 }

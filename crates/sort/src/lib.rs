@@ -12,4 +12,4 @@ pub mod radix;
 pub mod sample;
 
 pub use radix::radix_sort;
-pub use sample::{sample_sort, sample_sort_with, OVERSAMPLE};
+pub use sample::{sample_sort, sample_sort_mode, sample_sort_with, verify_sorted, OVERSAMPLE};

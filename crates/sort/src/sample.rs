@@ -36,7 +36,23 @@ pub fn sample_sort(ctx: &mut Ctx, keys: Vec<u64>) -> Vec<u64> {
 /// fixed-size discipline), `true` packs each destination's values into one
 /// variable-length message. The superstep structure, splitters, and output
 /// are identical either way — only the exchange fabric differs.
-pub fn sample_sort_with(ctx: &mut Ctx, mut keys: Vec<u64>, byte_lane: bool) -> Vec<u64> {
+pub fn sample_sort_with(ctx: &mut Ctx, keys: Vec<u64>, byte_lane: bool) -> Vec<u64> {
+    sample_sort_mode(ctx, keys, byte_lane, false)
+}
+
+/// [`sample_sort_with`] with split-phase synchronization (DESIGN.md §12):
+/// `split_phase = true` opens each boundary with [`Ctx::sync_begin`], does
+/// local work while the exchange is in flight, and collects with
+/// [`Ctx::sync_end`]. The overlapped work is the sort of the keys this
+/// processor keeps — the largest local chunk — so the bucket all-to-all
+/// and the dominant local sort run concurrently. Output is bit-identical
+/// to the fused path (a sorted multiset has one canonical order).
+pub fn sample_sort_mode(
+    ctx: &mut Ctx,
+    mut keys: Vec<u64>,
+    byte_lane: bool,
+    split_phase: bool,
+) -> Vec<u64> {
     let p = ctx.nprocs();
     if p == 1 {
         keys.sort_unstable();
@@ -76,9 +92,18 @@ pub fn sample_sort_with(ctx: &mut Ctx, mut keys: Vec<u64>, byte_lane: bool) -> V
     }
     // (collectives are not used here because each proc sends OVERSAMPLE
     // values; the pool is assembled by slot index.)
-    ctx.sync();
-    let mut pool = vec![u64::MAX; p * OVERSAMPLE];
-    pool[me * OVERSAMPLE..(me + 1) * OVERSAMPLE].copy_from_slice(&samples);
+    let mut pool;
+    if split_phase {
+        // Overlap the pool allocation and own-slot copy with the gather.
+        ctx.sync_begin();
+        pool = vec![u64::MAX; p * OVERSAMPLE];
+        pool[me * OVERSAMPLE..(me + 1) * OVERSAMPLE].copy_from_slice(&samples);
+        ctx.sync_end();
+    } else {
+        ctx.sync();
+        pool = vec![u64::MAX; p * OVERSAMPLE];
+        pool[me * OVERSAMPLE..(me + 1) * OVERSAMPLE].copy_from_slice(&samples);
+    }
     if byte_lane {
         while let Some((src, payload)) = ctx.recv_bytes() {
             for (s, chunk) in payload.chunks_exact(8).enumerate() {
@@ -125,6 +150,44 @@ pub fn sample_sort_with(ctx: &mut Ctx, mut keys: Vec<u64>, byte_lane: bool) -> V
                 ctx.send_pkt(bucket, Packet::two_u64(k, 0));
             }
         }
+    }
+    if split_phase {
+        // The kept keys are the largest local chunk; sorting them while
+        // the all-to-all is in flight is the split-phase payoff.
+        ctx.sync_begin();
+        mine.sort_unstable();
+        ctx.sync_end();
+        let mut recv: Vec<u64> = Vec::new();
+        if byte_lane {
+            while let Some((_src, payload)) = ctx.recv_bytes() {
+                recv.extend(
+                    payload
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+                );
+            }
+        } else {
+            while let Some(pkt) = ctx.get_pkt() {
+                recv.push(pkt.as_two_u64().0);
+            }
+        }
+        recv.sort_unstable();
+        // Linear merge of the two sorted runs.
+        let mut merged = Vec::with_capacity(mine.len() + recv.len());
+        let (mut i, mut j) = (0, 0);
+        while i < mine.len() && j < recv.len() {
+            if mine[i] <= recv[j] {
+                merged.push(mine[i]);
+                i += 1;
+            } else {
+                merged.push(recv[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&mine[i..]);
+        merged.extend_from_slice(&recv[j..]);
+        ctx.charge((merged.len().max(1).ilog2() as u64) * merged.len() as u64);
+        return merged;
     }
     ctx.sync();
     if byte_lane {
@@ -252,6 +315,25 @@ mod tests {
             assert!(bytes.stats.h_bytes_total() > 0, "byte lane unused");
             assert_eq!(bytes.stats.h_total(), 0, "no packets on the byte lane");
             assert_eq!(pkts.stats.h_bytes_total(), 0);
+        }
+    }
+
+    #[test]
+    fn split_phase_produces_identical_buckets() {
+        // Split-phase boundaries overlap local sorting with the exchange
+        // but never change the output: bit-identical on both lanes.
+        for p in [2usize, 4, 7] {
+            for byte_lane in [true, false] {
+                let fused = run(&Config::new(p), move |ctx| {
+                    sample_sort_mode(ctx, keys_for(ctx.pid(), 1500, 99), byte_lane, false)
+                });
+                let split = run(&Config::new(p), move |ctx| {
+                    sample_sort_mode(ctx, keys_for(ctx.pid(), 1500, 99), byte_lane, true)
+                });
+                assert_eq!(fused.results, split.results, "p={p} byte_lane={byte_lane}");
+                // A split boundary is still one synchronization.
+                assert_eq!(fused.stats.s(), split.stats.s(), "p={p}");
+            }
         }
     }
 

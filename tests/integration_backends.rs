@@ -17,6 +17,7 @@ fn backends() -> Vec<BackendKind> {
         BackendKind::NetSim(NetSimParams {
             g_us: 0.05,
             l_us: 5.0,
+            l_neigh_us: 0.0,
             time_scale: 1.0,
         }),
     ]
@@ -160,6 +161,7 @@ fn netsim_latency_slows_wall_clock() {
         &Config::new(2).backend(BackendKind::NetSim(NetSimParams {
             g_us: 0.0,
             l_us: 10.0,
+            l_neigh_us: 0.0,
             time_scale: 1.0,
         })),
         prog,
@@ -168,6 +170,7 @@ fn netsim_latency_slows_wall_clock() {
         &Config::new(2).backend(BackendKind::NetSim(NetSimParams {
             g_us: 0.0,
             l_us: 3000.0,
+            l_neigh_us: 0.0,
             time_scale: 1.0,
         })),
         prog,

@@ -32,6 +32,7 @@ fn sample_sort_time_is_predicted_within_a_third() {
     let params = NetSimParams {
         g_us: 2.0,
         l_us: 2_000.0,
+        l_neigh_us: 0.0,
         time_scale: 1.0,
     };
     let (actual, pred) = actual_vs_predicted(p, params, |ctx| {
@@ -54,6 +55,7 @@ fn broadcast_time_is_predicted_within_a_third() {
     let params = NetSimParams {
         g_us: 3.0,
         l_us: 1_000.0,
+        l_neigh_us: 0.0,
         time_scale: 1.0,
     };
     let (actual, pred) = actual_vs_predicted(p, params, |ctx| {
@@ -83,6 +85,7 @@ fn two_phase_broadcast_beats_direct_when_the_model_says_so() {
     let params = NetSimParams {
         g_us: 4.0,
         l_us: 500.0,
+        l_neigh_us: 0.0,
         time_scale: 1.0,
     };
     let direct = run(
