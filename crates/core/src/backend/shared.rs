@@ -48,9 +48,12 @@ use crate::fault::{BspError, TransportError, TransportErrorKind};
 use crate::pad::CachePadded;
 use crate::relax::{NeighborSync, SyncGraph, SyncMode};
 use crate::stats::TransportCounters;
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+// Synchronization primitives come through the shim: std under a normal
+// build (bit-identical codegen, including the transparent UnsafeCell
+// wrapper), loom's model-checked equivalents under `--cfg loom`. See
+// sync_shim.rs and DESIGN.md §13.
+use crate::sync_shim::{AtomicPtr, AtomicUsize, Mutex, Ordering, Thread, UnsafeCell};
+use std::sync::Arc;
 
 /// Default number of packets staged locally before reserving slab space —
 /// the paper's value (1000 packets per lock acquisition, now per
@@ -98,7 +101,9 @@ pub(crate) struct Mailbox {
 unsafe impl Sync for Mailbox {}
 
 impl Mailbox {
-    fn new(cap: usize) -> Self {
+    // pub(crate) so the loom suite can model-check the reservation/swap
+    // protocol on a standalone mailbox.
+    pub(crate) fn new(cap: usize) -> Self {
         let mut vec: Vec<Packet> = Vec::with_capacity(cap.max(1));
         Mailbox {
             cursor: CachePadded::new(AtomicUsize::new(0)),
@@ -156,43 +161,47 @@ impl Mailbox {
         if total == 0 {
             return;
         }
-        // SAFETY: exclusive access during the drain window (phase
-        // discipline); no push to this phase can run concurrently.
-        let vec = unsafe { &mut *self.vec.get() };
-        let cap = vec.capacity();
-        let used = total.min(cap);
-        // SAFETY: reservations tile `0..total` densely from 0, so every slot
-        // in `..used` was written by a completed push this phase — `used`
-        // elements of the buffer are initialized.
-        unsafe { vec.set_len(used) };
-        std::mem::swap(inbox, vec);
-        // `vec` is now the inbox's previous buffer. Anything still in it
-        // belongs to the receiver (delivery order is unspecified anyway).
-        if !vec.is_empty() {
-            inbox.append(vec);
-        }
-        vec.clear();
-        if total > cap {
-            counters.lock_acquisitions += 1;
-            let mut ov = self.overflow.lock().unwrap();
-            debug_assert_eq!(ov.len(), total - used, "overflow bookkeeping");
-            inbox.append(&mut ov);
-        }
-        // Republish the slab: grow so the next burst of this size is
-        // lock-free, otherwise reuse the circulated buffer as-is.
-        let need = if total > cap {
-            total.next_power_of_two()
-        } else {
-            cap
-        };
-        if vec.capacity() < need {
-            if total > cap {
-                counters.slab_regrows += 1;
+        self.vec.with_mut(|vptr| {
+            // SAFETY: exclusive access during the drain window (phase
+            // discipline); no push to this phase can run concurrently —
+            // under `--cfg loom` the model checker verifies exactly this
+            // via the cell's happens-before tracking.
+            let vec = unsafe { &mut *vptr };
+            let cap = vec.capacity();
+            let used = total.min(cap);
+            // SAFETY: reservations tile `0..total` densely from 0, so every
+            // slot in `..used` was written by a completed push this phase —
+            // `used` elements of the buffer are initialized.
+            unsafe { vec.set_len(used) };
+            std::mem::swap(inbox, vec);
+            // `vec` is now the inbox's previous buffer. Anything still in it
+            // belongs to the receiver (delivery order is unspecified anyway).
+            if !vec.is_empty() {
+                inbox.append(vec);
             }
-            *vec = Vec::with_capacity(need);
-        }
-        self.data.store(vec.as_mut_ptr(), Ordering::Relaxed);
-        self.cap.store(vec.capacity(), Ordering::Relaxed);
+            vec.clear();
+            if total > cap {
+                counters.lock_acquisitions += 1;
+                let mut ov = self.overflow.lock().unwrap();
+                debug_assert_eq!(ov.len(), total - used, "overflow bookkeeping");
+                inbox.append(&mut ov);
+            }
+            // Republish the slab: grow so the next burst of this size is
+            // lock-free, otherwise reuse the circulated buffer as-is.
+            let need = if total > cap {
+                total.next_power_of_two()
+            } else {
+                cap
+            };
+            if vec.capacity() < need {
+                if total > cap {
+                    counters.slab_regrows += 1;
+                }
+                *vec = Vec::with_capacity(need);
+            }
+            self.data.store(vec.as_mut_ptr(), Ordering::Relaxed);
+            self.cap.store(vec.capacity(), Ordering::Relaxed);
+        });
     }
 
     /// Current slab capacity in packets (test hook).
@@ -239,7 +248,8 @@ pub(crate) struct ByteMailbox {
 unsafe impl Sync for ByteMailbox {}
 
 impl ByteMailbox {
-    fn new(cap: usize) -> Self {
+    // pub(crate) for the loom suite, as with [`Mailbox::new`].
+    pub(crate) fn new(cap: usize) -> Self {
         let mut vec: Vec<u8> = Vec::with_capacity(cap.max(1));
         ByteMailbox {
             cursor: CachePadded::new(AtomicUsize::new(0)),
@@ -300,44 +310,49 @@ impl ByteMailbox {
             return;
         }
         let straddle = self.straddle.swap(usize::MAX, Ordering::Relaxed);
-        // SAFETY: exclusive access during the drain window (phase
-        // discipline); no push to this phase can run concurrently.
-        let vec = unsafe { &mut *self.vec.get() };
-        let cap = vec.capacity();
-        // Valid slab prefix: reservations tile densely from 0, so every byte
-        // below min(total, cap, straddle) was written by a completed in-slab
-        // push — the straddler and everything after it went to the overflow.
-        let used = total.min(cap).min(straddle);
-        // SAFETY: `used` bytes of the buffer are initialized (see above).
-        unsafe { vec.set_len(used) };
-        std::mem::swap(inbox, vec);
-        // `vec` is now the inbox's previous buffer; the receiver already
-        // consumed record boundaries out of it, so just recycle it.
-        if !vec.is_empty() {
-            inbox.append(vec);
-        }
-        vec.clear();
-        if total > used {
-            counters.lock_acquisitions += 1;
-            let mut ov = self.overflow.lock().unwrap();
-            debug_assert_eq!(ov.len(), total - used, "byte overflow bookkeeping");
-            inbox.append(&mut ov);
-        }
-        // Republish the slab: grow so the next burst of this size is
-        // lock-free, otherwise reuse the circulated buffer as-is.
-        let need = if total > used {
-            total.next_power_of_two()
-        } else {
-            cap
-        };
-        if vec.capacity() < need {
-            if total > used {
-                counters.slab_regrows += 1;
+        self.vec.with_mut(|vptr| {
+            // SAFETY: exclusive access during the drain window (phase
+            // discipline); no push to this phase can run concurrently —
+            // under `--cfg loom` the model checker verifies exactly this
+            // via the cell's happens-before tracking.
+            let vec = unsafe { &mut *vptr };
+            let cap = vec.capacity();
+            // Valid slab prefix: reservations tile densely from 0, so every
+            // byte below min(total, cap, straddle) was written by a completed
+            // in-slab push — the straddler and everything after it went to
+            // the overflow.
+            let used = total.min(cap).min(straddle);
+            // SAFETY: `used` bytes of the buffer are initialized (see above).
+            unsafe { vec.set_len(used) };
+            std::mem::swap(inbox, vec);
+            // `vec` is now the inbox's previous buffer; the receiver already
+            // consumed record boundaries out of it, so just recycle it.
+            if !vec.is_empty() {
+                inbox.append(vec);
             }
-            *vec = Vec::with_capacity(need);
-        }
-        self.data.store(vec.as_mut_ptr(), Ordering::Relaxed);
-        self.cap.store(vec.capacity(), Ordering::Relaxed);
+            vec.clear();
+            if total > used {
+                counters.lock_acquisitions += 1;
+                let mut ov = self.overflow.lock().unwrap();
+                debug_assert_eq!(ov.len(), total - used, "byte overflow bookkeeping");
+                inbox.append(&mut ov);
+            }
+            // Republish the slab: grow so the next burst of this size is
+            // lock-free, otherwise reuse the circulated buffer as-is.
+            let need = if total > used {
+                total.next_power_of_two()
+            } else {
+                cap
+            };
+            if vec.capacity() < need {
+                if total > used {
+                    counters.slab_regrows += 1;
+                }
+                *vec = Vec::with_capacity(need);
+            }
+            self.data.store(vec.as_mut_ptr(), Ordering::Relaxed);
+            self.cap.store(vec.capacity(), Ordering::Relaxed);
+        });
     }
 
     /// Current slab capacity in bytes (test hook).
@@ -463,7 +478,7 @@ pub(crate) struct SharedProc {
     /// Deferred neighborhood wakes (see [`NeighborSync::signal`]): handed
     /// to every signal/wait and flushed on finish/reset so no neighbor is
     /// left sleeping against the park timeout.
-    pending_wakes: Vec<std::thread::Thread>,
+    pending_wakes: Vec<Thread>,
     counters: TransportCounters,
 }
 

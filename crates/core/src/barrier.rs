@@ -9,24 +9,11 @@
 //! ablation bench.
 
 use crate::pad::CachePadded;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
-
-/// Number of busy spins before a spinning barrier starts yielding the CPU.
-/// Logical BSP processes routinely outnumber cores (the paper oversubscribes
-/// nothing, but our harness runs 16 procs on small hosts), so unbounded
-/// spinning would livelock the scheduler.
-const SPIN_LIMIT: u32 = 128;
-
-#[inline]
-pub(crate) fn spin_wait(spins: &mut u32) {
-    if *spins < SPIN_LIMIT {
-        std::hint::spin_loop();
-        *spins += 1;
-    } else {
-        std::thread::yield_now();
-    }
-}
+// Every synchronization primitive comes through the shim: std under a
+// normal build (bit-identical codegen), loom's model-checked equivalents
+// under `--cfg loom`. See sync_shim.rs and DESIGN.md §13.
+pub(crate) use crate::sync_shim::spin_wait;
+use crate::sync_shim::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 
 /// A reusable barrier for a fixed set of `p` participants.
 pub trait Barrier: Send + Sync {

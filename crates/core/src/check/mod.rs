@@ -85,6 +85,24 @@ pub enum CheckKind {
     /// against the destination's slab maintenance, so the send is illegal
     /// even if it happens to arrive (see DESIGN.md §12).
     GraphViolatingSend,
+    /// A split-phase window was misused: a send, `sync`, or `set_eager`
+    /// between [`crate::Ctx::sync_begin`] and [`crate::Ctx::sync_end`], a
+    /// second `sync_begin` without closing the first, a `sync_end` with no
+    /// open window, or a return from the program mid-window. Unchecked
+    /// runs panic at the offending call; checked runs degrade (the
+    /// offending operation is dropped or the window is force-closed) and
+    /// file this diagnostic instead.
+    SplitMisuse,
+    /// The static plan analyzer ([`crate::analyze`]) found processes whose
+    /// superstep skeletons can never meet at a boundary: different
+    /// boundary counts, or different boundary kinds (full barrier vs
+    /// neighborhood rendezvous) at the same boundary index. A real run
+    /// would deadlock or silently skip a straggler.
+    PlanDeadlock,
+    /// A checkpoint was requested inside a split-phase overlap window.
+    /// The checkpointed image would capture a half-completed boundary
+    /// (sends flushed, deliveries pending), which a restore cannot replay.
+    CheckpointInSplit,
 }
 
 impl fmt::Display for CheckKind {
@@ -102,6 +120,9 @@ impl fmt::Display for CheckKind {
             CheckKind::MessageFraming => "message-framing",
             CheckKind::FaultUndetected => "fault-undetected",
             CheckKind::GraphViolatingSend => "graph-violating-send",
+            CheckKind::SplitMisuse => "split-misuse",
+            CheckKind::PlanDeadlock => "plan-deadlock",
+            CheckKind::CheckpointInSplit => "checkpoint-in-split",
         };
         f.write_str(s)
     }
@@ -212,8 +233,21 @@ pub(crate) struct SendSite {
     pub(crate) count: u64,
 }
 
+/// One superstep boundary a process crossed, in program order — the raw
+/// material of the static plan analyzer ([`crate::analyze`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct BoundaryEvent {
+    /// The superstep this boundary closed.
+    pub(crate) step: usize,
+    /// Neighborhood rendezvous ([`crate::Ctx::sync_neigh`]) vs full
+    /// barrier.
+    pub(crate) neigh: bool,
+    /// Crossed split-phase (`sync_begin` / `sync_end`) vs fused.
+    pub(crate) split: bool,
+}
+
 /// Everything one process recorded for post-run analysis.
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ProcTrace {
     /// Number of `sync` calls this process made.
     pub(crate) syncs: usize,
@@ -224,6 +258,12 @@ pub(crate) struct ProcTrace {
     /// [`LANE_RAW`] / [`LANE_MSG`] / [`LANE_BYTES`]. Consecutive sends in
     /// the same superstep are compressed into one entry.
     pub(crate) lanes: Vec<(usize, u8)>,
+    /// Every boundary crossed, in order, with its declared kind.
+    pub(crate) boundaries: Vec<BoundaryEvent>,
+    /// Checkpoint registrations: `(superstep, inside a split window)`.
+    pub(crate) ckpts: Vec<(usize, bool)>,
+    /// Eager-delivery toggles: `(superstep, on)`.
+    pub(crate) eager: Vec<(usize, bool)>,
 }
 
 /// Run-wide checker state shared by every process.
@@ -587,6 +627,35 @@ fn check_lane_mixing(traces: &[ProcTrace], sink: &ReportSink) {
     }
 }
 
+/// Flag checkpoints registered inside a split-phase overlap window: the
+/// snapshot would capture a half-crossed boundary (sends already flushed,
+/// deliveries still pending), which a rollback cannot replay.
+fn check_ckpt_in_split(traces: &[ProcTrace], sink: &ReportSink) {
+    for (pid, t) in traces.iter().enumerate() {
+        for &(step, in_split) in &t.ckpts {
+            if in_split {
+                report(
+                    sink,
+                    CheckReport {
+                        kind: CheckKind::CheckpointInSplit,
+                        pid,
+                        step,
+                        related_step: None,
+                        detail: format!(
+                            "proc {} saved a checkpoint in superstep {} between \
+                             sync_begin and sync_end; the snapshot captures a \
+                             half-crossed boundary and cannot be restored \
+                             consistently (move the save before sync_begin or \
+                             after sync_end)",
+                            pid, step
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
 /// Append the candidate originating send sites to every stale-packet
 /// report: a packet delivered in superstep `e` was sent during `e - 1`, so
 /// every send site targeting the reader during `e - 1` is a candidate.
@@ -626,6 +695,7 @@ pub(crate) fn analyze(traces: &[ProcTrace], sink: &ReportSink) -> Vec<CheckRepor
     check_collective_congruence(traces, sink);
     check_drma_conflicts(traces, sink);
     check_lane_mixing(traces, sink);
+    check_ckpt_in_split(traces, sink);
     let mut reports = std::mem::take(&mut *sink.lock().unwrap());
     attach_send_sites(&mut reports, traces);
     reports

@@ -8,8 +8,8 @@
 //! are derived.
 
 use crate::check::{
-    report, CheckCtx, CheckKind, CheckReport, CollectiveEvent, CollectiveKind, DrmaEvent, DrmaOp,
-    TrackedPkt, LANE_BYTES, LANE_MSG, LANE_RAW,
+    report, BoundaryEvent, CheckCtx, CheckKind, CheckReport, CollectiveEvent, CollectiveKind,
+    DrmaEvent, DrmaOp, TrackedPkt, LANE_BYTES, LANE_MSG, LANE_RAW,
 };
 use crate::fault::FaultCounters;
 use crate::packet::Packet;
@@ -171,6 +171,10 @@ pub struct Ctx {
     /// True between [`Ctx::sync_begin`] and [`Ctx::sync_end`]: sends are
     /// forbidden in the overlap window (the exchange is already in flight).
     in_split: bool,
+    /// The in-flight boundary is a neighborhood rendezvous
+    /// ([`Ctx::sync_neigh`] / [`Ctx::sync_neigh_begin`]); consumed by
+    /// `close_step` when recording the boundary's kind for the checker.
+    neigh_pending: bool,
     /// Eager per-destination delivery ([`Ctx::set_eager`]): byte-lane
     /// records flush to the transport as each message completes instead of
     /// being staged until the boundary.
@@ -288,6 +292,7 @@ impl Ctx {
             work_units: 0,
             step_start: Instant::now(),
             in_split: false,
+            neigh_pending: false,
             eager: false,
             pending_compute: Duration::ZERO,
             pending_wait: Duration::ZERO,
@@ -329,6 +334,7 @@ impl Ctx {
         self.work_units = 0;
         self.step_start = Instant::now();
         self.in_split = false;
+        self.neigh_pending = false;
         self.eager = false;
         self.pending_compute = Duration::ZERO;
         self.pending_wait = Duration::ZERO;
@@ -344,11 +350,21 @@ impl Ctx {
     /// in `S` (e.g. the 1-processor matrix multiplication has `S = 1` with no
     /// synchronizations at all).
     pub(crate) fn finalize(&mut self) {
-        assert!(
-            !self.in_split,
-            "proc {} returned between sync_begin and sync_end",
-            self.pid
-        );
+        if self.in_split {
+            let pid = self.pid;
+            // Checked degradation: complete the half-crossed boundary so
+            // peers blocked in the matching exchange are not stranded,
+            // then finalize normally.
+            if self.split_misuse(&format!(
+                "proc {} returned between sync_begin and sync_end \
+                 (open window force-closed before finalize)",
+                pid
+            )) {
+                self.sync_end();
+            } else {
+                panic!("proc {} returned between sync_begin and sync_end", pid);
+            }
+        }
         let compute = self.step_start.elapsed();
         // Packets sent after the last sync have no delivery boundary left.
         // They are recorded in this final LocalStep and surfaced as
@@ -390,7 +406,12 @@ impl Ctx {
     #[track_caller]
     pub fn send_pkt(&mut self, dest: usize, pkt: Packet) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
-        assert!(!self.in_split, "send_pkt between sync_begin and sync_end");
+        if self.in_split {
+            if self.split_misuse("send_pkt between sync_begin and sync_end (packet dropped)") {
+                return;
+            }
+            panic!("send_pkt between sync_begin and sync_end");
+        }
         self.sent_this_step += 1;
         if let Some(c) = &mut self.check {
             c.record_send(self.step, dest, Location::caller(), 1);
@@ -408,7 +429,12 @@ impl Ctx {
     #[track_caller]
     pub fn send_pkts(&mut self, dest: usize, pkts: &[Packet]) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
-        assert!(!self.in_split, "send_pkts between sync_begin and sync_end");
+        if self.in_split {
+            if self.split_misuse("send_pkts between sync_begin and sync_end (batch dropped)") {
+                return;
+            }
+            panic!("send_pkts between sync_begin and sync_end");
+        }
         self.sent_this_step += pkts.len() as u64;
         if let Some(c) = &mut self.check {
             c.record_send(self.step, dest, Location::caller(), pkts.len() as u64);
@@ -428,7 +454,12 @@ impl Ctx {
     #[inline]
     pub fn send_bytes(&mut self, dest: usize, payload: &[u8]) {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
-        assert!(!self.in_split, "send_bytes between sync_begin and sync_end");
+        if self.in_split {
+            if self.split_misuse("send_bytes between sync_begin and sync_end (message dropped)") {
+                return;
+            }
+            panic!("send_bytes between sync_begin and sync_end");
+        }
         assert!(
             payload.len() <= u32::MAX as usize,
             "message too large: {} bytes",
@@ -460,7 +491,16 @@ impl Ctx {
     /// [`Ctx::send_bytes`], without the intermediate allocation and copy.
     pub fn msg_writer(&mut self, dest: usize) -> MsgWriter<'_> {
         debug_assert!(dest < self.nprocs, "dest {} out of range", dest);
-        assert!(!self.in_split, "msg_writer between sync_begin and sync_end");
+        if self.in_split {
+            // The writer API has no way to refuse a message, so the
+            // checked degradation stages it normally; it leaves at the
+            // next boundary that flushes the lane, one superstep late.
+            if !self.split_misuse(
+                "msg_writer between sync_begin and sync_end (message deferred to a later boundary)",
+            ) {
+                panic!("msg_writer between sync_begin and sync_end");
+            }
+        }
         if let Some(c) = &mut self.check {
             c.record_lane(self.step, LANE_BYTES);
         }
@@ -567,7 +607,19 @@ impl Ctx {
     /// exactly what they always did (one `exchange`, no extra rendezvous
     /// traffic).
     pub fn sync(&mut self) {
-        assert!(!self.in_split, "sync between sync_begin and sync_end");
+        if self.in_split {
+            // Checked degradation: the caller clearly wants a boundary and
+            // one is already half-crossed, so complete the open window —
+            // that keeps this proc's boundary count congruent with peers
+            // that called sync_end correctly.
+            if self.split_misuse(
+                "sync between sync_begin and sync_end (treated as the matching sync_end)",
+            ) {
+                self.sync_end();
+                return;
+            }
+            panic!("sync between sync_begin and sync_end");
+        }
         let compute = self.step_start.elapsed();
         let sent = self.sent_this_step;
         let sent_bytes = self.sent_bytes_this_step;
@@ -593,7 +645,7 @@ impl Ctx {
         self.transport
             .exchange(self.step, &mut self.inbox, &mut self.byte_inbox);
         let sync_wait = boundary.elapsed();
-        self.close_step(sent, sent_bytes, compute, sync_wait);
+        self.close_step(sent, sent_bytes, compute, sync_wait, false);
     }
 
     /// First half of a split-phase boundary: flush this superstep's sends
@@ -603,7 +655,14 @@ impl Ctx {
     /// superstep's delivered packets, which stay valid until `sync_end` —
     /// but must not send ([`Ctx::send_pkt`] and friends panic).
     pub fn sync_begin(&mut self) {
-        assert!(!self.in_split, "sync_begin called twice without sync_end");
+        if self.in_split {
+            // Checked degradation: the window is already open; a second
+            // announcement has nothing to add, so ignore it.
+            if self.split_misuse("sync_begin called twice without sync_end (second call ignored)") {
+                return;
+            }
+            panic!("sync_begin called twice without sync_end");
+        }
         self.in_split = true;
         self.pending_compute = self.step_start.elapsed();
         for dest in 0..self.nprocs {
@@ -625,7 +684,15 @@ impl Ctx {
     /// just ended. Must follow a [`Ctx::sync_begin`]; `sync_begin` +
     /// `sync_end` is observationally equivalent to one [`Ctx::sync`].
     pub fn sync_end(&mut self) {
-        assert!(self.in_split, "sync_end without sync_begin");
+        if !self.in_split {
+            // Checked degradation: there is no open window to complete;
+            // performing a boundary here would desynchronize this proc
+            // from its peers, so ignore the call.
+            if self.split_misuse("sync_end without sync_begin (call ignored)") {
+                return;
+            }
+            panic!("sync_end without sync_begin");
+        }
         self.in_split = false;
         let compute = self.pending_compute + self.step_start.elapsed();
         let sent = self.sent_this_step;
@@ -643,7 +710,7 @@ impl Ctx {
             .exchange(self.step, &mut self.inbox, &mut self.byte_inbox);
         let sync_wait = self.pending_wait + boundary.elapsed();
         self.pending_wait = Duration::ZERO;
-        self.close_step(sent, sent_bytes, compute, sync_wait);
+        self.close_step(sent, sent_bytes, compute, sync_wait, true);
     }
 
     /// [`Ctx::sync`] over the registered sync graph
@@ -655,6 +722,7 @@ impl Ctx {
     /// [`crate::Config::checked`]).
     pub fn sync_neigh(&mut self) {
         self.transport.set_sync_mode(SyncMode::Neighborhood);
+        self.neigh_pending = true;
         self.sync();
     }
 
@@ -662,6 +730,7 @@ impl Ctx {
     /// complete the pairwise rendezvous at the matching [`Ctx::sync_end`].
     pub fn sync_neigh_begin(&mut self) {
         self.transport.set_sync_mode(SyncMode::Neighborhood);
+        self.neigh_pending = true;
         self.sync_begin();
     }
 
@@ -672,14 +741,60 @@ impl Ctx {
     /// publishes cursors instead of moving bytes. Sticky until toggled
     /// again; results are bit-identical either way.
     pub fn set_eager(&mut self, on: bool) {
-        assert!(!self.in_split, "set_eager between sync_begin and sync_end");
+        if self.in_split {
+            // Checked degradation: toggling delivery mode while a boundary
+            // is half-crossed would desynchronize the transport's staging
+            // bookkeeping, so the toggle is dropped.
+            if self.split_misuse("set_eager between sync_begin and sync_end (toggle ignored)") {
+                return;
+            }
+            panic!("set_eager between sync_begin and sync_end");
+        }
         self.eager = on;
+        if let Some(c) = &mut self.check {
+            c.trace.eager.push((self.step, on));
+        }
         self.transport.set_eager(on);
     }
 
+    /// Split-window misuse gate. On a checked run
+    /// ([`crate::Config::checked`]) files a
+    /// [`CheckKind::SplitMisuse`] diagnostic and returns `true` so the
+    /// caller can degrade gracefully (drop the send, ignore the stray
+    /// call, force-close the window); on an unchecked run returns `false`
+    /// and the caller panics — the legacy fail-fast contract.
+    fn split_misuse(&mut self, what: &str) -> bool {
+        match &mut self.check {
+            Some(c) => {
+                report(
+                    &c.shared.sink,
+                    CheckReport {
+                        kind: CheckKind::SplitMisuse,
+                        pid: self.pid,
+                        step: self.step,
+                        related_step: None,
+                        detail: what.to_string(),
+                    },
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Shared tail of every boundary flavor: log the superstep, advance
-    /// counters and the checker epoch, reopen the compute clock.
-    fn close_step(&mut self, sent: u64, sent_bytes: u64, compute: Duration, sync_wait: Duration) {
+    /// counters and the checker epoch, reopen the compute clock. `split`
+    /// marks a boundary crossed via `sync_begin`/`sync_end`.
+    fn close_step(
+        &mut self,
+        sent: u64,
+        sent_bytes: u64,
+        compute: Duration,
+        sync_wait: Duration,
+        split: bool,
+    ) {
+        let closed = self.step;
+        let neigh = std::mem::take(&mut self.neigh_pending);
         self.log.push(LocalStep {
             sent,
             recv: self.inbox.len() as u64,
@@ -698,6 +813,11 @@ impl Ctx {
             // count the sync for the congruence analysis.
             c.epoch.store(self.step as u64, Ordering::Relaxed);
             c.trace.syncs += 1;
+            c.trace.boundaries.push(BoundaryEvent {
+                step: closed,
+                neigh,
+                split,
+            });
         }
         // The clock reopens after the exchange, so barrier wait and routing
         // time are excluded from the work depth, as in the paper (BSP models
@@ -781,6 +901,12 @@ impl Ctx {
     /// superstep at which *all* procs saved a snapshot. No-op without a
     /// checkpoint policy.
     pub fn save_checkpoint(&mut self, state: &[u8]) {
+        // Placement is recorded even without a policy: where the program
+        // *would* checkpoint is part of its superstep plan, and saving
+        // inside a split window is flagged by the analyzer either way.
+        if let Some(c) = &mut self.check {
+            c.trace.ckpts.push((self.step, self.in_split));
+        }
         if let Some(c) = &self.ckpt {
             c.store.save(c.pid, self.step, state.to_vec());
         }

@@ -67,6 +67,7 @@
 
 #![warn(clippy::undocumented_unsafe_blocks)]
 
+pub mod analyze;
 pub mod backend;
 pub mod barrier;
 pub mod check;
@@ -83,7 +84,16 @@ pub mod pad;
 pub mod relax;
 pub mod runner;
 pub mod stats;
+pub(crate) mod sync_shim;
 
+// Loom-gated exhaustive interleaving tests for the lock-free core. A unit
+// (not integration) test module because it drives the pub(crate)
+// mailboxes directly. Selected by the CI `analysis` job via
+// `RUSTFLAGS="--cfg loom" cargo test -p green-bsp --lib loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests;
+
+pub use analyze::{lint, PlanBoundary, PlanReport, PlanStep};
 pub use backend::{BackendKind, NetSimParams};
 pub use barrier::BarrierKind;
 pub use check::{CheckKind, CheckReport, CollectiveKind, TrackedPkt};

@@ -19,10 +19,26 @@
 //! ([`TransportErrorKind::GraphViolation`](crate::TransportErrorKind)).
 
 use crate::pad::CachePadded;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::thread::{self, Thread};
+// All synchronization primitives come through the shim: std under a normal
+// build (bit-identical codegen), loom's model-checked equivalents under
+// `--cfg loom`. See sync_shim.rs and DESIGN.md §13.
+use crate::sync_shim as shim;
+use crate::sync_shim::{AtomicBool, AtomicU64, Mutex, Ordering, Thread};
 use std::time::Duration;
+
+/// The ordering of the per-edge generation-flag publication in
+/// [`NeighborSync::signal`] — Release, the load-bearing half of the
+/// rendezvous happens-before edge. Under `--cfg loom_mutant` (the loom
+/// suite's teeth check, CI job `analysis`) it is deliberately weakened to
+/// Relaxed, which must make the model checker report a data race on the
+/// payload published across the rendezvous: the SeqCst fence *after* the
+/// store is no substitute, because C++11 requires a release fence *before*
+/// a relaxed store to upgrade it, and the reader's spin path acquires the
+/// flag without any fence of its own.
+#[cfg(not(loom_mutant))]
+const PUBLISH: Ordering = Ordering::Release;
+#[cfg(loom_mutant)]
+const PUBLISH: Ordering = Ordering::Relaxed;
 
 /// How a superstep boundary synchronizes, consumed per exchange.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -177,7 +193,13 @@ struct Waiter {
 /// Flag checks before a waiter starts yielding. Short on purpose: with
 /// more runnable threads than cores (the common case here), spinning only
 /// steals the core from the neighbor being waited on.
+#[cfg(not(loom))]
 const PARK_SPIN: usize = 64;
+/// Under the model checker every spin iteration is a schedule point; two
+/// passes are enough to exercise the spin-resolve path without exploding
+/// the interleaving space.
+#[cfg(loom)]
+const PARK_SPIN: usize = 2;
 
 /// Bounded `yield_now` passes between spinning and parking. A yield keeps
 /// the waiter runnable and hands the core to whichever in-neighbor has not
@@ -189,7 +211,10 @@ const PARK_SPIN: usize = 64;
 /// one-core host), while unbounded yielding never parks, so the scheduler
 /// round-robins through stuck threads instead of letting the deferred-wake
 /// path batch them off the run queue.
+#[cfg(not(loom))]
 const PARK_YIELDS: usize = 3;
+#[cfg(loom)]
+const PARK_YIELDS: usize = 1;
 
 /// Deliver every deferred wake in `pending`.
 fn flush_pending(pending: &mut Vec<Thread>) {
@@ -241,14 +266,12 @@ impl NeighborSync {
     /// deferral discipline.
     pub fn signal(&self, src: usize, dsts: &[usize], gen: u64, pending: &mut Vec<Thread>) {
         for &dst in dsts {
-            self.flags[src * self.nprocs + dst]
-                .0
-                .store(gen, Ordering::Release);
+            self.flags[src * self.nprocs + dst].0.store(gen, PUBLISH);
         }
         // Pairs with the fence in `wait` (store parked → check flags vs
         // store flags → check parked): at least one side must observe the
         // other, so a waiter never parks against an unseen flag.
-        std::sync::atomic::fence(Ordering::SeqCst);
+        shim::fence(Ordering::SeqCst);
         for &dst in dsts {
             if !self.parked[dst].0.load(Ordering::Relaxed) {
                 continue;
@@ -317,7 +340,7 @@ impl NeighborSync {
             if self.poisoned.load(Ordering::Acquire) {
                 return false;
             }
-            std::hint::spin_loop();
+            shim::spin_loop();
         }
         // This thread is about to give up the core one way or another, so
         // the anti-preemption argument for deferring wakes no longer
@@ -328,7 +351,7 @@ impl NeighborSync {
         // The lagging in-neighbor is usually runnable on an oversubscribed
         // host: give it the core a few times before paying for a park.
         for _ in 0..PARK_YIELDS {
-            thread::yield_now();
+            shim::yield_now();
             if all_met() {
                 self.resolved[1].0.fetch_add(1, Ordering::Relaxed);
                 return !self.poisoned.load(Ordering::Acquire);
@@ -339,13 +362,13 @@ impl NeighborSync {
         }
         self.resolved[2].0.fetch_add(1, Ordering::Relaxed);
         *self.waiters[dst].lock().unwrap() = Some(Waiter {
-            thread: thread::current(),
+            thread: shim::current(),
             gen,
             srcs: srcs.into(),
         });
         self.parked[dst].0.store(true, Ordering::Relaxed);
         // Pairs with the fence in `signal`; see there.
-        std::sync::atomic::fence(Ordering::SeqCst);
+        shim::fence(Ordering::SeqCst);
         let ok = loop {
             if all_met() {
                 break true;
@@ -355,7 +378,7 @@ impl NeighborSync {
             }
             // The timeout is pure insurance (poison also unparks): the
             // registration-before-recheck protocol cannot miss a wakeup.
-            thread::park_timeout(Duration::from_millis(1));
+            shim::park_timeout(Duration::from_millis(1));
         };
         self.parked[dst].0.store(false, Ordering::Relaxed);
         *self.waiters[dst].lock().unwrap() = None;

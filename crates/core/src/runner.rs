@@ -786,6 +786,9 @@ where
         .unwrap_or_default();
     if let Some(shared) = &shared {
         stats.check_reports = check::analyze(&traces, &shared.sink);
+        // Keep the raw traces: the plan analyzer rebuilds each process's
+        // superstep skeleton from them (see `crate::analyze`).
+        stats.proc_traces = traces;
     }
     stats.check_reports.extend(undelivered_reports);
     // Close the loop between the injector and the checker: a plan that

@@ -159,6 +159,11 @@ pub struct RunStats {
     /// `finalize` until the run's results were collected and merged.
     /// `wall ≈ setup + compute-and-exchange + teardown`.
     pub teardown: Duration,
+    /// Raw per-process checker traces (checked runs only; empty
+    /// otherwise). Kept after [`crate::check::analyze`] consumes them so
+    /// the static plan analyzer ([`crate::analyze`]) can reconstruct each
+    /// process's superstep skeleton.
+    pub(crate) proc_traces: Vec<crate::check::ProcTrace>,
 }
 
 impl RunStats {
@@ -321,6 +326,7 @@ impl RunStats {
             faults: crate::fault::FaultCounters::default(),
             setup: Duration::ZERO,
             teardown: Duration::ZERO,
+            proc_traces: Vec::new(),
         }
     }
 

@@ -297,3 +297,58 @@ fn isolated_proc_and_self_edges() {
         assert_eq!(reference, relaxed, "{backend:?} diverged");
     }
 }
+
+/// A peer that panics while its neighbors sit inside a *split-phase*
+/// neighborhood boundary must poison the pairwise rendezvous: the waiters
+/// are released promptly (no deadlock) and the run surfaces the panicking
+/// process's structured error, which wins over the peers' secondary
+/// failures. Two placements of the fault, on every backend: before the
+/// victim's first rendezvous signal (peers park in `sync_end` waiting on
+/// it forever) and inside the victim's own open split window (peers reach
+/// the trailing full barrier instead and must be released there).
+#[test]
+fn peer_panic_poisons_split_phase_neighborhood_waiters() {
+    use green_bsp::{try_run, BspError};
+    for backend in [
+        BackendKind::Shared,
+        BackendKind::MsgPass,
+        BackendKind::TcpSim,
+        BackendKind::SeqSim,
+        netsim(),
+    ] {
+        for mid_window in [false, true] {
+            // Line graph 0–1–2: proc 1 waits on 2's rendezvous, proc 0 on
+            // 1's, so the poison must propagate through a chain of
+            // split-phase waiters, not just the victim's direct peer.
+            let cfg = Config::new(3)
+                .backend(backend)
+                .sync_graph(&[(0, 1), (1, 2)]);
+            let res = try_run(&cfg, move |ctx| {
+                if ctx.pid() == 2 {
+                    if mid_window {
+                        ctx.sync_neigh_begin();
+                    }
+                    panic!("injected neighborhood fault");
+                }
+                ctx.sync_neigh_begin();
+                // Overlap window: local work only, then close the boundary.
+                ctx.sync_end();
+                ctx.sync();
+            });
+            match res {
+                Err(BspError::ProcPanicked { pid, payload, .. }) => {
+                    assert_eq!(
+                        pid, 2,
+                        "{backend:?} mid_window={mid_window}: wrong proc blamed"
+                    );
+                    assert!(
+                        payload.contains("injected neighborhood fault"),
+                        "{backend:?} mid_window={mid_window}: payload {payload:?}"
+                    );
+                }
+                Err(e) => panic!("{backend:?} mid_window={mid_window}: unexpected error {e}"),
+                Ok(_) => panic!("{backend:?} mid_window={mid_window}: panic not surfaced"),
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@ pub mod apps;
 pub mod check;
 pub mod exchange;
 pub mod faults;
+pub mod lint;
 pub mod measure;
 pub mod message_bench;
 pub mod paper;

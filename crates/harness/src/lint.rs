@@ -1,0 +1,215 @@
+//! `report lint` — sweep the six paper applications through the static
+//! superstep-plan analyzer ([`green_bsp::lint`]).
+//!
+//! Each application's plan is recorded once on the checked sequential
+//! simulator and cross-analyzed: boundary-skeleton congruence
+//! (plan-deadlock), sync-graph discipline, split-window hygiene, and
+//! checkpoint placement, plus everything the runtime checker files. The
+//! applications are correct BSP programs, so *any* finding is an analyzer
+//! false positive or a library bug — both failures. The relaxed-converted
+//! apps run a second cell with their relaxed plan (ocean over its ghost
+//! graph with neighborhood boundaries, sample sort split-phase) so the
+//! analyzer is proven false-positive-free on non-bulk skeletons too, and
+//! the sweep prints each plan's `T_i = w_i + g·h_i + L` prediction on the
+//! paper's SGI machine.
+
+use crate::apps::{prepare, App, Workload, MSP_SOURCES, SEED};
+use bsp_graph::{build_locals, msp_run, mst_run, partition_kd, sp_run};
+use bsp_matmul::{cannon_run, skewed_blocks};
+use bsp_nbody::{initial_partition, nbody_sim, SimConfig};
+use bsp_ocean::grid::ghost_graph;
+use bsp_ocean::{ocean_run, CycleMode, MgParams, OceanConfig};
+use green_bsp::{lint, BspError, Config, Machine, PlanReport, SGI};
+
+/// Problem size per app for the lint sweep: the recording run is
+/// sequential and checked, so these are the smallest sizes that still
+/// exercise every superstep pattern (same spirit as `report check`).
+fn lint_size(app: App) -> (usize, usize) {
+    match app {
+        App::Ocean => (34, 66),
+        App::Nbody => (500, 1_000),
+        App::Matmult => (48, 144),
+        _ => (400, 2_500),
+    }
+}
+
+/// Record and analyze one application's superstep plan. The analyzer
+/// forces the checked sequential recorder internally, so `cfg` only
+/// contributes the process count and (for relaxed plans) the sync graph.
+pub fn lint_app(
+    app: App,
+    wl: &Workload,
+    cfg: &Config,
+    machine: &Machine,
+) -> Result<PlanReport, BspError> {
+    let p = cfg.nprocs;
+    match (app, wl) {
+        (App::Ocean, Workload::Ocean(ocfg)) => {
+            lint(cfg, machine, |ctx| ocean_run(ctx, ocfg).kinetic_energy)
+        }
+        (App::Nbody, Workload::Nbody(bodies)) => {
+            let (parts, cuts) = initial_partition(bodies, p);
+            let sim = SimConfig::default();
+            let n = bodies.len();
+            lint(cfg, machine, |ctx| {
+                nbody_sim(ctx, parts[ctx.pid()].clone(), cuts.clone(), n, &sim)
+                    .bodies
+                    .len()
+            })
+        }
+        (App::Mst, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            lint(cfg, machine, |ctx| {
+                mst_run(ctx, &locals[ctx.pid()], &owner).total_weight
+            })
+        }
+        (App::Sp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            lint(cfg, machine, |ctx| {
+                sp_run(ctx, &locals[ctx.pid()], 0, bsp_graph::DEFAULT_WORK_FACTOR)
+                    .dist
+                    .len()
+            })
+        }
+        (App::Msp, Workload::Graph(g)) => {
+            let owner = partition_kd(&g.pos, p);
+            let locals = build_locals(g, &owner, p);
+            let sources: Vec<u32> = (0..MSP_SOURCES)
+                .map(|i| ((i * g.n) / MSP_SOURCES) as u32)
+                .collect();
+            lint(cfg, machine, |ctx| {
+                msp_run(
+                    ctx,
+                    &locals[ctx.pid()],
+                    &sources,
+                    bsp_graph::DEFAULT_WORK_FACTOR,
+                )
+                .pops
+            })
+        }
+        (App::Matmult, Workload::Mat(a, b)) => {
+            let blocks = skewed_blocks(a, b, p);
+            lint(cfg, machine, |ctx| {
+                let (ab, bb) = blocks[ctx.pid()].clone();
+                cannon_run(ctx, ab, bb).data[0]
+            })
+        }
+        _ => unreachable!("workload does not match app"),
+    }
+}
+
+/// Print one sweep cell's verdict; returns `false` on any finding.
+fn report_cell(name: &str, variant: &str, report: Result<PlanReport, BspError>) -> bool {
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("  {name:8} {variant:8}: recording run FAILED: {e}");
+            return false;
+        }
+    };
+    let neigh = report.boundaries.iter().filter(|b| b.neigh).count();
+    let split = report.boundaries.iter().filter(|b| b.split).count();
+    if report.is_clean() {
+        eprintln!(
+            "  {name:8} {variant:8}: clean — {} supersteps ({} neigh, {} split), \
+             predicted T {:.1}us (comm {:.0}%)",
+            report.steps.len(),
+            neigh,
+            split,
+            report.predicted.total() * 1e6,
+            report.predicted.comm_fraction() * 100.0,
+        );
+        true
+    } else {
+        eprintln!(
+            "  {name:8} {variant:8}: {} FINDING(S)",
+            report.findings.len()
+        );
+        for r in &report.findings {
+            eprintln!("    {r}");
+        }
+        false
+    }
+}
+
+/// Run the full plan-analysis sweep; returns `true` when every plan is
+/// clean.
+pub fn run_lint(full: bool) -> bool {
+    let mut clean = true;
+    let p = 4;
+    let machine = &SGI;
+
+    eprintln!(
+        "== superstep-plan analysis (six apps, p = {p}, machine {}) ==",
+        machine.name
+    );
+    for app in App::ALL {
+        let (quick, big) = lint_size(app);
+        let size = if full { big } else { quick };
+        let wl = prepare(app, size);
+        clean &= report_cell(
+            app.name(),
+            "bulk",
+            lint_app(app, &wl, &Config::new(p), machine),
+        );
+    }
+
+    eprintln!("== relaxed plans (neighborhood / split-phase skeletons) ==");
+    // Ocean with every eligible boundary relaxed over the ghost graph: the
+    // plan's neighborhood boundaries must be congruent and every send must
+    // respect the graph.
+    {
+        let (quick, big) = lint_size(App::Ocean);
+        let size = if full { big } else { quick };
+        let ocfg = OceanConfig {
+            steps: 2,
+            mg: MgParams {
+                relaxed: true,
+                mode: CycleMode::Fixed(2),
+                ..MgParams::default()
+            },
+            ..OceanConfig::new(size - 2)
+        };
+        let cfg = Config::new(p).sync_graph(&ghost_graph(p));
+        clean &= report_cell(
+            "ocean",
+            "relaxed",
+            lint_app(App::Ocean, &Workload::Ocean(ocfg), &cfg, machine),
+        );
+    }
+    // Sample sort with split-phase boundaries: the split windows must pair
+    // up and stay free of sends.
+    {
+        use bsp_sort::sample_sort_mode;
+        let report = lint(&Config::new(p), machine, move |ctx| {
+            let me = ctx.pid() as u64;
+            let keys: Vec<u64> = (0..1000u64)
+                .map(|i| i.wrapping_mul(me * 2 + 7) ^ SEED)
+                .collect();
+            sample_sort_mode(ctx, keys, true, true).len()
+        });
+        clean &= report_cell("sort", "split", report);
+    }
+
+    // Cost showcase: the full per-superstep table for Cannon's algorithm,
+    // whose regular skeleton (2√p − 1 supersteps, fixed block h-relation)
+    // makes the W / gH / LS split easy to eyeball.
+    {
+        let (quick, big) = lint_size(App::Matmult);
+        let size = if full { big } else { quick };
+        let wl = prepare(App::Matmult, size);
+        if let Ok(report) = lint_app(App::Matmult, &wl, &Config::new(p), machine) {
+            eprintln!("== matmult (size {size}) plan on {} ==", machine.name);
+            eprint!("{report}");
+        }
+    }
+
+    if clean {
+        eprintln!("lint: all plans clean");
+    } else {
+        eprintln!("lint: FINDINGS (see above)");
+    }
+    clean
+}

@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults] [--full] [--sync-modes]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults|lint] [--full] [--sync-modes]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -25,6 +25,12 @@
 //! adversarial interleavings; exits non-zero on any diagnostic.
 //! `--sync-modes` adds a bulk-vs-relaxed agreement sweep (checked, every
 //! backend) on the relaxed-converted apps.
+//!
+//! `lint` records each application's superstep plan on the checked
+//! sequential simulator and statically analyzes it (boundary congruence,
+//! sync-graph discipline, split-window hygiene, checkpoint placement) with
+//! per-superstep `w + gh + L` cost predictions; exits non-zero on any
+//! finding.
 //!
 //! `faults` runs the fault-injection sweep (DESIGN.md §10): every app ×
 //! backend × recoverable fault class must heal to a bit-identical digest,
@@ -151,6 +157,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "lint" => {
+            if !bsp_harness::lint::run_lint(full) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             tables::fig2_1();
             let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
@@ -166,7 +177,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults] [--full] [--sync-modes]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults|lint] [--full] [--sync-modes]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,113 @@
+//! `loom::cell::UnsafeCell`: the data-race oracle. Every `with`/`with_mut`
+//! access is checked FastTrack-style against the vector clocks maintained
+//! by the runtime: a write must happen-after every prior access to the
+//! cell, a read must happen-after the last write. A violation — two
+//! accesses unordered by the happens-before relation the program's
+//! atomics actually establish — aborts the execution with a
+//! "data race detected" failure, regardless of the physical order the
+//! scheduler happened to run them in (which is why cell accesses need no
+//! schedule point of their own).
+
+use crate::rt::{self, with_rt};
+use std::sync::Mutex as StdMutex;
+
+#[derive(Default)]
+struct Track {
+    /// Last write event, as (thread id, that thread's clock stamp).
+    last_write: Option<(usize, u64)>,
+    /// Reads since the last write (one entry per thread).
+    reads: Vec<(usize, u64)>,
+}
+
+pub struct UnsafeCell<T: ?Sized> {
+    track: StdMutex<Track>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: matching std/loom UnsafeCell: Send/Sync iff T is; the model's
+// race detection (not this type) is what justifies concurrent access.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+// SAFETY: see the Send impl; the cell itself adds interior mutability
+// checked by the model.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(t: T) -> Self {
+        Self {
+            track: StdMutex::new(Track::default()),
+            data: std::cell::UnsafeCell::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    fn check_read(&self) {
+        if std::thread::panicking() || !rt::in_model() {
+            return;
+        }
+        with_rt(|rt, tid| {
+            let mut tr = self.track.lock().unwrap();
+            if let Some((wt, ws)) = tr.last_write {
+                if wt != tid && !rt.covers(tid, wt, ws) {
+                    drop(tr);
+                    rt.race_failure(tid, "read of UnsafeCell not ordered after last write");
+                }
+            }
+            let stamp = rt.cell_epoch(tid);
+            match tr.reads.iter_mut().find(|(t, _)| *t == tid) {
+                Some(e) => e.1 = stamp,
+                None => tr.reads.push((tid, stamp)),
+            }
+        });
+    }
+
+    fn check_write(&self) {
+        if std::thread::panicking() || !rt::in_model() {
+            return;
+        }
+        with_rt(|rt, tid| {
+            let mut tr = self.track.lock().unwrap();
+            if let Some((wt, ws)) = tr.last_write {
+                if wt != tid && !rt.covers(tid, wt, ws) {
+                    drop(tr);
+                    rt.race_failure(tid, "write of UnsafeCell not ordered after last write");
+                }
+            }
+            for &(rt_id, rs) in &tr.reads {
+                if rt_id != tid && !rt.covers(tid, rt_id, rs) {
+                    drop(tr);
+                    rt.race_failure(tid, "write of UnsafeCell not ordered after a prior read");
+                }
+            }
+            tr.reads.clear();
+            tr.last_write = Some((tid, rt.cell_epoch(tid)));
+        });
+    }
+
+    /// Immutable access: the closure receives the raw const pointer, as in
+    /// real loom.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.check_read();
+        f(self.data.get())
+    }
+
+    /// Mutable access: checked as a write.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.check_write();
+        f(self.data.get())
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("UnsafeCell")
+    }
+}

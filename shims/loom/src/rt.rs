@@ -1,0 +1,549 @@
+//! The model-checking runtime: a cooperative baton-passing scheduler over
+//! real OS threads, driven by a depth-first search over scheduling
+//! decisions, with vector-clock happens-before tracking for race
+//! detection.
+//!
+//! Exactly one model thread runs at a time. Every atomic operation,
+//! mutex/condvar operation, yield, and park is a *schedule point*: the
+//! running thread consults the decision stack to pick which runnable
+//! thread executes next. Between schedule points the active thread has
+//! exclusive access to all model state, so shim objects need no internal
+//! synchronization beyond an uncontended `std::sync::Mutex`.
+//!
+//! Exploration is bounded-exhaustive in the CHESS style: the number of
+//! *preemptive* context switches (switching away from a thread that could
+//! have kept running) per execution is capped (default 2); voluntary
+//! switches (yield, spin_loop, park, blocking) are free. Memory-model
+//! weakness is modeled not by value speculation but by vector clocks:
+//! values are sequentially consistent, while happens-before edges are
+//! established only by Release→Acquire pairs (plus SeqCst-fence joins via
+//! a global clock), and `UnsafeCell` accesses are checked against those
+//! clocks FastTrack-style. A Relaxed publication therefore manifests as a
+//! detected data race on the cell it was supposed to protect, not as a
+//! stale value.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to tear an execution down after an abort (deadlock,
+/// race, user panic on another thread). Caught at each model thread's
+/// top level and never reported as the root failure.
+pub(crate) struct AbortExec;
+
+/// A recorded scheduling decision: which of `count` candidate threads ran.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub count: usize,
+}
+
+/// Dynamically-growing vector clock, indexed by model-thread id.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+    pub fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+    /// Does this clock (a thread's view) cover the event `(tid, stamp)`?
+    pub fn covers(&self, tid: usize, stamp: u64) -> bool {
+        self.get(tid) >= stamp
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    /// Currently holding the baton.
+    Active,
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting on a mutex/condvar/join; must be woken before scheduling.
+    Blocked,
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+pub(crate) struct ThreadRec {
+    pub state: ThreadState,
+    pub vc: VClock,
+    /// `thread::park` token (set by `Thread::unpark`).
+    pub park_token: bool,
+    /// Threads blocked in `JoinHandle::join` on this thread.
+    pub join_waiters: Vec<usize>,
+}
+
+pub(crate) struct RtState {
+    pub threads: Vec<ThreadRec>,
+    pub active: usize,
+    /// Depth in the decision stack for the current execution.
+    pub depth: usize,
+    /// The DFS decision stack; persists across executions of one model run.
+    pub stack: Vec<Choice>,
+    /// Schedule points taken this execution (livelock cap).
+    pub steps: usize,
+    /// Preemptive switches taken this execution (CHESS bound).
+    pub preemptions: usize,
+    /// Set on deadlock/race/panic: all wait loops exit and unwind.
+    pub abort: bool,
+    /// Root failure payload, reported by `Builder::check`.
+    pub panic: Option<Box<dyn Any + Send>>,
+    /// Global SeqCst clock (fence modeling).
+    pub sc: VClock,
+    /// OS threads still alive for this execution.
+    pub live: usize,
+}
+
+pub(crate) struct Config {
+    pub preemption_bound: Option<usize>,
+    pub max_steps: usize,
+}
+
+pub(crate) struct Rt {
+    pub m: Mutex<RtState>,
+    pub cv: Condvar,
+    pub cfg: Config,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the ambient runtime + model-thread id. Panics when called
+/// from outside `loom::model` — shim primitives only work under the model.
+pub(crate) fn with_rt<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (rt, tid) = b.as_ref().expect("loom primitive used outside loom::model");
+        f(rt, *tid)
+    })
+}
+
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+struct TlsGuard;
+impl Drop for TlsGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+fn set_tls(rt: Arc<Rt>, tid: usize) -> TlsGuard {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+    TlsGuard
+}
+
+pub(crate) fn ord_acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn ord_releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Rt {
+    /// The heart of the checker: a schedule point. Picks the next thread
+    /// to run (consulting/extending the decision stack when more than one
+    /// candidate exists) and blocks the caller until it is scheduled
+    /// again. `voluntary` marks yield-like points: the current thread is
+    /// switched away from whenever another thread is runnable, at no
+    /// preemption cost (sound by stuttering equivalence — a spinning
+    /// thread's extra iterations commute with everything).
+    pub fn schedule(&self, tid: usize, voluntary: bool) {
+        if std::thread::panicking() {
+            // Unwinding (possibly on the abort path): never re-enter the
+            // scheduler from a Drop impl; state mutation still happens at
+            // the call sites.
+            return;
+        }
+        let mut st = self.m.lock().unwrap();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortExec);
+        }
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps {
+            self.record_failure(
+                &mut st,
+                format!(
+                    "loom shim: execution exceeded {} schedule points — livelock \
+                     (e.g. a lost wakeup riding a park timeout) or an unbounded spin",
+                    self.cfg.max_steps
+                ),
+            );
+            drop(st);
+            panic::panic_any(AbortExec);
+        }
+        st.threads[tid].vc.bump(tid);
+
+        // Candidate set: deterministic order, current thread first.
+        let others: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| t != tid && st.threads[t].state == ThreadState::Runnable)
+            .collect();
+        let budget_left = self
+            .cfg
+            .preemption_bound
+            .map(|b| st.preemptions < b)
+            .unwrap_or(true);
+        let chosen = if voluntary && !others.is_empty() {
+            // Deterministic round-robin handoff, not a DFS decision:
+            // a voluntary point means the current thread has nothing to
+            // do (spin/yield/park), so *which* peer runs next is
+            // stuttering-equivalent — orderings between shared-memory
+            // operations are explored at the preemptive points. Making
+            // this a choice would let the DFS ping-pong two spinners
+            // while a third thread starves, reporting a livelock that no
+            // fair scheduler exhibits; round-robin (first runnable id
+            // after the yielder, cyclically) guarantees every runnable
+            // thread runs within one lap of the spin loop.
+            others
+                .iter()
+                .copied()
+                .find(|&t| t > tid)
+                .unwrap_or(others[0])
+        } else {
+            let mut cands: Vec<usize> = Vec::with_capacity(others.len() + 1);
+            cands.push(tid);
+            if !voluntary && budget_left {
+                cands.extend(&others);
+            }
+            self.decide(&mut st, &cands)
+        };
+        if chosen != tid {
+            if !voluntary {
+                st.preemptions += 1;
+            }
+            st.threads[tid].state = ThreadState::Runnable;
+            st.threads[chosen].state = ThreadState::Active;
+            st.active = chosen;
+            self.cv.notify_all();
+            self.wait_for_baton(st, tid);
+        }
+    }
+
+    /// Consult the decision stack at the current depth (replaying a
+    /// prefix) or extend it with choice 0. Single-candidate points are
+    /// not decisions and do not consume depth.
+    fn decide(&self, st: &mut RtState, cands: &[usize]) -> usize {
+        assert!(!cands.is_empty(), "loom shim: no runnable candidate");
+        if cands.len() == 1 {
+            return cands[0];
+        }
+        let d = st.depth;
+        let pick = if d < st.stack.len() {
+            assert_eq!(
+                st.stack[d].count,
+                cands.len(),
+                "loom shim: nondeterministic replay — candidate count changed at depth {d}; \
+                 the model closure must be deterministic apart from scheduling",
+            );
+            st.stack[d].chosen
+        } else {
+            st.stack.push(Choice {
+                chosen: 0,
+                count: cands.len(),
+            });
+            0
+        };
+        st.depth = d + 1;
+        cands[pick]
+    }
+
+    /// Block the calling thread (already registered on some waiter list;
+    /// `mark` flips its state to Blocked) and hand the baton to the next
+    /// runnable thread. Returns when the thread is woken *and* scheduled.
+    pub fn block_current(&self, tid: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.m.lock().unwrap();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortExec);
+        }
+        st.threads[tid].vc.bump(tid);
+        st.threads[tid].state = ThreadState::Blocked;
+        self.handoff_from(&mut st, tid);
+        self.wait_for_baton(st, tid);
+    }
+
+    /// Pick a successor after `tid` stops being runnable (blocked or
+    /// finished). Detects deadlock: no runnable thread while unfinished
+    /// threads remain.
+    fn handoff_from(&self, st: &mut RtState, _tid: usize) {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].state == ThreadState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            let stuck = st
+                .threads
+                .iter()
+                .filter(|t| t.state == ThreadState::Blocked)
+                .count();
+            if stuck > 0 {
+                self.record_failure(
+                    st,
+                    format!("loom shim: deadlock — {stuck} thread(s) blocked, none runnable"),
+                );
+            }
+            // All finished: execution is over; the driver wakes on live==0.
+            st.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = self.decide(st, &runnable);
+        st.threads[chosen].state = ThreadState::Active;
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Wait (on the real condvar) until this thread holds the baton again,
+    /// consuming the state guard. Panics with the abort sentinel if the
+    /// execution was torn down meanwhile.
+    fn wait_for_baton(&self, mut st: std::sync::MutexGuard<'_, RtState>, tid: usize) {
+        while st.active != tid && !st.abort {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortExec);
+        }
+        st.threads[tid].state = ThreadState::Active;
+    }
+
+    /// First failure wins; subsequent ones (cascading aborts) are dropped.
+    pub(crate) fn record_failure(&self, st: &mut RtState, msg: String) {
+        if st.panic.is_none() {
+            st.panic = Some(Box::new(msg));
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Wake every thread blocked in `JoinHandle::join` on `child`.
+    fn wake_join_waiters(st: &mut RtState, child: usize) {
+        let waiters = std::mem::take(&mut st.threads[child].join_waiters);
+        for w in waiters {
+            if st.threads[w].state == ThreadState::Blocked {
+                st.threads[w].state = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Thread `tid` ran to completion (normally or via the abort sentinel).
+    pub fn finish_thread(&self, tid: usize, failure: Option<Box<dyn Any + Send>>) {
+        let mut st = self.m.lock().unwrap();
+        if let Some(p) = failure {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+            st.abort = true;
+        }
+        st.threads[tid].state = ThreadState::Finished;
+        Self::wake_join_waiters(&mut st, tid);
+        if st.abort {
+            self.cv.notify_all();
+        } else {
+            self.handoff_from(&mut st, tid);
+        }
+        st.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Entry wait for a freshly spawned model thread: block until first
+    /// scheduled.
+    pub fn wait_until_active(&self, tid: usize) {
+        let st = self.m.lock().unwrap();
+        self.wait_for_baton(st, tid);
+    }
+
+    // ---- clock helpers used by the sync/cell primitives ----
+
+    /// Acquire side: join `src` into the calling thread's clock.
+    pub fn clock_acquire(&self, tid: usize, src: &VClock) {
+        let mut st = self.m.lock().unwrap();
+        st.threads[tid].vc.join(src);
+    }
+
+    /// Release side: snapshot the calling thread's clock.
+    pub fn clock_release(&self, tid: usize) -> VClock {
+        let st = self.m.lock().unwrap();
+        st.threads[tid].vc.clone()
+    }
+
+    /// SeqCst join: bidirectional merge between the thread clock and the
+    /// global SC clock. A documented over-approximation: it can only add
+    /// happens-before edges that SeqCst fences are entitled to create on
+    /// some execution, so it may mask fence-adjacent races but never
+    /// fabricates one.
+    pub fn sc_join(&self, tid: usize) {
+        let mut st = self.m.lock().unwrap();
+        let tvc = st.threads[tid].vc.clone();
+        st.sc.join(&tvc);
+        let sc = st.sc.clone();
+        st.threads[tid].vc.join(&sc);
+    }
+
+    /// Current (tid, stamp) event id for FastTrack cell tracking.
+    pub fn cell_epoch(&self, tid: usize) -> u64 {
+        let st = self.m.lock().unwrap();
+        st.threads[tid].vc.get(tid)
+    }
+
+    /// Does `tid`'s clock cover event `(etid, stamp)`?
+    pub fn covers(&self, tid: usize, etid: usize, stamp: u64) -> bool {
+        let st = self.m.lock().unwrap();
+        st.threads[tid].vc.covers(etid, stamp)
+    }
+
+    pub fn race_failure(&self, tid: usize, what: &str) -> ! {
+        let mut st = self.m.lock().unwrap();
+        self.record_failure(
+            &mut st,
+            format!("loom shim: data race detected: {what} (thread {tid})"),
+        );
+        drop(st);
+        panic::panic_any(AbortExec);
+    }
+}
+
+/// Spawn a model thread running `f` as model-thread `tid` (must already
+/// be registered in the state). Returns nothing; liveness is tracked via
+/// `st.live`.
+pub(crate) fn spawn_model_thread(rt: Arc<Rt>, tid: usize, f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            let _tls = set_tls(rt.clone(), tid);
+            // The entry wait must sit inside the catch_unwind: an abort
+            // landing before this thread's first schedule makes
+            // `wait_until_active` itself panic with the sentinel, and an
+            // uncaught unwind here would skip `finish_thread`, leak the
+            // `live` count, and hang the driver's drain loop forever.
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                rt.wait_until_active(tid);
+                f()
+            }));
+            match r {
+                Ok(()) => rt.finish_thread(tid, None),
+                Err(p) if p.is::<AbortExec>() => rt.finish_thread(tid, None),
+                Err(p) => rt.finish_thread(tid, Some(p)),
+            }
+        })
+        .expect("loom shim: failed to spawn OS thread");
+}
+
+/// Register a thread with id `tid`: its clock starts from the spawner's
+/// (so everything the spawner did happens-before the child) bumped in its
+/// own component (so no event the child performs — even before its first
+/// schedule point — is covered by a clock that never synchronized with it).
+pub(crate) fn new_thread_rec(mut vc: VClock, tid: usize) -> ThreadRec {
+    vc.bump(tid);
+    ThreadRec {
+        state: ThreadState::Runnable,
+        vc,
+        park_token: false,
+        join_waiters: Vec::new(),
+    }
+}
+
+/// Drive one full model run: iterate executions until the decision stack
+/// is exhausted. Returns the number of executions explored; panics with
+/// the first recorded failure.
+pub(crate) fn run_model(
+    cfg_bound: Option<usize>,
+    max_steps: usize,
+    max_execs: usize,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> usize {
+    let mut stack: Vec<Choice> = Vec::new();
+    let mut execs = 0usize;
+    loop {
+        execs += 1;
+        if execs > max_execs {
+            panic!(
+                "loom shim: exceeded {max_execs} executions — state space too large; \
+                 shrink the shape or lower the preemption bound"
+            );
+        }
+        let rt = Arc::new(Rt {
+            m: Mutex::new(RtState {
+                threads: vec![new_thread_rec(VClock::default(), 0)],
+                active: 0,
+                depth: 0,
+                stack: std::mem::take(&mut stack),
+                steps: 0,
+                preemptions: 0,
+                abort: false,
+                panic: None,
+                sc: VClock::default(),
+                live: 1,
+            }),
+            cv: Condvar::new(),
+            cfg: Config {
+                preemption_bound: cfg_bound,
+                max_steps,
+            },
+        });
+        {
+            let mut st = rt.m.lock().unwrap();
+            st.threads[0].state = ThreadState::Active;
+            st.active = 0;
+        }
+        let fc = f.clone();
+        spawn_model_thread(rt.clone(), 0, move || fc());
+        // Wait for every OS thread of this execution to exit.
+        {
+            let mut st = rt.m.lock().unwrap();
+            while st.live > 0 {
+                st = rt.cv.wait(st).unwrap();
+            }
+        }
+        let mut st = rt.m.lock().unwrap();
+        if let Some(p) = st.panic.take() {
+            eprintln!(
+                "loom shim: failure found after {execs} execution(s), {} decision(s) deep",
+                st.stack.len()
+            );
+            drop(st);
+            panic::resume_unwind(p);
+        }
+        stack = std::mem::take(&mut st.stack);
+        drop(st);
+        drop(rt);
+        // DFS backtrack: advance the deepest non-exhausted decision.
+        loop {
+            match stack.last_mut() {
+                None => return execs,
+                Some(c) if c.chosen + 1 < c.count => {
+                    c.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}

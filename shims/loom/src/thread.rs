@@ -1,0 +1,156 @@
+//! Model-checked `std::thread` stand-ins: spawn/join, yield, and the
+//! park/unpark token protocol. `park_timeout` is modeled as an
+//! *immediate timeout* (a voluntary yield): this is the conservative
+//! reading of "the timeout is only insurance" — a protocol that relies on
+//! the timeout for liveness spins forever under the model and trips the
+//! step cap, surfacing the lost wakeup instead of hiding it.
+
+use crate::rt::{self, with_rt, Rt, ThreadState};
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Clone)]
+pub struct Thread {
+    rt: Arc<Rt>,
+    tid: usize,
+}
+
+impl Thread {
+    /// Make a future (or in-progress) `park_timeout` return promptly by
+    /// setting the token. Under the immediate-timeout park model the
+    /// token is advisory — parked threads are already runnable — but the
+    /// store still participates in scheduling as an op of its own.
+    pub fn unpark(&self) {
+        if std::thread::panicking() {
+            return;
+        }
+        // May be called from a thread of the same model run only.
+        with_rt(|rt, tid| {
+            debug_assert!(Arc::ptr_eq(rt, &self.rt), "unpark across model runs");
+            rt.schedule(tid, false);
+            let mut st = rt.m.lock().unwrap();
+            if self.tid < st.threads.len() {
+                st.threads[self.tid].park_token = true;
+            }
+        });
+    }
+
+    pub fn id(&self) -> usize {
+        self.tid
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Thread({})", self.tid)
+    }
+}
+
+pub fn current() -> Thread {
+    with_rt(|rt, tid| Thread {
+        rt: rt.clone(),
+        tid,
+    })
+}
+
+/// Voluntary switch: another runnable thread (if any) runs next, at no
+/// preemption cost.
+pub fn yield_now() {
+    if std::thread::panicking() {
+        return;
+    }
+    with_rt(|rt, tid| rt.schedule(tid, true));
+}
+
+/// Immediate-timeout park: consume the token if present, otherwise yield
+/// once and return as if the timeout elapsed.
+pub fn park_timeout(_dur: Duration) {
+    if std::thread::panicking() {
+        return;
+    }
+    with_rt(|rt, tid| {
+        rt.schedule(tid, true);
+        let mut st = rt.m.lock().unwrap();
+        st.threads[tid].park_token = false;
+    });
+}
+
+pub fn park() {
+    park_timeout(Duration::from_millis(0));
+}
+
+pub struct JoinHandle<T> {
+    #[allow(dead_code)]
+    rt: Arc<Rt>,
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+    thread: Thread,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn thread(&self) -> &Thread {
+        &self.thread
+    }
+
+    /// Block until the child finishes. A child that panicked aborts the
+    /// whole execution (first failure wins), so an `Err` is never
+    /// observed here; the signature matches std for `.join().unwrap()`
+    /// call sites.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send>> {
+        with_rt(|rt, tid| {
+            rt.schedule(tid, false);
+            loop {
+                let mut st = rt.m.lock().unwrap();
+                if st.threads[self.tid].state == ThreadState::Finished {
+                    let cvc = st.threads[self.tid].vc.clone();
+                    st.threads[tid].vc.join(&cvc);
+                    break;
+                }
+                st.threads[self.tid].join_waiters.push(tid);
+                drop(st);
+                rt.block_current(tid);
+            }
+        });
+        let v = self
+            .result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("loom shim: joined thread produced no value");
+        Ok(v)
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_rt(|rt, ptid| {
+        rt.schedule(ptid, false);
+        let child_tid = {
+            let mut st = rt.m.lock().unwrap();
+            let tid = st.threads.len();
+            let vc = st.threads[ptid].vc.clone();
+            st.threads.push(rt::new_thread_rec(vc, tid));
+            st.live += 1;
+            tid
+        };
+        let result = Arc::new(Mutex::new(None));
+        let r2 = result.clone();
+        rt::spawn_model_thread(rt.clone(), child_tid, move || {
+            let v = f();
+            *r2.lock().unwrap() = Some(v);
+        });
+        JoinHandle {
+            rt: rt.clone(),
+            tid: child_tid,
+            result,
+            thread: Thread {
+                rt: rt.clone(),
+                tid: child_tid,
+            },
+        }
+    })
+}
