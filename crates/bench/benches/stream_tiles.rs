@@ -1,0 +1,78 @@
+//! Streaming-layer bench (DESIGN.md §14): what a tile of out-of-core work
+//! costs end-to-end on the warm executor — the external sample sort and
+//! the tiled Jacobi sweep at an 8× input-to-budget ratio — against their
+//! in-core counterparts on the same data. `report bench_stream` sweeps the
+//! full 1×/4×/8× efficiency curve into `BENCH_stream.json`; this bench
+//! tracks the two end-to-end points under criterion's statistics.
+
+use bsp_bench::quick_criterion;
+use bsp_ocean::tiled::{initial_grid, tiled_jacobi};
+use bsp_sort::external_sample_sort;
+use criterion::Criterion;
+use green_bsp::{Config, Runtime, StreamConfig, TileStore};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "green-bsp-bench-stream-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&d).expect("create bench spill dir");
+    d
+}
+
+fn benches(c: &mut Criterion) {
+    let p = 4;
+    let cfg = Config::new(p);
+    let rt = Runtime::new();
+    let mut group = c.benchmark_group("stream_tiles");
+
+    // External sort: 64 Ki keys streamed through 8 tiles.
+    let nkeys: u64 = 1 << 16;
+    let bytes: Vec<u8> = (0..nkeys)
+        .flat_map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes())
+        .collect();
+    let dir = tmpdir("sort");
+    let input = TileStore::create_in(&dir, "in.keys").expect("input store");
+    input.write_all(&bytes).expect("fill input");
+    let output = TileStore::create_in(&dir, "out.keys").expect("output store");
+    let sc = StreamConfig::new(bytes.len() / 8).record(8).spill_dir(&dir);
+    group.bench_function(format!("external_sort/64k_keys_8x/p{p}"), |b| {
+        b.iter(|| {
+            let res = external_sample_sort(&rt, &cfg, &sc, &input, &output)
+                .expect("external sort failed");
+            std::hint::black_box(res.stats.tiles);
+        });
+    });
+
+    // Tiled ocean: one 256×256 sweep in 32-row tiles (8 tiles).
+    let n = 256;
+    let odir = tmpdir("ocean");
+    let grid: Vec<u8> = initial_grid(n)
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    let ping = TileStore::create_in(&odir, "ping.grid").expect("ping store");
+    let pong = TileStore::create_in(&odir, "pong.grid").expect("pong store");
+    pong.write_all(&vec![0u8; n * n * 8]).expect("fill pong");
+    let osc = StreamConfig::new(32 * n * 8).spill_dir(&odir);
+    group.bench_function(format!("tiled_ocean/n256_8x_sweep/p{p}"), |b| {
+        b.iter(|| {
+            ping.write_all(&grid).expect("reset ping");
+            let res =
+                tiled_jacobi(&rt, &cfg, &osc, n, &ping, &pong, 1).expect("tiled sweep failed");
+            std::hint::black_box(res.residual2);
+        });
+    });
+
+    group.finish();
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&odir);
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -485,16 +485,22 @@ impl ProcTransport for TcpSimProc {
         for buf in &mut self.out_bytes {
             buf.clear();
         }
-        // A clean run leaves every data and ack pipe drained; anything
-        // pending means the job ended mid-conversation — rebuild.
-        for rx in self.receivers.iter().flatten() {
-            if rx.try_recv().is_ok() {
-                return false;
+        // A clean run leaves every data and ack pipe drained: each staged
+        // exchange pairs every transmit with a receive-plus-ack in the same
+        // round, and a failed run (the only mid-conversation state) never
+        // reaches reset — the runner drops its whole set. Probing all
+        // 4·(p−1) pipes is therefore a pure invariant check; keep it on the
+        // debug/test builds and off the release-build warm-launch path.
+        if cfg!(debug_assertions) {
+            for rx in self.receivers.iter().flatten() {
+                if rx.try_recv().is_ok() {
+                    return false;
+                }
             }
-        }
-        for rx in self.ack_receivers.iter().flatten() {
-            if rx.try_recv().is_ok() {
-                return false;
+            for rx in self.ack_receivers.iter().flatten() {
+                if rx.try_recv().is_ok() {
+                    return false;
+                }
             }
         }
         // `xseq` keeps counting across jobs (monotone generation tag; the

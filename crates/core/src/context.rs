@@ -196,6 +196,11 @@ pub struct Ctx {
     /// Checkpoint plumbing; `None` unless the run has a
     /// [`crate::CheckpointPolicy`].
     pub(crate) ckpt: Option<Box<CkptState>>,
+    /// Tile coordinates when this job is one tile of a streaming run
+    /// (see [`crate::stream`]); `None` for ordinary in-core jobs. Stamped
+    /// by the runner from the job's [`crate::Config`] — a plain `Copy`, so
+    /// the warm lease path stays allocation-free.
+    pub(crate) tile: Option<crate::stream::TileMeta>,
 }
 
 /// In-place serializer for one byte-lane message, created by
@@ -301,6 +306,7 @@ impl Ctx {
             in_msg_send: false,
             check: None,
             ckpt: None,
+            tile: None,
         }
     }
 
@@ -343,6 +349,7 @@ impl Ctx {
         self.in_msg_send = false;
         self.check = None;
         self.ckpt = None;
+        self.tile = None;
         true
     }
 
@@ -398,6 +405,15 @@ impl Ctx {
     #[inline]
     pub fn superstep(&self) -> usize {
         self.step
+    }
+
+    /// When this job is one tile of a streaming run ([`crate::stream`]),
+    /// the tile's coordinates — index, record range, byte offset into the
+    /// backing [`crate::stream::TileStore`], and the total tile count.
+    /// `None` for ordinary in-core jobs.
+    #[inline]
+    pub fn tile(&self) -> Option<crate::stream::TileMeta> {
+        self.tile
     }
 
     /// Send a packet to process `dest`; it becomes readable there in the next

@@ -6,6 +6,7 @@
 //! machine's `g` and `L`. This module evaluates that prediction and breaks it
 //! into the paper's components (computation, bandwidth cost, latency cost).
 
+use crate::backend::BackendKind;
 use crate::machine::Machine;
 use crate::stats::RunStats;
 
@@ -104,6 +105,166 @@ where
     best
 }
 
+/// Measured BSP parameters of one of *our* backends, as opposed to the
+/// paper's tables in [`crate::machine`]: the paper calibrated its three
+/// physical platforms once and published Figure 2.1; this is the same
+/// experiment run against the local executor, so [`predict`] and the
+/// harness's plan tables can price supersteps with parameters the current
+/// host actually exhibits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    /// Processor count the probe ran at.
+    pub nprocs: usize,
+    /// Measured gap: microseconds per 16-byte packet.
+    pub g_us: f64,
+    /// Measured latency: microseconds per (empty) superstep.
+    pub l_us: f64,
+}
+
+impl Calibration {
+    /// Equation (1) with the measured parameters.
+    pub fn predict(&self, w_secs: f64, h_total: u64, s: u64) -> Prediction {
+        Prediction {
+            work: w_secs,
+            bandwidth: self.g_us * 1e-6 * h_total as f64,
+            latency: self.l_us * 1e-6 * s as f64,
+        }
+    }
+
+    /// Package the calibration as a one-point [`Machine`] table so it can
+    /// flow through every API that takes the paper's machines. Leaks the
+    /// point slice (a `Machine` holds `&'static` data); call once and keep
+    /// the result.
+    pub fn machine(&self, name: &'static str) -> Machine {
+        let points: &'static [(usize, f64, f64)] =
+            Box::leak(vec![(self.nprocs, self.g_us, self.l_us)].into_boxed_slice());
+        Machine {
+            name,
+            points,
+            max_procs: self.nprocs,
+        }
+    }
+}
+
+/// One timed probe job on the warm executor: `steps` supersteps, each
+/// sending `h_per_step` packets per process (spread round-robin over the
+/// peers, so each superstep routes an `h_per_step`-relation) and draining
+/// the inbox. Returns the best (minimum) wall time over `reps` repeats —
+/// the standard defense against scheduler noise for microsecond probes.
+fn probe_secs(
+    rt: &crate::exec::Runtime,
+    cfg: &crate::runner::Config,
+    steps: usize,
+    h_per_step: usize,
+    reps: usize,
+) -> f64 {
+    use crate::packet::Packet;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        rt.try_run(cfg, |ctx| {
+            let p = ctx.nprocs();
+            for _ in 0..steps {
+                if p > 1 {
+                    for k in 0..h_per_step {
+                        let dest = (ctx.pid() + 1 + (k % (p - 1))) % p;
+                        ctx.send_pkt(dest, Packet::two_u64(0, 0));
+                    }
+                }
+                ctx.sync();
+                while ctx.get_pkt().is_some() {}
+            }
+        })
+        .expect("calibration probe job failed");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measure `backend`'s `(g, L)` on `rt` at `nprocs`, uncached.
+///
+/// Both parameters come from differences between probe jobs, so the
+/// per-launch overhead (lease, dispatch, result collection) cancels:
+/// `L` from two empty-superstep jobs with different superstep counts, `g`
+/// from two equal-superstep jobs with different h-relation sizes. Noise
+/// can make a difference negative on a busy host; results are clamped to
+/// small positive floors.
+pub fn calibrate_with(
+    rt: &crate::exec::Runtime,
+    backend: BackendKind,
+    nprocs: usize,
+) -> Calibration {
+    let cfg = crate::runner::Config::new(nprocs).backend(backend);
+    rt.prewarm(&cfg);
+    const REPS: usize = 9;
+    const S_LO: usize = 4;
+    const S_HI: usize = 16;
+    const H_LO: usize = 32;
+    const H_HI: usize = 256;
+    // L: per-superstep cost of an empty superstep.
+    let t_lo = probe_secs(rt, &cfg, S_LO, 0, REPS);
+    let t_hi = probe_secs(rt, &cfg, S_HI, 0, REPS);
+    let l_us = ((t_hi - t_lo) * 1e6 / (S_HI - S_LO) as f64).max(0.01);
+    // g: per-packet cost at fixed superstep count. A 1-process machine
+    // routes nothing; report a zero-cost gap floor.
+    let g_us = if nprocs > 1 {
+        let t_small = probe_secs(rt, &cfg, S_LO, H_LO, REPS);
+        let t_big = probe_secs(rt, &cfg, S_LO, H_HI, REPS);
+        ((t_big - t_small) * 1e6 / (S_LO * (H_HI - H_LO)) as f64).max(0.001)
+    } else {
+        0.001
+    };
+    Calibration { nprocs, g_us, l_us }
+}
+
+/// Cache key: backend discriminant plus the NetSim parameter bits (two
+/// NetSim machines with different modelled delays calibrate differently).
+fn backend_key(backend: BackendKind) -> (u8, u64) {
+    match backend {
+        BackendKind::Shared => (0, 0),
+        BackendKind::MsgPass => (1, 0),
+        BackendKind::TcpSim => (2, 0),
+        BackendKind::SeqSim => (3, 0),
+        BackendKind::NetSim(p) => (
+            4,
+            p.g_us.to_bits()
+                ^ p.l_us.to_bits().rotate_left(16)
+                ^ p.l_neigh_us.to_bits().rotate_left(32)
+                ^ p.time_scale.to_bits().rotate_left(48),
+        ),
+    }
+}
+
+/// Measure `backend`'s `(g, L)` at `nprocs` on the process-global
+/// [`crate::exec::Runtime`], cached per process: the first call per
+/// (backend, nprocs) pays the ~millisecond probe, later calls are a map
+/// lookup. This is how [`predict`]-based planning gets *measured* rather
+/// than published parameters.
+pub fn calibrate_at(backend: BackendKind, nprocs: usize) -> Calibration {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    /// Cache key: (backend discriminant, netsim parameter bits, nprocs).
+    type CalKey = (u8, u64, usize);
+    static CACHE: OnceLock<Mutex<HashMap<CalKey, Calibration>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let (slot, bits) = backend_key(backend);
+    if let Some(c) = cache.lock().unwrap().get(&(slot, bits, nprocs)) {
+        return *c;
+    }
+    // Probe outside the lock: calibration launches jobs, and a concurrent
+    // caller racing us at worst measures once more and overwrites with an
+    // equivalent value.
+    let c = calibrate_with(crate::exec::global(), backend, nprocs);
+    cache.lock().unwrap().insert((slot, bits, nprocs), c);
+    c
+}
+
+/// [`calibrate_at`] at the default probe width (4 processes — the shape
+/// the harness's plan tables price).
+pub fn calibrate(backend: BackendKind) -> Calibration {
+    calibrate_at(backend, 4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +333,58 @@ mod tests {
         let a = (1.00, 10_000u64, 500u64);
         let b = (1.05, 10_000u64, 50u64);
         assert_eq!(prefer(&CENJU, 16, b, a), Ordering::Less);
+    }
+
+    #[test]
+    fn calibration_probe_yields_finite_positive_parameters() {
+        let rt = crate::exec::Runtime::new();
+        let c = calibrate_with(&rt, BackendKind::Shared, 2);
+        assert!(c.g_us.is_finite() && c.g_us > 0.0, "g = {}", c.g_us);
+        assert!(c.l_us.is_finite() && c.l_us > 0.0, "L = {}", c.l_us);
+        assert_eq!(c.nprocs, 2);
+        // The one-point Machine clamps everywhere to the measured values.
+        let m = c.machine("local");
+        assert_eq!(m.g_l(1), (c.g_us, c.l_us));
+        assert_eq!(m.g_l(8), (c.g_us, c.l_us));
+        // predict() agrees with the generic path through the Machine.
+        let via_machine = predict(&m, 2, 0.5, 1_000, 10);
+        let direct = c.predict(0.5, 1_000, 10);
+        assert_eq!(via_machine, direct);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn calibration_sees_injected_netsim_latency() {
+        use crate::backend::NetSimParams;
+        // netsim adds a modelled L to every superstep; the probe must
+        // recover a latency at least on that order, far above the real
+        // barrier cost measured for the raw shared backend.
+        let rt = crate::exec::Runtime::new();
+        let injected = 200.0; // µs
+        let c = calibrate_with(
+            &rt,
+            BackendKind::NetSim(NetSimParams {
+                g_us: 0.0,
+                l_us: injected,
+                l_neigh_us: 0.0,
+                time_scale: 1.0,
+            }),
+            2,
+        );
+        assert!(
+            c.l_us > injected * 0.5,
+            "measured L = {} µs, injected {} µs",
+            c.l_us,
+            injected
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn calibrate_at_caches_per_process() {
+        let a = calibrate_at(BackendKind::Shared, 2);
+        let b = calibrate_at(BackendKind::Shared, 2);
+        // Bitwise-identical: the second call must be the cached value.
+        assert_eq!(a, b);
     }
 }

@@ -265,7 +265,7 @@ impl ArenaKey {
 /// Only plain configs are arena-cacheable: the checker, the fault injector,
 /// and the hardened wrapper stack all thread per-run state through the
 /// transport boxes, so those sets are rebuilt per run (exactly as before).
-fn arena_eligible(cfg: &Config) -> bool {
+pub(crate) fn arena_eligible(cfg: &Config) -> bool {
     !cfg.check && cfg.fault_plan.is_none() && cfg.tolerance.is_none()
 }
 
@@ -482,8 +482,9 @@ impl Runtime {
     /// Park a job's transport set for reuse. Every endpoint is reset in
     /// place ([`Ctx::reset_for_reuse`]); if any endpoint declines (poisoned
     /// barrier, mid-protocol channel), the whole set is dropped — rebuild,
-    /// not reuse. Resetting here, at release, keeps the *lease* path
-    /// allocation-free.
+    /// not reuse. The pooled runner avoids this serial loop: each slot
+    /// resets itself on its own worker and the set arrives through
+    /// [`Runtime::park`] instead.
     pub(crate) fn release(&self, cfg: &Config, mut ctxs: Vec<Ctx>) {
         if !arena_eligible(cfg) || ctxs.len() != cfg.nprocs {
             return;
@@ -492,6 +493,17 @@ impl Runtime {
             if !ctx.reset_for_reuse() {
                 return;
             }
+        }
+        self.park(cfg, ctxs);
+    }
+
+    /// Park an *already-reset* transport set. This is the warm-launch fast
+    /// path: the pooled runner runs `reset_for_reuse` on each slot's worker
+    /// in parallel (overlapped with the stragglers' completion), so the
+    /// submitting thread's release cost is one `HashMap` entry and a push.
+    pub(crate) fn park(&self, cfg: &Config, ctxs: Vec<Ctx>) {
+        if !arena_eligible(cfg) || ctxs.len() != cfg.nprocs {
+            return;
         }
         let key = ArenaKey::of(cfg);
         let mut a = self.inner.arena.lock().unwrap();
@@ -687,6 +699,54 @@ mod tests {
         assert_eq!(rt.arena_misses(), 1);
         assert_eq!(rt.arena_hits(), 2);
         assert!(rt.debug_lease_cycle(&cfg));
+    }
+
+    #[test]
+    fn forced_worker_side_reset_stays_clean_on_every_backend() {
+        use crate::backend::{BackendKind, NetSimParams};
+        // Arm the reset gate even on a single-core host, so the parallel
+        // worker-side reset path gets exercised: each slot resets its own
+        // endpoint behind the quiescence gate, and the parked set must
+        // carry no stale packets into the next lease.
+        crate::runner::FORCE_PAR_RESET.store(true, std::sync::atomic::Ordering::Relaxed);
+        let rt = Runtime::new();
+        for backend in [
+            BackendKind::Shared,
+            BackendKind::MsgPass,
+            BackendKind::TcpSim,
+            BackendKind::SeqSim,
+            BackendKind::NetSim(NetSimParams {
+                g_us: 0.0,
+                l_us: 0.0,
+                l_neigh_us: 0.0,
+                time_scale: 0.0,
+            }),
+        ] {
+            let cfg = Config::new(3).backend(backend);
+            for _ in 0..4 {
+                let out = rt
+                    .try_run(&cfg, |ctx: &mut Ctx| {
+                        let next = (ctx.pid() + 1) % ctx.nprocs();
+                        ctx.send_pkt(next, Packet::two_u64(ctx.pid() as u64, 7));
+                        ctx.sync();
+                        let mut got = Vec::new();
+                        while let Some(pkt) = ctx.get_pkt() {
+                            got.push(pkt.as_two_u64().0);
+                        }
+                        got
+                    })
+                    .unwrap();
+                // Exactly one message per process per run: a stale slab
+                // from an unreset parked set would surface as extras.
+                for (pid, got) in out.results.iter().enumerate() {
+                    let prev = (pid + out.results.len() - 1) % out.results.len();
+                    assert_eq!(got.as_slice(), &[prev as u64], "backend {backend:?}");
+                }
+            }
+            assert!(rt.debug_lease_cycle(&cfg), "no parked set for {backend:?}");
+        }
+        crate::runner::FORCE_PAR_RESET.store(false, std::sync::atomic::Ordering::Relaxed);
+        rt.shutdown();
     }
 
     #[test]

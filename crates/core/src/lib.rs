@@ -84,6 +84,7 @@ pub mod pad;
 pub mod relax;
 pub mod runner;
 pub mod stats;
+pub mod stream;
 pub(crate) mod sync_shim;
 
 // Loom-gated exhaustive interleaving tests for the lock-free core. A unit
@@ -98,7 +99,9 @@ pub use backend::{BackendKind, NetSimParams};
 pub use barrier::BarrierKind;
 pub use check::{CheckKind, CheckReport, CollectiveKind, TrackedPkt};
 pub use context::{Ctx, MsgWriter, MSG_HDR};
-pub use cost::{predict, predict_from_stats, Prediction};
+pub use cost::{
+    calibrate, calibrate_at, calibrate_with, predict, predict_from_stats, Calibration, Prediction,
+};
 pub use exec::{global, JobHandle, Runtime};
 pub use fault::{
     BspError, CheckpointPolicy, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultTolerance,
@@ -109,3 +112,6 @@ pub use packet::{Packet, PACKET_SIZE};
 pub use relax::{NeighborSync, SyncGraph, SyncMode};
 pub use runner::{run, run_unpooled, try_run, Config, RunOutput};
 pub use stats::{LocalStep, RunStats, StepStats};
+pub use stream::{
+    run_stream, run_stream_with, StreamConfig, StreamError, StreamRun, TileMeta, TileStore,
+};

@@ -19,6 +19,7 @@ use crate::fault::{
 use crate::relax::SyncGraph;
 use crate::stats::RunStats;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +63,11 @@ pub struct Config {
     /// [`crate::CheckpointPolicy`]) the runner rolls all processes back to
     /// the last consistent checkpoint on an unrecovered failure.
     pub tolerance: Option<FaultTolerance>,
+    /// Tile coordinates stamped onto every [`Ctx`] of the run, surfaced via
+    /// [`Ctx::tile`]. Set per tile job by the streaming driver
+    /// ([`crate::stream`]); not part of the arena shape key — the same warm
+    /// transport set serves every tile.
+    pub(crate) tile: Option<crate::stream::TileMeta>,
 }
 
 impl Config {
@@ -78,6 +84,7 @@ impl Config {
             sync_graph: None,
             fault_plan: None,
             tolerance: None,
+            tile: None,
         }
     }
 
@@ -473,6 +480,11 @@ struct SlotOk<R> {
     ctx: Ctx,
     entered: Instant,
     finished: Instant,
+    /// Whether this slot already ran `Ctx::reset_for_reuse` on its worker
+    /// (and it succeeded). Set only on the pooled path for arena-eligible
+    /// configs; resetting in parallel on the workers keeps the submitting
+    /// thread's release down to a map probe and a push.
+    reset_ok: bool,
 }
 
 enum SlotOutcome<R> {
@@ -482,6 +494,89 @@ enum SlotOutcome<R> {
         err: BspError,
         fc: FaultCounters,
     },
+}
+
+/// Quiescence gate for worker-side arena resets. `Ctx::reset_for_reuse`
+/// touches state peers may still be using after *this* slot's last barrier
+/// — a late peer can flush post-last-sync packets into this endpoint's
+/// mailboxes, and a seqsim reset rewinds the shared baton peers are still
+/// waiting on. So every slot first *arrives* (its own work is done), then
+/// waits for the whole group before resetting. The waits are bounded by
+/// the job's own slot skew: every peer is past its last blocking operation
+/// when it arrives.
+struct ResetGate {
+    remaining: AtomicUsize,
+}
+
+impl ResetGate {
+    fn new(p: usize) -> ResetGate {
+        ResetGate {
+            remaining: AtomicUsize::new(p),
+        }
+    }
+
+    fn arrive(&self) {
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+
+    fn wait_quiesced(&self) {
+        // The expected wait is the job's slot skew — sub-microsecond to a
+        // few microseconds of barrier-release stagger — so spin long
+        // enough to cover it: yielding early puts an OS reschedule on the
+        // job's critical path (tens of µs), which is worse than burning
+        // the worker's own pinned core briefly. The gate is only armed
+        // when every slot has a core of its own (see `run_once`), so
+        // spinning here never starves the peer being waited for. Fall back
+        // to yielding only for pathological skew (a descheduled peer).
+        let mut spins = 0u32;
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < 1 << 14 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Cores the OS will actually run in parallel, cached per process; gates
+/// whether worker-side resets can spin without starving a peer.
+fn parallel_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Test-only override: arm the reset gate regardless of core count, so the
+/// worker-side reset path stays covered on single-core CI hosts (the gate
+/// is correct there too — arrivals make progress through the yields — just
+/// not profitable).
+#[cfg(test)]
+pub(crate) static FORCE_PAR_RESET: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+fn par_reset_wanted(nprocs: usize) -> bool {
+    #[cfg(test)]
+    if FORCE_PAR_RESET.load(Ordering::Relaxed) {
+        return true;
+    }
+    parallel_cores() >= nprocs
+}
+
+/// Decrements the gate on drop, so a slot that fails — or unwinds through
+/// a runner bug — can never strand its peers spinning at the gate.
+struct ArriveOnDrop<'a>(Option<&'a ResetGate>);
+
+impl Drop for ArriveOnDrop<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.0.take() {
+            gate.arrive();
+        }
+    }
 }
 
 /// The body of one process slot, identical on the pooled and the
@@ -499,8 +594,10 @@ fn slot_body<R>(
     shared: Option<Arc<CheckShared>>,
     ckpt: Option<(usize, Arc<CheckpointStore>)>,
     blob: Option<Vec<u8>>,
+    gate: Option<&ResetGate>,
 ) -> SlotOutcome<R> {
     let entered = Instant::now();
+    let mut arrive = ArriveOnDrop(gate);
     if let Some(shared) = shared {
         ctx.check = Some(Box::new(CheckCtx::new(shared)));
     }
@@ -529,12 +626,29 @@ fn slot_body<R>(
             let fc = ctx.transport.fault_counters();
             let trace = ctx.check.take().map(|c| Box::new(c.trace));
             let log = std::mem::take(&mut ctx.log);
+            // Reset here, after every capture, so the clearing work runs on
+            // this worker in parallel with its peers instead of serially on
+            // the submitting thread at release. The gate supplies the
+            // quiescence the serial release-time reset got for free: only
+            // after every slot has arrived (all closures and finalizes
+            // done, so no peer can still touch this endpoint's state) do
+            // the parallel resets begin.
+            let reset_ok = match gate {
+                Some(g) => {
+                    arrive.0 = None;
+                    g.arrive();
+                    g.wait_quiesced();
+                    ctx.reset_for_reuse()
+                }
+                None => false,
+            };
             SlotOutcome::Done(Box::new(SlotOk {
                 res: (r, log, counters, trace),
                 fc,
                 ctx,
                 entered,
                 finished,
+                reset_ok,
             }))
         }
         Err(payload) => {
@@ -574,7 +688,7 @@ where
     let shared = cfg.check.then(|| CheckShared::new(nprocs));
     // Warm path: pop a reset transport set from the runtime's arena (plain
     // configs only). Cold path: build the fabric from scratch.
-    let ctxs: Vec<Ctx> = match rt.and_then(|rt| rt.lease(cfg)) {
+    let mut ctxs: Vec<Ctx> = match rt.and_then(|rt| rt.lease(cfg)) {
         Some(set) => set,
         None => build_transports(cfg, shared.as_ref(), fstate)
             .into_iter()
@@ -582,7 +696,23 @@ where
             .map(|(pid, t)| Ctx::new(pid, nprocs, t))
             .collect(),
     };
+    // Streaming runs: stamp the tile coordinates on every slot (a `Copy`,
+    // so the warm path stays allocation-free).
+    if cfg.tile.is_some() {
+        for ctx in &mut ctxs {
+            ctx.tile = cfg.tile;
+        }
+    }
     let ckpt_owned = ckpt.map(|(every, store)| (every, Arc::clone(store)));
+    // Arena-bound sets reset on their own workers (see `slot_body` and
+    // `ResetGate`) — but only when the host really runs the slots in
+    // parallel. On an oversubscribed host (fewer cores than processes)
+    // the slots are time-sliced, a spinning slot starves the peer it
+    // waits for, and the serial release-time reset is strictly cheaper.
+    // The spawn-per-run path and ineligible shapes never park either way.
+    let gate = (rt.is_some() && exec::arena_eligible(cfg) && par_reset_wanted(nprocs))
+        .then(|| ResetGate::new(nprocs));
+    let pre_reset = gate.is_some();
 
     let outcomes: Vec<SlotOutcome<R>> = match rt {
         // Pooled: one lifetime-erased task per slot, all dispatched
@@ -590,6 +720,7 @@ where
         // reports, which is what makes the lifetime erasure sound.
         Some(rt) => {
             let board = exec::Board::new(nprocs);
+            let gate = gate.as_ref();
             let tasks: Vec<exec::Task> = ctxs
                 .into_iter()
                 .enumerate()
@@ -604,7 +735,7 @@ where
                         // always filled, even if the runner itself bugs
                         // out, so the submitting thread can never hang.
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            slot_body(pid, ctx, f, shared, ckpt, blob)
+                            slot_body(pid, ctx, f, shared, ckpt, blob, gate)
                         }))
                         .unwrap_or_else(|payload| SlotOutcome::Fail {
                             err: payload_to_error(pid, payload),
@@ -635,7 +766,7 @@ where
                     let shared = shared.clone();
                     let ckpt = ckpt_owned.clone();
                     let blob = restored[pid].take();
-                    s.spawn(move || slot_body(pid, ctx, f, shared, ckpt, blob))
+                    s.spawn(move || slot_body(pid, ctx, f, shared, ckpt, blob, None))
                 })
                 .collect();
             handles
@@ -683,6 +814,7 @@ where
     let mut last_entered: Option<Instant> = None;
     let mut last_finished: Option<Instant> = None;
     let mut reusable: Vec<Ctx> = Vec::with_capacity(nprocs);
+    let mut all_reset = true;
     for (pid, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             SlotOutcome::Done(ok) => {
@@ -690,6 +822,7 @@ where
                 faults.add(&ok.fc);
                 last_entered = Some(last_entered.map_or(ok.entered, |t| t.max(ok.entered)));
                 last_finished = Some(last_finished.map_or(ok.finished, |t| t.max(ok.finished)));
+                all_reset &= ok.reset_ok;
                 reusable.push(ok.ctx);
                 per_proc[pid] = Some(ok.res);
             }
@@ -707,10 +840,19 @@ where
 
     let end = Instant::now();
     let wall = end.duration_since(start);
-    // Clean run: hand the transport set back to the arena (reset happens
-    // inside `release`, so the *next* lease is a pure pop).
+    // Clean run: hand the transport set back to the arena. When the gate
+    // was armed, every slot already reset itself on its worker and the
+    // park is a map probe and a push; if any endpoint declined (poisoned
+    // barrier, mid-protocol channel), the set is dropped — rebuild, not
+    // reuse. Without the gate, `release` does the serial reset here.
     if let Some(rt) = rt {
-        rt.release(cfg, reusable);
+        if pre_reset {
+            if all_reset {
+                rt.park(cfg, reusable);
+            }
+        } else {
+            rt.release(cfg, reusable);
+        }
     }
     let mut results = Vec::with_capacity(nprocs);
     let mut logs = Vec::with_capacity(nprocs);

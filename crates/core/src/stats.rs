@@ -164,6 +164,19 @@ pub struct RunStats {
     /// the static plan analyzer ([`crate::analyze`]) can reconstruct each
     /// process's superstep skeleton.
     pub(crate) proc_traces: Vec<crate::check::ProcTrace>,
+    /// Bytes read from spill stores by the streaming layer (tile loads,
+    /// edge files, bucket reads). Zero for in-core runs.
+    pub io_read_bytes: u64,
+    /// Bytes written to spill stores by the streaming layer (tile
+    /// write-back, spill appends). Zero for in-core runs.
+    pub io_write_bytes: u64,
+    /// Time the streaming driver spent blocked waiting for the prefetcher
+    /// to hand over the next tile. When compute ≥ I/O and the ring is deep
+    /// enough this collapses to the first tile's load (see
+    /// [`crate::stream`]).
+    pub prefetch_wait: Duration,
+    /// Tiles executed by the streaming layer. Zero for in-core runs.
+    pub tiles: u64,
 }
 
 impl RunStats {
@@ -327,7 +340,53 @@ impl RunStats {
             setup: Duration::ZERO,
             teardown: Duration::ZERO,
             proc_traces: Vec::new(),
+            io_read_bytes: 0,
+            io_write_bytes: 0,
+            prefetch_wait: Duration::ZERO,
+            tiles: 0,
         }
+    }
+
+    /// Prefetch-stall time in milliseconds (see [`RunStats::prefetch_wait`]).
+    pub fn prefetch_wait_ms(&self) -> f64 {
+        self.prefetch_wait.as_secs_f64() * 1e3
+    }
+
+    /// Fold the stats of one tile's run into a streaming aggregate:
+    /// supersteps are concatenated, per-process totals and transport
+    /// counters are summed element-wise, diagnostics and fault counters
+    /// accumulate, and `tiles` advances by one. The I/O and prefetch
+    /// fields are owned by the streaming driver, which stamps them after
+    /// the pipeline drains (see [`crate::stream`]).
+    pub fn absorb_tile(&mut self, tile: &RunStats) {
+        if self.per_proc_compute.is_empty() {
+            self.nprocs = tile.nprocs;
+            self.per_proc_compute = vec![Duration::ZERO; tile.nprocs];
+            self.per_proc_sync_wait = vec![Duration::ZERO; tile.nprocs];
+            self.per_proc_work_units = vec![0; tile.nprocs];
+            self.transport = vec![TransportCounters::default(); tile.nprocs];
+        }
+        debug_assert_eq!(self.nprocs, tile.nprocs, "tile ran at a different p");
+        self.steps.extend_from_slice(&tile.steps);
+        for (pid, d) in tile.per_proc_compute.iter().enumerate() {
+            self.per_proc_compute[pid] += *d;
+        }
+        for (pid, d) in tile.per_proc_sync_wait.iter().enumerate() {
+            self.per_proc_sync_wait[pid] += *d;
+        }
+        for (pid, u) in tile.per_proc_work_units.iter().enumerate() {
+            self.per_proc_work_units[pid] += *u;
+        }
+        for (pid, t) in tile.transport.iter().enumerate() {
+            self.transport[pid].add(t);
+        }
+        self.undelivered_pkts += tile.undelivered_pkts;
+        self.undelivered_bytes += tile.undelivered_bytes;
+        self.check_reports.extend_from_slice(&tile.check_reports);
+        self.faults.add(&tile.faults);
+        self.setup += tile.setup;
+        self.teardown += tile.teardown;
+        self.tiles += 1;
     }
 
     /// Launch overhead in milliseconds (see [`RunStats::setup`]).

@@ -99,6 +99,9 @@ pub fn run_check_opts(full: bool, sync_modes: bool) -> bool {
         }
     }
 
+    eprintln!("== streaming sweep (tiled apps under the checker, p = {p}) ==");
+    clean &= streaming_check(p);
+
     if sync_modes {
         eprintln!("== sync-mode agreement sweep (bulk vs relaxed, checked, p = {p}) ==");
         for backend in checked_backends() {
@@ -198,6 +201,87 @@ pub fn run_check_opts(full: bool, sync_modes: bool) -> bool {
     } else {
         eprintln!("checker: FAILURES (see above)");
     }
+    clean
+}
+
+/// Run both streaming applications end-to-end under [`Config::checked`]
+/// (DESIGN.md §14): every tile job runs with full phase-discipline
+/// tracking, and the sweep demands zero diagnostics *and* bit-identical
+/// results against the in-core versions. Checked configs are not
+/// arena-eligible, so this also exercises the streaming driver's cold
+/// launch path.
+fn streaming_check(p: usize) -> bool {
+    use bsp_ocean::tiled::{initial_grid, jacobi_in_core, tiled_jacobi};
+    use bsp_sort::external_sample_sort;
+    use green_bsp::{Runtime, StreamConfig, TileStore};
+
+    let dir = std::env::temp_dir().join(format!("green-bsp-check-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create check spill dir");
+    let rt = Runtime::new();
+    let cfg = Config::new(p).checked();
+    let mut clean = true;
+    let cell = |name: &str, reports: usize, identical: bool| {
+        if reports == 0 && identical {
+            eprintln!("  {name:8} checked : clean, bit-identical to in-core");
+        } else {
+            eprintln!(
+                "  {name:8} checked : {}{}",
+                if reports > 0 {
+                    format!("{reports} DIAGNOSTIC(S) ")
+                } else {
+                    String::new()
+                },
+                if identical { "" } else { "NOT BIT-IDENTICAL" }
+            );
+        }
+        reports == 0 && identical
+    };
+
+    // External sort: 4096 keys in 8 tiles.
+    {
+        let keys: Vec<u64> = (0..4096u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        let bytes: Vec<u8> = keys.iter().flat_map(|k| k.to_le_bytes()).collect();
+        let input = TileStore::create_in(&dir, "sort-in.keys").expect("input store");
+        input.write_all(&bytes).expect("write input");
+        let output = TileStore::create_in(&dir, "sort-out.keys").expect("output store");
+        let sc = StreamConfig::new(bytes.len() / 8).record(8).spill_dir(&dir);
+        let res = external_sample_sort(&rt, &cfg, &sc, &input, &output).expect("checked sort");
+        let mut want = keys;
+        want.sort_unstable();
+        let want: Vec<u8> = want.iter().flat_map(|k| k.to_le_bytes()).collect();
+        clean &= cell(
+            "extsort",
+            res.stats.check_reports.len(),
+            output.read_to_vec().expect("read output") == want,
+        );
+    }
+
+    // Tiled ocean: 32x32 grid, 2 sweeps, 4-row tiles.
+    {
+        let n = 32;
+        let u0 = initial_grid(n);
+        let gb: Vec<u8> = u0.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let ping = TileStore::create_in(&dir, "ocean-ping.grid").expect("ping store");
+        ping.write_all(&gb).expect("write ping");
+        let pong = TileStore::create_in(&dir, "ocean-pong.grid").expect("pong store");
+        pong.write_all(&vec![0u8; gb.len()]).expect("write pong");
+        let sc = StreamConfig::new(4 * n * 8).spill_dir(&dir);
+        let res = tiled_jacobi(&rt, &cfg, &sc, n, &ping, &pong, 2).expect("checked ocean");
+        let mut want = u0;
+        jacobi_in_core(n, &mut want, 2);
+        let want: Vec<u8> = want.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let got = if res.result_in_pong { &pong } else { &ping };
+        clean &= cell(
+            "ocean",
+            res.stats.check_reports.len(),
+            got.read_to_vec().expect("read result") == want,
+        );
+    }
+
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
     clean
 }
 

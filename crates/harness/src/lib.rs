@@ -20,6 +20,7 @@ pub mod measure;
 pub mod message_bench;
 pub mod paper;
 pub mod runtime_bench;
+pub mod stream_bench;
 pub mod sync_bench;
 pub mod tables;
 

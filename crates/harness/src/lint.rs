@@ -141,6 +141,18 @@ pub fn run_lint(full: bool) -> bool {
     let p = 4;
     let machine = &SGI;
 
+    // Measured pricing (ROADMAP item 5): probe the local executor's actual
+    // g/L once (cached per process) so the plan tables can be priced with
+    // parameters this host exhibits, next to the paper's published SGI
+    // numbers.
+    let cal = green_bsp::calibrate(green_bsp::BackendKind::Shared);
+    let local = cal.machine("local");
+    eprintln!(
+        "calibrated local machine (shared backend, p = {}): g = {:.3} us/pkt, \
+         L = {:.1} us/superstep",
+        cal.nprocs, cal.g_us, cal.l_us
+    );
+
     eprintln!(
         "== superstep-plan analysis (six apps, p = {p}, machine {}) ==",
         machine.name
@@ -202,6 +214,15 @@ pub fn run_lint(full: bool) -> bool {
         let wl = prepare(App::Matmult, size);
         if let Ok(report) = lint_app(App::Matmult, &wl, &Config::new(p), machine) {
             eprintln!("== matmult (size {size}) plan on {} ==", machine.name);
+            eprint!("{report}");
+        }
+        // The same plan priced with the measured local parameters: the
+        // skeleton (W, h, S per step) is identical; only g and L differ.
+        if let Ok(report) = lint_app(App::Matmult, &wl, &Config::new(p), &local) {
+            eprintln!(
+                "== matmult (size {size}) plan on calibrated local (g = {:.3}, L = {:.1}) ==",
+                cal.g_us, cal.l_us
+            );
             eprint!("{report}");
         }
     }

@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults|lint] [--full] [--sync-modes]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint] [--full] [--sync-modes]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -13,6 +13,13 @@
 //! (DESIGN.md §11): cold spawn-per-run vs warm pooled launches at `p = 4`
 //! on every backend, plus concurrent-submit throughput, and writes
 //! `BENCH_runtime.json`.
+//!
+//! `bench_stream` measures out-of-core tiled execution (DESIGN.md §14):
+//! the external sample sort and the tiled Jacobi ocean sweep at 1×/4×/8×
+//! input-to-tile-budget ratios against their in-core baselines, verifying
+//! every streamed point bit-identical and reporting the prefetch-wait
+//! fraction. Writes `BENCH_stream.json`; exits non-zero if any point is
+//! not bit-identical.
 //!
 //! `bench_sync` measures the relaxed-synchronization machinery (DESIGN.md
 //! §12): barrier-cost curves (full vs pairwise vs split-phase by `p`), the
@@ -136,6 +143,24 @@ fn main() {
                 bench.warm_speedup_shared, bench.jobs_per_sec
             );
         }
+        "bench_stream" => {
+            use bsp_harness::stream_bench;
+            eprintln!(
+                "streaming-efficiency sweep (external sort + tiled ocean, 1x/4x/8x budgets)..."
+            );
+            let bench = stream_bench::sweep_stream(full);
+            let json = stream_bench::to_json(&bench);
+            std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+            eprintln!(
+                "wrote BENCH_stream.json ({} points, prefetch@4x {:.1}%, bit-identical: {})",
+                bench.points.len(),
+                bench.prefetch_frac_4x * 100.0,
+                bench.all_bit_identical
+            );
+            if !bench.all_bit_identical {
+                std::process::exit(1);
+            }
+        }
         "bench_sync" => {
             use bsp_harness::sync_bench;
             eprintln!("relaxed-synchronization bench (barrier curves, ocean, sort, checker)...");
@@ -177,7 +202,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_sync|check|faults|lint] [--full] [--sync-modes]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint] [--full] [--sync-modes]");
             std::process::exit(2);
         }
     }

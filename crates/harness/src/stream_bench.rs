@@ -1,0 +1,338 @@
+//! `report bench_stream` — the streaming-efficiency curve of out-of-core
+//! tiled execution (DESIGN.md §14).
+//!
+//! Two applications run end-to-end through the streaming layer — the
+//! external sample sort ([`bsp_sort::external_sample_sort_with`]) and the
+//! tiled Jacobi ocean sweep ([`bsp_ocean::tiled_jacobi`]) — each at three
+//! memory-capped tile budgets (input = 1×, 4×, and 8× the budget) against
+//! its in-core baseline. Every streamed point is verified **bit-identical**
+//! to the in-core result before it is reported; a point that is fast but
+//! wrong fails the bench. The headline numbers are the useful-bytes/s
+//! efficiency relative to in-core at each ratio and the prefetch-wait
+//! fraction at the 4× point (the double-buffered reader must hide I/O
+//! behind compute — acceptance: < 25% of compute time).
+//!
+//! `report bench_stream` writes the whole document to `BENCH_stream.json`.
+
+use bsp_ocean::tiled::{initial_grid, jacobi_in_core, tiled_jacobi};
+use bsp_sort::{external_sample_sort_with, sample_sort};
+use green_bsp::{Config, Runtime, StreamConfig, TileStore};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured point of the efficiency curve.
+#[derive(Clone, Debug)]
+pub struct StreamPoint {
+    /// `"extsort"` or `"ocean"`.
+    pub app: &'static str,
+    /// Input-to-tile-budget ratio; `0` marks the in-core baseline.
+    pub ratio: usize,
+    /// Tile budget in bytes (the full input for the baseline).
+    pub tile_bytes: usize,
+    /// Tiles streamed (0 for the baseline).
+    pub tiles: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Useful bytes per second: the dataset bytes the pass consumed
+    /// (input bytes for the sort, grid bytes × sweeps for ocean) over
+    /// wall-clock — the paper-style throughput the curve compares.
+    pub bytes_per_sec: f64,
+    /// Relative to the in-core baseline's `bytes_per_sec`.
+    pub efficiency: f64,
+    /// Bytes read from / written to stores during the run.
+    pub io_read_bytes: u64,
+    pub io_write_bytes: u64,
+    /// Time the compute loop stalled waiting for the prefetcher.
+    pub prefetch_wait_ms: f64,
+    /// Whether the result matched the in-core result bit for bit.
+    pub bit_identical: bool,
+}
+
+/// Aggregate result of the streaming bench.
+#[derive(Clone, Debug)]
+pub struct StreamBenchOut {
+    pub points: Vec<StreamPoint>,
+    /// Worst prefetch-wait / compute-time fraction over the 4× points.
+    pub prefetch_frac_4x: f64,
+    /// Every streamed point reproduced its in-core result bit for bit.
+    pub all_bit_identical: bool,
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "green-bsp-bench-stream-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&d).expect("create bench spill dir");
+    d
+}
+
+fn key_bytes(keys: &[u64]) -> Vec<u8> {
+    keys.iter().flat_map(|k| k.to_le_bytes()).collect()
+}
+
+fn grid_bytes(u: &[f64]) -> Vec<u8> {
+    u.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Deterministic pseudo-random keys (splitmix64 stream).
+fn bench_keys(n: usize) -> Vec<u64> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// The external-sort half of the curve: in-core baseline + three budgets.
+fn sweep_sort(rt: &Runtime, p: usize, nkeys: usize, dir: &Path, points: &mut Vec<StreamPoint>) {
+    let keys = bench_keys(nkeys);
+    let total = keys.len() * 8;
+    let mut expected = keys.clone();
+    expected.sort_unstable();
+    let expected = key_bytes(&expected);
+    let cfg = Config::new(p);
+
+    // In-core baseline: the whole dataset in one warm sample-sort job.
+    rt.prewarm(&cfg);
+    let per = nkeys.div_ceil(p);
+    let t0 = Instant::now();
+    let out = rt
+        .try_run(&cfg, |ctx| {
+            let lo = (ctx.pid() * per).min(nkeys);
+            let hi = ((ctx.pid() + 1) * per).min(nkeys);
+            sample_sort(ctx, keys[lo..hi].to_vec())
+        })
+        .expect("in-core sort baseline failed");
+    let secs = t0.elapsed().as_secs_f64();
+    let sorted: Vec<u64> = out.results.into_iter().flatten().collect();
+    let base_bps = total as f64 / secs.max(1e-12);
+    points.push(StreamPoint {
+        app: "extsort",
+        ratio: 0,
+        tile_bytes: total,
+        tiles: 0,
+        secs,
+        bytes_per_sec: base_bps,
+        efficiency: 1.0,
+        io_read_bytes: 0,
+        io_write_bytes: 0,
+        prefetch_wait_ms: 0.0,
+        bit_identical: key_bytes(&sorted) == expected,
+    });
+
+    let input = TileStore::create_in(dir, "sort-input.keys").expect("create input store");
+    input.write_all(&key_bytes(&keys)).expect("write input");
+    for ratio in [1usize, 4, 8] {
+        let sc = StreamConfig::new((total / ratio).max(8))
+            .record(8)
+            .spill_dir(dir);
+        let output = TileStore::create_in(dir, &format!("sort-out-{ratio}.keys"))
+            .expect("create output store");
+        let t0 = Instant::now();
+        let res = external_sample_sort_with(rt, &cfg, &sc, &input, &output, true)
+            .expect("external sort failed");
+        let secs = t0.elapsed().as_secs_f64();
+        let bps = total as f64 / secs.max(1e-12);
+        points.push(StreamPoint {
+            app: "extsort",
+            ratio,
+            tile_bytes: sc.tile_bytes,
+            tiles: res.stats.tiles,
+            secs,
+            bytes_per_sec: bps,
+            efficiency: bps / base_bps.max(1e-12),
+            io_read_bytes: res.stats.io_read_bytes,
+            io_write_bytes: res.stats.io_write_bytes,
+            prefetch_wait_ms: res.stats.prefetch_wait_ms(),
+            bit_identical: output.read_to_vec().expect("read output") == expected,
+        });
+    }
+}
+
+/// The tiled-ocean half of the curve.
+fn sweep_ocean(
+    rt: &Runtime,
+    p: usize,
+    n: usize,
+    sweeps: usize,
+    dir: &Path,
+    points: &mut Vec<StreamPoint>,
+) {
+    let u0 = initial_grid(n);
+    let total = n * n * 8;
+    let useful = (total * sweeps) as f64;
+
+    let mut want = u0.clone();
+    let t0 = Instant::now();
+    jacobi_in_core(n, &mut want, sweeps);
+    let secs = t0.elapsed().as_secs_f64();
+    let expected = grid_bytes(&want);
+    let base_bps = useful / secs.max(1e-12);
+    points.push(StreamPoint {
+        app: "ocean",
+        ratio: 0,
+        tile_bytes: total,
+        tiles: 0,
+        secs,
+        bytes_per_sec: base_bps,
+        efficiency: 1.0,
+        io_read_bytes: 0,
+        io_write_bytes: 0,
+        prefetch_wait_ms: 0.0,
+        bit_identical: true,
+    });
+
+    let cfg = Config::new(p);
+    rt.prewarm(&cfg);
+    for ratio in [1usize, 4, 8] {
+        let ping = TileStore::create_in(dir, &format!("ocean-ping-{ratio}.grid"))
+            .expect("create ping store");
+        ping.write_all(&grid_bytes(&u0)).expect("write grid");
+        let pong = TileStore::create_in(dir, &format!("ocean-pong-{ratio}.grid"))
+            .expect("create pong store");
+        pong.write_all(&vec![0u8; total]).expect("write pong");
+        let sc = StreamConfig::new((total / ratio).max(n * 8)).spill_dir(dir);
+        let t0 = Instant::now();
+        let res = tiled_jacobi(rt, &cfg, &sc, n, &ping, &pong, sweeps).expect("tiled ocean failed");
+        let secs = t0.elapsed().as_secs_f64();
+        let bps = useful / secs.max(1e-12);
+        let got = if res.result_in_pong { &pong } else { &ping };
+        points.push(StreamPoint {
+            app: "ocean",
+            ratio,
+            tile_bytes: sc.tile_bytes,
+            tiles: res.stats.tiles,
+            secs,
+            bytes_per_sec: bps,
+            efficiency: bps / base_bps.max(1e-12),
+            io_read_bytes: res.stats.io_read_bytes,
+            io_write_bytes: res.stats.io_write_bytes,
+            prefetch_wait_ms: res.stats.prefetch_wait_ms(),
+            bit_identical: got.read_to_vec().expect("read result") == expected,
+        });
+    }
+}
+
+/// Run the full bench at explicit sizes (exposed for the tests).
+pub fn sweep_stream_sized(nkeys: usize, ocean_n: usize, sweeps: usize) -> StreamBenchOut {
+    let p = 4;
+    let dir = tmpdir("run");
+    let rt = Runtime::new();
+    let mut points = Vec::new();
+    eprintln!(
+        "  extsort: {nkeys} keys ({} MiB), p = {p}",
+        (nkeys * 8) >> 20
+    );
+    sweep_sort(&rt, p, nkeys, &dir, &mut points);
+    eprintln!("  ocean: {ocean_n}x{ocean_n} grid, {sweeps} sweeps, p = {p}");
+    sweep_ocean(&rt, p, ocean_n, sweeps, &dir, &mut points);
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for pt in &points {
+        eprintln!(
+            "  {:7} {:>9}: {:>8.1} MB/s (eff {:>5.2}, {} tiles, prefetch {:.1}ms){}",
+            pt.app,
+            if pt.ratio == 0 {
+                "in-core".to_string()
+            } else {
+                format!("{}x", pt.ratio)
+            },
+            pt.bytes_per_sec / 1e6,
+            pt.efficiency,
+            pt.tiles,
+            pt.prefetch_wait_ms,
+            if pt.bit_identical {
+                ""
+            } else {
+                "  NOT BIT-IDENTICAL"
+            }
+        );
+    }
+    let prefetch_frac_4x = points
+        .iter()
+        .filter(|pt| pt.ratio == 4)
+        .map(|pt| pt.prefetch_wait_ms / (pt.secs * 1e3 - pt.prefetch_wait_ms).max(1e-9))
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "  prefetch wait at 4x: {:.1}% of compute ({})",
+        prefetch_frac_4x * 100.0,
+        if prefetch_frac_4x < 0.25 {
+            "ok"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+    StreamBenchOut {
+        all_bit_identical: points.iter().all(|pt| pt.bit_identical),
+        prefetch_frac_4x,
+        points,
+    }
+}
+
+/// Run the bench at the standard quick/full sizes.
+pub fn sweep_stream(full: bool) -> StreamBenchOut {
+    if full {
+        sweep_stream_sized(1 << 21, 768, 4)
+    } else {
+        sweep_stream_sized(1 << 19, 384, 4)
+    }
+}
+
+/// Serialize the bench as the `BENCH_stream.json` document.
+pub fn to_json(b: &StreamBenchOut) -> String {
+    let mut s = String::from("{\n  \"bench\": \"stream_tiled\",\n  \"points\": [\n");
+    for (i, pt) in b.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"app\": \"{}\", \"ratio\": {}, \"tile_bytes\": {}, \"tiles\": {}, \
+             \"secs\": {:.6}, \"bytes_per_sec\": {:.0}, \"efficiency\": {:.3}, \
+             \"io_read_bytes\": {}, \"io_write_bytes\": {}, \"prefetch_wait_ms\": {:.3}, \
+             \"bit_identical\": {}}}{}\n",
+            pt.app,
+            pt.ratio,
+            pt.tile_bytes,
+            pt.tiles,
+            pt.secs,
+            pt.bytes_per_sec,
+            pt.efficiency,
+            pt.io_read_bytes,
+            pt.io_write_bytes,
+            pt.prefetch_wait_ms,
+            pt.bit_identical,
+            if i + 1 < b.points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"prefetch_frac_4x\": {:.4},\n  \"all_bit_identical\": {}\n}}\n",
+        b.prefetch_frac_4x, b.all_bit_identical
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_bit_identical_and_serializes() {
+        let b = sweep_stream_sized(4096, 48, 2);
+        // 2 apps x (baseline + 3 ratios).
+        assert_eq!(b.points.len(), 8);
+        assert!(b.all_bit_identical);
+        assert!(b
+            .points
+            .iter()
+            .filter(|pt| pt.ratio == 8)
+            .all(|pt| pt.tiles >= 8));
+        let j = to_json(&b);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"prefetch_frac_4x\""));
+        assert!(j.contains("\"extsort\"") && j.contains("\"ocean\""));
+    }
+}

@@ -16,6 +16,7 @@ pub mod eddy;
 pub mod grid;
 pub mod multigrid;
 pub mod stencil;
+pub mod tiled;
 
 pub use eddy::{assemble_psi, ocean_run, OceanConfig, OceanOut};
 pub use grid::{
@@ -23,3 +24,4 @@ pub use grid::{
     ghost_graph, Hierarchy, Level,
 };
 pub use multigrid::{solve, CycleMode, MgParams, MgWorkspace};
+pub use tiled::{jacobi_in_core, tiled_jacobi, TiledOcean};

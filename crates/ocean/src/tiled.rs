@@ -1,0 +1,317 @@
+//! Tiled out-of-core Jacobi relaxation — the ocean stencil streamed
+//! through [`green_bsp::run_stream`] when the grid is larger than memory
+//! (DESIGN.md §14).
+//!
+//! The `n × n` row-major `f64` grid lives in a [`TileStore`]; tiles are
+//! row bands (`StreamConfig::record` = one row). Every sweep is one
+//! streaming pass: each tile runs as a warm BSP job whose processes own
+//! contiguous row bands of the tile, apply the five-point Jacobi update
+//! against the *old* grid, and allreduce their squared-update norms (one
+//! superstep per tile), while the default write-back stage lands the new
+//! rows at the offsets they were read from in the ping-pong partner store.
+//!
+//! **Edge files.** A row band's stencil reaches one row above and one row
+//! below the tile, and those rows belong to neighboring tiles that are
+//! out of core by the time this tile computes. Before each sweep the
+//! driver therefore extracts every tile's two boundary-adjacent rows from
+//! the old grid into an *edge file* — the same raw little-endian `f64`
+//! row encoding the checkpoint codec uses for grid state — and the sweep
+//! reads its cross-tile ghost strips back out of that file. Rows outside
+//! the grid are the homogeneous Dirichlet boundary (zero).
+//!
+//! **Bit-identity.** The update `0.25 · (N + S + E + W − h²·f)` is
+//! evaluated in exactly the same expression order as the in-core
+//! reference [`jacobi_in_core`], and every operand is the same `f64`
+//! regardless of where the tile boundary fell, so the streamed grid is
+//! bit-identical to the in-core sweep for any tile budget — the property
+//! the tests and `report bench_stream` verify.
+
+use green_bsp::collectives::allreduce_f64;
+use green_bsp::{run_stream, Config, RunStats, Runtime, StreamConfig, StreamError, TileStore};
+use std::time::{Duration, Instant};
+
+/// Outcome of a streamed multi-sweep relaxation.
+#[derive(Debug)]
+pub struct TiledOcean {
+    /// Aggregate statistics over all sweeps (tiles and I/O summed).
+    pub stats: RunStats,
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Σ (u' − u)² over the final sweep — the convergence monitor the
+    /// in-core solver also reports (reduction order differs, so compare
+    /// approximately, unlike the grid itself).
+    pub residual2: f64,
+    /// `false` when the final grid sits in the `ping` store (even sweep
+    /// count), `true` when it sits in `pong` (odd).
+    pub result_in_pong: bool,
+    /// Wall-clock duration of the whole relaxation.
+    pub wall: Duration,
+}
+
+/// Deterministic synthetic vorticity forcing, shared by the streamed and
+/// in-core sweeps so their right-hand sides agree bit for bit.
+#[inline]
+pub fn forcing(i: usize, j: usize) -> f64 {
+    ((i.wrapping_mul(31) + j.wrapping_mul(17)) % 97) as f64 / 97.0 - 0.5
+}
+
+/// Deterministic initial grid for tests and benches.
+pub fn initial_grid(n: usize) -> Vec<f64> {
+    (0..n * n)
+        .map(|k| ((k.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+/// One five-point Jacobi update. Keep this the *only* spelling of the
+/// stencil in this module: bit-identity between the streamed and in-core
+/// paths rests on both calling exactly this expression.
+#[inline]
+fn update(n2h2: f64, up: f64, down: f64, left: f64, right: f64, f: f64) -> f64 {
+    0.25 * (up + down + left + right - n2h2 * f)
+}
+
+/// In-core reference: `sweeps` Jacobi sweeps over the `n × n` grid `u`
+/// (row-major, homogeneous Dirichlet boundary), returning the final
+/// sweep's Σ (u' − u)².
+pub fn jacobi_in_core(n: usize, u: &mut Vec<f64>, sweeps: usize) -> f64 {
+    let h = 1.0 / (n as f64 + 1.0);
+    let h2 = h * h;
+    let mut res2 = 0.0;
+    let mut next = vec![0.0; n * n];
+    for _ in 0..sweeps {
+        res2 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let at = |r: isize, c: isize| -> f64 {
+                    if r < 0 || c < 0 || r >= n as isize || c >= n as isize {
+                        0.0
+                    } else {
+                        u[r as usize * n + c as usize]
+                    }
+                };
+                let (ri, rj) = (i as isize, j as isize);
+                let v = update(
+                    h2,
+                    at(ri - 1, rj),
+                    at(ri + 1, rj),
+                    at(ri, rj - 1),
+                    at(ri, rj + 1),
+                    forcing(i, j),
+                );
+                let d = v - u[i * n + j];
+                res2 += d * d;
+                next[i * n + j] = v;
+            }
+        }
+        std::mem::swap(u, &mut next);
+    }
+    res2
+}
+
+/// Stream `sweeps` Jacobi sweeps over the `n × n` grid in `ping`,
+/// ping-ponging between `ping` and `pong` (both must be `n·n·8` bytes;
+/// `pong` is overwritten). `sc` supplies the tile budget, ring depth, and
+/// the spill directory for the per-sweep edge files; its record size is
+/// overridden to one grid row.
+pub fn tiled_jacobi(
+    rt: &Runtime,
+    cfg: &Config,
+    sc: &StreamConfig,
+    n: usize,
+    ping: &TileStore,
+    pong: &TileStore,
+    sweeps: usize,
+) -> Result<TiledOcean, StreamError> {
+    let start = Instant::now();
+    let row = n * 8;
+    assert_eq!(
+        ping.len() as usize,
+        n * n * 8,
+        "ping store must hold the grid"
+    );
+    let mut sc = sc.clone();
+    sc.record = row;
+    let h = 1.0 / (n as f64 + 1.0);
+    let h2 = h * h;
+
+    let mut agg = RunStats::default();
+    agg.nprocs = cfg.nprocs;
+    let mut prefetch = Duration::ZERO;
+    let mut res2 = 0.0;
+    let edge_store = TileStore::create_in(
+        &sc.spill_dir,
+        &format!("ocean-edges-{}.rows", std::process::id()),
+    )?;
+
+    for sweep in 0..sweeps {
+        let (src, dst) = if sweep % 2 == 0 {
+            (ping, pong)
+        } else {
+            (pong, ping)
+        };
+        let plan = sc.plan(src.len());
+
+        // Extract every tile's boundary-adjacent rows from the old grid
+        // into the edge file, then read the ghost strips back out of it —
+        // the file is the hand-off, not a cache.
+        let mut edges = vec![0u8; plan.len() * 2 * row];
+        for (t, meta) in plan.iter().enumerate() {
+            let first = meta.first_record();
+            let last = first + meta.records(); // exclusive: the south ghost row
+            if first > 0 {
+                src.read_at(
+                    (first - 1) as u64 * row as u64,
+                    &mut edges[t * 2 * row..][..row],
+                )?;
+            }
+            if last < n {
+                src.read_at(
+                    last as u64 * row as u64,
+                    &mut edges[t * 2 * row..][row..2 * row],
+                )?;
+            }
+        }
+        edge_store.write_all(&edges)?;
+        let eb = edge_store.read_to_vec()?;
+        agg.io_read_bytes += (edges.len() + eb.len()) as u64;
+        agg.io_write_bytes += edges.len() as u64;
+        let ghosts: Vec<f64> = eb
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+
+        let ghosts_ref = &ghosts;
+        let out = run_stream(rt, cfg, &sc, src, Some(dst), |ctx, data, out| {
+            let meta = ctx.tile().expect("tile job");
+            let t = meta.index;
+            let rows = meta.records();
+            let first = meta.first_record();
+            let band = meta.shard(ctx.pid(), ctx.nprocs());
+            let (blo, bhi) = (band.start / row, band.end / row); // tile-local rows
+            let cell = |r: usize, c: usize| -> f64 {
+                f64::from_le_bytes(data[r * row + c * 8..][..8].try_into().unwrap())
+            };
+            // Old value at global row `r` (isize), global column `c`:
+            // in-tile rows from the tile buffer, the two cross-tile rows
+            // from the edge file, everything else the zero boundary.
+            let old = |r: isize, c: isize| -> f64 {
+                if c < 0 || c >= n as isize || r < 0 || r >= n as isize {
+                    return 0.0;
+                }
+                let (r, c) = (r as usize, c as usize);
+                if r + 1 == first {
+                    ghosts_ref[t * 2 * n + c] // north ghost strip
+                } else if r == first + rows {
+                    ghosts_ref[t * 2 * n + n + c] // south ghost strip
+                } else {
+                    cell(r - first, c)
+                }
+            };
+            let mut local2 = 0.0;
+            for lr in blo..bhi {
+                let gi = (first + lr) as isize;
+                for j in 0..n {
+                    let v = update(
+                        h2,
+                        old(gi - 1, j as isize),
+                        old(gi + 1, j as isize),
+                        old(gi, j as isize - 1),
+                        old(gi, j as isize + 1),
+                        forcing(gi as usize, j),
+                    );
+                    let d = v - cell(lr, j);
+                    local2 += d * d;
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            // One real superstep per tile: the convergence monitor.
+            allreduce_f64(ctx, local2, |a, b| a + b)
+        })?;
+
+        if sweep + 1 == sweeps {
+            res2 = out.tiles.iter().map(|t| t[0]).sum();
+        }
+        let tiles = agg.tiles;
+        agg.absorb_tile(&out.stats);
+        agg.tiles = tiles + out.stats.tiles;
+        agg.io_read_bytes += out.stats.io_read_bytes;
+        agg.io_write_bytes += out.stats.io_write_bytes;
+        prefetch += out.stats.prefetch_wait;
+    }
+    agg.prefetch_wait = prefetch;
+    let _ = std::fs::remove_file(edge_store.path());
+
+    Ok(TiledOcean {
+        stats: agg,
+        sweeps,
+        residual2: res2,
+        result_in_pong: sweeps % 2 == 1,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "green-bsp-tiled-ocean-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn grid_bytes(u: &[f64]) -> Vec<u8> {
+        u.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn check_tiled(n: usize, sweeps: usize, rows_per_tile: usize, tag: &str) {
+        let dir = tmpdir(tag);
+        let u0 = initial_grid(n);
+        let ping = TileStore::create_in(&dir, "ping.grid").unwrap();
+        ping.write_all(&grid_bytes(&u0)).unwrap();
+        let pong = TileStore::create_in(&dir, "pong.grid").unwrap();
+        pong.write_all(&vec![0u8; n * n * 8]).unwrap();
+
+        let rt = Runtime::new();
+        let sc = StreamConfig::new(rows_per_tile * n * 8).spill_dir(&dir);
+        let res = tiled_jacobi(&rt, &Config::new(3), &sc, n, &ping, &pong, sweeps).unwrap();
+
+        let mut want = u0;
+        let want_res2 = jacobi_in_core(n, &mut want, sweeps);
+        let got = if res.result_in_pong { &pong } else { &ping };
+        assert_eq!(
+            got.read_to_vec().unwrap(),
+            grid_bytes(&want),
+            "streamed grid differs from in-core ({tag})"
+        );
+        assert!((res.residual2 - want_res2).abs() <= 1e-9 * want_res2.abs().max(1.0));
+        assert_eq!(res.stats.tiles as usize, sweeps * sc.plan(ping.len()).len());
+        rt.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_sweeps_are_bit_identical_to_in_core() {
+        // 8 tiles of 6 rows: every ghost strip crosses a tile boundary.
+        check_tiled(48, 3, 6, "multi");
+    }
+
+    #[test]
+    fn single_tile_degenerates_to_in_core() {
+        check_tiled(24, 2, 24, "single");
+    }
+
+    #[test]
+    fn odd_row_tail_tile_and_odd_sweeps() {
+        // 29 rows in 4-row tiles leaves a 1-row tail tile; odd sweep count
+        // leaves the result in the pong store.
+        check_tiled(29, 1, 4, "tail");
+    }
+}

@@ -1,0 +1,398 @@
+//! External (out-of-core) sample sort on the streaming executor.
+//!
+//! Sorts a [`TileStore`] of little-endian `u64` keys that need never fit
+//! in memory, using the classic multi-pass external sample sort on top of
+//! [`green_bsp::run_stream`] (DESIGN.md §14):
+//!
+//! 1. **Sample** — stream the input once; every process takes up to
+//!    [`OVERSAMPLE`] evenly spaced raw keys from its shard of each tile.
+//!    The driver sorts the pooled samples and picks `B − 1` bucket
+//!    splitters, `B` sized so the *expected* bucket fits the tile budget
+//!    with 2× slack.
+//! 2. **Partition** — stream the input again; each tile is a one-superstep
+//!    BSP job that routes every key to the process owning its bucket
+//!    (`bucket % p`), on either message lane. Receivers group keys by
+//!    bucket and the writer thread appends each group to that bucket's
+//!    spill file.
+//! 3. **Merge** — for each bucket in splitter order, read the whole spill
+//!    file and sort it with a warm in-core [`sample_sort_with`] job,
+//!    appending the result to the output store.
+//!
+//! Buckets partition the key space, so concatenating the sorted buckets
+//! in splitter order yields the globally sorted sequence — and because a
+//! multiset of `u64` keys has exactly one sorted order, the output is
+//! **bit-identical** to in-core [`sample_sort`](crate::sample_sort) over
+//! the same data, whatever the tile budget or bucket boundaries did.
+//!
+//! Skew note: splitters come from a sample, so a bucket can exceed the
+//! tile budget (pathologically: one repeated key). Pass 3 reads each
+//! bucket whole regardless — the budget shapes passes 1–2 and the
+//! *expected* bucket size, it is not a hard memory cap. This is the same
+//! trade the paper's sample sort makes with its `p · OVERSAMPLE` pool.
+
+use crate::sample::{sample_sort_with, OVERSAMPLE};
+use green_bsp::{
+    run_stream, run_stream_with, Config, Ctx, Packet, RunStats, Runtime, StreamConfig, StreamError,
+    TileStore,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Hard cap on the bucket count, so absurd budget/input ratios do not
+/// explode into millions of spill files.
+const MAX_BUCKETS: usize = 4096;
+
+/// Outcome of an external sort.
+#[derive(Debug)]
+pub struct ExternalSort {
+    /// Aggregate statistics over all three passes: supersteps concatenated
+    /// in pass order, I/O and prefetch totals summed. `tiles` counts the
+    /// streamed tiles of passes 1–2 (bucket-merge jobs are not tiles).
+    pub stats: RunStats,
+    /// Number of buckets the key space was split into.
+    pub buckets: usize,
+    /// Wall-clock duration of the whole sort.
+    pub wall: Duration,
+}
+
+/// Fold one pass's (or one bucket job's) statistics into the running
+/// aggregate, preserving the streaming counters that
+/// [`RunStats::absorb_tile`] treats as per-tile.
+fn merge(agg: &mut RunStats, s: &RunStats) {
+    let tiles = agg.tiles;
+    agg.absorb_tile(s);
+    agg.tiles = tiles + s.tiles;
+    agg.io_read_bytes += s.io_read_bytes;
+    agg.io_write_bytes += s.io_write_bytes;
+    agg.prefetch_wait += s.prefetch_wait;
+}
+
+/// The bucket a key belongs to — the in-core sample sort's convention
+/// (`sample.rs`), so both sorts agree on ties.
+#[inline]
+fn bucket_of(splitters: &[u64], k: u64) -> usize {
+    splitters.partition_point(|&s| s <= k)
+}
+
+/// External sample sort with the default byte lane. See
+/// [`external_sample_sort_with`].
+pub fn external_sample_sort(
+    rt: &Runtime,
+    cfg: &Config,
+    sc: &StreamConfig,
+    input: &TileStore,
+    output: &TileStore,
+) -> Result<ExternalSort, StreamError> {
+    external_sample_sort_with(rt, cfg, sc, input, output, true)
+}
+
+/// External sample sort of `input` (little-endian `u64` keys) into
+/// `output`, streaming in `sc.tile_bytes` tiles with `cfg.nprocs` BSP
+/// processes per tile job; `byte_lane` selects the message lane for the
+/// partition pass and the in-core bucket sorts.
+///
+/// `output` is truncated first. Spill files live in `sc.spill_dir` and are
+/// removed before returning.
+pub fn external_sample_sort_with(
+    rt: &Runtime,
+    cfg: &Config,
+    sc: &StreamConfig,
+    input: &TileStore,
+    output: &TileStore,
+    byte_lane: bool,
+) -> Result<ExternalSort, StreamError> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let start = Instant::now();
+    let p = cfg.nprocs;
+    let total = input.len();
+    assert_eq!(total % 8, 0, "input must hold whole u64 keys");
+    output.write_all(&[])?;
+    let mut agg = RunStats::default();
+    agg.nprocs = p;
+
+    // Pass 1: sample. Raw evenly spaced positions, not sorted-local
+    // sampling — cheaper, and splitter quality only affects bucket
+    // balance, never the sorted result.
+    let sampled = run_stream(rt, cfg, sc, input, None, |ctx, data, _out| {
+        let shard = &data[ctx.tile().expect("tile job").shard(ctx.pid(), ctx.nprocs())];
+        let n = shard.len() / 8;
+        let take = n.min(OVERSAMPLE);
+        let mut samples = Vec::with_capacity(take);
+        for s in 0..take {
+            let at = (s * n / take.max(1)) * 8;
+            samples.push(u64::from_le_bytes(shard[at..at + 8].try_into().unwrap()));
+        }
+        samples
+    })?;
+    merge(&mut agg, &sampled.stats);
+    let mut pool: Vec<u64> = sampled.tiles.into_iter().flatten().flatten().collect();
+    pool.sort_unstable();
+
+    // B − 1 splitters for B buckets: expected bucket = half the tile
+    // budget, so sampled skew still usually lands each bucket in core.
+    let buckets = if total == 0 {
+        1
+    } else {
+        (2 * total).div_ceil(sc.tile_bytes.max(8) as u64).max(1) as usize
+    }
+    .min(MAX_BUCKETS)
+    .min(pool.len().max(1));
+    let splitters: Vec<u64> = (1..buckets)
+        .map(|i| pool[i * pool.len() / buckets])
+        .collect();
+
+    // Pass 2: partition to per-bucket spill files. Each process's output
+    // buffer carries `[u64: bucket << 32 | count][count × u64 key]` groups;
+    // the writer thread appends each group's keys to its bucket store.
+    let run = SEQ.fetch_add(1, Ordering::Relaxed);
+    let spills: Vec<TileStore> = (0..buckets)
+        .map(|b| {
+            TileStore::create_in(
+                &sc.spill_dir,
+                &format!("extsort-{}-{run}-b{b}.keys", std::process::id()),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+
+    let splitters_ref = &splitters;
+    let partitioned = run_stream_with(
+        rt,
+        cfg,
+        sc,
+        input,
+        |ctx: &mut Ctx, data: &[u8], out: &mut Vec<u8>| {
+            route_shard(ctx, data, splitters_ref, byte_lane, out);
+            ctx.sync();
+            receive_groups(ctx, out, splitters_ref.len() + 1, byte_lane);
+        },
+        |_meta, bufs| {
+            let mut wrote = 0u64;
+            for m in bufs {
+                let buf = m.lock().unwrap();
+                let mut rest = &buf[..];
+                while rest.len() >= 8 {
+                    let hdr = u64::from_le_bytes(rest[..8].try_into().unwrap());
+                    let (b, count) = ((hdr >> 32) as usize, (hdr & 0xffff_ffff) as usize);
+                    let bytes = count * 8;
+                    spills[b].append(&rest[8..8 + bytes])?;
+                    wrote += bytes as u64;
+                    rest = &rest[8 + bytes..];
+                }
+            }
+            Ok(wrote)
+        },
+    )?;
+    merge(&mut agg, &partitioned.stats);
+    let spilled: u64 = spills.iter().map(|s| s.len()).sum();
+    assert_eq!(
+        spilled, total,
+        "partition pass lost keys: {spilled} of {total} bytes spilled"
+    );
+
+    // Pass 3: sort each bucket in core with a warm BSP job and append it
+    // to the output. Buckets are read whole — see the skew note above.
+    for store in &spills {
+        let bytes = store.read_to_vec()?;
+        agg.io_read_bytes += bytes.len() as u64;
+        if bytes.is_empty() {
+            continue;
+        }
+        let keys: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let nrec = keys.len();
+        let per = nrec.div_ceil(p);
+        let out = rt
+            .try_run(cfg, |ctx| {
+                let lo = (ctx.pid() * per).min(nrec);
+                let hi = ((ctx.pid() + 1) * per).min(nrec);
+                sample_sort_with(ctx, keys[lo..hi].to_vec(), byte_lane)
+            })
+            .map_err(StreamError::Bsp)?;
+        merge(&mut agg, &out.stats);
+        let mut sorted = Vec::with_capacity(bytes.len());
+        for part in &out.results {
+            for k in part {
+                sorted.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+        output.append(&sorted)?;
+        agg.io_write_bytes += sorted.len() as u64;
+    }
+    for store in &spills {
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    Ok(ExternalSort {
+        stats: agg,
+        buckets,
+        wall: start.elapsed(),
+    })
+}
+
+/// Serialize one `[header][keys]` group in the pass-2 spill format.
+fn push_group(out: &mut Vec<u8>, b: usize, group: &[u64]) {
+    out.extend_from_slice(&(((b as u64) << 32) | group.len() as u64).to_le_bytes());
+    for &k in group {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}
+
+/// Send every key of this process's shard to its bucket owner
+/// (`bucket % p`) — grouped per bucket on the byte lane, keyed packets on
+/// the packet lane. Self-owned groups go straight into `out`, never the
+/// network (the in-core sort's idiom; the pairwise backends have no
+/// self-loop channel).
+fn route_shard(ctx: &mut Ctx, data: &[u8], splitters: &[u64], byte_lane: bool, out: &mut Vec<u8>) {
+    let shard = &data[ctx.tile().expect("tile job").shard(ctx.pid(), ctx.nprocs())];
+    let (me, p) = (ctx.pid(), ctx.nprocs());
+    if byte_lane {
+        let buckets = splitters.len() + 1;
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); buckets];
+        for c in shard.chunks_exact(8) {
+            let k = u64::from_le_bytes(c.try_into().unwrap());
+            groups[bucket_of(splitters, k)].push(k);
+        }
+        for (b, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if b % p == me {
+                push_group(out, b, group);
+                continue;
+            }
+            let mut w = ctx.msg_writer(b % p);
+            w.put_u64(((b as u64) << 32) | group.len() as u64);
+            for &k in group {
+                w.put_u64(k);
+            }
+        }
+    } else {
+        let buckets = splitters.len() + 1;
+        let mut kept: Vec<Vec<u64>> = vec![Vec::new(); buckets];
+        for c in shard.chunks_exact(8) {
+            let k = u64::from_le_bytes(c.try_into().unwrap());
+            let b = bucket_of(splitters, k);
+            if b % p == me {
+                kept[b].push(k);
+            } else {
+                ctx.send_pkt(b % p, Packet::two_u64(k, b as u64));
+            }
+        }
+        for (b, group) in kept.iter().enumerate() {
+            if !group.is_empty() {
+                push_group(out, b, group);
+            }
+        }
+    }
+}
+
+/// Drain this process's received keys into `out` as
+/// `[header][keys]` groups (the pass-2 spill format).
+fn receive_groups(ctx: &mut Ctx, out: &mut Vec<u8>, buckets: usize, byte_lane: bool) {
+    if byte_lane {
+        // Byte-lane messages already arrive grouped; copy them through.
+        while let Some((_src, payload)) = ctx.recv_bytes() {
+            out.extend_from_slice(payload);
+        }
+    } else {
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); buckets];
+        while let Some(pkt) = ctx.get_pkt() {
+            let (k, b) = pkt.as_two_u64();
+            groups[b as usize].push(k);
+        }
+        for (b, group) in groups.iter().enumerate() {
+            if !group.is_empty() {
+                push_group(out, b, group);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU32;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "green-bsp-extsort-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn key_bytes(keys: &[u64]) -> Vec<u8> {
+        keys.iter().flat_map(|k| k.to_le_bytes()).collect()
+    }
+
+    /// The unique sorted image of the dataset — what any correct sort,
+    /// in-core or external, must produce bit for bit.
+    fn sorted_bytes(keys: &[u64]) -> Vec<u8> {
+        let mut s = keys.to_vec();
+        s.sort_unstable();
+        key_bytes(&s)
+    }
+
+    fn check_external(keys: &[u64], tile_bytes: usize, byte_lane: bool, tag: &str) {
+        let dir = tmpdir(tag);
+        let input = TileStore::create_in(&dir, "input.keys").unwrap();
+        input.write_all(&key_bytes(keys)).unwrap();
+        let output = TileStore::create_in(&dir, "output.keys").unwrap();
+        let rt = Runtime::new();
+        let sc = StreamConfig::new(tile_bytes).record(8).spill_dir(&dir);
+        let cfg = Config::new(3);
+        let res = external_sample_sort_with(&rt, &cfg, &sc, &input, &output, byte_lane).unwrap();
+        assert_eq!(output.read_to_vec().unwrap(), sorted_bytes(keys));
+        // Both streamed passes read the whole dataset.
+        assert!(res.stats.io_read_bytes >= 2 * input.len());
+        assert_eq!(res.stats.tiles, 2 * sc.plan(input.len()).len() as u64);
+        rt.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_sort_matches_the_unique_sorted_image() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_50f7);
+        let keys: Vec<u64> = (0..5000).map(|_| rng.gen()).collect();
+        // 8 tiles: input is 8× the tile budget.
+        check_external(&keys, 5000 * 8 / 8, true, "main");
+    }
+
+    #[test]
+    fn packet_lane_agrees_with_byte_lane() {
+        let mut rng = StdRng::seed_from_u64(0xfeed);
+        let keys: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..500)).collect();
+        check_external(&keys, 2000, false, "pkt");
+    }
+
+    #[test]
+    fn tile_budget_smaller_than_one_bucket_still_sorts() {
+        // 64-byte tiles (8 records) over 2000 keys: MAX-capped bucket count
+        // forces buckets far larger than the tile budget; pass 3 must read
+        // them whole.
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<u64> = (0..2000).map(|_| rng.gen()).collect();
+        check_external(&keys, 64, true, "tiny");
+    }
+
+    #[test]
+    fn empty_input_sorts_to_empty_output() {
+        check_external(&[], 1 << 16, true, "empty");
+    }
+
+    #[test]
+    fn duplicate_heavy_input_with_empty_buckets() {
+        // Three distinct values over many buckets: most buckets are empty
+        // and the repeated value overflows its bucket's expected size.
+        let keys: Vec<u64> = (0..3000).map(|i| [7u64, 7, 9, 42][i % 4]).collect();
+        check_external(&keys, 512, true, "dups");
+    }
+}

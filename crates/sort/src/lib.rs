@@ -8,8 +8,10 @@
 //! the validation experiment (predicted vs emulated-actual) in the test
 //! and bench suites.
 
+pub mod external;
 pub mod radix;
 pub mod sample;
 
+pub use external::{external_sample_sort, external_sample_sort_with, ExternalSort};
 pub use radix::radix_sort;
 pub use sample::{sample_sort, sample_sort_mode, sample_sort_with, verify_sorted, OVERSAMPLE};
