@@ -11,11 +11,11 @@ use crate::check::{
     report, BoundaryEvent, CheckCtx, CheckKind, CheckReport, CollectiveEvent, CollectiveKind,
     DrmaEvent, DrmaOp, TrackedPkt, LANE_BYTES, LANE_MSG, LANE_RAW,
 };
-use crate::fault::FaultCounters;
+use crate::fault::{BspError, FaultCounters};
 use crate::packet::Packet;
 use crate::relax::SyncMode;
 use crate::stats::{LocalStep, TransportCounters};
-use std::panic::Location;
+use std::panic::{panic_any, Location};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -201,6 +201,12 @@ pub struct Ctx {
     /// by the runner from the job's [`crate::Config`] — a plain `Copy`, so
     /// the warm lease path stays allocation-free.
     pub(crate) tile: Option<crate::stream::TileMeta>,
+    /// Cooperative cancellation/deadline token, checked at every superstep
+    /// boundary (see DESIGN.md §15); `None` for plain runs, so the boundary
+    /// hot path pays one predictable branch. Stamped by the runner from the
+    /// job's [`crate::Config`] — an `Arc` clone, so the warm lease path
+    /// stays allocation-free.
+    pub(crate) control: Option<crate::exec::CancelToken>,
 }
 
 /// In-place serializer for one byte-lane message, created by
@@ -307,6 +313,7 @@ impl Ctx {
             check: None,
             ckpt: None,
             tile: None,
+            control: None,
         }
     }
 
@@ -350,7 +357,29 @@ impl Ctx {
         self.check = None;
         self.ckpt = None;
         self.tile = None;
+        self.control = None;
         true
+    }
+
+    /// Cancellation point: every superstep boundary passes through here.
+    /// A fired token unwinds via `panic_any` with a structured [`BspError`]
+    /// payload — the same discipline the transports use — so the poison
+    /// path releases peers and the runner reports
+    /// [`BspError::Cancelled`] / [`BspError::DeadlineExceeded`] as the
+    /// run's primary error. Plain runs (`control == None`) pay one branch.
+    /// Also called by the runner's slot body at launch, so a job cancelled
+    /// while queued never enters the user closure.
+    #[inline]
+    pub(crate) fn check_control(&mut self) {
+        let Some(tok) = &self.control else { return };
+        if tok.is_cancelled() {
+            let (pid, step) = (self.pid, self.step);
+            panic_any(BspError::Cancelled { pid, step });
+        }
+        if tok.deadline_exceeded() {
+            let (pid, step) = (self.pid, self.step);
+            panic_any(BspError::DeadlineExceeded { pid, step });
+        }
     }
 
     /// Close the final (partial) superstep. The paper counts this superstep
@@ -623,6 +652,7 @@ impl Ctx {
     /// exactly what they always did (one `exchange`, no extra rendezvous
     /// traffic).
     pub fn sync(&mut self) {
+        self.check_control();
         if self.in_split {
             // Checked degradation: the caller clearly wants a boundary and
             // one is already half-crossed, so complete the open window —
@@ -671,6 +701,7 @@ impl Ctx {
     /// superstep's delivered packets, which stay valid until `sync_end` —
     /// but must not send ([`Ctx::send_pkt`] and friends panic).
     pub fn sync_begin(&mut self) {
+        self.check_control();
         if self.in_split {
             // Checked degradation: the window is already open; a second
             // announcement has nothing to add, so ignore it.

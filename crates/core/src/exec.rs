@@ -28,6 +28,18 @@
 //!   a [`JobHandle`]; a small pool of coordinator threads runs each job's
 //!   orchestration (rollback loop, merge) off the caller's thread, so a
 //!   harness sweep can keep many jobs in flight on one pool.
+//! * **Resilient kernel** (DESIGN.md §15) — the pool is *self-healing*: a
+//!   worker thread that dies (a panic escaping the runner, or an injected
+//!   [`crate::FaultKind::WorkerAbort`]) is quarantined and a replacement is
+//!   respawned; only the job on that slot fails, and [`PoolHealth`] counts
+//!   the lifecycle. Jobs are *cancellable* and *deadline-bounded*
+//!   ([`SubmitOpts`], [`JobHandle::cancel`], [`JobHandle::join_timeout`])
+//!   through a cooperative [`CancelToken`] checked at superstep boundaries,
+//!   *retryable* with exponential backoff ([`RetryPolicy`]), and *bounded*:
+//!   an admission watermark makes [`Runtime::try_submit`] return
+//!   [`QueueFull`] under overload. [`Runtime::shutdown`] fails still-queued
+//!   jobs with [`BspError::RuntimeShutdown`] instead of leaving their
+//!   handles to hang; [`Runtime::shutdown_drain`] completes them first.
 //!
 //! [`crate::run`] / [`crate::try_run`] are thin shims over a lazily
 //! initialized process-wide [`global`] runtime; existing call sites are
@@ -38,11 +50,12 @@ use crate::backend::BackendKind;
 use crate::barrier::BarrierKind;
 use crate::context::Ctx;
 use crate::fault::BspError;
-use crate::runner::{payload_to_error, run_pipeline, Config, RunOutput};
+use crate::runner::{payload_to_error, run_pipeline, run_pipeline_with, Config, RunOutput};
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Tasks and the result board
@@ -151,6 +164,10 @@ fn pin_to_core(_core: usize) -> bool {
 
 thread_local! {
     static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Set by [`request_worker_abort`] while a slot task runs; the worker
+    /// checks (and clears) it after the task and, if set, dies so the
+    /// quarantine→respawn path fires.
+    static ABORT_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Is the current thread one of the pool's workers? A BSP process that
@@ -159,6 +176,98 @@ thread_local! {
 /// [`crate::try_run`] falls back to the spawn-per-run path on workers.
 pub(crate) fn on_worker_thread() -> bool {
     IS_POOL_WORKER.with(|c| c.get())
+}
+
+/// Ask the current pool worker to die after the running task completes
+/// (no-op off the pool). Used by the [`crate::FaultKind::WorkerAbort`]
+/// injection to model a worker thread lost mid-job: the job on this slot
+/// fails through the normal poison path, then the thread exits and the
+/// pool respawns a replacement.
+pub(crate) fn request_worker_abort() {
+    ABORT_WORKER.with(|c| c.set(true));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation tokens
+// ---------------------------------------------------------------------------
+
+struct TokenInner {
+    cancelled: std::sync::atomic::AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// A cooperative cancellation token shared between a job and its
+/// controllers. The runner checks it at every superstep boundary (and the
+/// streaming driver at every tile boundary): a cancelled or overdue job
+/// unwinds through the transport poison path into a structured
+/// [`BspError::Cancelled`] / [`BspError::DeadlineExceeded`] on every
+/// backend, releasing parked peers instead of hanging them.
+///
+/// Tokens are attached automatically by [`Runtime::submit_with`] (so
+/// [`JobHandle::cancel`] works on every submitted job) or manually via
+/// [`Config::cancel_token`] for blocking [`crate::try_run`] calls. Cheap to
+/// clone (an `Arc` handle).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: std::sync::atomic::AtomicBool::new(false),
+                deadline: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; observed at the job's next
+    /// superstep (or tile) boundary.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Arm an absolute deadline; the job observes it at the next boundary
+    /// after it passes.
+    pub fn set_deadline(&self, at: Instant) {
+        *self.inner.deadline.lock().unwrap() = Some(at);
+    }
+
+    /// Arm a deadline `d` from now.
+    pub fn deadline_in(&self, d: Duration) {
+        self.set_deadline(Instant::now() + d);
+    }
+
+    /// Has the armed deadline passed? (`false` when no deadline is set —
+    /// the clock is read only when one is.)
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner
+            .deadline
+            .lock()
+            .unwrap()
+            .is_some_and(|at| Instant::now() >= at)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -172,12 +281,23 @@ pub(crate) fn on_worker_thread() -> bool {
 /// them, claiming that many parked workers; since a worker pops at most one
 /// task before leaving the wait loop, a job's `p` tasks always land on `p`
 /// distinct workers.
+/// One queued job slice: the `p` slot tasks, plus an abort closure that
+/// fills every result-board slot with [`BspError::RuntimeShutdown`] so a
+/// slice abandoned by a fast [`Runtime::shutdown`] still unblocks its
+/// coordinator instead of hanging it in `wait_take`. Exactly one of
+/// `tasks` / `abort` ever runs.
+struct JobSlice {
+    tasks: Vec<Task>,
+    abort: Task,
+}
+
 struct Sched {
     ready: VecDeque<Task>,
     /// Pending jobs in submission order; each entry is a whole `p`-task
     /// slice, admitted atomically. Strict FIFO: a wide job at the head is
-    /// never starved by narrow jobs behind it.
-    queue: VecDeque<Vec<Task>>,
+    /// never starved by narrow jobs behind it. (A high-priority slice is
+    /// pushed to the front instead.)
+    queue: VecDeque<JobSlice>,
     free: usize,
     spawned: usize,
     shutdown: bool,
@@ -187,17 +307,25 @@ struct Sched {
 /// slice. Returns whether any tasks were made ready (caller notifies).
 fn pump(s: &mut Sched) -> bool {
     let mut made = false;
-    while s.queue.front().is_some_and(|job| job.len() <= s.free) {
+    while s.queue.front().is_some_and(|job| job.tasks.len() <= s.free) {
         let job = s.queue.pop_front().unwrap();
-        s.free -= job.len();
-        s.ready.extend(job);
+        s.free -= job.tasks.len();
+        s.ready.extend(job.tasks);
+        // The slice is admitted: its abort closure is dead weight. Dropping
+        // it here (under the sched lock) only drops an Arc clone.
+        drop(job.abort);
         made = true;
     }
     made
 }
 
-/// A whole-job orchestration closure run on a coordinator thread.
-type CoordJob = Box<dyn FnOnce() + Send>;
+/// A whole-job orchestration unit run on a coordinator thread: `run` is the
+/// job's pipeline (retry loop + merge), `abort` resolves its handle with
+/// [`BspError::RuntimeShutdown`]. Exactly one of the two ever runs.
+struct CoordJob {
+    run: Box<dyn FnOnce() + Send>,
+    abort: Box<dyn FnOnce() + Send>,
+}
 
 /// Coordinator-pool state. Coordinators run [`Runtime::submit`] jobs'
 /// rollback loop and merge; they are separate from workers so a submitted
@@ -281,6 +409,13 @@ const ARENA_PER_KEY: usize = 4;
 /// Max parked sets across all shapes.
 const ARENA_TOTAL: usize = 64;
 
+/// Submitted-job admission accounting: `pending` counts jobs submitted and
+/// not yet finished (or aborted); `limit` is the backpressure watermark.
+struct Admission {
+    pending: usize,
+    limit: usize,
+}
+
 struct PoolInner {
     sched: Mutex<Sched>,
     work_cv: Condvar,
@@ -290,9 +425,27 @@ struct PoolInner {
     arena_hits: AtomicU64,
     arena_misses: AtomicU64,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    admission: Mutex<Admission>,
+    admission_cv: Condvar,
+    /// Worker threads currently alive (spawned and not exited).
+    live_workers: AtomicUsize,
+    /// Worker slots quarantined after an abnormal thread death.
+    quarantined: AtomicU64,
+    /// Replacement workers spawned by the self-healing path.
+    respawns: AtomicU64,
 }
 
-fn worker_loop(inner: &PoolInner) {
+/// Why a worker's main loop returned.
+enum WorkerExit {
+    /// Clean pool shutdown.
+    Shutdown,
+    /// The thread is dying abnormally: a panic escaped the runner, or an
+    /// injected [`crate::FaultKind::WorkerAbort`] fired. The slot is
+    /// quarantined and a replacement respawned.
+    Died,
+}
+
+fn worker_loop(inner: &PoolInner) -> WorkerExit {
     IS_POOL_WORKER.with(|c| c.set(true));
     let mut s = inner.sched.lock().unwrap();
     loop {
@@ -305,16 +458,48 @@ fn worker_loop(inner: &PoolInner) {
                 break t;
             }
             if s.shutdown {
-                return;
+                return WorkerExit::Shutdown;
             }
             s = inner.work_cv.wait(s).unwrap();
         };
         drop(s);
         // Slot tasks catch panics internally (and always fill their board
-        // slot); this outer catch only shields the pool from bugs in the
-        // runner itself, keeping the worker alive either way.
-        let _ = std::panic::catch_unwind(AssertUnwindSafe(task));
+        // slot); this outer catch shields the pool from bugs in the runner
+        // itself. A panic that reaches it anyway — or an abort requested by
+        // the fault injector — kills this worker, and the self-healing path
+        // in `run_worker` quarantines the slot and respawns a replacement.
+        // The accounting stays consistent either way: a worker that took a
+        // task is not counted in `free` until it loops back, so a dead one
+        // simply never re-enters the count.
+        let escaped = std::panic::catch_unwind(AssertUnwindSafe(task)).is_err();
+        let aborted = ABORT_WORKER.with(|c| c.replace(false));
+        if escaped || aborted {
+            return WorkerExit::Died;
+        }
         s = inner.sched.lock().unwrap();
+    }
+}
+
+/// A worker thread's whole life: pin, count in, run the loop, and on an
+/// abnormal death quarantine the slot and respawn a replacement (unless the
+/// pool is shutting down).
+fn run_worker(inner: Arc<PoolInner>, idx: usize, cores: usize) {
+    pin_to_core(idx % cores);
+    inner.live_workers.fetch_add(1, Ordering::Relaxed);
+    let exit = worker_loop(&inner);
+    inner.live_workers.fetch_sub(1, Ordering::Relaxed);
+    if let WorkerExit::Died = exit {
+        inner.quarantined.fetch_add(1, Ordering::Relaxed);
+        if inner.sched.lock().unwrap().shutdown {
+            return;
+        }
+        inner.respawns.fetch_add(1, Ordering::Relaxed);
+        let inner2 = Arc::clone(&inner);
+        let h = std::thread::Builder::new()
+            .name(format!("bsp-worker-{idx}"))
+            .spawn(move || run_worker(inner2, idx, cores))
+            .expect("failed to respawn BSP pool worker");
+        inner.handles.lock().unwrap().push(h);
     }
 }
 
@@ -326,7 +511,7 @@ fn coord_loop(inner: &PoolInner) {
             // A panicking job already reported its error through its
             // JobHandle (submit wraps the pipeline in catch_unwind); this
             // catch just keeps the coordinator reusable.
-            let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(job.run));
             c = inner.coord.lock().unwrap();
         } else if c.shutdown {
             return;
@@ -337,6 +522,94 @@ fn coord_loop(inner: &PoolInner) {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Submit options, retry policies, pool health
+// ---------------------------------------------------------------------------
+
+/// Snapshot of the worker pool's self-healing state (see DESIGN.md §15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Worker threads currently alive.
+    pub live_workers: usize,
+    /// Worker slots quarantined after an abnormal thread death (escaped
+    /// panic or injected [`crate::FaultKind::WorkerAbort`]).
+    pub quarantined: u64,
+    /// Replacement workers spawned by the self-healing path.
+    pub respawns: u64,
+}
+
+/// Job priority class for [`SubmitOpts`]. `High` jobs jump the worker-slice
+/// queue (front-of-queue admission) instead of waiting FIFO.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// FIFO admission (the default).
+    #[default]
+    Normal,
+    /// Front-of-queue admission.
+    High,
+}
+
+/// Per-job retry policy: a failed job is re-submitted through the warm
+/// arena up to `max_attempts` total runs with exponential backoff between
+/// attempts. Cancellation, deadline expiry, and runtime shutdown are never
+/// retried. With `resume_from_checkpoint` and a
+/// [`crate::CheckpointPolicy`] on the config, a retried job restores from
+/// its last consistent checkpoint cut instead of superstep 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n+1` is `backoff · 2ⁿ⁻¹`, capped at
+    /// `max_backoff`.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Restore checkpointed state across attempts (requires
+    /// [`crate::Config::tolerant`] with a checkpoint policy).
+    pub resume_from_checkpoint: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            resume_from_checkpoint: true,
+        }
+    }
+}
+
+/// Options for [`Runtime::submit_with`]: a wall-clock deadline, a retry
+/// policy, and a priority class. `Default` reproduces plain
+/// [`Runtime::submit`] exactly.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOpts {
+    /// Fail the job with [`BspError::DeadlineExceeded`] if it has not
+    /// finished this long after submission (queue wait counts).
+    pub deadline: Option<Duration>,
+    /// Re-run failed attempts per this policy.
+    pub retry: Option<RetryPolicy>,
+    /// Worker-slice admission priority.
+    pub priority: Priority,
+}
+
+/// The runtime's admission queue is at its watermark (see
+/// [`Runtime::set_queue_limit`]); the job was not submitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Jobs pending when admission was refused.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime queue full ({} jobs pending)", self.depth)
+    }
+}
+
+impl std::error::Error for QueueFull {}
 
 /// A persistent BSP executor: pinned worker pool + transport arena +
 /// concurrent job queue. Cheap to clone (a handle to shared state).
@@ -383,6 +656,14 @@ impl Runtime {
                 arena_hits: AtomicU64::new(0),
                 arena_misses: AtomicU64::new(0),
                 handles: Mutex::new(Vec::new()),
+                admission: Mutex::new(Admission {
+                    pending: 0,
+                    limit: usize::MAX,
+                }),
+                admission_cv: Condvar::new(),
+                live_workers: AtomicUsize::new(0),
+                quarantined: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
             }),
         }
     }
@@ -416,7 +697,7 @@ impl Runtime {
         let to_spawn: Vec<usize> = {
             let mut s = self.inner.sched.lock().unwrap();
             let mut v = Vec::new();
-            while s.spawned < p {
+            while !s.shutdown && s.spawned < p {
                 v.push(s.spawned);
                 s.spawned += 1;
             }
@@ -433,10 +714,7 @@ impl Runtime {
             let inner = Arc::clone(&self.inner);
             let h = std::thread::Builder::new()
                 .name(format!("bsp-worker-{idx}"))
-                .spawn(move || {
-                    pin_to_core(idx % cores);
-                    worker_loop(&inner);
-                })
+                .spawn(move || run_worker(inner, idx, cores))
                 .expect("failed to spawn BSP pool worker");
             spawned.push(h);
         }
@@ -444,14 +722,39 @@ impl Runtime {
     }
 
     /// Enqueue a whole job slice (`tasks.len()` = the job's `p`). All slots
-    /// dispatch atomically, in submission order.
-    pub(crate) fn execute(&self, tasks: Vec<Task>) {
+    /// dispatch atomically, in submission order (`urgent` slices jump to
+    /// the front). If the pool is already shut down, `abort` runs instead
+    /// on the calling thread, failing the slice's result board with
+    /// [`BspError::RuntimeShutdown`] — without this, the slice would sit in
+    /// a queue no worker will ever drain and its coordinator would hang in
+    /// `wait_take`.
+    pub(crate) fn execute(&self, tasks: Vec<Task>, abort: Task, urgent: bool) {
         self.ensure_capacity(tasks.len());
         let mut s = self.inner.sched.lock().unwrap();
-        s.queue.push_back(tasks);
+        if s.shutdown {
+            drop(s);
+            abort();
+            return;
+        }
+        let slice = JobSlice { tasks, abort };
+        if urgent {
+            s.queue.push_front(slice);
+        } else {
+            s.queue.push_back(slice);
+        }
         if pump(&mut s) {
             drop(s);
             self.inner.work_cv.notify_all();
+        }
+    }
+
+    /// Pool self-healing counters: live workers, quarantined slots,
+    /// respawned replacements.
+    pub fn pool_health(&self) -> PoolHealth {
+        PoolHealth {
+            live_workers: self.inner.live_workers.load(Ordering::Relaxed),
+            quarantined: self.inner.quarantined.load(Ordering::Relaxed),
+            respawns: self.inner.respawns.load(Ordering::Relaxed),
         }
     }
 
@@ -539,7 +842,23 @@ impl Runtime {
     /// worker pool alongside other in-flight jobs, each leasing its own
     /// `p`-slice. Results arrive in whatever order jobs finish; slices are
     /// *admitted* in submission order.
+    ///
+    /// Equivalent to [`Runtime::submit_with`] with default [`SubmitOpts`]:
+    /// no deadline, no retry, normal priority. The handle is still
+    /// cancellable via [`JobHandle::cancel`].
     pub fn submit<F, R>(&self, cfg: &Config, f: F) -> JobHandle<R>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        self.submit_with(cfg, SubmitOpts::default(), f)
+    }
+
+    /// Submit a job with a deadline, retry policy, and/or priority class.
+    /// Blocks while the admission queue is at its watermark (see
+    /// [`Runtime::set_queue_limit`]); use [`Runtime::try_submit`] /
+    /// [`Runtime::submit_timeout`] for non-blocking admission.
+    pub fn submit_with<F, R>(&self, cfg: &Config, opts: SubmitOpts, f: F) -> JobHandle<R>
     where
         F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
         R: Send + 'static,
@@ -548,28 +867,176 @@ impl Runtime {
         // on a coordinator (where the panic would be reported through the
         // handle instead).
         assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
+        let mut a = self.inner.admission.lock().unwrap();
+        while a.pending >= a.limit {
+            a = self.inner.admission_cv.wait(a).unwrap();
+        }
+        a.pending += 1;
+        drop(a);
+        self.submit_admitted(cfg, opts, f)
+    }
+
+    /// Non-blocking [`Runtime::submit_with`]: fails immediately with
+    /// [`QueueFull`] when the admission queue is at its watermark.
+    pub fn try_submit<F, R>(
+        &self,
+        cfg: &Config,
+        opts: SubmitOpts,
+        f: F,
+    ) -> Result<JobHandle<R>, QueueFull>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        self.submit_timeout(cfg, opts, f, Duration::ZERO)
+    }
+
+    /// [`Runtime::submit_with`] that waits at most `wait` for the admission
+    /// queue to drop below its watermark, then fails with [`QueueFull`].
+    pub fn submit_timeout<F, R>(
+        &self,
+        cfg: &Config,
+        opts: SubmitOpts,
+        f: F,
+        wait: Duration,
+    ) -> Result<JobHandle<R>, QueueFull>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
+        let deadline = Instant::now() + wait;
+        let mut a = self.inner.admission.lock().unwrap();
+        while a.pending >= a.limit {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(QueueFull { depth: a.pending });
+            }
+            let (g, timeout) = self.inner.admission_cv.wait_timeout(a, left).unwrap();
+            a = g;
+            if timeout.timed_out() && a.pending >= a.limit {
+                return Err(QueueFull { depth: a.pending });
+            }
+        }
+        a.pending += 1;
+        drop(a);
+        Ok(self.submit_admitted(cfg, opts, f))
+    }
+
+    /// Cap the number of submitted-but-unfinished jobs: past the watermark,
+    /// [`Runtime::submit`] blocks and [`Runtime::try_submit`] returns
+    /// [`QueueFull`]. The default is effectively unbounded.
+    pub fn set_queue_limit(&self, limit: usize) {
+        self.inner.admission.lock().unwrap().limit = limit.max(1);
+    }
+
+    /// Jobs submitted and not yet finished.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.admission.lock().unwrap().pending
+    }
+
+    /// The already-admitted tail of the submit family: builds the control
+    /// token, the retry loop, and the shutdown-abort closure, and hands the
+    /// pair to a coordinator.
+    fn submit_admitted<F, R>(&self, cfg: &Config, opts: SubmitOpts, f: F) -> JobHandle<R>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let token = CancelToken::new();
+        if let Some(d) = opts.deadline {
+            token.deadline_in(d);
+        }
         let state = Arc::new(HandleState {
-            slot: Mutex::new(None),
+            slot: Mutex::new(Slot::Pending),
             cv: Condvar::new(),
         });
         let report = Arc::clone(&state);
+        let abort_report = Arc::clone(&state);
         let rt = self.clone();
-        let cfg = cfg.clone();
-        self.spawn_coord(Box::new(move || {
-            let res =
-                std::panic::catch_unwind(AssertUnwindSafe(|| run_pipeline(Some(&rt), &cfg, &f)))
-                    .unwrap_or_else(|payload| Err(payload_to_error(0, payload)));
-            *report.slot.lock().unwrap() = Some(res);
-            report.cv.notify_all();
-        }));
-        JobHandle { shared: state }
+        let abort_rt = self.clone();
+        let mut cfg = cfg.clone();
+        cfg.control = Some(token.clone());
+        cfg.urgent = opts.priority == Priority::High;
+        let retry = opts.retry;
+        let tok = token.clone();
+        let submitted = Instant::now();
+        let run = Box::new(move || {
+            let queue_wait = submitted.elapsed();
+            // Fault-injection state and the checkpoint store are shared
+            // across attempts: transient faults that already fired must not
+            // re-fire on a retry, and a resumed attempt restores from the
+            // last consistent checkpoint cut instead of superstep 0.
+            let shared = retry.map(|rp| {
+                crate::runner::PipelineShared::for_config(&cfg, rp.resume_from_checkpoint)
+            });
+            let max = retry.map_or(1, |r| r.max_attempts.max(1));
+            let mut attempt = 0u32;
+            let res = loop {
+                attempt += 1;
+                let r = if tok.is_cancelled() {
+                    Err(BspError::Cancelled { pid: 0, step: 0 })
+                } else if tok.deadline_exceeded() {
+                    Err(BspError::DeadlineExceeded { pid: 0, step: 0 })
+                } else {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_pipeline_with(Some(&rt), &cfg, &f, shared.as_ref())
+                    }))
+                    .unwrap_or_else(|payload| Err(payload_to_error(0, payload)))
+                };
+                match r {
+                    Ok(mut out) => {
+                        out.stats.attempts = attempt as u64;
+                        out.stats.queue_wait = queue_wait;
+                        break Ok(out);
+                    }
+                    Err(e) => {
+                        let terminal = matches!(
+                            e,
+                            BspError::Cancelled { .. }
+                                | BspError::DeadlineExceeded { .. }
+                                | BspError::RuntimeShutdown
+                        );
+                        if terminal || attempt >= max {
+                            break Err(e);
+                        }
+                        if let Some(rp) = retry {
+                            let shift = (attempt - 1).min(16);
+                            let pause =
+                                rp.backoff.saturating_mul(1u32 << shift).min(rp.max_backoff);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                        }
+                    }
+                }
+            };
+            report.finish(res);
+            job_done(&rt.inner);
+        });
+        let abort = Box::new(move || {
+            abort_report.finish(Err(BspError::RuntimeShutdown));
+            job_done(&abort_rt.inner);
+        });
+        self.spawn_coord(CoordJob { run, abort });
+        JobHandle {
+            shared: state,
+            token,
+        }
     }
 
     /// Hand a job to the coordinator pool, spawning a coordinator if none
     /// is parked. (Occasional over-spawn under a race is harmless: spare
-    /// coordinators park on the condvar.)
+    /// coordinators park on the condvar.) After shutdown, the job's abort
+    /// runs instead — the handle resolves with
+    /// [`BspError::RuntimeShutdown`] rather than hanging.
     fn spawn_coord(&self, job: CoordJob) {
         let mut c = self.inner.coord.lock().unwrap();
+        if c.shutdown {
+            drop(c);
+            (job.abort)();
+            return;
+        }
         c.queue.push_back(job);
         let spawn = c.idle == 0;
         if spawn {
@@ -610,24 +1077,69 @@ impl Runtime {
         }
     }
 
-    /// Stop and join every worker and coordinator. Call only after all
-    /// submitted jobs have been joined: pending jobs are not drained.
+    /// Fast shutdown: stop and join every worker and coordinator. Jobs
+    /// whose slices are already running complete; still-queued jobs are
+    /// *not* drained — their handles resolve with a structured
+    /// [`BspError::RuntimeShutdown`] (previously they were silently
+    /// abandoned and `join` hung forever). Use [`Runtime::shutdown_drain`]
+    /// to complete queued work instead.
     pub fn shutdown(self) {
-        {
-            let mut s = self.inner.sched.lock().unwrap();
-            s.shutdown = true;
-        }
-        {
+        // Drain both queues under their locks, then run the abort closures
+        // outside them: coordinator-level aborts resolve job handles,
+        // slice-level aborts fill result boards so in-flight pipelines
+        // unwind with `RuntimeShutdown`.
+        let coord_aborts: Vec<Box<dyn FnOnce() + Send>> = {
             let mut c = self.inner.coord.lock().unwrap();
             c.shutdown = true;
-        }
+            c.queue.drain(..).map(|j| j.abort).collect()
+        };
+        let slice_aborts: Vec<Task> = {
+            let mut s = self.inner.sched.lock().unwrap();
+            s.shutdown = true;
+            s.queue.drain(..).map(|j| j.abort).collect()
+        };
         self.inner.work_cv.notify_all();
         self.inner.coord_cv.notify_all();
-        let handles = std::mem::take(&mut *self.inner.handles.lock().unwrap());
-        for h in handles {
-            let _ = h.join();
+        for a in coord_aborts {
+            a();
+        }
+        for a in slice_aborts {
+            a();
+        }
+        // A dying worker can push a respawned handle concurrently with the
+        // take (it re-checks `shutdown` first, but the flag may land after
+        // its check); loop until the vector stays empty.
+        loop {
+            let handles = std::mem::take(&mut *self.inner.handles.lock().unwrap());
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
+
+    /// Graceful shutdown: block until every submitted job has finished,
+    /// then [`Runtime::shutdown`]. New submissions racing the drain may
+    /// still be aborted with [`BspError::RuntimeShutdown`].
+    pub fn shutdown_drain(self) {
+        let mut a = self.inner.admission.lock().unwrap();
+        while a.pending > 0 {
+            a = self.inner.admission_cv.wait(a).unwrap();
+        }
+        drop(a);
+        self.shutdown();
+    }
+}
+
+/// Mark one submitted job finished (or aborted) for admission accounting
+/// and wake watermark waiters and `shutdown_drain`.
+fn job_done(inner: &PoolInner) {
+    let mut a = inner.admission.lock().unwrap();
+    a.pending -= 1;
+    drop(a);
+    inner.admission_cv.notify_all();
 }
 
 /// The process-wide runtime backing [`crate::run`] / [`crate::try_run`].
@@ -641,33 +1153,100 @@ pub fn global() -> &'static Runtime {
 // Job handles
 // ---------------------------------------------------------------------------
 
+// The one `Ready` payload per job dwarfs the unit variants; boxing it
+// would add an allocation to every job completion for no win.
+#[allow(clippy::large_enum_variant)]
+enum Slot<R> {
+    Pending,
+    Ready(Result<RunOutput<R>, BspError>),
+    Taken,
+}
+
 struct HandleState<R> {
-    slot: Mutex<Option<Result<RunOutput<R>, BspError>>>,
+    slot: Mutex<Slot<R>>,
     cv: Condvar,
 }
 
-/// Handle to a job submitted with [`Runtime::submit`].
+impl<R> HandleState<R> {
+    fn finish(&self, res: Result<RunOutput<R>, BspError>) {
+        let mut slot = self.slot.lock().unwrap();
+        // `finish` is called exactly once per job (run XOR abort), so the
+        // slot can only be Pending here.
+        *slot = Slot::Ready(res);
+        drop(slot);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to a job submitted with [`Runtime::submit`] /
+/// [`Runtime::submit_with`].
 pub struct JobHandle<R> {
     shared: Arc<HandleState<R>>,
+    token: CancelToken,
 }
 
 impl<R> JobHandle<R> {
     /// Block until the job finishes and take its result. A panic anywhere
     /// in the job (including in result merging) surfaces as the `Err` arm —
     /// `join` itself never panics on job failure.
+    ///
+    /// Panics if the result was already taken by a successful
+    /// [`JobHandle::join_timeout`].
     pub fn join(self) -> Result<RunOutput<R>, BspError> {
         let mut slot = self.shared.slot.lock().unwrap();
         loop {
-            if let Some(res) = slot.take() {
-                return res;
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Ready(res) => return res,
+                Slot::Taken => panic!("job result already taken by join_timeout"),
+                Slot::Pending => {
+                    *slot = Slot::Pending;
+                    slot = self.shared.cv.wait(slot).unwrap();
+                }
             }
-            slot = self.shared.cv.wait(slot).unwrap();
         }
+    }
+
+    /// Wait at most `d` for the job to finish; `Some(result)` takes the
+    /// result, `None` means it is still running (the handle stays usable —
+    /// cancel it, keep waiting, or drop it).
+    pub fn join_timeout(&self, d: Duration) -> Option<Result<RunOutput<R>, BspError>> {
+        let deadline = Instant::now() + d;
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Ready(res) => return Some(res),
+                Slot::Taken => panic!("job result already taken by join_timeout"),
+                Slot::Pending => *slot = Slot::Pending,
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (g, timeout) = self.shared.cv.wait_timeout(slot, left).unwrap();
+            slot = g;
+            if timeout.timed_out() && matches!(*slot, Slot::Pending) {
+                return None;
+            }
+        }
+    }
+
+    /// Request cooperative cancellation: the job observes it at its next
+    /// superstep (or tile) boundary and fails with
+    /// [`BspError::Cancelled`], releasing its peers through the transport
+    /// poison path. Idempotent; a job that already finished is unaffected.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The job's control token (to share cancellation across handles or
+    /// tighten the deadline mid-flight).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.token.clone()
     }
 
     /// Has the job finished (result ready to take without blocking)?
     pub fn is_finished(&self) -> bool {
-        self.shared.slot.lock().unwrap().is_some()
+        !matches!(*self.shared.slot.lock().unwrap(), Slot::Pending)
     }
 }
 

@@ -170,6 +170,27 @@ pub enum BspError {
     /// A structured transport failure (closed channel, checksum mismatch,
     /// delivery timeout, retry exhaustion).
     Transport(TransportError),
+    /// The job was cancelled via [`crate::JobHandle::cancel`] (or a shared
+    /// [`crate::CancelToken`]). The unwinding proc poisons its transport so
+    /// peers observe [`BspError::PeerFailed`] instead of hanging.
+    Cancelled {
+        /// Proc that observed the cancellation request.
+        pid: usize,
+        /// Superstep boundary at which it was observed.
+        step: usize,
+    },
+    /// The job's submit-time deadline passed before it finished. Observed
+    /// cooperatively at a superstep (or tile) boundary, like `Cancelled`.
+    DeadlineExceeded {
+        /// Proc that observed the expired deadline.
+        pid: usize,
+        /// Superstep boundary at which it was observed.
+        step: usize,
+    },
+    /// The runtime was shut down before this job ran (fast
+    /// [`crate::Runtime::shutdown`] fails queued jobs with this instead of
+    /// leaving their handles to hang).
+    RuntimeShutdown,
 }
 
 impl fmt::Display for BspError {
@@ -190,6 +211,13 @@ impl fmt::Display for BspError {
                 )
             }
             BspError::Transport(e) => write!(f, "{}", e),
+            BspError::Cancelled { pid, step } => {
+                write!(f, "proc {} cancelled at superstep {}", pid, step)
+            }
+            BspError::DeadlineExceeded { pid, step } => {
+                write!(f, "proc {} deadline exceeded at superstep {}", pid, step)
+            }
+            BspError::RuntimeShutdown => write!(f, "runtime shut down before the job ran"),
         }
     }
 }
@@ -219,6 +247,11 @@ pub enum FaultKind {
     Straggler,
     /// The proc panics inside the exchange.
     Panic,
+    /// The proc panics inside the exchange *and* its pool worker thread dies
+    /// after the job: exercises the executor's quarantine→respawn path (see
+    /// [`crate::Runtime::pool_health`]). Unrecoverable at the transport
+    /// level, like `Panic`.
+    WorkerAbort,
 }
 
 impl FaultKind {
@@ -670,7 +703,9 @@ impl<B: ProcTransport> FaultyBackend<B> {
                 return None;
             }
             match e.kind {
-                FaultKind::Straggler | FaultKind::Panic => (!send_site).then_some((i, e.kind)),
+                FaultKind::Straggler | FaultKind::Panic | FaultKind::WorkerAbort => {
+                    (!send_site).then_some((i, e.kind))
+                }
                 _ => (send_site && e.dest == dest).then_some((i, e.kind)),
             }
         })
@@ -759,12 +794,17 @@ impl<B: ProcTransport> ProcTransport for FaultyBackend<B> {
                     self.counters.injected += 1;
                     std::thread::sleep(STRAGGLER_SLEEP);
                 }
-                FaultKind::Panic => {
+                FaultKind::Panic | FaultKind::WorkerAbort => {
                     self.counters.injected += 1;
                     // Marked fired here because the end-of-round marking
                     // below never runs; a rollback incarnation must not
                     // re-fire a transient panic.
                     self.state.fired[i].store(true, Ordering::Relaxed);
+                    if kind == FaultKind::WorkerAbort {
+                        // The pool worker running this slot dies after the
+                        // job, exercising the quarantine→respawn path.
+                        crate::exec::request_worker_abort();
+                    }
                     panic!(
                         "injected fault: proc {} panicked at superstep {}",
                         self.pid,

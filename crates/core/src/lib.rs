@@ -102,7 +102,10 @@ pub use context::{Ctx, MsgWriter, MSG_HDR};
 pub use cost::{
     calibrate, calibrate_at, calibrate_with, predict, predict_from_stats, Calibration, Prediction,
 };
-pub use exec::{global, JobHandle, Runtime};
+pub use exec::{
+    global, CancelToken, JobHandle, PoolHealth, Priority, QueueFull, RetryPolicy, Runtime,
+    SubmitOpts,
+};
 pub use fault::{
     BspError, CheckpointPolicy, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultTolerance,
     TransportError, TransportErrorKind,

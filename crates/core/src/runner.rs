@@ -68,6 +68,15 @@ pub struct Config {
     /// ([`crate::stream`]); not part of the arena shape key — the same warm
     /// transport set serves every tile.
     pub(crate) tile: Option<crate::stream::TileMeta>,
+    /// Cooperative cancellation/deadline token stamped onto every [`Ctx`]
+    /// and checked at superstep boundaries (see DESIGN.md §15). Attached by
+    /// [`crate::Runtime::submit_with`] or [`Config::cancel_token`]; `None`
+    /// (the default) keeps the boundary hot path token-free.
+    pub(crate) control: Option<crate::exec::CancelToken>,
+    /// Worker-slice admission priority: an urgent job's slice goes to the
+    /// front of the pool queue instead of FIFO. Set by
+    /// [`crate::exec::SubmitOpts::priority`].
+    pub(crate) urgent: bool,
 }
 
 impl Config {
@@ -85,6 +94,8 @@ impl Config {
             fault_plan: None,
             tolerance: None,
             tile: None,
+            control: None,
+            urgent: false,
         }
     }
 
@@ -151,6 +162,18 @@ impl Config {
     /// (checksummed self-healing exchanges, 4 retries, no checkpointing).
     pub fn hardened(self) -> Self {
         self.tolerant(FaultTolerance::default())
+    }
+
+    /// Attach a cooperative cancellation/deadline token (see
+    /// [`crate::exec::CancelToken`]). The runner checks it at every
+    /// superstep boundary; a fired token unwinds the run through the poison
+    /// path into [`BspError::Cancelled`] / [`BspError::DeadlineExceeded`].
+    /// [`crate::Runtime::submit_with`] attaches one automatically when the
+    /// job requests a deadline; use this to share a token across direct
+    /// `try_run` calls.
+    pub fn cancel_token(mut self, token: &crate::exec::CancelToken) -> Self {
+        self.control = Some(token.clone());
+        self
     }
 }
 
@@ -388,6 +411,35 @@ where
     run_pipeline(None, cfg, &f)
 }
 
+/// State a retrying submit shares across job attempts (see DESIGN.md §15):
+/// the fired-fault ledger, so a transient injected fault does not re-fire
+/// on the retry, and the checkpoint store, so a retried hardened job
+/// resumes from its last consistent cut instead of from scratch.
+pub(crate) struct PipelineShared {
+    pub(crate) fstate: Option<Arc<FaultState>>,
+    pub(crate) store: Option<Arc<CheckpointStore>>,
+}
+
+impl PipelineShared {
+    /// Build the cross-attempt state for `cfg`. The store is created only
+    /// when the config actually checkpoints *and* the retry policy asked to
+    /// resume from it; otherwise each attempt gets a private store.
+    pub(crate) fn for_config(cfg: &Config, resume: bool) -> PipelineShared {
+        PipelineShared {
+            fstate: cfg
+                .fault_plan
+                .as_ref()
+                .map(|p| Arc::new(FaultState::new(p.events.len()))),
+            store: cfg
+                .tolerance
+                .as_ref()
+                .and_then(|t| t.checkpoint)
+                .filter(|_| resume)
+                .map(|_| Arc::new(CheckpointStore::new(cfg.nprocs))),
+        }
+    }
+}
+
 /// The full job pipeline: fault-state setup, the checkpoint-rollback loop,
 /// and per-incarnation execution via [`run_once`]. With a runtime, process
 /// slots run on its worker pool and plain-config transports are leased
@@ -401,21 +453,54 @@ pub(crate) fn run_pipeline<R>(
 where
     R: Send,
 {
+    run_pipeline_with(rt, cfg, f, None)
+}
+
+/// [`run_pipeline`] with optional cross-attempt shared state (fault ledger,
+/// checkpoint store) threaded in by the retrying submit path.
+pub(crate) fn run_pipeline_with<R>(
+    rt: Option<&exec::Runtime>,
+    cfg: &Config,
+    f: &(dyn Fn(&mut Ctx) -> R + Sync),
+    shared: Option<&PipelineShared>,
+) -> Result<RunOutput<R>, BspError>
+where
+    R: Send,
+{
     assert!(cfg.nprocs > 0, "a BSP machine needs at least one process");
     // Fired-event state is shared across rollback incarnations so a
     // transient fault injected before the rollback does not re-fire after it.
-    let fstate = cfg
-        .fault_plan
-        .as_ref()
-        .map(|p| Arc::new(FaultState::new(p.events.len())));
+    let fstate = shared.and_then(|s| s.fstate.clone()).or_else(|| {
+        cfg.fault_plan
+            .as_ref()
+            .map(|p| Arc::new(FaultState::new(p.events.len())))
+    });
     let policy = cfg.tolerance.as_ref().and_then(|t| t.checkpoint);
-    let ckpt_store = policy.map(|_| Arc::new(CheckpointStore::new(cfg.nprocs)));
+    let external_store = shared.and_then(|s| s.store.clone());
+    let ckpt_store = policy.map(|_| {
+        external_store
+            .clone()
+            .unwrap_or_else(|| Arc::new(CheckpointStore::new(cfg.nprocs)))
+    });
     let every = policy.map(|c| c.every_supersteps).unwrap_or(0);
     let max_rollbacks = cfg.tolerance.as_ref().map(|t| t.max_rollbacks).unwrap_or(0);
     let mut rolled_back = 0u64;
     let mut carried = FaultCounters::default();
     let mut recover_from: Option<Instant> = None;
     let mut restored: Vec<Option<Vec<u8>>> = (0..cfg.nprocs).map(|_| None).collect();
+    // A retry attempt entering with a shared store that already holds a
+    // consistent cut (from the failed previous attempt) resumes from it
+    // rather than re-running the prefix.
+    if external_store.is_some() {
+        if let Some(store) = ckpt_store.as_ref() {
+            if let Some(cs) = store.consistent_step() {
+                store.prune_above(cs);
+                for (pid, slot) in restored.iter_mut().enumerate() {
+                    *slot = store.blob(pid, cs);
+                }
+            }
+        }
+    }
     loop {
         let ckpt = ckpt_store.as_ref().map(|s| (every, s));
         match run_once(
@@ -438,9 +523,18 @@ where
                 // Keep the failed incarnation's counters: its detections and
                 // retries are part of the run's fault history.
                 carried.add(&fc);
+                // Deliberate terminations are never rolled back: a cancelled
+                // or overdue job must unwind immediately, and a shut-down
+                // runtime has no pool to re-run on.
+                let terminal = matches!(
+                    err,
+                    BspError::Cancelled { .. }
+                        | BspError::DeadlineExceeded { .. }
+                        | BspError::RuntimeShutdown
+                );
                 if let Some(store) = ckpt_store
                     .as_ref()
-                    .filter(|_| rolled_back < u64::from(max_rollbacks))
+                    .filter(|_| !terminal && rolled_back < u64::from(max_rollbacks))
                 {
                     recover_from.get_or_insert_with(Instant::now);
                     rolled_back += 1;
@@ -614,6 +708,10 @@ fn slot_body<R>(
     // still reaches the caller via `payload_to_error`, exactly as when the
     // slot ran on a dedicated thread.
     let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // Launch-time cancellation point: a job cancelled while its slice
+        // was still queued behind busy workers fails here without ever
+        // entering the user closure (DESIGN.md §15).
+        ctx.check_control();
         ctx.begin();
         let r = f(&mut ctx);
         ctx.finalize();
@@ -703,6 +801,14 @@ where
             ctx.tile = cfg.tile;
         }
     }
+    // Cancellable runs: stamp the control token on every slot (an `Arc`
+    // clone, so the warm path stays allocation-free; plain runs skip the
+    // loop entirely and their boundary checks stay token-free).
+    if cfg.control.is_some() {
+        for ctx in &mut ctxs {
+            ctx.control = cfg.control.clone();
+        }
+    }
     let ckpt_owned = ckpt.map(|(every, store)| (every, Arc::clone(store)));
     // Arena-bound sets reset on their own workers (see `slot_body` and
     // `ResetGate`) — but only when the host really runs the slots in
@@ -750,7 +856,27 @@ where
                     unsafe { exec::erase_task(task) }
                 })
                 .collect();
-            rt.execute(tasks);
+            // The abort task runs instead of the slice if the runtime shuts
+            // down while the job is still queued: it fills every board slot
+            // so `wait_take` below returns with a structured error instead
+            // of hanging. Same lifetime-erasure argument as the tasks.
+            let abort_board = Arc::clone(&board);
+            let abort: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for pid in 0..nprocs {
+                    abort_board.fill(
+                        pid,
+                        SlotOutcome::<R>::Fail {
+                            err: BspError::RuntimeShutdown,
+                            fc: FaultCounters::default(),
+                        },
+                    );
+                }
+            });
+            // SAFETY: identical to the `tasks` erasure above — the closure
+            // only touches `board`, which `wait_take` below keeps alive on
+            // this stack until every slot (including abort fills) is taken.
+            let abort = unsafe { exec::erase_task(abort) };
+            rt.execute(tasks, abort, cfg.urgent);
             board
                 .wait_take()
                 .into_iter()
@@ -794,6 +920,12 @@ where
     // (checksum, retry exhaustion) outrank those but not an app panic.
     fn error_rank(e: &BspError) -> u8 {
         match e {
+            // Deliberate terminations outrank everything: the proc that
+            // observed its token fire is the root cause; peers merely saw
+            // the poisoned barrier.
+            BspError::Cancelled { .. }
+            | BspError::DeadlineExceeded { .. }
+            | BspError::RuntimeShutdown => 4,
             BspError::ProcPanicked { .. } => 3,
             BspError::Transport(te) => match te.kind {
                 crate::fault::TransportErrorKind::ChannelClosed => 1,
@@ -917,6 +1049,11 @@ where
     };
     stats.transport = transport;
     stats.faults = faults;
+    // Pooled runs snapshot executor health so a job that rode out a worker
+    // respawn can see it (see DESIGN.md §15).
+    if let Some(rt) = rt {
+        stats.pool = rt.pool_health();
+    }
     // Launch/teardown split: the slowest slot's pickup bounds setup, its
     // finish bounds teardown. (`duration_since` saturates to zero, so a
     // clock oddity can't panic here.)

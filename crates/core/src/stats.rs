@@ -177,6 +177,17 @@ pub struct RunStats {
     pub prefetch_wait: Duration,
     /// Tiles executed by the streaming layer. Zero for in-core runs.
     pub tiles: u64,
+    /// Executor pool health at job completion (live workers, respawns,
+    /// quarantined slots; see [`crate::exec::PoolHealth`]). Default for
+    /// unpooled and hand-built stats.
+    pub pool: crate::exec::PoolHealth,
+    /// How many times the job ran before this result: 1 for a first-try
+    /// success, >1 when a [`crate::exec::RetryPolicy`] resubmitted it.
+    /// Zero for hand-built stats and runs outside `submit`.
+    pub attempts: u64,
+    /// Time the job spent queued before admission (submit → coordinator
+    /// pickup). Zero outside `submit`.
+    pub queue_wait: Duration,
 }
 
 impl RunStats {
@@ -344,6 +355,9 @@ impl RunStats {
             io_write_bytes: 0,
             prefetch_wait: Duration::ZERO,
             tiles: 0,
+            pool: crate::exec::PoolHealth::default(),
+            attempts: 0,
+            queue_wait: Duration::ZERO,
         }
     }
 

@@ -187,6 +187,11 @@ pub struct TileStore {
     /// Logical length: advanced by `write_at`/`append`, initialized from
     /// file metadata on `open`.
     len: AtomicU64,
+    /// Fault injection (see DESIGN.md §15): successful reads remaining
+    /// before an injected failure; `u64::MAX` (the default) disables it.
+    reads_left: AtomicU64,
+    /// Successful writes remaining before an injected failure.
+    writes_left: AtomicU64,
 }
 
 impl TileStore {
@@ -203,6 +208,8 @@ impl TileStore {
             file,
             path,
             len: AtomicU64::new(0),
+            reads_left: AtomicU64::new(u64::MAX),
+            writes_left: AtomicU64::new(u64::MAX),
         })
     }
 
@@ -222,7 +229,40 @@ impl TileStore {
             file,
             path,
             len: AtomicU64::new(len),
+            reads_left: AtomicU64::new(u64::MAX),
+            writes_left: AtomicU64::new(u64::MAX),
         })
+    }
+
+    /// Fault-injection hook: the next `n` reads succeed, every read after
+    /// them fails with an injected I/O error. For resilience tests; not
+    /// part of the stable API.
+    #[doc(hidden)]
+    pub fn fail_reads_after(&self, n: u64) {
+        self.reads_left.store(n, Ordering::Release);
+    }
+
+    /// Fault-injection hook: the next `n` writes succeed, every write after
+    /// them fails with an injected I/O error (a deterministic stand-in for
+    /// disk-full / EIO). For resilience tests; not part of the stable API.
+    #[doc(hidden)]
+    pub fn fail_writes_after(&self, n: u64) {
+        self.writes_left.store(n, Ordering::Release);
+    }
+
+    /// Charge one operation against an injection budget. `u64::MAX` means
+    /// injection is off and the counter never moves (the steady-state
+    /// cost is one relaxed load).
+    fn charge(counter: &AtomicU64, what: &str) -> io::Result<()> {
+        let left = counter.load(Ordering::Acquire);
+        if left == u64::MAX {
+            return Ok(());
+        }
+        if left == 0 {
+            return Err(io::Error::other(format!("injected spill {what} failure")));
+        }
+        counter.store(left - 1, Ordering::Release);
+        Ok(())
     }
 
     /// Logical length in bytes.
@@ -242,12 +282,14 @@ impl TileStore {
 
     /// Fill `buf` from `offset` (exact read; errors on short files).
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        TileStore::charge(&self.reads_left, "read")?;
         self.file.read_exact_at(buf, offset)
     }
 
     /// Write `data` at `offset`, extending the logical length if the write
     /// ends past it.
     pub fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        TileStore::charge(&self.writes_left, "write")?;
         self.file.write_all_at(data, offset)?;
         self.len
             .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
@@ -258,6 +300,7 @@ impl TileStore {
     /// reserved atomically, so concurrent appenders interleave whole
     /// records rather than bytes.
     pub fn append(&self, data: &[u8]) -> io::Result<u64> {
+        TileStore::charge(&self.writes_left, "write")?;
         let offset = self.len.fetch_add(data.len() as u64, Ordering::AcqRel);
         self.file.write_all_at(data, offset)?;
         Ok(offset)
@@ -426,6 +469,20 @@ where
         // `recv`s, and only the loaded-channel one is prefetch starvation.
         let mut compute = || -> Result<(), StreamError> {
             for _ in 0..ntiles {
+                // Tile-boundary cancellation point (see DESIGN.md §15): a
+                // fired token stops the run between tiles — completed tiles'
+                // write-backs drain normally below.
+                if let Some(tok) = &tile_cfg.control {
+                    if tok.is_cancelled() {
+                        return Err(StreamError::Bsp(BspError::Cancelled { pid: 0, step: 0 }));
+                    }
+                    if tok.deadline_exceeded() {
+                        return Err(StreamError::Bsp(BspError::DeadlineExceeded {
+                            pid: 0,
+                            step: 0,
+                        }));
+                    }
+                }
                 let t0 = Instant::now();
                 let msg = loaded_rx.recv().map_err(|_| {
                     StreamError::Io(io::Error::new(
@@ -464,8 +521,25 @@ where
         drop(free_tx);
         drop(loaded_rx);
         drop(wfree_rx);
-        let io_read = reader.join().expect("stream reader panicked");
-        let wrote = writer.join().expect("stream writer panicked");
+        // A panic escaping either I/O thread (ordinary errors come back as
+        // values) is surfaced as a structured error, not re-thrown into the
+        // driver: the caller of `run_stream_with` gets a `Result` either way.
+        let io_read = match reader.join() {
+            Ok(n) => n,
+            Err(payload) => {
+                return Err(StreamError::Bsp(crate::runner::payload_to_error(
+                    0, payload,
+                )))
+            }
+        };
+        let wrote = match writer.join() {
+            Ok(res) => res,
+            Err(payload) => {
+                return Err(StreamError::Bsp(crate::runner::payload_to_error(
+                    0, payload,
+                )))
+            }
+        };
         run_res?;
         let io_write = wrote?;
 
@@ -620,6 +694,125 @@ mod tests {
         assert_eq!(output.read_to_vec().unwrap(), bytes);
         // The warm path reused one leased fabric across tiles.
         assert!(rt.arena_hits() >= 5, "hits {}", rt.arena_hits());
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_read_failure_surfaces_structured_io_error() {
+        // The reader thread hits the injected fault on tile 2; the error
+        // must come back through `run_stream`'s result, not a panic/hang.
+        let dir = tmpdir("readfail");
+        let bytes = vec![7u8; 8 * 64];
+        let input = TileStore::create_in(&dir, "in.dat").unwrap();
+        input.write_all(&bytes).unwrap();
+        input.fail_reads_after(1);
+        let rt = Runtime::new();
+        let err = run_stream(
+            &rt,
+            &Config::new(2),
+            &StreamConfig::new(128).record(8).spill_dir(&dir),
+            &input,
+            None,
+            |ctx, _data, _out| ctx.sync(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Io(e) if e.to_string().contains("injected")),
+            "{err:?}"
+        );
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_input_surfaces_short_read() {
+        // The backing file is cut down behind the store's back (a deleted
+        // or truncated spill file): the reader's exact read fails and the
+        // run reports a structured I/O error instead of panicking.
+        let dir = tmpdir("shortread");
+        let input = TileStore::create_in(&dir, "in.dat").unwrap();
+        input.write_all(&vec![3u8; 8 * 64]).unwrap();
+        OpenOptions::new()
+            .write(true)
+            .open(input.path())
+            .unwrap()
+            .set_len(8 * 20)
+            .unwrap();
+        let rt = Runtime::new();
+        let err = run_stream(
+            &rt,
+            &Config::new(2),
+            &StreamConfig::new(128).record(8).spill_dir(&dir),
+            &input,
+            None,
+            |ctx, _data, _out| ctx.sync(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof),
+            "{err:?}"
+        );
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_structured_io_error() {
+        // The writer thread fails on the second tile's write-back; the
+        // driver must drain and report it, never hang on the ring.
+        let dir = tmpdir("writefail");
+        let bytes = vec![1u8; 8 * 64];
+        let input = TileStore::create_in(&dir, "in.dat").unwrap();
+        input.write_all(&bytes).unwrap();
+        let output = TileStore::create_in(&dir, "out.dat").unwrap();
+        output.fail_writes_after(1);
+        let rt = Runtime::new();
+        let err = run_stream(
+            &rt,
+            &Config::new(2),
+            &StreamConfig::new(128).record(8).spill_dir(&dir),
+            &input,
+            Some(&output),
+            |ctx, data, out| {
+                let shard = ctx.tile().unwrap().shard(ctx.pid(), ctx.nprocs());
+                out.extend_from_slice(&data[shard]);
+                ctx.sync();
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Io(e) if e.to_string().contains("injected")),
+            "{err:?}"
+        );
+        rt.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cancelled_stream_stops_at_tile_boundary() {
+        // Cancel before launch: the compute loop must observe the token at
+        // its first tile boundary and return `Cancelled` without running
+        // any tile job.
+        let dir = tmpdir("cancel");
+        let input = TileStore::create_in(&dir, "in.dat").unwrap();
+        input.write_all(&vec![2u8; 8 * 64]).unwrap();
+        let rt = Runtime::new();
+        let tok = crate::exec::CancelToken::new();
+        tok.cancel();
+        let err = run_stream(
+            &rt,
+            &Config::new(2).cancel_token(&tok),
+            &StreamConfig::new(128).record(8).spill_dir(&dir),
+            &input,
+            None,
+            |ctx, _data, _out| ctx.sync(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Bsp(BspError::Cancelled { .. })),
+            "{err:?}"
+        );
         rt.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -19,6 +19,7 @@ pub mod lint;
 pub mod measure;
 pub mod message_bench;
 pub mod paper;
+pub mod resilience;
 pub mod runtime_bench;
 pub mod stream_bench;
 pub mod sync_bench;

@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint] [--full] [--sync-modes]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint|resilience] [--full] [--sync-modes]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -38,6 +38,13 @@
 //! sync-graph discipline, split-window hygiene, checkpoint placement) with
 //! per-superstep `w + gh + L` cost predictions; exits non-zero on any
 //! finding.
+//!
+//! `resilience` runs the adversarial kernel sweep (DESIGN.md §15):
+//! worker-abort self-healing, hang-with-deadline, cancel-storm,
+//! queue-overload, and retry-heal must each end in a structured error or a
+//! healed retry — never a hang — and the warm launch path must stay within
+//! noise of the committed `BENCH_runtime.json`. Writes
+//! `BENCH_resilience.json`; exits non-zero on any failure.
 //!
 //! `faults` runs the fault-injection sweep (DESIGN.md §10): every app ×
 //! backend × recoverable fault class must heal to a bit-identical digest,
@@ -187,6 +194,22 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "resilience" => {
+            use bsp_harness::resilience;
+            eprintln!(
+                "resilience sweep (worker-abort, deadline, cancel-storm, overload, retry)..."
+            );
+            let bench = resilience::sweep_resilience(full);
+            let json = resilience::to_json(&bench);
+            std::fs::write("BENCH_resilience.json", &json).expect("write BENCH_resilience.json");
+            eprintln!(
+                "wrote BENCH_resilience.json (recovery {:.1} ms, storm max {:.1} ms, all_pass: {})",
+                bench.recovery_latency_ms, bench.storm_max_resolve_ms, bench.all_pass
+            );
+            if !bench.all_pass {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             tables::fig2_1();
             let sweeps: Vec<Sweep> = App::ALL.iter().map(|&a| sweep_app(a, full)).collect();
@@ -202,7 +225,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint] [--full] [--sync-modes]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint|resilience] [--full] [--sync-modes]");
             std::process::exit(2);
         }
     }
