@@ -40,7 +40,7 @@
 use crate::backend::BackendKind;
 use crate::check::{CheckKind, CheckReport, ProcTrace};
 use crate::context::Ctx;
-use crate::cost::{predict, Prediction};
+use crate::cost::Prediction;
 use crate::fault::BspError;
 use crate::machine::Machine;
 use crate::runner::{try_run, Config};
@@ -97,7 +97,10 @@ pub struct PlanReport {
     pub steps: Vec<PlanStep>,
     /// Eager-delivery toggles observed: `(pid, superstep, on)`.
     pub eager: Vec<(usize, usize, bool)>,
-    /// Whole-program `T = W + gH + LS` on the chosen machine.
+    /// Whole-program `T` on the chosen machine: the sum of the per-step
+    /// predictions, with each boundary priced by kind (full `L`,
+    /// neighborhood `L_neigh`, or the split-phase overlap credit) — for an
+    /// all-full-barrier program this is exactly `W + gH + LS`.
     pub predicted: Prediction,
 }
 
@@ -151,7 +154,7 @@ impl fmt::Display for PlanReport {
         }
         writeln!(
             f,
-            "total: T = W + gH + LS = {:.2}us (comm {:.2}us)",
+            "total: T = W + gH + sum(L_b) = {:.2}us (comm {:.2}us)",
             self.predicted.total() * 1e6,
             self.predicted.comm() * 1e6
         )?;
@@ -303,6 +306,36 @@ where
     }
     eager.sort_unstable();
 
+    // Boundary-kind-aware pricing, matching the tuner (`crate::tune`):
+    // a neighborhood boundary costs `L_neigh` (derived from `L`, the sync
+    // graph's degree, and `p` — see `crate::cost::l_neigh_us`), a
+    // split-phase boundary earns the overlap credit (the window's work
+    // hides up to `L` of latency), and full barriers — including the
+    // final partial superstep, by the paper's `S ≥ 1` convention — cost
+    // full `L`. The byte lane is charged at `⌈h_bytes/16⌉` packet
+    // equivalents, like everywhere else in the crate.
+    let (g_us, l_us) = machine.g_l(cfg.nprocs);
+    let degree = cfg.sync_graph.as_ref().map(|g| g.max_degree()).unwrap_or(0);
+    let l_neigh = crate::cost::l_neigh_us(l_us, degree, cfg.nprocs);
+    let price = |st: &crate::stats::StepStats, b: Option<&PlanBoundary>| {
+        let w_secs = st.w.as_secs_f64();
+        let latency_us = match b {
+            Some(b) => {
+                let base = if b.neigh { l_neigh } else { l_us };
+                if b.split {
+                    (base - w_secs * 1e6).max(0.0)
+                } else {
+                    base
+                }
+            }
+            None => l_us,
+        };
+        Prediction {
+            work: w_secs,
+            bandwidth: g_us * 1e-6 * (st.h() + st.h_bytes().div_ceil(16)) as f64,
+            latency: latency_us * 1e-6,
+        }
+    };
     let steps: Vec<PlanStep> = stats
         .steps
         .iter()
@@ -313,17 +346,23 @@ where
             h_bytes: st.h_bytes(),
             w_units: st.w_units,
             w: st.w,
-            // One superstep on its own: its work, its h-relation, one
-            // boundary's worth of latency.
-            predicted: predict(machine, cfg.nprocs, st.w.as_secs_f64(), st.h(), 1),
+            predicted: price(st, boundaries.get(i)),
         })
         .collect();
-    let predicted = predict(
-        machine,
-        cfg.nprocs,
-        stats.w_total().as_secs_f64(),
-        stats.h_total(),
-        stats.s(),
+    // The whole-program prediction is the sum of the per-step ones, so
+    // the table's rows always add up to its total (for an all-full-barrier
+    // packet-lane program this is exactly `predict(...)`'s `W + gH + LS`).
+    let predicted = steps.iter().fold(
+        Prediction {
+            work: 0.0,
+            bandwidth: 0.0,
+            latency: 0.0,
+        },
+        |acc, s| Prediction {
+            work: acc.work + s.predicted.work,
+            bandwidth: acc.bandwidth + s.predicted.bandwidth,
+            latency: acc.latency + s.predicted.latency,
+        },
     );
 
     Ok(PlanReport {
@@ -432,6 +471,45 @@ mod tests {
         // The Display form renders and reports a clean plan.
         let s = report.to_string();
         assert!(s.contains("findings: none"), "{}", s);
+    }
+
+    #[test]
+    fn lint_prices_neighborhood_boundaries_at_l_neigh() {
+        // Ring graph on 4 procs: degree 2 everywhere.
+        let cfg = Config::new(4).sync_graph(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let report = lint(&cfg, &SGI, |ctx| {
+            ctx.sync_neigh();
+            ctx.sync();
+        })
+        .unwrap();
+        assert!(report.boundaries[0].neigh && !report.boundaries[1].neigh);
+        let (_, l_us) = SGI.g_l(4);
+        let l_neigh = crate::cost::l_neigh_us(l_us, 2, 4);
+        assert!(l_neigh < l_us);
+        assert!((report.steps[0].predicted.latency - l_neigh * 1e-6).abs() < 1e-15);
+        assert!((report.steps[1].predicted.latency - l_us * 1e-6).abs() < 1e-15);
+        // The final partial superstep keeps a full boundary's latency and
+        // the table's rows add up to its total.
+        let sum: f64 = report.steps.iter().map(|s| s.predicted.total()).sum();
+        assert!((report.predicted.total() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lint_credits_split_phase_overlap() {
+        let report = lint(&Config::new(2), &SGI, |ctx| {
+            ctx.send_pkt(1 - ctx.pid(), Packet::ZERO);
+            ctx.sync_begin();
+            ctx.sync_end();
+            while ctx.get_pkt().is_some() {}
+            ctx.sync();
+        })
+        .unwrap();
+        assert!(report.boundaries[0].split);
+        let (_, l_us) = SGI.g_l(2);
+        // The split boundary earns the overlap credit: its priced latency
+        // never exceeds the full barrier the fused boundary pays.
+        assert!(report.steps[0].predicted.latency <= l_us * 1e-6 + 1e-15);
+        assert!((report.steps[1].predicted.latency - l_us * 1e-6).abs() < 1e-15);
     }
 
     #[test]

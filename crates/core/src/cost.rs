@@ -144,6 +144,48 @@ impl Calibration {
             max_procs: self.nprocs,
         }
     }
+
+    /// Documented static defaults used when the calibration probe cannot
+    /// run (runtime shut down, probe job failed). The values are coarse
+    /// shared-memory-era magnitudes — good enough for the tuner to rank
+    /// configurations sanely, never mistaken for a measurement:
+    ///
+    /// | backend | g (µs/pkt) | L (µs/superstep) |
+    /// |---------|-----------:|-----------------:|
+    /// | Shared  | 0.01       | 5                |
+    /// | MsgPass | 0.02       | 8                |
+    /// | TcpSim  | 0.05       | 20               |
+    /// | SeqSim  | 0.005      | 2                |
+    /// | NetSim  | shared + modelled `g_us`/`l_us` × `time_scale` |
+    ///
+    /// A 1-process machine routes nothing, so `g` floors at 0.001 as in the
+    /// live probe.
+    pub fn fallback(backend: BackendKind, nprocs: usize) -> Calibration {
+        let (mut g_us, l_us) = match backend {
+            BackendKind::Shared => (0.01, 5.0),
+            BackendKind::MsgPass => (0.02, 8.0),
+            BackendKind::TcpSim => (0.05, 20.0),
+            BackendKind::SeqSim => (0.005, 2.0),
+            BackendKind::NetSim(p) => (
+                (0.01 + p.g_us * p.time_scale).max(0.001),
+                (5.0 + p.l_us * p.time_scale).max(0.01),
+            ),
+        };
+        if nprocs <= 1 {
+            g_us = 0.001;
+        }
+        Calibration { nprocs, g_us, l_us }
+    }
+}
+
+/// Per-boundary latency of a neighborhood barrier with `degree`-neighbor
+/// sync graphs, derived from the full-barrier latency the same way the
+/// netsim backend prices it: a `deg`-neighbor rendezvous costs roughly
+/// `(1 + deg)/p` of a p-wide barrier, clamped to never exceed the full
+/// barrier. Shared by the plan analyzer and the tuner so `report lint`
+/// tables and [`crate::tune`] predictions agree.
+pub fn l_neigh_us(l_us: f64, degree: usize, nprocs: usize) -> f64 {
+    (l_us * (1.0 + degree as f64) / nprocs.max(1) as f64).min(l_us)
 }
 
 /// One timed probe job on the warm executor: `steps` supersteps, each
@@ -157,7 +199,7 @@ fn probe_secs(
     steps: usize,
     h_per_step: usize,
     reps: usize,
-) -> f64 {
+) -> Result<f64, crate::fault::BspError> {
     use crate::packet::Packet;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -174,14 +216,14 @@ fn probe_secs(
                 ctx.sync();
                 while ctx.get_pkt().is_some() {}
             }
-        })
-        .expect("calibration probe job failed");
+        })?;
         best = best.min(t0.elapsed().as_secs_f64());
     }
-    best
+    Ok(best)
 }
 
-/// Measure `backend`'s `(g, L)` on `rt` at `nprocs`, uncached.
+/// Measure `backend`'s `(g, L)` on `rt` at `nprocs`, uncached, surfacing
+/// probe failure as the structured error it died with.
 ///
 /// Both parameters come from differences between probe jobs, so the
 /// per-launch overhead (lease, dispatch, result collection) cancels:
@@ -189,11 +231,11 @@ fn probe_secs(
 /// from two equal-superstep jobs with different h-relation sizes. Noise
 /// can make a difference negative on a busy host; results are clamped to
 /// small positive floors.
-pub fn calibrate_with(
+pub fn try_calibrate_with(
     rt: &crate::exec::Runtime,
     backend: BackendKind,
     nprocs: usize,
-) -> Calibration {
+) -> Result<Calibration, crate::fault::BspError> {
     let cfg = crate::runner::Config::new(nprocs).backend(backend);
     rt.prewarm(&cfg);
     const REPS: usize = 9;
@@ -202,19 +244,33 @@ pub fn calibrate_with(
     const H_LO: usize = 32;
     const H_HI: usize = 256;
     // L: per-superstep cost of an empty superstep.
-    let t_lo = probe_secs(rt, &cfg, S_LO, 0, REPS);
-    let t_hi = probe_secs(rt, &cfg, S_HI, 0, REPS);
+    let t_lo = probe_secs(rt, &cfg, S_LO, 0, REPS)?;
+    let t_hi = probe_secs(rt, &cfg, S_HI, 0, REPS)?;
     let l_us = ((t_hi - t_lo) * 1e6 / (S_HI - S_LO) as f64).max(0.01);
     // g: per-packet cost at fixed superstep count. A 1-process machine
     // routes nothing; report a zero-cost gap floor.
     let g_us = if nprocs > 1 {
-        let t_small = probe_secs(rt, &cfg, S_LO, H_LO, REPS);
-        let t_big = probe_secs(rt, &cfg, S_LO, H_HI, REPS);
+        let t_small = probe_secs(rt, &cfg, S_LO, H_LO, REPS)?;
+        let t_big = probe_secs(rt, &cfg, S_LO, H_HI, REPS)?;
         ((t_big - t_small) * 1e6 / (S_LO * (H_HI - H_LO)) as f64).max(0.001)
     } else {
         0.001
     };
-    Calibration { nprocs, g_us, l_us }
+    Ok(Calibration { nprocs, g_us, l_us })
+}
+
+/// [`try_calibrate_with`], degrading to [`Calibration::fallback`]'s
+/// documented static defaults instead of failing when the probe cannot run
+/// (e.g. the runtime is already shut down, or the probe job is poisoned by
+/// a concurrent fault test). The tuner must never panic just because it
+/// could not measure.
+pub fn calibrate_with(
+    rt: &crate::exec::Runtime,
+    backend: BackendKind,
+    nprocs: usize,
+) -> Calibration {
+    try_calibrate_with(rt, backend, nprocs)
+        .unwrap_or_else(|_| Calibration::fallback(backend, nprocs))
 }
 
 /// Cache key: backend discriminant plus the NetSim parameter bits (two
@@ -235,27 +291,168 @@ fn backend_key(backend: BackendKind) -> (u8, u64) {
     }
 }
 
+// ------------------------------------------------- calibration cache
+
+/// Cache key: (backend discriminant, netsim parameter bits, nprocs).
+type CalKey = (u8, u64, usize);
+
+/// Hit/miss accounting for the two calibration-cache tiers, reported by
+/// [`cal_cache_stats`] (the harness's `report autotune` prints it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CalCacheStats {
+    /// Lookups answered by the in-process map (zero cost).
+    pub memory_hits: u64,
+    /// Lookups answered by the on-disk cache left by an earlier process
+    /// (zero probe cost; one file read per process).
+    pub disk_hits: u64,
+    /// Lookups that had to run the live micro-probe.
+    pub probes: u64,
+}
+
+static CAL_MEMORY_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static CAL_DISK_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static CAL_PROBES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-lifetime calibration-cache counters.
+pub fn cal_cache_stats() -> CalCacheStats {
+    use std::sync::atomic::Ordering;
+    CalCacheStats {
+        memory_hits: CAL_MEMORY_HITS.load(Ordering::Relaxed),
+        disk_hits: CAL_DISK_HITS.load(Ordering::Relaxed),
+        probes: CAL_PROBES.load(Ordering::Relaxed),
+    }
+}
+
+/// On-disk cache location: `$GREEN_BSP_CAL_CACHE` if set, else a
+/// versioned file in the system temp directory.
+fn cal_cache_path() -> std::path::PathBuf {
+    match std::env::var_os("GREEN_BSP_CAL_CACHE") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::temp_dir().join("green-bsp-cal-cache-v1.txt"),
+    }
+}
+
+/// The staleness fingerprint baked into the cache header: measured `g`/`L`
+/// are only transferable between processes on the same machine shape
+/// running the same build.
+fn cal_cache_header() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "green-bsp-cal-cache v1 cpus={} build={}",
+        cpus,
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+/// Parse the on-disk cache. Returns an empty map when the file is absent,
+/// unreadable, from a different machine shape/build (header mismatch), or
+/// syntactically damaged — a cold start, never an error. Format: one
+/// header line, then one entry per line as
+/// `slot netsim_bits nprocs g_bits_hex l_bits_hex` with the `f64`s stored
+/// as hex bit patterns for exact round-trips.
+fn load_cal_cache() -> std::collections::HashMap<CalKey, Calibration> {
+    let mut map = std::collections::HashMap::new();
+    let Ok(text) = std::fs::read_to_string(cal_cache_path()) else {
+        return map;
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(cal_cache_header().as_str()) {
+        return map;
+    }
+    for line in lines {
+        let mut f = line.split_whitespace();
+        let (Some(slot), Some(bits), Some(np), Some(g), Some(l)) =
+            (f.next(), f.next(), f.next(), f.next(), f.next())
+        else {
+            continue;
+        };
+        let (Ok(slot), Ok(bits), Ok(np), Ok(g), Ok(l)) = (
+            slot.parse::<u8>(),
+            u64::from_str_radix(bits, 16),
+            np.parse::<usize>(),
+            u64::from_str_radix(g, 16),
+            u64::from_str_radix(l, 16),
+        ) else {
+            continue;
+        };
+        let c = Calibration {
+            nprocs: np,
+            g_us: f64::from_bits(g),
+            l_us: f64::from_bits(l),
+        };
+        if c.g_us.is_finite() && c.l_us.is_finite() && c.g_us > 0.0 && c.l_us > 0.0 {
+            map.insert((slot, bits, np), c);
+        }
+    }
+    map
+}
+
+/// Best-effort whole-file rewrite of the on-disk cache. Failure to persist
+/// (read-only tmp, permission) is silent: the cache is an optimization,
+/// never a correctness dependency.
+fn store_cal_cache(map: &std::collections::HashMap<CalKey, Calibration>) {
+    use std::fmt::Write as _;
+    let mut text = cal_cache_header();
+    text.push('\n');
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_by_key(|(k, _)| **k);
+    for ((slot, bits, np), c) in entries {
+        let _ = writeln!(
+            text,
+            "{} {:016x} {} {:016x} {:016x}",
+            slot,
+            bits,
+            np,
+            c.g_us.to_bits(),
+            c.l_us.to_bits()
+        );
+    }
+    let _ = std::fs::write(cal_cache_path(), text);
+}
+
 /// Measure `backend`'s `(g, L)` at `nprocs` on the process-global
-/// [`crate::exec::Runtime`], cached per process: the first call per
-/// (backend, nprocs) pays the ~millisecond probe, later calls are a map
-/// lookup. This is how [`predict`]-based planning gets *measured* rather
-/// than published parameters.
+/// [`crate::exec::Runtime`], cached in two tiers: an in-process map (first
+/// call per (backend, nprocs) in this process) backed by a versioned
+/// on-disk cache (first call per (backend, nprocs) on this machine+build),
+/// so warm processes pay zero probe cost. The disk cache path is
+/// overridable via `GREEN_BSP_CAL_CACHE` and invalidated when the CPU
+/// count or crate version changes. This is how [`predict`]-based planning
+/// gets *measured* rather than published parameters.
 pub fn calibrate_at(backend: BackendKind, nprocs: usize) -> Calibration {
     use std::collections::HashMap;
+    use std::sync::atomic::Ordering;
     use std::sync::{Mutex, OnceLock};
-    /// Cache key: (backend discriminant, netsim parameter bits, nprocs).
-    type CalKey = (u8, u64, usize);
     static CACHE: OnceLock<Mutex<HashMap<CalKey, Calibration>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // Seed the in-process map from disk exactly once; track which keys the
+    // disk supplied so the first in-process lookup of each counts as a
+    // disk hit, not a memory hit.
+    static FROM_DISK: OnceLock<Mutex<std::collections::HashSet<CalKey>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(load_cal_cache()));
+    let from_disk =
+        FROM_DISK.get_or_init(|| Mutex::new(cache.lock().unwrap().keys().copied().collect()));
     let (slot, bits) = backend_key(backend);
-    if let Some(c) = cache.lock().unwrap().get(&(slot, bits, nprocs)) {
+    let key = (slot, bits, nprocs);
+    if let Some(c) = cache.lock().unwrap().get(&key) {
+        if from_disk.lock().unwrap().remove(&key) {
+            CAL_DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            CAL_MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
+        }
         return *c;
     }
     // Probe outside the lock: calibration launches jobs, and a concurrent
     // caller racing us at worst measures once more and overwrites with an
     // equivalent value.
+    CAL_PROBES.fetch_add(1, Ordering::Relaxed);
     let c = calibrate_with(crate::exec::global(), backend, nprocs);
-    cache.lock().unwrap().insert((slot, bits, nprocs), c);
+    let snapshot = {
+        let mut m = cache.lock().unwrap();
+        m.insert(key, c);
+        m.clone()
+    };
+    store_cal_cache(&snapshot);
     c
 }
 

@@ -289,14 +289,24 @@ impl CancelToken {
 struct JobSlice {
     tasks: Vec<Task>,
     abort: Task,
+    /// High-priority slices sit at the queue front and are never bypassed
+    /// by predicted-time ordering.
+    urgent: bool,
+    /// Cost-model estimate of the job's runtime, when it was planned by
+    /// the autotuner ([`crate::tune`]). Orders the normal-priority queue
+    /// shortest-predicted-first and feeds deadline admission.
+    predicted: Option<Duration>,
 }
 
 struct Sched {
     ready: VecDeque<Task>,
-    /// Pending jobs in submission order; each entry is a whole `p`-task
-    /// slice, admitted atomically. Strict FIFO: a wide job at the head is
-    /// never starved by narrow jobs behind it. (A high-priority slice is
-    /// pushed to the front instead.)
+    /// Pending jobs; each entry is a whole `p`-task slice, admitted
+    /// atomically. High-priority slices go to the front; among the rest,
+    /// slices with a cost-model prediction order shortest-predicted-first
+    /// and unpredicted slices keep strict submission-order FIFO behind
+    /// them (ties keep FIFO, so two equal or unpredicted slices never
+    /// reorder). A wide job at the head is never starved by narrow jobs
+    /// behind it.
     queue: VecDeque<JobSlice>,
     free: usize,
     spawned: usize,
@@ -593,6 +603,13 @@ pub struct SubmitOpts {
     pub retry: Option<RetryPolicy>,
     /// Worker-slice admission priority.
     pub priority: Priority,
+    /// Cost-model estimate of the job's runtime (stamped automatically by
+    /// [`Runtime::submit_auto`], settable by hand). A predicted job's
+    /// slice is queued shortest-predicted-first within the normal
+    /// priority class, the estimate participates in deadline admission,
+    /// and the run scores it afterwards
+    /// ([`crate::RunStats::predicted_ms`]).
+    pub predicted: Option<Duration>,
 }
 
 /// The runtime's admission queue is at its watermark (see
@@ -722,13 +739,23 @@ impl Runtime {
     }
 
     /// Enqueue a whole job slice (`tasks.len()` = the job's `p`). All slots
-    /// dispatch atomically, in submission order (`urgent` slices jump to
-    /// the front). If the pool is already shut down, `abort` runs instead
-    /// on the calling thread, failing the slice's result board with
-    /// [`BspError::RuntimeShutdown`] — without this, the slice would sit in
-    /// a queue no worker will ever drain and its coordinator would hang in
-    /// `wait_take`.
-    pub(crate) fn execute(&self, tasks: Vec<Task>, abort: Task, urgent: bool) {
+    /// dispatch atomically. `urgent` slices jump to the front; a slice
+    /// with a cost-model `predicted` runtime inserts ahead of every
+    /// normal-priority slice with a strictly larger prediction
+    /// (shortest-predicted-job-first; unpredicted slices price at +∞, so
+    /// they keep submission-order FIFO among themselves and sit behind
+    /// every predicted slice). If the pool is already shut down, `abort`
+    /// runs instead on the calling thread, failing the slice's result
+    /// board with [`BspError::RuntimeShutdown`] — without this, the slice
+    /// would sit in a queue no worker will ever drain and its coordinator
+    /// would hang in `wait_take`.
+    pub(crate) fn execute(
+        &self,
+        tasks: Vec<Task>,
+        abort: Task,
+        urgent: bool,
+        predicted: Option<Duration>,
+    ) {
         self.ensure_capacity(tasks.len());
         let mut s = self.inner.sched.lock().unwrap();
         if s.shutdown {
@@ -736,11 +763,25 @@ impl Runtime {
             abort();
             return;
         }
-        let slice = JobSlice { tasks, abort };
+        let slice = JobSlice {
+            tasks,
+            abort,
+            urgent,
+            predicted,
+        };
         if urgent {
             s.queue.push_front(slice);
         } else {
-            s.queue.push_back(slice);
+            let key = |j: &JobSlice| j.predicted.unwrap_or(Duration::MAX);
+            let mine = slice.predicted.unwrap_or(Duration::MAX);
+            // Strict `>` keeps ties (and the unpredicted ∞ class) FIFO;
+            // urgent slices are never bypassed.
+            let pos = s
+                .queue
+                .iter()
+                .position(|j| !j.urgent && key(j) > mine)
+                .unwrap_or(s.queue.len());
+            s.queue.insert(pos, slice);
         }
         if pump(&mut s) {
             drop(s);
@@ -923,6 +964,51 @@ impl Runtime {
         Ok(self.submit_admitted(cfg, opts, f))
     }
 
+    /// Submit a job with the configuration the autotuner chose
+    /// ([`crate::tune::plan`] → [`Config::auto`]), with the predicted
+    /// runtime wired into scheduling: the slice is queued
+    /// shortest-predicted-first, the finished run records the prediction
+    /// for error scoring, and — when `opts.deadline` is set — admission
+    /// rejects the job up front with [`BspError::WouldMissDeadline`] if
+    /// the predicted completion time (this job's predicted runtime plus
+    /// the predicted backlog already queued for the pool) exceeds the
+    /// deadline. Queued slices *without* a prediction contribute zero to
+    /// the backlog estimate, so admission is optimistic in mixed
+    /// planned/unplanned workloads.
+    ///
+    /// The chosen candidate's `relaxed` flag is not applied automatically
+    /// (the tuner cannot conjure the sync graph); attach it by building
+    /// the config yourself via [`Config::auto`] + `Config::sync_graph` and
+    /// submitting with `opts.predicted` set.
+    pub fn submit_auto<F, R>(
+        &self,
+        plan: &crate::tune::TunePlan,
+        mut opts: SubmitOpts,
+        f: F,
+    ) -> Result<JobHandle<R>, BspError>
+    where
+        F: Fn(&mut Ctx) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let cfg = Config::auto(plan);
+        let predicted = plan.predicted();
+        opts.predicted = Some(predicted);
+        if let Some(deadline) = opts.deadline {
+            let backlog: Duration = {
+                let s = self.inner.sched.lock().unwrap();
+                s.queue.iter().filter_map(|j| j.predicted).sum()
+            };
+            let completion = backlog + predicted;
+            if completion > deadline {
+                return Err(BspError::WouldMissDeadline {
+                    predicted_ms: completion.as_secs_f64() * 1e3,
+                    deadline_ms: deadline.as_secs_f64() * 1e3,
+                });
+            }
+        }
+        Ok(self.submit_with(&cfg, opts, f))
+    }
+
     /// Cap the number of submitted-but-unfinished jobs: past the watermark,
     /// [`Runtime::submit`] blocks and [`Runtime::try_submit`] returns
     /// [`QueueFull`]. The default is effectively unbounded.
@@ -958,6 +1044,7 @@ impl Runtime {
         let mut cfg = cfg.clone();
         cfg.control = Some(token.clone());
         cfg.urgent = opts.priority == Priority::High;
+        cfg.predicted = opts.predicted.or(cfg.predicted);
         let retry = opts.retry;
         let tok = token.clone();
         let submitted = Instant::now();

@@ -191,6 +191,18 @@ pub enum BspError {
     /// [`crate::Runtime::shutdown`] fails queued jobs with this instead of
     /// leaving their handles to hang).
     RuntimeShutdown,
+    /// Deadline admission refused the job at submit time: its cost-model
+    /// prediction plus the predicted backlog already queued ahead of it
+    /// exceeds the requested deadline, so running it would only waste pool
+    /// slots (see [`crate::Runtime::submit_auto`]). The job never reached
+    /// the worker pool.
+    WouldMissDeadline {
+        /// Predicted completion time (queue backlog + job runtime) in
+        /// milliseconds from submission.
+        predicted_ms: f64,
+        /// The deadline budget that was requested, in milliseconds.
+        deadline_ms: f64,
+    },
 }
 
 impl fmt::Display for BspError {
@@ -218,6 +230,16 @@ impl fmt::Display for BspError {
                 write!(f, "proc {} deadline exceeded at superstep {}", pid, step)
             }
             BspError::RuntimeShutdown => write!(f, "runtime shut down before the job ran"),
+            BspError::WouldMissDeadline {
+                predicted_ms,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "admission rejected: predicted completion {:.3}ms exceeds deadline {:.3}ms",
+                    predicted_ms, deadline_ms
+                )
+            }
         }
     }
 }

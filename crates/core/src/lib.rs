@@ -86,6 +86,7 @@ pub mod runner;
 pub mod stats;
 pub mod stream;
 pub(crate) mod sync_shim;
+pub mod tune;
 
 // Loom-gated exhaustive interleaving tests for the lock-free core. A unit
 // (not integration) test module because it drives the pub(crate)
@@ -100,7 +101,8 @@ pub use barrier::BarrierKind;
 pub use check::{CheckKind, CheckReport, CollectiveKind, TrackedPkt};
 pub use context::{Ctx, MsgWriter, MSG_HDR};
 pub use cost::{
-    calibrate, calibrate_at, calibrate_with, predict, predict_from_stats, Calibration, Prediction,
+    cal_cache_stats, calibrate, calibrate_at, calibrate_with, l_neigh_us, predict,
+    predict_from_stats, try_calibrate_with, CalCacheStats, Calibration, Prediction,
 };
 pub use exec::{
     global, CancelToken, JobHandle, PoolHealth, Priority, QueueFull, RetryPolicy, Runtime,
@@ -118,3 +120,4 @@ pub use stats::{LocalStep, RunStats, StepStats};
 pub use stream::{
     run_stream, run_stream_with, StreamConfig, StreamError, StreamRun, TileMeta, TileStore,
 };
+pub use tune::{Candidate, ErrorStat, HProfile, TuneOpts, TunePlan};

@@ -77,6 +77,13 @@ pub struct Config {
     /// front of the pool queue instead of FIFO. Set by
     /// [`crate::exec::SubmitOpts::priority`].
     pub(crate) urgent: bool,
+    /// Cost-model estimate of this run's wall time, set when the config
+    /// was planned by the autotuner ([`Config::auto`],
+    /// [`crate::exec::SubmitOpts::predicted`]). Orders the pool queue
+    /// shortest-predicted-first, lands in [`RunStats::predicted`], and is
+    /// scored against the measured wall clock after the run. Not part of
+    /// the arena shape key — predictions don't change the fabric.
+    pub(crate) predicted: Option<Duration>,
 }
 
 impl Config {
@@ -96,6 +103,7 @@ impl Config {
             tile: None,
             control: None,
             urgent: false,
+            predicted: None,
         }
     }
 
@@ -174,6 +182,31 @@ impl Config {
     pub fn cancel_token(mut self, token: &crate::exec::CancelToken) -> Self {
         self.control = Some(token.clone());
         self
+    }
+
+    /// Build the configuration the autotuner chose: the argmin candidate's
+    /// backend, processor count, and hardening, with the predicted wall
+    /// time stamped on so the executor queues the job
+    /// shortest-predicted-first and the finished run scores the prediction
+    /// (see [`crate::tune`]).
+    ///
+    /// A `relaxed` candidate's sync graph is the caller's to attach
+    /// (`Config::auto(plan).sync_graph(..)`) — the tuner prices
+    /// neighborhood boundaries but cannot conjure the topology.
+    pub fn auto(plan: &crate::tune::TunePlan) -> Config {
+        let c = plan.chosen();
+        let mut cfg = Config::new(c.nprocs).backend(c.backend);
+        if c.hardened {
+            cfg = cfg.hardened();
+        }
+        cfg.predicted = Some(plan.predicted());
+        cfg
+    }
+
+    /// The predicted wall time stamped by [`Config::auto`] /
+    /// [`crate::exec::SubmitOpts::predicted`], if any.
+    pub fn predicted(&self) -> Option<Duration> {
+        self.predicted
     }
 }
 
@@ -876,7 +909,7 @@ where
             // only touches `board`, which `wait_take` below keeps alive on
             // this stack until every slot (including abort fills) is taken.
             let abort = unsafe { exec::erase_task(abort) };
-            rt.execute(tasks, abort, cfg.urgent);
+            rt.execute(tasks, abort, cfg.urgent, cfg.predicted);
             board
                 .wait_take()
                 .into_iter()
@@ -925,7 +958,11 @@ where
             // the poisoned barrier.
             BspError::Cancelled { .. }
             | BspError::DeadlineExceeded { .. }
-            | BspError::RuntimeShutdown => 4,
+            | BspError::RuntimeShutdown
+            // Admission-time rejection; never produced inside a run, but
+            // ranked like the other deliberate terminations for
+            // completeness.
+            | BspError::WouldMissDeadline { .. } => 4,
             BspError::ProcPanicked { .. } => 3,
             BspError::Transport(te) => match te.kind {
                 crate::fault::TransportErrorKind::ChannelClosed => 1,
@@ -1096,6 +1133,13 @@ where
             "green-bsp warning: {} byte-lane byte(s) sent after the last sync were never delivered",
             stats.undelivered_bytes
         );
+    }
+    // Planned runs: record the prediction on the stats and score it
+    // against the measured wall clock (see `crate::tune`). Plain configs
+    // skip entirely, keeping the warm launch path untouched.
+    if let Some(predicted) = cfg.predicted {
+        stats.predicted = predicted;
+        crate::tune::record_outcome(cfg.backend, predicted, wall);
     }
     Ok(RunOutput {
         results,

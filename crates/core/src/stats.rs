@@ -188,6 +188,12 @@ pub struct RunStats {
     /// Time the job spent queued before admission (submit → coordinator
     /// pickup). Zero outside `submit`.
     pub queue_wait: Duration,
+    /// Cost-model prediction for this run's wall time, stamped when the job
+    /// was planned by the autotuner ([`crate::tune`], `Config::auto`,
+    /// `Runtime::submit_auto`). Zero for unplanned runs. Comparing this to
+    /// the measured wall clock is the per-job prediction-error metric fed
+    /// into [`crate::tune::error_summary`].
+    pub predicted: Duration,
 }
 
 impl RunStats {
@@ -358,6 +364,7 @@ impl RunStats {
             pool: crate::exec::PoolHealth::default(),
             attempts: 0,
             queue_wait: Duration::ZERO,
+            predicted: Duration::ZERO,
         }
     }
 
@@ -411,6 +418,12 @@ impl RunStats {
     /// Teardown overhead in milliseconds (see [`RunStats::teardown`]).
     pub fn teardown_ms(&self) -> f64 {
         self.teardown.as_secs_f64() * 1e3
+    }
+
+    /// Planned wall time in milliseconds, zero for unplanned runs (see
+    /// [`RunStats::predicted`]).
+    pub fn predicted_ms(&self) -> f64 {
+        self.predicted.as_secs_f64() * 1e3
     }
 }
 

@@ -232,6 +232,27 @@ pub fn execute_cfg(app: App, wl: &Workload, cfg: &Config) -> (RunStats, Duration
     }
 }
 
+/// Measure the app's communication profile at width `p` for the tuner
+/// (DESIGN.md §16): one run on the deterministic sequential simulator
+/// yields exact `S`/`H`/byte-lane counts plus a clean work depth and total
+/// work, which [`green_bsp::HProfile::from_stats`] turns into the tuner's
+/// input. SeqSim is the cheapest backend that observes the *real* `p`-wide
+/// communication pattern without contending for host cores.
+pub fn h_profile(app: App, wl: &Workload, p: usize) -> green_bsp::HProfile {
+    // Warm run first: a cold first touch of the workload inflates the
+    // measured compute times by tens of percent (page faults, cache
+    // misses), which would bias every prediction the tuner makes. Then
+    // profile the fastest of three runs — the tuner's predictions are
+    // compared against min-of-N measurements, so its `W` must be a
+    // min-of-N too or every prediction carries a systematic noise bias.
+    let _ = execute(app, wl, p, BackendKind::SeqSim);
+    let best = (0..3)
+        .map(|_| execute(app, wl, p, BackendKind::SeqSim))
+        .min_by(|a, b| a.1.cmp(&b.1))
+        .expect("three profile runs");
+    green_bsp::HProfile::from_stats(&best.0)
+}
+
 /// Mix one 64-bit value into a running digest (order-sensitive).
 fn mix(acc: u64, bits: u64) -> u64 {
     (acc.rotate_left(21) ^ bits).wrapping_mul(0x9E37_79B9_7F4A_7C15)

@@ -12,6 +12,7 @@
 //! `report all`, with `--full` for the paper's complete problem sizes.
 
 pub mod apps;
+pub mod autotune;
 pub mod check;
 pub mod exchange;
 pub mod faults;
@@ -25,7 +26,9 @@ pub mod stream_bench;
 pub mod sync_bench;
 pub mod tables;
 
-pub use apps::{execute, execute_cfg, prepare, submit_digest, try_execute_digest, App, Workload};
+pub use apps::{
+    execute, execute_cfg, h_profile, prepare, submit_digest, try_execute_digest, App, Workload,
+};
 pub use measure::{measure, sweep, Measurement, Sweep};
 
 use green_bsp::{BackendKind, NetSimParams};

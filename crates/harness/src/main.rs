@@ -1,6 +1,6 @@
 //! `report` — regenerate the paper's tables and figures.
 //!
-//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint|resilience] [--full] [--sync-modes]`
+//! Usage: `report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1..c6|autotune|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint|resilience] [--full] [--sync-modes]`
 //!
 //! `bench_exchange` sweeps the raw exchange-fabric throughput (packets/sec,
 //! `p = 1..=8`, every backend) and writes `BENCH_exchange.json`.
@@ -26,6 +26,13 @@
 //! end-to-end ocean ghost-exchange speedup at shared `p = 8` (neighborhood
 //! vs full barriers), split-phase vs fused sample sort, and the checker-on
 //! overhead of a relaxed run. Writes `BENCH_sync.json`.
+//!
+//! `autotune` closes the predict→schedule loop (DESIGN.md §16): profiles
+//! each application, prices the backend × `p` grid with calibrated `g`/`L`,
+//! measures every candidate, and reports how close the tuner's pick lands
+//! to the measured oracle plus the per-backend prediction error. Writes
+//! `BENCH_autotune.json`; exits non-zero if any pick changes result bits or
+//! the seqsim prediction error exceeds its committed bound.
 //!
 //! `check` runs the six applications under the BSP phase-discipline checker
 //! on every backend and model-checks the slab-mailbox protocol over seeded
@@ -112,6 +119,24 @@ fn main() {
         "c4" => c_for(App::Nbody),
         "c5" => c_for(App::Sp),
         "c6" => c_for(App::Msp),
+        "autotune" => {
+            use bsp_harness::autotune;
+            eprintln!("autotune sweep (profile → price grid → measure → score predictions)...");
+            let bench = autotune::sweep_autotune(full);
+            let json = autotune::to_json(&bench);
+            std::fs::write("BENCH_autotune.json", &json).expect("write BENCH_autotune.json");
+            eprintln!(
+                "wrote BENCH_autotune.json ({} apps, {} within 10% of oracle, \
+                 seqsim err {:.3}, gate_pass: {})",
+                bench.points.len(),
+                bench.apps_within_10pct,
+                bench.seqsim_median_rel_err,
+                bench.gate_pass
+            );
+            if !bench.gate_pass {
+                std::process::exit(1);
+            }
+        }
         "bench_exchange" => {
             use bsp_harness::exchange;
             let (volume, steps) = if full { (200_000, 16) } else { (50_000, 8) };
@@ -225,7 +250,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint|resilience] [--full] [--sync-modes]");
+            eprintln!("usage: report [all|fig1_1|fig2_1|fig3_1|fig3_2|c1|c2|c3|c4|c5|c6|autotune|bench_exchange|bench_message|bench_runtime|bench_stream|bench_sync|check|faults|lint|resilience] [--full] [--sync-modes]");
             std::process::exit(2);
         }
     }
